@@ -1,0 +1,117 @@
+"""E1 — deferred study: event-driven regional undo vs. whole-program
+re-analysis.
+
+The paper motivates the affected-region mechanism (§4.4): examining every
+subsequent transformation "may be too time consuming due to the
+redundant analysis of unrelated transformations if the number of
+transformations is large."
+
+We grow generated programs hosting n transformations, undo the FIRST one
+(worst case: all n−1 later transformations are candidates), and compare
+the work counters of
+
+* the paper configuration (regional + heuristic + incremental) against
+* the global baseline (no regional filter, full re-analysis),
+
+asserting both remove the same transformations.  The expected shape:
+baseline checks grow ~linearly in n; the regional path stays flat.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import Table, banner, ratio
+from repro.core.undo import UndoStrategy
+from repro.lang.interp import traces_equivalent
+from repro.workloads.scenarios import build_session
+
+SIZES = [8, 16, 32, 64]
+SEED = 7
+
+PAPER = UndoStrategy(use_heuristic=True, use_regional=True,
+                     use_incremental=True)
+GLOBAL = UndoStrategy(use_heuristic=True, use_regional=False,
+                      use_incremental=False)
+
+
+def run_undo(n: int, strategy: UndoStrategy):
+    session = build_session(SEED, n, strategy)
+    target = session.applied[0]
+    report = session.engine.undo(target)
+    return session, report
+
+
+def test_e1_same_outcome_both_strategies():
+    for n in (8, 16):
+        s1, r1 = run_undo(n, PAPER)
+        s2, r2 = run_undo(n, GLOBAL)
+        names1 = sorted(s1.engine.history.by_stamp(x).name for x in r1.undone)
+        names2 = sorted(s2.engine.history.by_stamp(x).name for x in r2.undone)
+        assert names1 == names2
+        assert s1.engine.source() == s2.engine.source()
+
+
+def test_e1_scaling_table():
+    banner("E1 — regional undo vs whole-program re-analysis "
+           "(undo the first of n transformations)")
+    t = Table(["n transforms", "regional checks", "global checks",
+               "region skips", "work saved"])
+    rows = []
+    for n in SIZES:
+        _s1, r1 = run_undo(n, PAPER)
+        _s2, r2 = run_undo(n, GLOBAL)
+        t.add(n, r1.work(), r2.work(), r1.region_skips,
+              ratio(r2.work(), max(r1.work(), 1)))
+        rows.append((n, r1.work(), r2.work(), r1.region_skips))
+    t.show()
+    # shape: global work grows with n; regional work stays bounded
+    assert rows[-1][2] > rows[0][2]
+    assert rows[-1][1] <= rows[0][1] * 4
+    assert rows[-1][3] > 0  # the space coordinate actually skipped work
+
+
+def undo_analysis_work(n: int, strategy: UndoStrategy):
+    """Analysis work (dataflow nodes + dependence pairs) performed while
+    servicing one undo, excluding the session-construction work."""
+    session = build_session(SEED, n, strategy)
+    c = session.engine.cache.counters
+    before = c.dataflow_nodes + c.dependence_pairs
+    session.engine.undo(session.applied[0])
+    after = c.dataflow_nodes + c.dependence_pairs
+    return after - before
+
+
+def test_e1_incremental_analysis_work():
+    banner("E1b — analysis work during undo: "
+           "incremental/regional vs full re-analysis")
+    t = Table(["n transforms", "paper config", "global baseline", "saved"])
+    rows = []
+    for n in (8, 16, 32, 64):
+        inc = undo_analysis_work(n, PAPER)
+        full = undo_analysis_work(n, GLOBAL)
+        t.add(n, inc, full, ratio(full, max(inc, 1)))
+        rows.append((inc, full))
+    t.show()
+    # never more work, and clearly less at scale
+    assert all(inc <= full for inc, full in rows)
+    assert rows[-1][0] < rows[-1][1]
+
+
+@pytest.mark.benchmark(group="e1")
+@pytest.mark.parametrize("n", [8, 32])
+def test_bench_undo_regional(benchmark, n):
+    def run():
+        return run_undo(n, PAPER)[1]
+
+    report = benchmark(run)
+    assert report.undone
+
+
+@pytest.mark.benchmark(group="e1")
+@pytest.mark.parametrize("n", [8, 32])
+def test_bench_undo_global(benchmark, n):
+    def run():
+        return run_undo(n, GLOBAL)[1]
+
+    report = benchmark(run)
+    assert report.undone

@@ -1,0 +1,87 @@
+"""E2 — deferred study: the reverse-destroy heuristic (Table 4).
+
+"When a transformation is reversed, only transformations with a mark 'x'
+in the reverse-destroy table are considered as possibly affected
+transformations." (§4.3)
+
+We undo each applied transformation of an n-transformation session (on a
+fresh session per target), with and without the heuristic — regional
+filtering disabled in both so the heuristic's contribution is isolated —
+and compare safety-check counts.  Both configurations must remove the
+same transformations.
+"""
+
+import pytest
+
+from repro.bench.reporting import Table, banner, ratio
+from repro.core.undo import UndoStrategy
+from repro.workloads.scenarios import build_session
+
+SEED = 11
+
+HEURISTIC = UndoStrategy(use_heuristic=True, use_regional=False,
+                         use_incremental=True)
+EXHAUSTIVE = UndoStrategy(use_heuristic=False, use_regional=False,
+                          use_incremental=True)
+
+
+def sweep(n: int, strategy: UndoStrategy):
+    """Undo each target on a fresh session; sum checks and outcomes."""
+    checks = 0
+    skips = 0
+    removed = []
+    targets = build_session(SEED, n, strategy).applied
+    for target in targets:
+        session = build_session(SEED, n, strategy)
+        report = session.engine.undo(target)
+        checks += report.safety_checks
+        skips += report.heuristic_skips
+        removed.append(tuple(sorted(
+            session.engine.history.by_stamp(s).name for s in report.undone)))
+    return checks, skips, removed
+
+
+def test_e2_same_outcomes():
+    _c1, _s1, removed_h = sweep(10, HEURISTIC)
+    _c2, _s2, removed_e = sweep(10, EXHAUSTIVE)
+    assert removed_h == removed_e, \
+        "the heuristic changed which transformations fall"
+
+
+def test_e2_scaling_table():
+    banner("E2 — Table 4 heuristic vs exhaustive safety re-checking "
+           "(sum over undoing each of n targets)")
+    t = Table(["n transforms", "checks (heuristic)", "checks (exhaustive)",
+               "heuristic skips", "checks saved"])
+    rows = []
+    for n in (8, 16, 32):
+        c_h, s_h, _ = sweep(n, HEURISTIC)
+        c_e, _s_e, _ = sweep(n, EXHAUSTIVE)
+        t.add(n, c_h, c_e, s_h, ratio(c_e, max(c_h, 1)))
+        rows.append((n, c_h, c_e, s_h))
+    t.show()
+    for _n, c_h, c_e, s_h in rows:
+        assert c_h <= c_e
+    # the heuristic filters a growing absolute number of candidates
+    assert rows[-1][3] > rows[0][3]
+    assert rows[-1][1] < rows[-1][2]
+
+
+@pytest.mark.benchmark(group="e2")
+def test_bench_undo_with_heuristic(benchmark):
+    def run():
+        session = build_session(SEED, 16, HEURISTIC)
+        return session.engine.undo(session.applied[0])
+
+    report = benchmark(run)
+    assert report.undone
+
+
+@pytest.mark.benchmark(group="e2")
+def test_bench_undo_exhaustive(benchmark):
+    def run():
+        session = build_session(SEED, 16, EXHAUSTIVE)
+        return session.engine.undo(session.applied[0])
+
+    report = benchmark(run)
+    assert report.undone

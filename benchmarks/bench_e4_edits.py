@@ -1,0 +1,120 @@
+"""E4 — deferred study: edit-driven invalidation vs redo-everything [13].
+
+After a user edit, the incremental path safety-checks only the
+transformations in the edit's affected region and removes exactly the
+unsafe ones; the baseline discards every transformation and re-derives
+the optimization state from scratch.  We sweep the session size and
+report checks performed, transformations surviving, and the redo
+baseline's equivalent work — asserting the incremental path keeps every
+transformation the edit did not genuinely break.
+"""
+
+import pytest
+
+from repro.bench.reporting import Table, banner, ratio
+from repro.core.locations import Location
+from repro.edit.edits import EditSession
+from repro.edit.invalidate import find_unsafe, redo_all_baseline, remove_unsafe
+from repro.lang.ast_nodes import Assign, Const, VarRef
+from repro.workloads.scenarios import build_session
+
+SEED = 13
+
+
+def edited_session(n: int):
+    """Build a session and apply one content edit to a constant
+    definition some transformation consumed (when one exists)."""
+    session = build_session(SEED, n)
+    engine = session.engine
+    # pick a constant assignment mentioned in some record's pre pattern
+    target = None
+    for rec in engine.history.active():
+        def_sid = rec.pre_pattern.get("def_sid")
+        if def_sid is None or not engine.program.is_attached(def_sid):
+            continue
+        stmt = engine.program.node(def_sid)
+        if isinstance(stmt, Assign) and isinstance(stmt.expr, Const):
+            target = def_sid
+            break
+    if target is None:  # fall back: edit the first scalar constant def
+        for s in engine.program.walk():
+            if isinstance(s, Assign) and isinstance(s.expr, Const):
+                target = s.sid
+                break
+    edits = EditSession(engine)
+    old = engine.program.node(target).expr.value
+    report = edits.modify_expr(target, ("expr",), Const(old + 1))
+    return session, report
+
+
+def test_e4_incremental_removes_only_broken():
+    session, report = edited_session(12)
+    engine = session.engine
+    active_before = len(engine.history.active())
+    stats = remove_unsafe(engine, report)
+    active_after = len(engine.history.active())
+    # the edit broke at least one transformation (we targeted a consumed
+    # constant) but not all of them
+    assert stats.removed, "the edit should invalidate something"
+    assert active_after > 0, "unaffected transformations must survive"
+    assert active_before - active_after == len(set(stats.removed))
+    # every survivor is genuinely safe
+    for rec in engine.history.active():
+        assert engine.check_safety(rec.stamp).safe
+
+
+def test_e4_regional_vs_full_same_unsafe_set():
+    for n in (8, 16):
+        s1, r1 = edited_session(n)
+        regional = find_unsafe(s1.engine, r1, use_regional=True)
+        s2, r2 = edited_session(n)
+        full = find_unsafe(s2.engine, r2, use_regional=False)
+        assert regional.unsafe == full.unsafe
+        assert regional.safety_checks <= full.safety_checks
+
+
+def test_e4_sweep_table():
+    banner("E4 — edit invalidation: incremental vs redo-everything")
+    t = Table(["n transforms", "checks (regional)", "checks (full scan)",
+               "unsafe", "survivors", "redo-all discards"])
+    rows = []
+    for n in (8, 16, 32):
+        session, report = edited_session(n)
+        engine = session.engine
+        stats = find_unsafe(engine, report, use_regional=True)
+        full_stats_session, full_report = edited_session(n)
+        full = find_unsafe(full_stats_session.engine, full_report,
+                           use_regional=False)
+        remove_unsafe(engine, report, stats)
+        survivors = len(engine.history.active())
+        redo = redo_all_baseline(engine)
+        t.add(n, stats.safety_checks, full.safety_checks,
+              len(set(stats.unsafe)), survivors,
+              redo.transformations_discarded + len(set(stats.removed)))
+        rows.append((n, stats.safety_checks, full.safety_checks, survivors))
+    t.show()
+    for _n, reg, full_checks, survivors in rows:
+        assert reg <= full_checks
+        assert survivors > 0
+    # regional checking stays well below the full scan at scale
+    assert rows[-1][1] < rows[-1][2]
+
+
+@pytest.mark.benchmark(group="e4")
+def test_bench_incremental_invalidation(benchmark):
+    def run():
+        session, report = edited_session(16)
+        return remove_unsafe(session.engine, report)
+
+    stats = benchmark(run)
+    assert stats.candidates >= 1
+
+
+@pytest.mark.benchmark(group="e4")
+def test_bench_redo_all_baseline(benchmark):
+    def run():
+        session, _report = edited_session(16)
+        return redo_all_baseline(session.engine)
+
+    stats = benchmark(run)
+    assert stats.transformations_discarded >= 1

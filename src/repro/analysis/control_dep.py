@@ -1,0 +1,146 @@
+"""Control-dependence tree with region nodes for structured programs.
+
+For structured code the control-dependence relation of the PDG (Ferrante
+et al. [7]) coincides with the nesting structure: statements in a loop
+body are control dependent on the loop predicate, branch statements on
+the ``if`` predicate.  The tree built here makes that explicit with
+**region nodes** — the paper's §4.4 hangs data-dependence summaries off
+them and defines the *least common region* LCR(s_i, s_j) as the least
+common control ancestor that is a region node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.ast_nodes import IfStmt, Loop, Program, Stmt
+
+#: Region id of the whole-program region.
+ROOT_REGION = 0
+
+
+@dataclass
+class RegionNode:
+    """One region node of the control-dependence tree."""
+
+    rid: int
+    #: ``"root"``, ``"loop_body"``, ``"then"``, ``"else"``.
+    kind: str
+    #: sid of the predicate statement owning the region (-1 for root).
+    owner_sid: int
+    #: region id of the parent region (-1 for root).
+    parent: int
+    #: sids of the statements directly inside this region.
+    members: List[int] = field(default_factory=list)
+    #: rids of regions nested directly inside (via member predicates).
+    children: List[int] = field(default_factory=list)
+
+
+class ControlDepTree:
+    """The control-dependence tree: regions + statement membership."""
+
+    def __init__(self) -> None:
+        self.regions: Dict[int, RegionNode] = {}
+        self._next = ROOT_REGION
+        #: sid → rid of the region directly containing the statement.
+        self.region_of: Dict[int, int] = {}
+
+    def new_region(self, kind: str, owner_sid: int, parent: int) -> RegionNode:
+        """Create a region node and link it under ``parent``."""
+        r = RegionNode(self._next, kind, owner_sid, parent)
+        self._next += 1
+        self.regions[r.rid] = r
+        if parent >= 0:
+            self.regions[parent].children.append(r.rid)
+        return r
+
+    # -- queries ---------------------------------------------------------------
+
+    def region_chain(self, sid: int) -> List[int]:
+        """Region ids containing ``sid``, innermost first."""
+        out: List[int] = []
+        rid = self.region_of.get(sid)
+        while rid is not None and rid >= 0:
+            out.append(rid)
+            rid = self.regions[rid].parent if self.regions[rid].parent >= 0 else None
+        return out
+
+    def lcr(self, sid_a: int, sid_b: int) -> int:
+        """Least common region of two statements (the paper's LCR)."""
+        chain_a = self.region_chain(sid_a)
+        chain_b = set(self.region_chain(sid_b))
+        for rid in chain_a:
+            if rid in chain_b:
+                return rid
+        return ROOT_REGION
+
+    def stmts_under(self, rid: int) -> List[int]:
+        """All sids inside region ``rid``, including nested regions."""
+        out: List[int] = []
+        stack = [rid]
+        while stack:
+            r = self.regions[stack.pop()]
+            out.extend(r.members)
+            stack.extend(r.children)
+        return out
+
+    def region_subtree(self, rid: int) -> List[int]:
+        """``rid`` and all regions nested inside it."""
+        out: List[int] = []
+        stack = [rid]
+        while stack:
+            r = stack.pop()
+            out.append(r)
+            stack.extend(self.regions[r].children)
+        return out
+
+    def is_ancestor(self, outer: int, inner: int) -> bool:
+        """True when region ``outer`` encloses (or equals) region ``inner``."""
+        rid: Optional[int] = inner
+        while rid is not None and rid >= 0:
+            if rid == outer:
+                return True
+            parent = self.regions[rid].parent
+            rid = parent if parent >= 0 else None
+        return False
+
+
+def build_control_dep_tree(program: Program) -> ControlDepTree:
+    """Construct the control-dependence tree of ``program``."""
+    tree = ControlDepTree()
+    root = tree.new_region("root", -1, -1)
+
+    def build(stmts: List[Stmt], rid: int) -> None:
+        region = tree.regions[rid]
+        for s in stmts:
+            region.members.append(s.sid)
+            tree.region_of[s.sid] = rid
+            if isinstance(s, Loop):
+                body = tree.new_region("loop_body", s.sid, rid)
+                build(s.body, body.rid)
+            elif isinstance(s, IfStmt):
+                then_r = tree.new_region("then", s.sid, rid)
+                build(s.then_body, then_r.rid)
+                if s.else_body:
+                    else_r = tree.new_region("else", s.sid, rid)
+                    build(s.else_body, else_r.rid)
+
+    build(program.body, root.rid)
+    return tree
+
+
+def region_of_container(tree: ControlDepTree, program: Program,
+                        container: Tuple[int, str]) -> int:
+    """Map a statement-container reference to the region holding its code."""
+    sid, slot = container
+    if sid == 0:
+        return ROOT_REGION
+    # find the region owned by this predicate with the matching slot
+    want = {"body": "loop_body", "then": "then", "else": "else"}[slot]
+    for rid, r in tree.regions.items():
+        if r.owner_sid == sid and r.kind == want:
+            return rid
+    # container exists but holds no region (e.g. empty else): fall back to
+    # the region containing the owner statement itself.
+    return tree.region_of.get(sid, ROOT_REGION)

@@ -1,0 +1,205 @@
+"""Low-level DAG representation of basic blocks (value numbering).
+
+Traditional optimizations in the paper's two-level model work on "the dag
+representation of basic blocks": a directed acyclic graph in which each
+node stands for a computed value, common subexpressions share a node, and
+labels record which variables currently hold each value.
+
+The DAG here follows the classic construction (Aho-Sethi-Ullman §9.8):
+
+* leaves are the *initial* values of variables and constants,
+* interior nodes are operations over value nodes,
+* a node carries the list of variables whose current value it is.
+
+When decorated with the transformation annotations from
+:mod:`repro.core.annotations`, this becomes the paper's **ADAG** (see
+:mod:`repro.repr2.adag`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    Program,
+    ReadStmt,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WriteStmt,
+)
+
+
+@dataclass
+class DAGNode:
+    """One value node in a block DAG."""
+
+    nid: int
+    #: ``"const"``, ``"var0"`` (initial value), ``"op"``, ``"load"``,
+    #: ``"input"``.
+    kind: str
+    #: operator for ``op`` nodes, constant value for ``const`` nodes,
+    #: variable/array name for ``var0``/``load`` nodes.
+    value: object = None
+    #: operand node ids, in order.
+    operands: Tuple[int, ...] = ()
+    #: variables currently labelled with this value.
+    labels: List[str] = field(default_factory=list)
+    #: sids of the statements that computed this value (first = creator).
+    producers: List[int] = field(default_factory=list)
+
+
+class BlockDAG:
+    """Value-numbering DAG for one basic block."""
+
+    def __init__(self, bid: int):
+        self.bid = bid
+        self.nodes: Dict[int, DAGNode] = {}
+        self._next = 0
+        #: structural key → node id (hash-consing).
+        self._index: Dict[Tuple, int] = {}
+        #: variable name → node id currently holding its value.
+        self.current: Dict[str, int] = {}
+        #: number of operation nodes *reused* (shared subexpressions found).
+        self.shared_hits = 0
+
+    def _new(self, kind: str, value: object, operands: Tuple[int, ...] = ()) -> DAGNode:
+        n = DAGNode(self._next, kind, value, operands)
+        self._next += 1
+        self.nodes[n.nid] = n
+        return n
+
+    def _lookup(self, key: Tuple) -> Optional[int]:
+        return self._index.get(key)
+
+    def value_of_var(self, name: str) -> int:
+        """Node currently holding scalar ``name`` (creating a leaf if new)."""
+        if name in self.current:
+            return self.current[name]
+        key = ("var0", name)
+        nid = self._lookup(key)
+        if nid is None:
+            n = self._new("var0", name)
+            self._index[key] = n.nid
+            nid = n.nid
+        self.current[name] = nid
+        return nid
+
+    def node_for_expr(self, e: Expr, sid: int) -> int:
+        """Value-number an expression, reusing existing nodes."""
+        if isinstance(e, Const):
+            key = ("const", e.value)
+            nid = self._lookup(key)
+            if nid is None:
+                n = self._new("const", e.value)
+                self._index[key] = n.nid
+                nid = n.nid
+            return nid
+        if isinstance(e, VarRef):
+            return self.value_of_var(e.name)
+        if isinstance(e, ArrayRef):
+            subs = tuple(self.node_for_expr(s, sid) for s in e.subscripts)
+            # loads are not hash-consed across stores; conservatively fresh
+            # per occurrence unless nothing stored to the array in between.
+            key = ("load", e.name, subs, self._store_epoch.get(e.name, 0))
+            nid = self._lookup(key)
+            if nid is None:
+                n = self._new("load", e.name, subs)
+                self._index[key] = n.nid
+                nid = n.nid
+            else:
+                self.shared_hits += 1
+            return nid
+        if isinstance(e, BinOp):
+            l = self.node_for_expr(e.left, sid)
+            r = self.node_for_expr(e.right, sid)
+            key = ("op", e.op, (l, r))
+            nid = self._lookup(key)
+            if nid is None:
+                n = self._new("op", e.op, (l, r))
+                self._index[key] = n.nid
+                nid = n.nid
+            else:
+                self.shared_hits += 1
+            self.nodes[nid].producers.append(sid)
+            return nid
+        if isinstance(e, UnaryOp):
+            v = self.node_for_expr(e.operand, sid)
+            key = ("op", e.op + "u", (v,))
+            nid = self._lookup(key)
+            if nid is None:
+                n = self._new("op", e.op + "u", (v,))
+                self._index[key] = n.nid
+                nid = n.nid
+            else:
+                self.shared_hits += 1
+            self.nodes[nid].producers.append(sid)
+            return nid
+        raise TypeError(f"unknown expression node {e!r}")
+
+    _store_epoch: Dict[str, int]
+
+    def assign_var(self, name: str, nid: int) -> None:
+        """Retarget scalar ``name`` to value node ``nid``."""
+        old = self.current.get(name)
+        if old is not None and name in self.nodes[old].labels:
+            self.nodes[old].labels.remove(name)
+        self.current[name] = nid
+        self.nodes[nid].labels.append(name)
+
+    def common_subexpressions(self) -> List[DAGNode]:
+        """Operation nodes computed by more than one statement."""
+        return [n for n in self.nodes.values()
+                if n.kind == "op" and len(set(n.producers)) > 1]
+
+
+def build_block_dag(program: Program, sids: Sequence[int], bid: int = 0) -> BlockDAG:
+    """Build the DAG of the straight-line statements ``sids``."""
+    dag = BlockDAG(bid)
+    dag._store_epoch = {}
+    input_count = 0
+    for sid in sids:
+        s = program.node(sid)
+        if isinstance(s, Assign):
+            nid = dag.node_for_expr(s.expr, sid)
+            if isinstance(s.target, VarRef):
+                dag.assign_var(s.target.name, nid)
+            else:
+                # array store: bump the array's epoch so later loads don't
+                # alias earlier ones.
+                for sub in s.target.subscripts:
+                    dag.node_for_expr(sub, sid)
+                dag._store_epoch[s.target.name] = dag._store_epoch.get(
+                    s.target.name, 0) + 1
+                n = dag._new("op", "store:" + s.target.name, (nid,))
+                n.producers.append(sid)
+        elif isinstance(s, ReadStmt):
+            n = dag._new("input", f"in{input_count}")
+            input_count += 1
+            n.producers.append(sid)
+            if isinstance(s.target, VarRef):
+                dag.assign_var(s.target.name, n.nid)
+        elif isinstance(s, WriteStmt):
+            nid = dag.node_for_expr(s.expr, sid)
+            n = dag._new("op", "write", (nid,))
+            n.producers.append(sid)
+        # compound statements never appear inside a basic block
+    return dag
+
+
+def build_dags(program: Program) -> Dict[int, BlockDAG]:
+    """DAGs for every basic block of ``program`` (keyed by block id)."""
+    from repro.analysis.cfg import build_cfg
+
+    cfg = build_cfg(program)
+    out: Dict[int, BlockDAG] = {}
+    for bid, block in cfg.blocks.items():
+        if block.kind == "block" and block.stmts:
+            out[bid] = build_block_dag(program, block.stmts, bid)
+    return out

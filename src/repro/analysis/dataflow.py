@@ -1,0 +1,305 @@
+"""Classical iterative data-flow analyses at statement granularity.
+
+Provides the flow facts the transformations' preconditions and the undo
+engine's safety re-checks need:
+
+* **Reaching definitions** (forward, may) — constant/copy propagation
+  legality, def-use chains.
+* **Liveness** (backward, may) — dead-code elimination legality.
+* **Available expressions** (forward, must) — common-subexpression
+  elimination legality.
+
+Scalars are tracked precisely; arrays are tracked at array granularity
+(an element store *generates* a definition but kills nothing; an element
+load uses the whole array).  Subscript-precise reasoning lives in
+:mod:`repro.analysis.depend`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    IfStmt,
+    Loop,
+    Program,
+    ReadStmt,
+    Stmt,
+    VarRef,
+    WriteStmt,
+    stmt_defuse,
+)
+
+#: A definition: (sid, name).  Array names are prefixed with ``"@"``.
+Definition = Tuple[int, str]
+
+
+def _aname(name: str) -> str:
+    return "@" + name
+
+
+@dataclass
+class DataflowResult:
+    """All flow facts for one program snapshot."""
+
+    cfg: CFG
+    #: definitions reaching the *entry* of each statement.
+    reach_in: Dict[int, FrozenSet[Definition]]
+    #: scalar/array names live *after* each statement.
+    live_out: Dict[int, FrozenSet[str]]
+    #: available expression keys at the entry of each statement.
+    avail_in: Dict[int, FrozenSet[Tuple]]
+    #: def-use chains: definition → sids of statements using it.
+    du_chains: Dict[Definition, FrozenSet[int]]
+    #: use-def chains: (use sid, name) → sids of reaching definitions.
+    ud_chains: Dict[Tuple[int, str], FrozenSet[int]]
+    #: nodes visited while computing (instrumentation).
+    visited_nodes: int = 0
+
+    # -- convenience queries -------------------------------------------------
+
+    def is_dead(self, sid: int, name: str) -> bool:
+        """True when the value defined for ``name`` at ``sid`` has no use."""
+        return not self.du_chains.get((sid, name), frozenset())
+
+    def sole_reaching_def(self, use_sid: int, name: str) -> Optional[int]:
+        """The unique definition reaching a use, or ``None``."""
+        defs = self.ud_chains.get((use_sid, name), frozenset())
+        if len(defs) == 1:
+            return next(iter(defs))
+        return None
+
+
+def _stmt_facts(stmt: Stmt) -> Tuple[Set[str], Set[str]]:
+    """(names defined, names used) with array names ``@``-prefixed."""
+    du = stmt_defuse(stmt)
+    defs = set(du.defs) | {_aname(a) for a in du.array_defs}
+    uses = set(du.uses) | {_aname(a) for a in du.array_uses}
+    return defs, uses
+
+
+def expr_key(e: Expr) -> Optional[Tuple]:
+    """Canonical hashable key for simple binary expressions.
+
+    Only ``var/const op var/const`` shapes participate in availability —
+    the shape Table 2's CSE pattern requires (``B op C``).  Returns
+    ``None`` for anything else.
+    """
+    if not isinstance(e, BinOp):
+        return None
+
+    def leaf(x: Expr):
+        if isinstance(x, VarRef):
+            return ("v", x.name)
+        if isinstance(x, Const):
+            return ("c", x.value)
+        return None
+
+    l = leaf(e.left)
+    r = leaf(e.right)
+    if l is None or r is None:
+        return None
+    return (e.op, l, r)
+
+
+def _expr_operand_names(key: Tuple) -> Set[str]:
+    out = set()
+    for tag, val in (key[1], key[2]):
+        if tag == "v":
+            out.add(val)
+    return out
+
+
+def analyze_dataflow(program: Program, cfg: Optional[CFG] = None) -> DataflowResult:
+    """Run all three analyses and build the chains."""
+    if cfg is None:
+        cfg = build_cfg(program)
+    visited = 0
+
+    # ---- collect per-statement local facts, in block order -----------------
+    stmt_defs: Dict[int, Set[str]] = {}
+    stmt_uses: Dict[int, Set[str]] = {}
+    all_defs_of: Dict[str, Set[Definition]] = {}
+    order_sids = cfg.statements()
+    for sid in order_sids:
+        s = program.node(sid)
+        d, u = _stmt_facts(s)
+        stmt_defs[sid] = d
+        stmt_uses[sid] = u
+        for name in d:
+            all_defs_of.setdefault(name, set()).add((sid, name))
+
+    # ---- reaching definitions (forward, union) ------------------------------
+    gen: Dict[int, Set[Definition]] = {}
+    kill: Dict[int, Set[Definition]] = {}
+    for bid, block in cfg.blocks.items():
+        g: Set[Definition] = set()
+        k: Set[Definition] = set()
+        for sid in block.stmts:
+            for name in stmt_defs[sid]:
+                if not name.startswith("@"):
+                    # a scalar def kills all other defs of the name
+                    defs = all_defs_of.get(name, set())
+                    k |= defs
+                    g = {d for d in g if d[1] != name}
+                g.add((sid, name))
+        gen[bid] = g
+        kill[bid] = k - g
+
+    rd_in: Dict[int, Set[Definition]] = {b: set() for b in cfg.blocks}
+    rd_out: Dict[int, Set[Definition]] = {b: set(gen[b]) for b in cfg.blocks}
+    work = cfg.rpo()
+    changed = True
+    while changed:
+        changed = False
+        for bid in work:
+            visited += 1
+            block = cfg.blocks[bid]
+            new_in: Set[Definition] = set()
+            for p in block.preds:
+                new_in |= rd_out[p]
+            new_out = gen[bid] | (new_in - kill[bid])
+            if new_in != rd_in[bid] or new_out != rd_out[bid]:
+                rd_in[bid] = new_in
+                rd_out[bid] = new_out
+                changed = True
+
+    # statement-level reach-in by walking each block
+    reach_in: Dict[int, FrozenSet[Definition]] = {}
+    for bid, block in cfg.blocks.items():
+        cur = set(rd_in[bid])
+        for sid in block.stmts:
+            visited += 1
+            reach_in[sid] = frozenset(cur)
+            for name in stmt_defs[sid]:
+                if not name.startswith("@"):
+                    cur = {d for d in cur if d[1] != name}
+                cur.add((sid, name))
+
+    # ---- chains ------------------------------------------------------------------
+    du: Dict[Definition, Set[int]] = {}
+    ud: Dict[Tuple[int, str], Set[int]] = {}
+    for sid in order_sids:
+        for name in stmt_uses[sid]:
+            reaching = {d for d in reach_in[sid] if d[1] == name}
+            if reaching:
+                ud[(sid, name)] = {d[0] for d in reaching}
+            for d in reaching:
+                du.setdefault(d, set()).add(sid)
+
+    # ---- liveness (backward, union) --------------------------------------------
+    use_b: Dict[int, Set[str]] = {}
+    def_b: Dict[int, Set[str]] = {}
+    for bid, block in cfg.blocks.items():
+        u: Set[str] = set()
+        d: Set[str] = set()
+        for sid in block.stmts:
+            u |= (stmt_uses[sid] - d)
+            for name in stmt_defs[sid]:
+                if not name.startswith("@"):
+                    d.add(name)
+        use_b[bid] = u
+        def_b[bid] = d
+
+    lv_in: Dict[int, Set[str]] = {b: set() for b in cfg.blocks}
+    lv_out: Dict[int, Set[str]] = {b: set() for b in cfg.blocks}
+    changed = True
+    rev = list(reversed(cfg.rpo()))
+    while changed:
+        changed = False
+        for bid in rev:
+            visited += 1
+            block = cfg.blocks[bid]
+            new_out: Set[str] = set()
+            for s in block.succs:
+                new_out |= lv_in[s]
+            new_in = use_b[bid] | (new_out - def_b[bid])
+            if new_in != lv_in[bid] or new_out != lv_out[bid]:
+                lv_in[bid] = new_in
+                lv_out[bid] = new_out
+                changed = True
+
+    live_out: Dict[int, FrozenSet[str]] = {}
+    for bid, block in cfg.blocks.items():
+        cur = set(lv_out[bid])
+        for sid in reversed(block.stmts):
+            visited += 1
+            live_out[sid] = frozenset(cur)
+            for name in stmt_defs[sid]:
+                if not name.startswith("@"):
+                    cur.discard(name)
+            cur |= stmt_uses[sid]
+
+    # ---- available expressions (forward, intersection) ---------------------------
+    all_keys: Set[Tuple] = set()
+    stmt_eval: Dict[int, Optional[Tuple]] = {}
+    for sid in order_sids:
+        s = program.node(sid)
+        key = expr_key(s.expr) if isinstance(s, Assign) else None
+        stmt_eval[sid] = key
+        if key is not None:
+            all_keys.add(key)
+
+    def block_transfer(bid: int, avail: Set[Tuple]) -> Set[Tuple]:
+        cur = set(avail)
+        for sid in cfg.blocks[bid].stmts:
+            key = stmt_eval[sid]
+            defs = stmt_defs[sid]
+            if key is not None:
+                cur.add(key)
+            # kill expressions whose operands this statement (re)defines
+            scalar_defs = {n for n in defs if not n.startswith("@")}
+            if scalar_defs:
+                cur = {k for k in cur if not (_expr_operand_names(k) & scalar_defs)}
+        return cur
+
+    av_in: Dict[int, Set[Tuple]] = {b: set(all_keys) for b in cfg.blocks}
+    av_in[cfg.entry] = set()
+    av_out: Dict[int, Set[Tuple]] = {b: block_transfer(b, av_in[b]) for b in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for bid in cfg.rpo():
+            visited += 1
+            block = cfg.blocks[bid]
+            if block.preds:
+                new_in = set(all_keys)
+                for p in block.preds:
+                    new_in &= av_out[p]
+            else:
+                new_in = set()
+            new_out = block_transfer(bid, new_in)
+            if new_in != av_in[bid] or new_out != av_out[bid]:
+                av_in[bid] = new_in
+                av_out[bid] = new_out
+                changed = True
+
+    avail_in: Dict[int, FrozenSet[Tuple]] = {}
+    for bid, block in cfg.blocks.items():
+        cur = set(av_in[bid])
+        for sid in block.stmts:
+            visited += 1
+            avail_in[sid] = frozenset(cur)
+            key = stmt_eval[sid]
+            if key is not None:
+                cur.add(key)
+            scalar_defs = {n for n in stmt_defs[sid] if not n.startswith("@")}
+            if scalar_defs:
+                cur = {k for k in cur if not (_expr_operand_names(k) & scalar_defs)}
+
+    return DataflowResult(
+        cfg=cfg,
+        reach_in=reach_in,
+        live_out=live_out,
+        avail_in=avail_in,
+        du_chains={k: frozenset(v) for k, v in du.items()},
+        ud_chains={k: frozenset(v) for k, v in ud.items()},
+        visited_nodes=visited,
+    )

@@ -1,0 +1,599 @@
+"""Data-dependence analysis with subscript tests and direction vectors.
+
+Implements the dependence substrate the parallelizing transformations
+need (Kuck et al. [9], Wolfe & Banerjee [22]):
+
+* **scalar dependences** from def-use relations (flow / anti / output),
+  with conservative loop-carried variants for scalars defined inside
+  loops;
+* **array dependences** from subscript analysis over common loop nests:
+  ZIV and strong-SIV tests exactly, a GCD test for the general linear
+  case, everything else conservatively assumed dependent;
+* **I/O dependences** ordering every pair of ``read``/``write``
+  statements (the paper's legality rule: transformations must not alter
+  I/O order);
+* **direction vectors** per common loop, as used by the loop-interchange
+  and loop-fusion legality checks.
+
+Dependences are always reported source-before-sink: a computed direction
+whose leftmost non-``=`` entry would be ``>`` is flipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    IfStmt,
+    Loop,
+    Program,
+    ReadStmt,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WriteStmt,
+    stmt_defuse,
+)
+
+#: Direction entries.
+LT, EQ, GT, ANY = "<", "=", ">", "*"
+
+#: Dependence kinds.
+FLOW, ANTI, OUTPUT, IO = "flow", "anti", "output", "io"
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One data (or I/O) dependence edge ``src → dst``."""
+
+    src: int
+    dst: int
+    kind: str
+    #: variable or array name the dependence is on (``"<io>"`` for I/O).
+    var: str
+    #: direction vector over the *common* enclosing loops of src and dst,
+    #: outermost first; empty for loop-independent scalar deps outside
+    #: any common loop.
+    directions: Tuple[str, ...] = ()
+    #: True when the dependence is carried by some loop (any non-'='
+    #: leading entry).
+    carried: bool = False
+
+    def level(self) -> Optional[int]:
+        """1-based index of the carrying loop, or ``None`` if independent."""
+        for i, d in enumerate(self.directions):
+            if d != EQ:
+                return i + 1
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Linear subscript forms
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Linear:
+    """A linear form ``sum(coeffs[v] * v) + const`` over variable names."""
+
+    coeffs: Dict[str, float] = field(default_factory=dict)
+    const: float = 0.0
+
+    def plus(self, other: "Linear", sign: float = 1.0) -> "Linear":
+        """Return ``self + sign * other`` as a new linear form."""
+        out = Linear(dict(self.coeffs), self.const)
+        for v, c in other.coeffs.items():
+            out.coeffs[v] = out.coeffs.get(v, 0.0) + sign * c
+            if out.coeffs[v] == 0:
+                del out.coeffs[v]
+        out.const += sign * other.const
+        return out
+
+    def scaled(self, k: float) -> "Linear":
+        """Return this form scaled by the constant ``k``."""
+        return Linear({v: c * k for v, c in self.coeffs.items() if c * k != 0},
+                      self.const * k)
+
+
+def linearize(e: Expr) -> Optional[Linear]:
+    """Extract a linear form from an expression, or ``None`` if nonlinear."""
+    if isinstance(e, Const):
+        return Linear({}, float(e.value))
+    if isinstance(e, VarRef):
+        return Linear({e.name: 1.0}, 0.0)
+    if isinstance(e, UnaryOp) and e.op == "-":
+        inner = linearize(e.operand)
+        return None if inner is None else inner.scaled(-1.0)
+    if isinstance(e, BinOp):
+        if e.op == "+":
+            l, r = linearize(e.left), linearize(e.right)
+            if l is None or r is None:
+                return None
+            return l.plus(r)
+        if e.op == "-":
+            l, r = linearize(e.left), linearize(e.right)
+            if l is None or r is None:
+                return None
+            return l.plus(r, -1.0)
+        if e.op == "*":
+            l, r = linearize(e.left), linearize(e.right)
+            if l is None or r is None:
+                return None
+            if not l.coeffs:
+                return r.scaled(l.const)
+            if not r.coeffs:
+                return l.scaled(r.const)
+            return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Per-dimension subscript tests
+# ---------------------------------------------------------------------------
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return abs(a)
+
+
+def dimension_directions(f_src: Optional[Linear], f_dst: Optional[Linear],
+                         loop_vars: Sequence[str]) -> Optional[Dict[str, Set[str]]]:
+    """Direction constraints one subscript dimension imposes.
+
+    Returns ``None`` when the dimension *proves independence*, else a map
+    ``loop var → allowed directions`` (missing vars are unconstrained).
+
+    ``f_src`` is the subscript of the dependence source (earlier
+    iteration ``I``), ``f_dst`` of the sink (iteration ``I'``); the
+    dependence equation is ``f_src(I) = f_dst(I')``.
+    """
+    if f_src is None or f_dst is None:
+        return {}  # nonlinear: no information, dependence assumed
+
+    lv = set(loop_vars)
+    # symbolic (non-loop) variables must cancel exactly, else no info
+    sym_src = {v: c for v, c in f_src.coeffs.items() if v not in lv}
+    sym_dst = {v: c for v, c in f_dst.coeffs.items() if v not in lv}
+    if sym_src != sym_dst:
+        return {}
+
+    a_src = {v: c for v, c in f_src.coeffs.items() if v in lv}
+    a_dst = {v: c for v, c in f_dst.coeffs.items() if v in lv}
+    dc = f_dst.const - f_src.const  # f_src(I) - f_dst(I') = 0
+
+    vars_involved = set(a_src) | set(a_dst)
+    if not vars_involved:
+        # ZIV: both constant in the loop nest
+        if dc != 0:
+            return None  # distinct elements: independent
+        return {}
+    if len(vars_involved) == 1:
+        v = next(iter(vars_involved))
+        a1 = a_src.get(v, 0.0)
+        a2 = a_dst.get(v, 0.0)
+        if a1 == a2 and a1 != 0:
+            # strong SIV: a*(i' - i) = -dc  →  i' - i = -dc/a ... careful:
+            # f_src(i) = f_dst(i')  →  a1*i + c1 = a2*i' + c2
+            # a*(i - i') = c2 - c1 = dc  →  i' = i - dc/a
+            d = -dc / a1
+            if d != int(d):
+                return None
+            d = int(d)
+            if d > 0:
+                return {v: {LT}}
+            if d < 0:
+                return {v: {GT}}
+            return {v: {EQ}}
+        if a1 != 0 and a2 != 0:
+            # weak SIV / general single-variable: GCD feasibility
+            g = _gcd(int(a1) if a1 == int(a1) else 1,
+                     int(a2) if a2 == int(a2) else 1)
+            if g > 1 and dc == int(dc) and int(dc) % g != 0:
+                return None
+            return {v: {LT, EQ, GT}}
+        # one side constant in v: crossing possible, no direction info
+        return {v: {LT, EQ, GT}}
+    # MIV: GCD test over all integer coefficients
+    ints: List[int] = []
+    ok = True
+    for c in list(a_src.values()) + list(a_dst.values()):
+        if c == int(c):
+            ints.append(int(c))
+        else:
+            ok = False
+    if ok and ints and dc == int(dc):
+        g = 0
+        for c in ints:
+            g = _gcd(g, c)
+        if g > 1 and int(dc) % g != 0:
+            return None
+    return {}
+
+
+# ---------------------------------------------------------------------------
+# Whole-reference tests
+# ---------------------------------------------------------------------------
+
+
+def _merge_constraints(dims: List[Optional[Dict[str, Set[str]]]],
+                       loop_vars: Sequence[str]) -> Optional[Dict[str, Set[str]]]:
+    """Intersect per-dimension constraints; ``None`` = independent."""
+    merged: Dict[str, Set[str]] = {v: {LT, EQ, GT} for v in loop_vars}
+    for d in dims:
+        if d is None:
+            return None
+        for v, allowed in d.items():
+            if v in merged:
+                merged[v] &= allowed
+                if not merged[v]:
+                    return None
+    return merged
+
+
+def _constraints_to_vectors(merged: Dict[str, Set[str]],
+                            loop_vars: Sequence[str]) -> List[Tuple[str, ...]]:
+    """Collapse constraint sets to a single direction vector per loop.
+
+    A constraint set of one element yields that direction; anything wider
+    yields ``*`` (conservative).
+    """
+    vec = []
+    for v in loop_vars:
+        allowed = merged.get(v, {LT, EQ, GT})
+        if len(allowed) == 1:
+            vec.append(next(iter(allowed)))
+        else:
+            vec.append(ANY)
+    return [tuple(vec)]
+
+
+def _normalize(src: int, dst: int, vec: Tuple[str, ...],
+               pos: Dict[int, int]) -> Optional[Tuple[int, int, Tuple[str, ...], bool]]:
+    """Orient a dependence source-before-sink.
+
+    Returns ``(src, dst, directions, carried)`` or ``None`` when the
+    vector is infeasible (all-``=`` but the sink precedes the source
+    textually — within one iteration the dependence runs the other way).
+    """
+    first = None
+    for d in vec:
+        if d in (LT, GT):
+            first = d
+            break
+        if d == ANY:
+            first = ANY
+            break
+    if first == GT:
+        flipped = tuple({LT: GT, GT: LT, EQ: EQ, ANY: ANY}[d] for d in vec)
+        return (dst, src, flipped, True)
+    if first == LT:
+        return (src, dst, vec, True)
+    if first == ANY:
+        # unknown: keep as given, mark carried (conservative)
+        return (src, dst, vec, True)
+    # loop independent: textual order decides
+    if pos[src] <= pos[dst]:
+        return (src, dst, vec, False)
+    return (dst, src, tuple(EQ for _ in vec), False)
+
+
+class DependenceGraph:
+    """All dependences of one program snapshot, with query helpers."""
+
+    def __init__(self, program: Program, deps: List[Dependence],
+                 visited_pairs: int = 0):
+        self.program = program
+        self.deps = deps
+        self.visited_pairs = visited_pairs
+        self._out: Dict[int, List[Dependence]] = {}
+        self._in: Dict[int, List[Dependence]] = {}
+        for d in deps:
+            self._out.setdefault(d.src, []).append(d)
+            self._in.setdefault(d.dst, []).append(d)
+
+    def from_stmt(self, sid: int) -> List[Dependence]:
+        """Dependences whose source is statement ``sid``."""
+        return list(self._out.get(sid, ()))
+
+    def to_stmt(self, sid: int) -> List[Dependence]:
+        """Dependences whose sink is statement ``sid``."""
+        return list(self._in.get(sid, ()))
+
+    def between(self, srcs: Set[int], dsts: Set[int]) -> List[Dependence]:
+        """Dependences from any of ``srcs`` to any of ``dsts``."""
+        return [d for d in self.deps if d.src in srcs and d.dst in dsts]
+
+    def carried_by(self, loop_sid: int) -> List[Dependence]:
+        """Dependences carried at the level of the given loop."""
+        out = []
+        for d in self.deps:
+            loops = self._common_loops(d.src, d.dst)
+            lvl = d.level()
+            if lvl is not None and lvl <= len(loops) and loops[lvl - 1].sid == loop_sid:
+                out.append(d)
+            elif any(x == ANY for x in d.directions) and any(
+                    l.sid == loop_sid for l in loops):
+                out.append(d)
+        return out
+
+    def _common_loops(self, a: int, b: int) -> List[Loop]:
+        la = self.program.enclosing_loops(a)
+        lb = self.program.enclosing_loops(b)
+        out = []
+        for x, y in zip(la, lb):
+            if x.sid == y.sid:
+                out.append(x)
+            else:
+                break
+        return out
+
+
+def _array_refs(stmt: Stmt) -> List[Tuple[str, ArrayRef, bool]]:
+    """``(array, ref, is_write)`` for every array reference in ``stmt``."""
+    out: List[Tuple[str, ArrayRef, bool]] = []
+
+    def scan(e: Expr, writing: bool) -> None:
+        if isinstance(e, ArrayRef):
+            out.append((e.name, e, writing))
+            for s in e.subscripts:
+                scan(s, False)
+        else:
+            for _n, c in e.children():
+                scan(c, False)
+
+    if isinstance(stmt, Assign):
+        scan(stmt.target, isinstance(stmt.target, ArrayRef))
+        scan(stmt.expr, False)
+    elif isinstance(stmt, ReadStmt):
+        scan(stmt.target, isinstance(stmt.target, ArrayRef))
+    elif isinstance(stmt, WriteStmt):
+        scan(stmt.expr, False)
+    elif isinstance(stmt, (Loop, IfStmt)):
+        for _slot, e in stmt.expr_slots():
+            scan(e, False)
+    return out
+
+
+def analyze_dependences(program: Program) -> DependenceGraph:
+    """Compute the dependence graph of ``program``."""
+    stmts = list(program.walk())
+    pos = {s.sid: i for i, s in enumerate(stmts)}
+    loops_of: Dict[int, List[Loop]] = {
+        s.sid: program.enclosing_loops(s.sid) for s in stmts}
+    deps: List[Dependence] = []
+    visited_pairs = 0
+
+    def common_loops(a: int, b: int) -> List[Loop]:
+        out = []
+        for x, y in zip(loops_of[a], loops_of[b]):
+            if x.sid == y.sid:
+                out.append(x)
+            else:
+                break
+        return out
+
+    # ---- scalar dependences --------------------------------------------------
+    # Loop-index variables are the loop's iteration mechanism: a header's
+    # definition of its own index is private plumbing (conceptually the
+    # index is renamed per loop), so dependences whose *defining* endpoint
+    # is a loop header defining its own variable are excluded.  Without
+    # this, every pair of loops sharing an index name appears coupled and
+    # no outer loop is ever parallel.
+    def _index_def(stmt: Stmt, name: str) -> bool:
+        return isinstance(stmt, Loop) and stmt.var == name
+
+    du = [(s.sid, stmt_defuse(s)) for s in stmts]
+    node_of = {s.sid: s for s in stmts}
+    for i, (sa, da) in enumerate(du):
+        for sb, db in du[i:]:
+            visited_pairs += 1
+            pairs = []
+            for kind, xs, ys in ((FLOW, da.defs, db.uses),
+                                 (ANTI, da.uses, db.defs),
+                                 (OUTPUT, da.defs, db.defs)):
+                for name in xs & ys:
+                    def_side = sa if kind in (FLOW, OUTPUT) else sb
+                    if _index_def(node_of[def_side], name):
+                        continue
+                    if kind == OUTPUT and _index_def(node_of[sb], name):
+                        continue
+                    pairs.append((kind, name))
+            if sa == sb:
+                # self dependences only matter when loop-carried
+                pairs = [(k, n) for k, n in pairs if loops_of[sa]]
+            for kind, name in pairs:
+                cl = common_loops(sa, sb)
+                lv = [l.var for l in cl]
+                if pos[sa] <= pos[sb] and sa != sb:
+                    deps.append(Dependence(sa, sb, kind, name,
+                                           tuple(EQ for _ in lv), False))
+                if cl:
+                    # conservative loop-carried scalar dependence
+                    vec = (LT,) + tuple(ANY for _ in lv[1:])
+                    deps.append(Dependence(sa, sb, kind, name, vec, True))
+                    if sa != sb:
+                        deps.append(Dependence(sb, sa, kind, name, vec, True))
+
+    # ---- array dependences ------------------------------------------------------
+    refs: List[Tuple[int, str, ArrayRef, bool]] = []
+    for s in stmts:
+        for name, ref, w in _array_refs(s):
+            refs.append((s.sid, name, ref, w))
+    for i, (sa, na, ra, wa) in enumerate(refs):
+        for sb, nb, rb, wb in refs[i:]:
+            if na != nb or not (wa or wb):
+                continue
+            visited_pairs += 1
+            kind = OUTPUT if (wa and wb) else (FLOW if wa else ANTI)
+            cl = common_loops(sa, sb)
+            lv = [l.var for l in cl]
+            self_same_ref = sa == sb and ra is rb
+            if self_same_ref and not cl:
+                continue  # a single access depends on itself only across iterations
+            dims: List[Optional[Dict[str, Set[str]]]] = []
+            ndim = max(len(ra.subscripts), len(rb.subscripts))
+            for k in range(ndim):
+                fa = linearize(ra.subscripts[k]) if k < len(ra.subscripts) else None
+                fb = linearize(rb.subscripts[k]) if k < len(rb.subscripts) else None
+                dims.append(dimension_directions(fa, fb, lv))
+            merged = _merge_constraints(dims, lv)
+            if merged is None:
+                continue  # proven independent
+            if self_same_ref and all(merged.get(v) == {EQ} for v in lv):
+                continue  # same access touching the same element: no dep
+            for vec in _constraints_to_vectors(merged, lv):
+                norm = _normalize(sa, sb, vec, pos)
+                if norm is None:
+                    continue
+                src, dst, v, carried = norm
+                if src == dst and not carried:
+                    continue
+                if not carried and src == sa and dst == sb and pos[sa] > pos[sb]:
+                    continue
+                deps.append(Dependence(src, dst, kind, na, v, carried))
+
+    # ---- I/O ordering dependences --------------------------------------------------
+    io_stmts = [s.sid for s in stmts if stmt_defuse(s).is_io]
+    for a, b in zip(io_stmts, io_stmts[1:]):
+        cl = common_loops(a, b)
+        deps.append(Dependence(a, b, IO, "<io>",
+                               tuple(EQ for _ in cl), False))
+        if cl:
+            deps.append(Dependence(a, b, IO, "<io>",
+                                   (LT,) + tuple(ANY for _ in cl[1:]), True))
+    # an I/O statement inside a loop depends on itself across iterations
+    for a in io_stmts:
+        if loops_of[a]:
+            vec = (LT,) + tuple(ANY for _ in loops_of[a][1:])
+            deps.append(Dependence(a, a, IO, "<io>", vec, True))
+
+    # dedupe
+    seen: Set[Tuple] = set()
+    uniq: List[Dependence] = []
+    for d in deps:
+        key = (d.src, d.dst, d.kind, d.var, d.directions, d.carried)
+        if key not in seen:
+            seen.add(key)
+            uniq.append(d)
+    return DependenceGraph(program, uniq, visited_pairs)
+
+
+# ---------------------------------------------------------------------------
+# Legality helpers used by the parallelizing transformations
+# ---------------------------------------------------------------------------
+
+
+def interchange_legal(graph: DependenceGraph, outer: Loop, inner: Loop) -> bool:
+    """True when swapping ``(outer, inner)`` preserves all dependences.
+
+    Illegal exactly when some dependence carried by the pair has direction
+    ``(<, >)`` — interchange would turn it into ``(>, <)``, reversing it.
+    ``(*, …)`` entries are treated conservatively.
+    """
+    inner_stmts = {s.sid for s in _subtree(inner)}
+    for d in graph.deps:
+        if d.src not in inner_stmts or d.dst not in inner_stmts:
+            continue
+        la = graph.program.enclosing_loops(d.src)
+        try:
+            oi = [l.sid for l in la].index(outer.sid)
+        except ValueError:
+            continue
+        if len(d.directions) <= oi + 1:
+            continue
+        do, di = d.directions[oi], d.directions[oi + 1]
+        if (do == LT and di == GT):
+            return False
+        if (do == ANY and di in (GT, ANY)) or (do == LT and di == ANY):
+            return False
+    return True
+
+
+def loop_parallelizable(graph: DependenceGraph, loop: Loop) -> bool:
+    """True when no dependence is carried by ``loop`` (DOALL test)."""
+    return not graph.carried_by(loop.sid)
+
+
+def _subtree(stmt: Stmt) -> List[Stmt]:
+    out = [stmt]
+    for slot in stmt.body_slots():
+        for c in stmt.get_body(slot):
+            out.extend(_subtree(c))
+    return out
+
+
+def fusion_preventing(program: Program, l1: Loop, l2: Loop) -> List[Tuple[int, int, str]]:
+    """Dependences that forbid fusing adjacent conformable loops.
+
+    For each array written in one loop and referenced in the other, align
+    both subscripts on a common iteration variable and test whether the
+    sink could read/write an element *before* the source produces it
+    after fusion (dependence distance < 0 from L1 to L2).  Nonlinear or
+    unresolvable subscript pairs are conservatively preventing.
+
+    Returns a list of ``(src_sid, dst_sid, array)`` witnesses (empty =
+    fusion legal).
+    """
+    out: List[Tuple[int, int, str]] = []
+    refs1 = [(s.sid, n, r, w) for s in _subtree(l1) if s is not l1
+             for n, r, w in _array_refs(s)]
+    refs2 = [(s.sid, n, r, w) for s in _subtree(l2) if s is not l2
+             for n, r, w in _array_refs(s)]
+    for sa, na, ra, wa in refs1:
+        for sb, nb, rb, wb in refs2:
+            if na != nb or not (wa or wb):
+                continue
+            # align l2's variable onto l1's
+            prevent = False
+            ndim = max(len(ra.subscripts), len(rb.subscripts))
+            for k in range(ndim):
+                fa = linearize(ra.subscripts[k]) if k < len(ra.subscripts) else None
+                fb = linearize(rb.subscripts[k]) if k < len(rb.subscripts) else None
+                if fa is None or fb is None:
+                    prevent = True
+                    break
+                if l2.var != l1.var and l2.var in fb.coeffs:
+                    fb = Linear(dict(fb.coeffs), fb.const)
+                    fb.coeffs[l1.var] = fb.coeffs.get(l1.var, 0.0) + fb.coeffs.pop(l2.var)
+                a1 = fa.coeffs.get(l1.var, 0.0)
+                a2 = fb.coeffs.get(l1.var, 0.0)
+                rest1 = {v: c for v, c in fa.coeffs.items() if v != l1.var}
+                rest2 = {v: c for v, c in fb.coeffs.items() if v != l1.var}
+                if rest1 != rest2:
+                    prevent = True
+                    break
+                if a1 == a2:
+                    if a1 == 0:
+                        if fa.const != fb.const:
+                            # distinct elements in this dimension: no dep
+                            prevent = False
+                            break
+                        continue
+                    d = (fa.const - fb.const) / a1
+                    # sink (in L2) touches element produced at iteration
+                    # i + d of L1; preventing when it needs a *later*
+                    # iteration's element (d < 0 → backward after fusion).
+                    if d != int(d):
+                        prevent = False
+                        break
+                    if int(d) < 0:
+                        prevent = True
+                        break
+                else:
+                    prevent = True
+                    break
+            else:
+                # all dimensions compatible with a non-negative distance:
+                # dependence exists but fusion keeps it forward — fine.
+                prevent = prevent or False
+            if prevent:
+                out.append((sa, sb, na))
+    return out

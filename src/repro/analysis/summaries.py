@@ -1,0 +1,108 @@
+"""Data-dependence summaries on region nodes (the paper's Figure 3).
+
+Each data dependence is summarized on the **least common region node**
+(LCR) of its source and sink.  The summaries let the system answer
+region-level questions without visiting the statements below:
+
+* *"can these two loops be fused?"* — check only the inter-region
+  dependences summarized on the loops' LCR (Figure 3's ``d2`` on ``R1``),
+  instead of scanning every node under both loops;
+* *"which regions are affected by this change?"* — dependences whose
+  summary sits on (an ancestor of) a dirty region show where effects
+  propagate.
+
+Both the summary-based and the exhaustive query paths are instrumented
+with node-visit counters, which benchmark ``bench_fig3`` compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.control_dep import ControlDepTree, build_control_dep_tree
+from repro.analysis.depend import Dependence, DependenceGraph, analyze_dependences
+from repro.lang.ast_nodes import Loop, Program
+
+
+@dataclass
+class RegionSummaries:
+    """Dependence summaries keyed by region id."""
+
+    tree: ControlDepTree
+    #: region id → dependences whose LCR is that region.
+    by_region: Dict[int, List[Dependence]] = field(default_factory=dict)
+    #: instrumentation: nodes visited by summary-based queries.
+    visits_summary: int = 0
+    #: instrumentation: nodes visited by exhaustive queries.
+    visits_exhaustive: int = 0
+
+    def deps_on(self, rid: int) -> List[Dependence]:
+        """Dependences summarized on region ``rid``."""
+        return list(self.by_region.get(rid, ()))
+
+    # -- Figure 3's motivating query -----------------------------------------
+
+    def fusion_blockers_via_summary(self, program: Program,
+                                    l1: Loop, l2: Loop) -> List[Dependence]:
+        """Inter-loop dependences found by checking only the LCR summary.
+
+        Visits one region node plus its summarized dependence list — never
+        the statements under the loops.
+        """
+        rid = self.tree.lcr(l1.sid, l2.sid)
+        self.visits_summary += 1
+        under1 = set(self.tree.stmts_under(self._body_region(l1)))
+        under2 = set(self.tree.stmts_under(self._body_region(l2)))
+        out = []
+        for d in self.by_region.get(rid, ()):
+            self.visits_summary += 1
+            if (d.src in under1 and d.dst in under2) or (
+                    d.src in under2 and d.dst in under1):
+                out.append(d)
+        return out
+
+    def fusion_blockers_exhaustive(self, program: Program, dgraph: DependenceGraph,
+                                   l1: Loop, l2: Loop) -> List[Dependence]:
+        """The same query by scanning all statements under both loops."""
+        under1: Set[int] = set()
+        under2: Set[int] = set()
+        for rid_set, loop in ((under1, l1), (under2, l2)):
+            stack = [loop]
+            while stack:
+                s = stack.pop()
+                self.visits_exhaustive += 1
+                if s is not loop:
+                    rid_set.add(s.sid)
+                for slot in s.body_slots():
+                    stack.extend(s.get_body(slot))
+        out = []
+        for d in dgraph.deps:
+            self.visits_exhaustive += 1
+            if (d.src in under1 and d.dst in under2) or (
+                    d.src in under2 and d.dst in under1):
+                out.append(d)
+        return out
+
+    def _body_region(self, loop: Loop) -> int:
+        for rid, r in self.tree.regions.items():
+            if r.owner_sid == loop.sid and r.kind == "loop_body":
+                return rid
+        return 0
+
+
+def build_summaries(program: Program,
+                    tree: Optional[ControlDepTree] = None,
+                    dgraph: Optional[DependenceGraph] = None) -> RegionSummaries:
+    """Summarize every dependence on the LCR of its endpoints."""
+    if tree is None:
+        tree = build_control_dep_tree(program)
+    if dgraph is None:
+        dgraph = analyze_dependences(program)
+    out = RegionSummaries(tree=tree)
+    for d in dgraph.deps:
+        if d.src not in tree.region_of or d.dst not in tree.region_of:
+            continue
+        rid = tree.lcr(d.src, d.dst)
+        out.by_region.setdefault(rid, []).append(d)
+    return out

@@ -1,0 +1,5 @@
+"""Benchmark-harness support: table rendering and paper-vs-measured rows."""
+
+from repro.bench.reporting import Table, banner, ratio
+
+__all__ = ["Table", "banner", "ratio"]

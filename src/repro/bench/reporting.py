@@ -1,0 +1,64 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+it with these helpers, so `pytest benchmarks/ --benchmark-only -s`
+produces a readable reproduction report; EXPERIMENTS.md records the same
+rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class Table:
+    """A simple fixed-width text table."""
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add(self, *cells) -> None:
+        """Append one row (cells are stringified; floats compacted)."""
+        row = [f"{c:.3g}" if isinstance(c, float) else str(c) for c in cells]
+        if len(row) != len(self.columns):
+            raise ValueError("row width does not match columns")
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """The table as fixed-width text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+        out = []
+        if self.title:
+            out.append(self.title)
+        out.append(sep)
+        out.append("| " + " | ".join(c.ljust(w) for c, w in
+                                     zip(self.columns, widths)) + " |")
+        out.append(sep)
+        for row in self.rows:
+            out.append("| " + " | ".join(c.ljust(w) for c, w in
+                                         zip(row, widths)) + " |")
+        out.append(sep)
+        return "\n".join(out)
+
+    def show(self) -> None:
+        """Print the rendered table preceded by a blank line."""
+        print("\n" + self.render())
+
+
+def banner(text: str) -> None:
+    """Print a section banner."""
+    bar = "=" * max(len(text) + 4, 40)
+    print(f"\n{bar}\n| {text}\n{bar}")
+
+
+def ratio(a: float, b: float) -> str:
+    """Format ``a/b`` defensively."""
+    if b == 0:
+        return "inf" if a else "1.0"
+    return f"{a / b:.2f}x"

@@ -1,0 +1,264 @@
+"""An interactive transformation session — PIVOT's textual cousin.
+
+The paper's undo facility lives in an interactive parallelization
+environment [5]; this module provides a command-line equivalent::
+
+    python -m repro program.loop
+
+Commands (also ``help`` inside the session)::
+
+    show [labels]        print the current program
+    opps [name]          list opportunities (all kinds, or one)
+    apply <name> [k]     apply the k-th opportunity of a transformation
+    history              the applied-transformation history
+    undo <stamp>         independent-order undo (Figure 4)
+    undo-lifo <stamp>    reverse-order undo to a target [5]
+    safety [stamp]       safety re-check (one record or all)
+    revers [stamp]       reversibility (post-pattern) status
+    view                 the two-level APDG/ADAG representation
+    cost                 static cost/parallelism estimate
+    table4               the interaction matrix
+    edit-del <sid>       user edit: delete statement
+    edit-unsafe          find & remove transformations edits broke
+    quit
+
+Every command is a pure function of the session state, so the test
+suite drives the same code paths the interactive loop uses.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.core.engine import ApplyError, TransformationEngine
+from repro.core.interactions import render_table4
+from repro.core.undo import UndoError
+from repro.edit.edits import EditReport, EditSession
+from repro.edit.invalidate import remove_unsafe
+from repro.lang.parser import ParseError, parse_program
+from repro.model.costmodel import estimate_cost
+from repro.repr2 import TwoLevelRepresentation
+
+
+class CliSession:
+    """One interactive session over one program."""
+
+    def __init__(self, source: str):
+        self.engine = TransformationEngine(parse_program(source))
+        self._pending_edits: List[EditReport] = []
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "show": self.cmd_show,
+            "opps": self.cmd_opps,
+            "apply": self.cmd_apply,
+            "history": self.cmd_history,
+            "undo": self.cmd_undo,
+            "undo-lifo": self.cmd_undo_lifo,
+            "safety": self.cmd_safety,
+            "revers": self.cmd_revers,
+            "view": self.cmd_view,
+            "cost": self.cmd_cost,
+            "table2": self.cmd_table2,
+            "table3": self.cmd_table3,
+            "table4": self.cmd_table4,
+            "edit-del": self.cmd_edit_del,
+            "edit-unsafe": self.cmd_edit_unsafe,
+            "help": self.cmd_help,
+        }
+
+    # -- dispatch --------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns the text to display."""
+        parts = line.strip().split()
+        if not parts:
+            return ""
+        cmd, args = parts[0], parts[1:]
+        fn = self._commands.get(cmd)
+        if fn is None:
+            return f"unknown command {cmd!r} (try 'help')"
+        try:
+            return fn(args)
+        except (ApplyError, UndoError, ParseError) as exc:
+            return f"error: {exc}"
+        except (KeyError, IndexError, ValueError) as exc:
+            return f"error: bad argument ({exc})"
+
+    # -- commands ----------------------------------------------------------------
+
+    def cmd_show(self, args: List[str]) -> str:
+        """``show [labels]`` — print the current program."""
+        return self.engine.source(show_labels=bool(args and
+                                                   args[0] == "labels"))
+
+    def cmd_opps(self, args: List[str]) -> str:
+        """``opps [name]`` — list opportunities."""
+        names = [args[0]] if args else sorted(self.engine.registry)
+        lines = []
+        for name in names:
+            for k, opp in enumerate(self.engine.find(name)):
+                lines.append(f"  {name}[{k}]: {opp.description}")
+        return "\n".join(lines) if lines else "(no opportunities)"
+
+    def cmd_apply(self, args: List[str]) -> str:
+        """``apply <name> [k]`` — apply the k-th opportunity."""
+        name = args[0]
+        k = int(args[1]) if len(args) > 1 else 0
+        opps = self.engine.find(name)
+        if not opps:
+            return f"no {name} opportunity"
+        if not 0 <= k < len(opps):
+            return f"index {k} out of range (0..{len(opps) - 1})"
+        rec = self.engine.apply(opps[k])
+        return f"applied t{rec.stamp}: {name} — {opps[k].description}"
+
+    def cmd_history(self, args: List[str]) -> str:
+        """``history`` — the transformation history."""
+        text = self.engine.history.describe()
+        return text if text else "(empty history)"
+
+    def cmd_undo(self, args: List[str]) -> str:
+        """``undo <stamp>`` — independent-order undo (Figure 4)."""
+        stamp = int(args[0])
+        report = self.engine.undo(stamp)
+        out = [f"undone: {report.undone}"]
+        if report.affecting:
+            out.append(f"affecting (peeled first): {report.affecting}")
+        if report.affected:
+            out.append(f"affected (rippled): {report.affected}")
+        out.append(f"checks: {report.reversibility_checks} reversibility, "
+                   f"{report.safety_checks} safety "
+                   f"({report.heuristic_skips} heuristic skips, "
+                   f"{report.region_skips} region skips)")
+        return "\n".join(out)
+
+    def cmd_undo_lifo(self, args: List[str]) -> str:
+        """``undo-lifo <stamp>`` — reverse-order undo [5]."""
+        stamp = int(args[0])
+        report = self.engine.undo_reverse_to(stamp)
+        return (f"undone (last-first): {report.undone}\n"
+                f"collateral removals: {report.collateral}")
+
+    def cmd_safety(self, args: List[str]) -> str:
+        """``safety [stamp]`` — safety re-check status."""
+        records = ([self.engine.history.by_stamp(int(args[0]))] if args
+                   else self.engine.history.active())
+        lines = []
+        for rec in records:
+            if not rec.active or rec.is_edit:
+                continue
+            result = self.engine.check_safety(rec.stamp)
+            status = "safe" if result.safe else \
+                f"UNSAFE: {'; '.join(result.reasons)}"
+            lines.append(f"  t{rec.stamp} {rec.name}: {status}")
+        return "\n".join(lines) if lines else "(nothing applied)"
+
+    def cmd_revers(self, args: List[str]) -> str:
+        """``revers [stamp]`` — reversibility (post-pattern) status."""
+        records = ([self.engine.history.by_stamp(int(args[0]))] if args
+                   else self.engine.history.active())
+        lines = []
+        for rec in records:
+            if not rec.active or rec.is_edit:
+                continue
+            rr = self.engine.check_reversibility(rec.stamp)
+            if rr.reversible:
+                lines.append(f"  t{rec.stamp} {rec.name}: "
+                             "immediately reversible")
+            else:
+                v = rr.violations[0]
+                who = f" (undo t{v.stamp} first)" if v.stamp else ""
+                lines.append(f"  t{rec.stamp} {rec.name}: BLOCKED — "
+                             f"{v.condition}{who}")
+        return "\n".join(lines) if lines else "(nothing applied)"
+
+    def cmd_view(self, args: List[str]) -> str:
+        """``view`` — the two-level APDG/ADAG representation."""
+        return TwoLevelRepresentation.of(self.engine).render()
+
+    def cmd_cost(self, args: List[str]) -> str:
+        """``cost`` — static cost/parallelism estimate."""
+        est = estimate_cost(self.engine.program)
+        return (f"ops={est.total_ops:.0f} parallel_fraction="
+                f"{est.parallel_fraction:.2f} est_speedup={est.speedup:.2f}x "
+                f"doall_loops={est.doall_loops}")
+
+    def cmd_table2(self, args: List[str]) -> str:
+        """``table2`` — generated Table 2 rows for the catalog."""
+        lines = []
+        for name in sorted(self.engine.registry):
+            row = self.engine.registry[name].table2_row()
+            lines.append(f"{row['transformation']}")
+            lines.append(f"  pre:     {row['pre_pattern']}")
+            lines.append(f"  actions: {row['primitive_actions']}")
+            lines.append(f"  post:    {row['post_pattern']}")
+        return "\n".join(lines)
+
+    def cmd_table3(self, args: List[str]) -> str:
+        """``table3`` — generated disabling-condition rows."""
+        lines = []
+        for name in sorted(self.engine.registry):
+            row = self.engine.registry[name].table3_row()
+            lines.append(f"{name.upper()}:")
+            for c in row["safety"]:
+                lines.append(f"  safety: {c}")
+            for c in row["reversibility"]:
+                lines.append(f"  reversibility: {c}")
+        return "\n".join(lines)
+
+    def cmd_table4(self, args: List[str]) -> str:
+        """``table4`` — the interaction matrix."""
+        return render_table4()
+
+    def cmd_edit_del(self, args: List[str]) -> str:
+        """``edit-del <sid>`` — user edit: delete a statement."""
+        sid = int(args[0])
+        report = EditSession(self.engine).delete_stmt(sid)
+        self._pending_edits.append(report)
+        return f"edit t{report.record.stamp}: deleted S{sid}"
+
+    def cmd_edit_unsafe(self, args: List[str]) -> str:
+        """``edit-unsafe`` — remove transformations pending edits broke."""
+        if not self._pending_edits:
+            return "(no pending edits)"
+        lines = []
+        for report in self._pending_edits:
+            stats = remove_unsafe(self.engine, report)
+            lines.append(f"edit t{report.record.stamp}: "
+                         f"checked {stats.safety_checks}, "
+                         f"skipped {stats.region_skips}, "
+                         f"removed {stats.removed or 'nothing'}")
+        self._pending_edits.clear()
+        return "\n".join(lines)
+
+    def cmd_help(self, args: List[str]) -> str:
+        """``help`` — the command reference."""
+        return __doc__.split("Commands", 1)[1]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv:
+        print("usage: python -m repro <program file>")
+        return 2
+    with open(argv[0]) as fh:
+        source = fh.read()
+    session = CliSession(source)
+    print("repro interactive session — 'help' for commands")
+    print(session.cmd_show(["labels"]))
+    while True:
+        try:
+            line = input("repro> ")
+        except EOFError:
+            break
+        if line.strip() in ("quit", "exit"):
+            break
+        out = session.execute(line)
+        if out:
+            print(out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Core undo machinery: primitive actions, history, and the UNDO engines.
+
+This package implements the paper's contribution proper:
+
+* :mod:`repro.core.actions` — the five primitive actions of Table 1
+  (``Delete``, ``Copy``, ``Move``, ``Add``, ``Modify``) together with their
+  inverse actions, applied through an :class:`~repro.core.actions.ActionApplier`
+  that records transformation-independent history.
+* :mod:`repro.core.locations` — locations with anchor-based re-resolution,
+  needed so ``Add(orig_location, -, a)`` can restore a deleted statement.
+* :mod:`repro.core.annotations` — the ``md_t`` / ``mv_t`` / ``del_t`` /
+  ``cp_t`` / ``add_t`` annotations of Figure 2, keyed by order stamps.
+* :mod:`repro.core.history` — transformation records with pre/post
+  patterns (Table 2) and order stamps.
+* :mod:`repro.core.interactions` — the enabling-interaction
+  (reverse-destroy) matrix of Table 4.
+* :mod:`repro.core.regions` — affected-region computation for the
+  event-driven regional undo of §4.4.
+* :mod:`repro.core.undo` — the independent-order UNDO algorithm of
+  Figure 4; :mod:`repro.core.reverse_undo` — the reverse-order baseline
+  of [5].
+* :mod:`repro.core.engine` — the user-facing façade tying it together.
+"""
+
+from repro.core.actions import ActionApplier, ActionKind, ActionRecord
+from repro.core.annotations import Annotation, AnnotationStore
+from repro.core.engine import TransformationEngine
+from repro.core.events import Event, EventKind
+from repro.core.history import History, TransformationRecord
+from repro.core.locations import Location
+from repro.core.undo import UndoError, UndoReport
+
+__all__ = [
+    "ActionApplier",
+    "ActionKind",
+    "ActionRecord",
+    "Annotation",
+    "AnnotationStore",
+    "TransformationEngine",
+    "Event",
+    "EventKind",
+    "History",
+    "TransformationRecord",
+    "Location",
+    "UndoError",
+    "UndoReport",
+]

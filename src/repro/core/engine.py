@@ -1,0 +1,170 @@
+"""The user-facing transformation engine.
+
+Ties the pieces together the way the paper's PIVOT environment [5] does:
+a program, its two-level representation (annotations included), the
+analysis cache, the transformation catalog, and the undo engines.
+
+Typical session::
+
+    from repro import TransformationEngine, parse_program
+
+    engine = TransformationEngine(parse_program(source))
+    opportunities = engine.find("cse")
+    record = engine.apply(opportunities[0])
+    ...
+    engine.undo(record.stamp)        # independent order (Figure 4)
+    engine.undo_reverse_to(stamp)    # LIFO baseline of [5]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.incremental import AnalysisCache
+from repro.core.actions import ActionApplier
+from repro.core.annotations import AnnotationStore
+from repro.core.events import EventLog
+from repro.core.history import History, TransformationRecord
+from repro.core.reverse_undo import ReverseUndoEngine, ReverseUndoReport
+from repro.core.undo import UndoEngine, UndoError, UndoReport, UndoStrategy
+from repro.lang.ast_nodes import Program
+from repro.lang.printer import format_program
+from repro.transforms.base import (
+    ApplyContext,
+    CheckContext,
+    Opportunity,
+    SafetyResult,
+)
+
+
+class ApplyError(RuntimeError):
+    """Raised when a transformation cannot be applied."""
+
+
+class TransformationEngine:
+    """Apply, inspect, and undo transformations on one program."""
+
+    def __init__(self, program: Program,
+                 strategy: Optional[UndoStrategy] = None,
+                 extra_transformations: Optional[Sequence] = None):
+        from repro.transforms.registry import REGISTRY
+
+        from repro.core.locations import make_sibling_orderer
+
+        self.program = program
+        # a private copy so per-engine registration never leaks globally
+        self.registry = dict(REGISTRY)
+        self.applier = ActionApplier(program)
+        self.history = History()
+        self.applier.orderer = make_sibling_orderer(self.history)
+        self.cache = AnalysisCache(program)
+        self.strategy = strategy if strategy is not None else UndoStrategy()
+        self._undo_engine = UndoEngine(program, self.applier, self.history,
+                                       self.cache, self.registry,
+                                       self.strategy)
+        self._reverse_engine = ReverseUndoEngine(program, self.applier,
+                                                 self.history, self.cache)
+        if extra_transformations:
+            for t in extra_transformations:
+                self.register(t)
+
+    def register(self, transformation) -> None:
+        """Add a transformation (e.g. spec-compiled) to this engine.
+
+        Registered transformations are first-class: ``find``/``apply``
+        offer them and both undo engines handle them through the same
+        transformation-independent machinery.
+        """
+        if transformation.name in self.registry:
+            raise ApplyError(
+                f"transformation {transformation.name!r} already registered")
+        self.registry[transformation.name] = transformation
+
+    # -- convenience accessors -----------------------------------------------
+
+    @property
+    def store(self) -> AnnotationStore:
+        return self.applier.store
+
+    @property
+    def events(self) -> EventLog:
+        return self.applier.events
+
+    def source(self, show_labels: bool = False) -> str:
+        """Current program text."""
+        return format_program(self.program, show_labels=show_labels)
+
+    def active_transformations(self) -> List[TransformationRecord]:
+        """Currently applied transformations, in stamp order."""
+        return self.history.active()
+
+    # -- applying ---------------------------------------------------------------
+
+    def find(self, name: str) -> List[Opportunity]:
+        """Opportunities for transformation ``name`` in the current program."""
+        return self.registry[name].find(self.program, self.cache)
+
+    def find_all(self) -> Dict[str, List[Opportunity]]:
+        """Opportunities for every registered transformation."""
+        return {name: t.find(self.program, self.cache)
+                for name, t in self.registry.items()}
+
+    def apply(self, opportunity: Opportunity) -> TransformationRecord:
+        """Apply a previously found opportunity, recording history."""
+        transform = self.registry[opportunity.name]
+        rec = self.history.new_record(opportunity.name, **opportunity.params)
+        ctx = ApplyContext(self.program, self.applier, self.cache, rec)
+        try:
+            transform.apply_actions(ctx, opportunity)
+        except Exception as exc:
+            # roll the partial application back so the program stays sound
+            for act in reversed(rec.actions):
+                self.applier.invert(act, rec.stamp)
+            self.history.deactivate(rec.stamp)
+            raise ApplyError(
+                f"applying {opportunity.name} failed: {exc}") from exc
+        return rec
+
+    def apply_first(self, name: str, **match) -> TransformationRecord:
+        """Find-and-apply the first opportunity whose params match ``match``."""
+        for opp in self.find(name):
+            if all(opp.params.get(k) == v for k, v in match.items()):
+                return self.apply(opp)
+        raise ApplyError(f"no {name} opportunity matching {match!r}")
+
+    # -- safety inspection -----------------------------------------------------------
+
+    def check_context(self) -> CheckContext:
+        """The context safety re-checks run against."""
+        return CheckContext(program=self.program, cache=self.cache,
+                            store=self.store, history=self.history)
+
+    def check_safety(self, stamp: int) -> SafetyResult:
+        """Re-validate one applied transformation's safety right now."""
+        rec = self.history.by_stamp(stamp)
+        return self.registry[rec.name].check_safety(self.check_context(), rec)
+
+    def unsafe_transformations(self) -> List[int]:
+        """Stamps of active transformations whose safety no longer holds."""
+        out = []
+        for rec in self.history.active():
+            if not self.check_safety(rec.stamp).safe:
+                out.append(rec.stamp)
+        return out
+
+    # -- undoing -----------------------------------------------------------------------
+
+    def undo(self, stamp: int) -> UndoReport:
+        """Independent-order undo (Figure 4)."""
+        return self._undo_engine.undo(stamp)
+
+    def undo_reverse_to(self, stamp: int) -> ReverseUndoReport:
+        """Reverse-order (LIFO) undo baseline of [5]."""
+        return self._reverse_engine.undo_to(stamp)
+
+    def check_reversibility(self, stamp: int):
+        """Post-pattern validation of one applied transformation."""
+        rec = self.history.by_stamp(stamp)
+        return self.registry[rec.name].check_reversibility(
+            self.program, self.store, rec)

@@ -1,0 +1,82 @@
+"""Action events driving the event-driven regional undo (§4.4).
+
+Every primitive action — forward or inverse — emits an :class:`Event`
+describing *where* the program changed: which statements were touched and
+which containers (hence basic blocks / PDG regions) are dirty.  The
+affected-region computation in :mod:`repro.core.regions` and the
+incremental analysis layer consume these instead of re-scanning the whole
+program, which is precisely the paper's space-coordinate optimisation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.lang.ast_nodes import ContainerRef
+
+
+class EventKind(enum.Enum):
+    """What kind of change an action made."""
+
+    STMT_REMOVED = "stmt_removed"
+    STMT_INSERTED = "stmt_inserted"
+    STMT_MOVED = "stmt_moved"
+    EXPR_MODIFIED = "expr_modified"
+    HEADER_MODIFIED = "header_modified"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One program-change event.
+
+    Attributes
+    ----------
+    kind:
+        The change category.
+    sid:
+        The statement that was inserted/removed/moved/modified.
+    containers:
+        Containers whose statement lists or data flow changed — for a
+        move these are both the source and the destination containers.
+    stamp:
+        Order stamp of the transformation (or edit, or undo) responsible.
+    action_id:
+        Id of the responsible primitive action.
+    inverse:
+        True when the event was produced by an *inverse* action (undo).
+    """
+
+    kind: EventKind
+    sid: int
+    containers: Tuple[ContainerRef, ...]
+    stamp: int
+    action_id: int
+    inverse: bool = False
+
+
+class EventLog:
+    """Accumulates events; consumers drain slices by cursor."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def emit(self, event: Event) -> None:
+        """Append an event to the log."""
+        self._events.append(event)
+
+    def cursor(self) -> int:
+        """Current end-of-log position, for later :meth:`since` calls."""
+        return len(self._events)
+
+    def since(self, cursor: int) -> List[Event]:
+        """Events emitted at or after ``cursor``."""
+        return self._events[cursor:]
+
+    def all(self) -> List[Event]:
+        """Every event emitted so far (copy)."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,119 @@
+"""Transformation history: records, order stamps, pre/post patterns.
+
+A :class:`TransformationRecord` is the unit the undo engines operate on:
+one applied transformation = one order stamp = one contiguous sequence of
+primitive-action records (§4.1).  The record also stores the
+transformation's ``pre_pattern`` and ``post_pattern`` (Table 2) as plain
+dictionaries whose schema is owned by the transformation class — the core
+machinery never interprets them, preserving transformation independence.
+
+User edits are recorded here too (with ``name="edit"``): they consume an
+order stamp and leave annotations like any transformation, but they are
+not undoable through the transformation engines (the paper treats edits
+as the *trigger* for removing unsafe transformations, not as history).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.actions import ActionRecord
+
+
+@dataclass
+class TransformationRecord:
+    """One applied transformation (or user edit)."""
+
+    #: the order stamp ``t`` — position in the application sequence.
+    stamp: int
+    #: transformation name (``"dce"``, ``"inx"``, ... or ``"edit"``).
+    name: str
+    #: primitive actions, in application order.
+    actions: List[ActionRecord] = field(default_factory=list)
+    #: Table 2 pre pattern (schema owned by the transformation class).
+    pre_pattern: Dict = field(default_factory=dict)
+    #: Table 2 post pattern.
+    post_pattern: Dict = field(default_factory=dict)
+    #: free-form parameters of the application (e.g. unroll factor).
+    params: Dict = field(default_factory=dict)
+    #: False once the transformation has been undone.
+    active: bool = True
+
+    @property
+    def is_edit(self) -> bool:
+        return self.name == "edit"
+
+    def describe(self) -> str:
+        """Compact one-line rendering for reports and the CLI."""
+        acts = ", ".join(a.describe() for a in self.actions)
+        return f"t{self.stamp}:{self.name}[{acts}]"
+
+
+class History:
+    """The ordered sequence of applied transformations ``T = {t_1..t_n}``."""
+
+    def __init__(self) -> None:
+        self._records: List[TransformationRecord] = []
+        self._by_stamp: Dict[int, TransformationRecord] = {}
+        self._next_stamp = 1
+
+    def new_record(self, name: str, **params) -> TransformationRecord:
+        """Create, register and return a record with the next order stamp."""
+        rec = TransformationRecord(stamp=self._next_stamp, name=name,
+                                   params=dict(params))
+        self._next_stamp += 1
+        self._records.append(rec)
+        self._by_stamp[rec.stamp] = rec
+        return rec
+
+    def by_stamp(self, stamp: int) -> TransformationRecord:
+        """The record with order stamp ``stamp`` (KeyError if unknown)."""
+        return self._by_stamp[stamp]
+
+    def has_stamp(self, stamp: int) -> bool:
+        """Whether a record with this stamp exists."""
+        return stamp in self._by_stamp
+
+    def all_records(self) -> List[TransformationRecord]:
+        """Every record ever created, in stamp order (including undone)."""
+        return list(self._records)
+
+    def active(self) -> List[TransformationRecord]:
+        """Currently applied transformations, in stamp order (edits excluded)."""
+        return [r for r in self._records if r.active and not r.is_edit]
+
+    def active_after(self, stamp: int) -> List[TransformationRecord]:
+        """Active transformations with a stamp strictly greater than ``stamp``.
+
+        Only these can be *affected* by undoing ``stamp`` (§4.2: safety of
+        ``t_k`` can only be disabled by reversing a *preceding* ``t_i``).
+        """
+        return [r for r in self._records
+                if r.active and not r.is_edit and r.stamp > stamp]
+
+    def deactivate(self, stamp: int) -> None:
+        """Mark the record with ``stamp`` as undone."""
+        self._by_stamp[stamp].active = False
+
+    def stamp_of_action(self, action_id: int) -> Optional[int]:
+        """Map a primitive-action id back to its transformation's stamp.
+
+        This is line 9 of the UNDO algorithm: "determine the
+        transformation that causes the action"."""
+        for rec in self._records:
+            for act in rec.actions:
+                if act.action_id == action_id:
+                    return rec.stamp
+        return None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def describe(self) -> str:
+        """Compact one-line rendering for reports and the CLI."""
+        lines = []
+        for r in self._records:
+            flag = "" if r.active else " (undone)"
+            lines.append(f"  {r.describe()}{flag}")
+        return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Reverse-order (LIFO) undo — the prior art baseline of [5].
+
+"For undo in order, the first time the undo command is issued, the last
+transformation is undone.  Consecutive repetitions of the undo command
+continue to reverse earlier transformations.  Each transformation is
+undone by applying its inverse actions."  (§2)
+
+Because transformations are peeled strictly last-first, every post
+pattern is intact when its turn comes — no reversibility analysis is
+needed.  The price is collateral damage: removing ``t_i`` requires
+first removing all of ``t_{i+1} … t_n``, wanted or not.  ``undo_to``
+reports that collateral set so the E3 benchmark can compare it against
+the independent-order engine's dependence cone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.analysis.incremental import AnalysisCache
+from repro.core.actions import ActionApplier, ActionError
+from repro.core.history import History
+from repro.core.undo import UndoError
+from repro.lang.ast_nodes import Program
+
+
+@dataclass
+class ReverseUndoReport:
+    """Outcome of a LIFO undo-to-target."""
+
+    target: int
+    #: every stamp undone, most recent first (the target is last).
+    undone: List[int] = field(default_factory=list)
+    #: stamps that were undone only because they were in the way.
+    collateral: List[int] = field(default_factory=list)
+    actions_inverted: int = 0
+
+
+class ReverseUndoEngine:
+    """Strict LIFO undo over the same history/applier as the main engine."""
+
+    def __init__(self, program: Program, applier: ActionApplier,
+                 history: History, cache: AnalysisCache):
+        self.program = program
+        self.applier = applier
+        self.history = history
+        self.cache = cache
+
+    def undo_last(self) -> int:
+        """Undo the most recently applied active transformation."""
+        active = self.history.active()
+        if not active:
+            raise UndoError("no active transformation to undo")
+        rec = active[-1]
+        for act in reversed(rec.actions):
+            try:
+                self.applier.invert(act, rec.stamp)
+            except ActionError as exc:  # cannot happen under strict LIFO
+                raise UndoError(
+                    f"LIFO inverse of t{rec.stamp} failed: {exc}") from exc
+        self.history.deactivate(rec.stamp)
+        self.cache.invalidate()
+        return rec.stamp
+
+    def undo_to(self, stamp: int) -> ReverseUndoReport:
+        """Peel transformations last-first until ``stamp`` is undone."""
+        rec = self.history.by_stamp(stamp)
+        if not rec.active:
+            raise UndoError(f"t{stamp} is not active")
+        report = ReverseUndoReport(target=stamp)
+        while rec.active:
+            undone = self.undo_last()
+            report.undone.append(undone)
+            report.actions_inverted += len(
+                self.history.by_stamp(undone).actions)
+            if undone != stamp:
+                report.collateral.append(undone)
+        return report

@@ -1,0 +1,25 @@
+"""User edits and edit-driven transformation invalidation.
+
+"When a program is modified by edits, the safety conditions of a
+transformation can be altered such that the transformation is no longer
+applicable ... This kind of transformation is defined to be unsafe and
+needs to be removed.  However, all other transformations may be
+unaffected and should remain in the code." (§1)
+
+:class:`EditSession` applies user edits through the same primitive-action
+machinery (so they are stamped and annotated), finds exactly the
+transformations whose safety each edit destroyed, and removes them with
+the independent-order undo engine — the incremental alternative to
+re-deriving every optimization from scratch (Pollock & Soffa [13]).
+"""
+
+from repro.edit.edits import EditSession, EditReport
+from repro.edit.invalidate import find_unsafe, remove_unsafe, redo_all_baseline
+
+__all__ = [
+    "EditSession",
+    "EditReport",
+    "find_unsafe",
+    "remove_unsafe",
+    "redo_all_baseline",
+]

@@ -1,0 +1,68 @@
+"""User edit operations, recorded through the primitive-action machinery.
+
+Edits are first-class history entries (``name="edit"``): they consume an
+order stamp and leave annotations exactly like transformations, so the
+reversibility checks can attribute a broken post pattern to an edit —
+in which case the engine reports the transformation as unrecoverable by
+automatic undo (the user changed the code out from under it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.engine import TransformationEngine
+from repro.core.history import TransformationRecord
+from repro.core.locations import Location
+from repro.lang.ast_nodes import Expr, ExprPath, Program, Stmt
+
+
+@dataclass
+class EditReport:
+    """One applied edit plus its fallout."""
+
+    record: TransformationRecord
+    #: stamps of transformations the edit made unsafe (filled by
+    #: :func:`repro.edit.invalidate.find_unsafe` when requested).
+    unsafe: List[int] = field(default_factory=list)
+    #: stamps actually removed.
+    removed: List[int] = field(default_factory=list)
+
+
+class EditSession:
+    """Applies user edits to an engine's program."""
+
+    def __init__(self, engine: TransformationEngine):
+        self.engine = engine
+
+    def _record(self, **params) -> TransformationRecord:
+        return self.engine.history.new_record("edit", **params)
+
+    def add_stmt(self, stmt: Stmt, loc: Location) -> EditReport:
+        """Insert a new statement at ``loc``."""
+        rec = self._record(kind="add")
+        act = self.engine.applier.add(rec.stamp, stmt, loc)
+        rec.actions.append(act)
+        return EditReport(record=rec)
+
+    def delete_stmt(self, sid: int) -> EditReport:
+        """Remove statement ``sid``."""
+        rec = self._record(kind="delete", sid=sid)
+        act = self.engine.applier.delete(rec.stamp, sid)
+        rec.actions.append(act)
+        return EditReport(record=rec)
+
+    def move_stmt(self, sid: int, loc: Location) -> EditReport:
+        """Relocate statement ``sid`` to ``loc``."""
+        rec = self._record(kind="move", sid=sid)
+        act = self.engine.applier.move(rec.stamp, sid, loc)
+        rec.actions.append(act)
+        return EditReport(record=rec)
+
+    def modify_expr(self, sid: int, path: ExprPath, new: Expr) -> EditReport:
+        """Replace the expression at ``(sid, path)`` with ``new``."""
+        rec = self._record(kind="modify", sid=sid)
+        act = self.engine.applier.modify(rec.stamp, sid, path, new)
+        rec.actions.append(act)
+        return EditReport(record=rec)

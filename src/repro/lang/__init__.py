@@ -1,0 +1,73 @@
+"""A small structured Fortran-like loop language.
+
+This package is the program substrate for the reproduction: the paper's
+PIVOT system [5, 6] operated on Fortran programs; we substitute a compact
+structured language with ``do`` loops, ``if`` statements, scalar and array
+assignments, and simple ``read``/``write`` I/O.  The language supports:
+
+* stable statement identities (needed by the undo machinery, which must
+  re-locate statements that were moved, deleted, or copied),
+* a lexer/parser/pretty-printer pipeline so examples are legible source
+  text, and
+* a reference interpreter used by the test-suite to machine-check that
+  applying and undoing transformations preserves program semantics.
+"""
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    IfStmt,
+    Loop,
+    Program,
+    ReadStmt,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WriteStmt,
+)
+from repro.lang.builder import (
+    arr,
+    assign,
+    binop,
+    const,
+    loop,
+    prog,
+    var,
+)
+from repro.lang.interp import ExecutionResult, Interpreter, run_program
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.printer import format_expr, format_program, format_stmt
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Const",
+    "Expr",
+    "IfStmt",
+    "Loop",
+    "Program",
+    "ReadStmt",
+    "Stmt",
+    "UnaryOp",
+    "VarRef",
+    "WriteStmt",
+    "arr",
+    "assign",
+    "binop",
+    "const",
+    "loop",
+    "prog",
+    "var",
+    "ExecutionResult",
+    "Interpreter",
+    "run_program",
+    "ParseError",
+    "parse_program",
+    "format_expr",
+    "format_program",
+    "format_stmt",
+]

@@ -1,0 +1,127 @@
+"""Convenience constructors for building programs programmatically.
+
+Tests and workload generators use these helpers instead of spelling out
+AST constructors.  ``prog`` registers the statement tree with a fresh
+:class:`~repro.lang.ast_nodes.Program` and attaches it, assigning sids
+and labels in source order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.lang.ast_nodes import (
+    ROOT_SID,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    IfStmt,
+    Loop,
+    Program,
+    ReadStmt,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WriteStmt,
+)
+
+Exprish = Union[Expr, int, float, str]
+
+
+def _expr(x: Exprish) -> Expr:
+    """Coerce ints/floats to constants and strings to variable refs."""
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, (int, float)):
+        return Const(x)
+    if isinstance(x, str):
+        return VarRef(x)
+    raise TypeError(f"cannot coerce {x!r} to an expression")
+
+
+def const(v: Union[int, float]) -> Const:
+    """A numeric literal."""
+    return Const(v)
+
+
+def var(name: str) -> VarRef:
+    """A scalar variable reference."""
+    return VarRef(name)
+
+
+def arr(name: str, *subscripts: Exprish) -> ArrayRef:
+    """An array reference ``name(sub1, ...)``."""
+    return ArrayRef(name, [_expr(s) for s in subscripts])
+
+
+def binop(op: str, left: Exprish, right: Exprish) -> BinOp:
+    """A binary operation."""
+    return BinOp(op, _expr(left), _expr(right))
+
+
+def add(a: Exprish, b: Exprish) -> BinOp:
+    """``a + b``."""
+    return BinOp("+", _expr(a), _expr(b))
+
+
+def sub(a: Exprish, b: Exprish) -> BinOp:
+    """``a - b``."""
+    return BinOp("-", _expr(a), _expr(b))
+
+
+def mul(a: Exprish, b: Exprish) -> BinOp:
+    """``a * b``."""
+    return BinOp("*", _expr(a), _expr(b))
+
+
+def neg(a: Exprish) -> UnaryOp:
+    """``-a``."""
+    return UnaryOp("-", _expr(a))
+
+
+def assign(target: Union[VarRef, ArrayRef, str], expr: Exprish) -> Assign:
+    """An assignment statement; a string target becomes a scalar."""
+    t = VarRef(target) if isinstance(target, str) else target
+    return Assign(t, _expr(expr))
+
+
+def loop(index: str, lower: Exprish, upper: Exprish,
+         body: Sequence[Stmt], step: Optional[Exprish] = None) -> Loop:
+    """A counted ``do`` loop."""
+    return Loop(index, _expr(lower), _expr(upper),
+                _expr(step) if step is not None else None, list(body))
+
+
+def if_(cond: Exprish, then_body: Sequence[Stmt],
+        else_body: Sequence[Stmt] = ()) -> IfStmt:
+    """An ``if`` statement."""
+    return IfStmt(_expr(cond), list(then_body), list(else_body))
+
+
+def read(target: Union[VarRef, ArrayRef, str]) -> ReadStmt:
+    """A ``read`` statement."""
+    t = VarRef(target) if isinstance(target, str) else target
+    return ReadStmt(t)
+
+
+def write(expr: Exprish) -> WriteStmt:
+    """A ``write`` statement."""
+    return WriteStmt(_expr(expr))
+
+
+def prog(*stmts: Stmt) -> Program:
+    """Build a :class:`Program` from top-level statements and label it."""
+    p = Program()
+    for s in stmts:
+        p.register(s)
+        p.insert((ROOT_SID, "body"), len(p.body), s)
+    relabel(p)
+    return p
+
+
+def relabel(p: Program) -> None:
+    """Assign 1-based source-order labels to all attached statements."""
+    for i, s in enumerate(p.walk(), start=1):
+        s.label = i

@@ -1,0 +1,346 @@
+"""Reference interpreter for the loop language.
+
+The interpreter is the semantic ground truth of the reproduction: the
+paper argues its undo technique is *safe* (meaning-preserving); we check
+that claim mechanically by executing programs before and after each
+apply/undo sequence and comparing their observable behaviour.
+
+Observability
+-------------
+The observable behaviour of a run is its **output trace** (the sequence
+of values produced by ``write`` statements) — matching the paper's
+legality rule that a transformation may not "alter the order in which
+data is input or output by I/O devices" (§4.2).  Final variable values
+are *not* observable by default because legal transformations (e.g. dead
+code elimination, strip mining's new index variable) may change them.
+Workload programs therefore end with ``write`` statements over their
+results, making the trace a faithful fingerprint of the computation.
+
+Determinism and totality
+------------------------
+* Array subscripts are reduced modulo the array extent, so every access
+  is in bounds; the mapping is applied identically to original and
+  transformed programs, preserving equivalence checking.
+* ``read`` consumes from a cyclic input stream seeded by the caller.
+* A global step budget guards against non-terminating loops; exceeding
+  it raises :class:`ExecutionLimitExceeded`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    IfStmt,
+    Loop,
+    Program,
+    ReadStmt,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WriteStmt,
+    expr_arrays,
+)
+
+Number = Union[int, float]
+
+#: Default extent of every array dimension.
+DEFAULT_EXTENT = 32
+
+#: Default cap on executed statements per run.
+DEFAULT_MAX_STEPS = 200_000
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """Raised when a run exceeds its statement budget."""
+
+
+class UndefinedVariable(RuntimeError):
+    """Raised when an expression reads a scalar that was never assigned.
+
+    The interpreter can optionally auto-initialise unknown scalars from the
+    seeded environment instead (the default for equivalence testing, since
+    transformed programs must see the same initial state).
+    """
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program run."""
+
+    #: values produced by ``write`` statements, in order.
+    output: List[Number]
+    #: final scalar environment.
+    scalars: Dict[str, Number]
+    #: final array contents (copies).
+    arrays: Dict[str, np.ndarray]
+    #: number of statements executed.
+    steps: int
+
+    def trace_equal(self, other: "ExecutionResult") -> bool:
+        """True when both runs produced the identical output trace."""
+        if len(self.output) != len(other.output):
+            return False
+        return all(a == b for a, b in zip(self.output, other.output))
+
+
+def _collect_array_ranks(p: Program) -> Dict[str, int]:
+    """Map each array name to its (maximum) subscript arity."""
+    ranks: Dict[str, int] = {}
+    for s in p.walk():
+        for _slot, e in s.expr_slots():
+            stack = [e]
+            while stack:
+                n = stack.pop()
+                if isinstance(n, ArrayRef):
+                    ranks[n.name] = max(ranks.get(n.name, 0), len(n.subscripts))
+                    stack.extend(n.subscripts)
+                else:
+                    stack.extend(c for _, c in n.children())
+    return ranks
+
+
+class Interpreter:
+    """Executes a :class:`Program` against a seeded environment."""
+
+    def __init__(self, program: Program, *, seed: int = 0,
+                 extent: int = DEFAULT_EXTENT,
+                 max_steps: int = DEFAULT_MAX_STEPS,
+                 inputs: Optional[Sequence[Number]] = None,
+                 auto_init: bool = True):
+        self.program = program
+        self.extent = extent
+        self.max_steps = max_steps
+        self.auto_init = auto_init
+        rng = np.random.default_rng(seed)
+        # Seeded initial environment.  Scalars default to small integers so
+        # integer arithmetic (loop bounds!) behaves; arrays get float data.
+        self._rng_scalars: Dict[str, Number] = {}
+        self._seed = seed
+        self.scalars: Dict[str, Number] = {}
+        self.arrays: Dict[str, np.ndarray] = {}
+        for name, rank in sorted(_collect_array_ranks(program).items()):
+            shape = (extent,) * max(rank, 1)
+            self.arrays[name] = np.asarray(
+                rng.integers(-50, 50, size=shape), dtype=np.float64)
+        if inputs is None:
+            inputs = [float(x) for x in rng.integers(-20, 20, size=16)]
+        self.inputs: List[Number] = list(inputs) or [0]
+        self._input_pos = 0
+        self.output: List[Number] = []
+        self.steps = 0
+        self._scalar_rng = np.random.default_rng(seed + 1)
+
+    # -- environment -------------------------------------------------------
+
+    def _init_scalar(self, name: str) -> Number:
+        """Deterministic initial value for a scalar, by name.
+
+        Values are derived from the seed and the name (not from first-read
+        order), so the initial environment is identical for the original
+        and the transformed program even when reads happen in a different
+        order.
+        """
+        h = 0
+        for ch in name:
+            h = (h * 131 + ord(ch)) % 1_000_003
+        rng = np.random.default_rng(self._seed * 7919 + h)
+        return int(rng.integers(1, 10))
+
+    def get_scalar(self, name: str) -> Number:
+        """Current value of scalar ``name`` (auto-initialised if new)."""
+        if name not in self.scalars:
+            if not self.auto_init:
+                raise UndefinedVariable(name)
+            self.scalars[name] = self._init_scalar(name)
+        return self.scalars[name]
+
+    def _index(self, values: Sequence[Number], arr: np.ndarray) -> Tuple[int, ...]:
+        idx = []
+        for k, v in enumerate(values):
+            extent = arr.shape[k] if k < arr.ndim else arr.shape[-1]
+            idx.append(int(v) % extent)
+        # pad or clip to the array rank
+        while len(idx) < arr.ndim:
+            idx.append(0)
+        return tuple(idx[: arr.ndim])
+
+    def _array(self, name: str, rank: int) -> np.ndarray:
+        if name not in self.arrays:
+            shape = (self.extent,) * max(rank, 1)
+            rng = np.random.default_rng(self._seed * 31 + len(name))
+            self.arrays[name] = np.asarray(
+                rng.integers(-50, 50, size=shape), dtype=np.float64)
+        return self.arrays[name]
+
+    # -- expression evaluation ---------------------------------------------------
+
+    def eval(self, e: Expr) -> Number:
+        """Evaluate an expression to a number (booleans are 1/0)."""
+        if isinstance(e, Const):
+            return e.value
+        if isinstance(e, VarRef):
+            return self.get_scalar(e.name)
+        if isinstance(e, ArrayRef):
+            a = self._array(e.name, len(e.subscripts))
+            idx = self._index([self.eval(s) for s in e.subscripts], a)
+            return float(a[idx])
+        if isinstance(e, BinOp):
+            l = self.eval(e.left)
+            r = self.eval(e.right)
+            return _apply_binop(e.op, l, r)
+        if isinstance(e, UnaryOp):
+            v = self.eval(e.operand)
+            if e.op == "-":
+                return -v
+            if e.op == "not":
+                return 0 if v else 1
+        raise TypeError(f"unknown expression node: {e!r}")
+
+    # -- statement execution ---------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise ExecutionLimitExceeded(
+                f"exceeded {self.max_steps} statements")
+
+    def exec_stmt(self, s: Stmt) -> None:
+        """Execute one statement (recursively for compounds)."""
+        self._tick()
+        if isinstance(s, Assign):
+            value = self.eval(s.expr)
+            self._store(s.target, value)
+            return
+        if isinstance(s, Loop):
+            lower = self.eval(s.lower)
+            upper = self.eval(s.upper)
+            step = self.eval(s.step)
+            if step == 0:
+                raise ExecutionLimitExceeded("zero loop step")
+            v = lower
+            while (step > 0 and v <= upper) or (step < 0 and v >= upper):
+                self.scalars[s.var] = v
+                for c in s.body:
+                    self.exec_stmt(c)
+                v = v + step
+            self.scalars[s.var] = v
+            return
+        if isinstance(s, IfStmt):
+            branch = s.then_body if self.eval(s.cond) else s.else_body
+            for c in branch:
+                self.exec_stmt(c)
+            return
+        if isinstance(s, ReadStmt):
+            value = self.inputs[self._input_pos % len(self.inputs)]
+            self._input_pos += 1
+            self._store(s.target, value)
+            return
+        if isinstance(s, WriteStmt):
+            self.output.append(self.eval(s.expr))
+            return
+        raise TypeError(f"unknown statement node: {s!r}")
+
+    def _store(self, target: Expr, value: Number) -> None:
+        if isinstance(target, VarRef):
+            self.scalars[target.name] = value
+        elif isinstance(target, ArrayRef):
+            a = self._array(target.name, len(target.subscripts))
+            idx = self._index([self.eval(sub) for sub in target.subscripts], a)
+            a[idx] = value
+        else:
+            raise TypeError("invalid assignment target")
+
+    def run(self) -> ExecutionResult:
+        """Execute the whole program and return the result."""
+        for s in self.program.body:
+            self.exec_stmt(s)
+        return ExecutionResult(
+            output=list(self.output),
+            scalars=dict(self.scalars),
+            arrays={k: v.copy() for k, v in self.arrays.items()},
+            steps=self.steps,
+        )
+
+
+def _apply_binop(op: str, l: Number, r: Number) -> Number:
+    if op == "+":
+        return l + r
+    if op == "-":
+        return l - r
+    if op == "*":
+        return l * r
+    if op == "/":
+        if r == 0:
+            return 0  # total semantics: division by zero yields 0
+        return l / r
+    if op == "<":
+        return 1 if l < r else 0
+    if op == "<=":
+        return 1 if l <= r else 0
+    if op == ">":
+        return 1 if l > r else 0
+    if op == ">=":
+        return 1 if l >= r else 0
+    if op == "==":
+        return 1 if l == r else 0
+    if op == "!=":
+        return 1 if l != r else 0
+    if op == "and":
+        return 1 if (l and r) else 0
+    if op == "or":
+        return 1 if (l or r) else 0
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def fold_binop(op: str, l: Number, r: Number) -> Number:
+    """Compile-time evaluation used by constant folding.
+
+    Delegates to the interpreter's operator semantics so that folding a
+    subexpression can never change a program's observable behaviour.
+    """
+    return _apply_binop(op, l, r)
+
+
+def run_program(p: Program, *, seed: int = 0, extent: int = DEFAULT_EXTENT,
+                max_steps: int = DEFAULT_MAX_STEPS,
+                inputs: Optional[Sequence[Number]] = None) -> ExecutionResult:
+    """Run ``p`` once with a fresh seeded environment."""
+    return Interpreter(p, seed=seed, extent=extent, max_steps=max_steps,
+                       inputs=inputs).run()
+
+
+def traces_equivalent(p1: Program, p2: Program, *, trials: int = 3,
+                      seed: int = 0, extent: int = DEFAULT_EXTENT,
+                      max_steps: int = DEFAULT_MAX_STEPS) -> bool:
+    """Check observable (output-trace) equivalence over several seeds.
+
+    Returns ``True`` when every trial produced identical traces.  A trial
+    where *both* runs exceed the step budget is skipped (unknown), while
+    one-sided budget overruns count as inequivalent.
+    """
+    for t in range(trials):
+        s = seed + 1009 * t
+        try:
+            r1 = run_program(p1, seed=s, extent=extent, max_steps=max_steps)
+        except ExecutionLimitExceeded:
+            try:
+                run_program(p2, seed=s, extent=extent, max_steps=max_steps)
+            except ExecutionLimitExceeded:
+                continue
+            return False
+        try:
+            r2 = run_program(p2, seed=s, extent=extent, max_steps=max_steps)
+        except ExecutionLimitExceeded:
+            return False
+        if not r1.trace_equal(r2):
+            return False
+    return True

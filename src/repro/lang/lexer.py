@@ -1,0 +1,117 @@
+"""Tokenizer for the loop language.
+
+A hand-written single-pass scanner: the language is tiny, and keeping the
+lexer dependency-free makes the whole substrate self-contained.  Tokens
+carry line/column positions so parse errors point at the offending source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = frozenset({
+    "do", "enddo", "if", "then", "else", "endif", "read", "write",
+    "and", "or", "not",
+})
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = ("<=", ">=", "==", "!=", "+", "-", "*", "/", "<", ">", "=", "(", ")", ",")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # 'num' | 'ident' | 'kw' | 'op' | 'newline' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+class LexError(ValueError):
+    """Raised on an unrecognised character."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.line = line
+        self.col = col
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; the result always ends with an ``eof`` token."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    emitted_on_line = False
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            if emitted_on_line:
+                yield Token("newline", "\n", line, col)
+            emitted_on_line = False
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "!" and i + 1 < n and source[i + 1] != "=":
+            # comment to end of line (Fortran style)
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (source[i].isdigit() or (source[i] == "." and not seen_dot)):
+                if source[i] == ".":
+                    # don't swallow a dot not followed by a digit
+                    if i + 1 >= n or not source[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            text = source[start:i]
+            yield Token("num", text, line, col)
+            col += i - start
+            emitted_on_line = True
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "kw" if text in KEYWORDS else "ident"
+            yield Token(kind, text, line, col)
+            col += i - start
+            emitted_on_line = True
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                yield Token("op", op, line, col)
+                i += len(op)
+                col += len(op)
+                emitted_on_line = True
+                matched = True
+                break
+        if matched:
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+    if emitted_on_line:
+        yield Token("newline", "\n", line, col)
+    yield Token("eof", "", line, col)

@@ -1,0 +1,246 @@
+"""Recursive-descent parser for the loop language.
+
+Grammar (newline-terminated statements)::
+
+    program   := stmt*
+    stmt      := assign | doloop | ifstmt | readstmt | writestmt
+    assign    := ref '=' expr NL
+    doloop    := 'do' IDENT '=' expr ',' expr (',' expr)? NL stmt* 'enddo' NL
+    ifstmt    := 'if' '(' expr ')' 'then' NL stmt* ('else' NL stmt*)? 'endif' NL
+    readstmt  := 'read' ref NL
+    writestmt := 'write' expr NL
+    ref       := IDENT | IDENT '(' expr (',' expr)* ')'
+    expr      := standard precedence-climbing arithmetic / comparison / logic
+
+The parser builds a fully registered :class:`~repro.lang.ast_nodes.Program`
+with source-order labels, matching what :func:`repro.lang.builder.prog`
+produces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    IfStmt,
+    Loop,
+    Program,
+    ReadStmt,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WriteStmt,
+)
+from repro.lang.builder import prog as _mkprog
+from repro.lang.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised when the source does not conform to the grammar."""
+
+    def __init__(self, message: str, tok: Token):
+        super().__init__(f"{message} at line {tok.line}, column {tok.col} (got {tok.text!r})")
+        self.token = tok
+
+
+#: precedence-climbing table; higher binds tighter
+_BIN_PREC = {
+    "or": 1,
+    "and": 2,
+    "==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "+": 4, "-": 4,
+    "*": 5, "/": 5,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.toks = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.toks[self.pos]
+
+    def next(self) -> Token:
+        t = self.toks[self.pos]
+        if t.kind != "eof":
+            self.pos += 1
+        return t
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        t = self.peek()
+        return t.kind == kind and (text is None or t.text == text)
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.at(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}", self.peek())
+        return self.next()
+
+    def skip_newlines(self) -> None:
+        while self.at("newline"):
+            self.next()
+
+    def end_of_stmt(self) -> None:
+        if self.at("eof"):
+            return
+        self.expect("newline")
+        self.skip_newlines()
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self, min_prec: int = 1) -> Expr:
+        left = self.parse_unary()
+        while True:
+            t = self.peek()
+            op = t.text
+            if (t.kind == "op" or t.kind == "kw") and op in _BIN_PREC and _BIN_PREC[op] >= min_prec:
+                self.next()
+                right = self.parse_expr(_BIN_PREC[op] + 1)
+                left = BinOp(op, left, right)
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        if self.at("op", "-"):
+            self.next()
+            inner = self.parse_unary()
+            # canonical form: negative literals are constants, so the
+            # printer/parser pair round-trips (``-1`` ↔ ``Const(-1)``).
+            if isinstance(inner, Const):
+                return Const(-inner.value)
+            return UnaryOp("-", inner)
+        if self.at("kw", "not"):
+            self.next()
+            return UnaryOp("not", self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        t = self.peek()
+        if t.kind == "num":
+            self.next()
+            if "." in t.text:
+                return Const(float(t.text))
+            return Const(int(t.text))
+        if t.kind == "ident":
+            return self.parse_ref()
+        if self.at("op", "("):
+            self.next()
+            e = self.parse_expr()
+            self.expect("op", ")")
+            return e
+        raise ParseError("expected an expression", t)
+
+    def parse_ref(self) -> Expr:
+        name = self.expect("ident").text
+        if self.at("op", "("):
+            self.next()
+            subs = [self.parse_expr()]
+            while self.at("op", ","):
+                self.next()
+                subs.append(self.parse_expr())
+            self.expect("op", ")")
+            return ArrayRef(name, subs)
+        return VarRef(name)
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_stmt(self) -> Stmt:
+        if self.at("kw", "do"):
+            return self.parse_do()
+        if self.at("kw", "if"):
+            return self.parse_if()
+        if self.at("kw", "read"):
+            self.next()
+            target = self.parse_ref()
+            self.end_of_stmt()
+            if not isinstance(target, (VarRef, ArrayRef)):
+                raise ParseError("read target must be a reference", self.peek())
+            return ReadStmt(target)
+        if self.at("kw", "write"):
+            self.next()
+            e = self.parse_expr()
+            self.end_of_stmt()
+            return WriteStmt(e)
+        if self.at("ident"):
+            target = self.parse_ref()
+            self.expect("op", "=")
+            e = self.parse_expr()
+            self.end_of_stmt()
+            return Assign(target, e)
+        raise ParseError("expected a statement", self.peek())
+
+    def parse_do(self) -> Loop:
+        self.expect("kw", "do")
+        var = self.expect("ident").text
+        self.expect("op", "=")
+        lower = self.parse_expr()
+        self.expect("op", ",")
+        upper = self.parse_expr()
+        step: Optional[Expr] = None
+        if self.at("op", ","):
+            self.next()
+            step = self.parse_expr()
+        self.end_of_stmt()
+        body = self.parse_block(("enddo",))
+        self.expect("kw", "enddo")
+        self.end_of_stmt()
+        return Loop(var, lower, upper, step, body)
+
+    def parse_if(self) -> IfStmt:
+        self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("kw", "then")
+        self.end_of_stmt()
+        then_body = self.parse_block(("else", "endif"))
+        else_body: List[Stmt] = []
+        if self.at("kw", "else"):
+            self.next()
+            self.end_of_stmt()
+            else_body = self.parse_block(("endif",))
+        self.expect("kw", "endif")
+        self.end_of_stmt()
+        return IfStmt(cond, then_body, else_body)
+
+    def parse_block(self, terminators) -> List[Stmt]:
+        out: List[Stmt] = []
+        self.skip_newlines()
+        while not self.at("eof") and not any(self.at("kw", t) for t in terminators):
+            out.append(self.parse_stmt())
+            self.skip_newlines()
+        return out
+
+    def parse_program(self) -> List[Stmt]:
+        self.skip_newlines()
+        out: List[Stmt] = []
+        while not self.at("eof"):
+            out.append(self.parse_stmt())
+            self.skip_newlines()
+        return out
+
+
+def parse_program(source: str) -> Program:
+    """Parse ``source`` into a registered, labelled :class:`Program`."""
+    tokens = tokenize(source)
+    stmts = _Parser(tokens).parse_program()
+    return _mkprog(*stmts)
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single expression (testing convenience)."""
+    tokens = tokenize(source)
+    p = _Parser(tokens)
+    e = p.parse_expr()
+    p.skip_newlines()
+    if not p.at("eof"):
+        raise ParseError("trailing input after expression", p.peek())
+    return e

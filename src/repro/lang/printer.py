@@ -1,0 +1,121 @@
+"""Pretty-printer for the loop language.
+
+The printer produces text that the parser accepts back (round-trip safe),
+which the test-suite checks property-style.  ``format_program`` can also
+show statement labels and the transformation-history annotations that the
+paper draws on its Figure 1 representation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    IfStmt,
+    Loop,
+    Program,
+    ReadStmt,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WriteStmt,
+)
+
+#: Binding strength used to decide where parentheses are required.
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "+": 4, "-": 4,
+    "*": 5, "/": 5,
+}
+
+_UNARY_PREC = 6
+
+
+def format_expr(e: Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(e, Const):
+        v = e.value
+        if isinstance(v, float) and v.is_integer():
+            return str(int(v))
+        return str(v)
+    if isinstance(e, VarRef):
+        return e.name
+    if isinstance(e, ArrayRef):
+        subs = ", ".join(format_expr(s) for s in e.subscripts)
+        return f"{e.name}({subs})"
+    if isinstance(e, BinOp):
+        prec = _PRECEDENCE[e.op]
+        left = format_expr(e.left, prec)
+        # right side binds one tighter so (a - b) - c round-trips
+        right = format_expr(e.right, prec + 1)
+        s = f"{left} {e.op} {right}"
+        if prec < parent_prec:
+            return f"({s})"
+        return s
+    if isinstance(e, UnaryOp):
+        inner = format_expr(e.operand, _UNARY_PREC)
+        s = f"{e.op} {inner}" if e.op == "not" else f"-{inner}"
+        if _UNARY_PREC < parent_prec:
+            return f"({s})"
+        return s
+    raise TypeError(f"unknown expression node: {e!r}")
+
+
+def format_stmt(s: Stmt, indent: int = 0, show_labels: bool = False) -> str:
+    """Render one statement (recursively) as source text."""
+    lines = _stmt_lines(s, indent, show_labels)
+    return "\n".join(lines)
+
+
+def _prefix(s: Stmt, show_labels: bool) -> str:
+    if show_labels and s.label is not None:
+        return f"{s.label:>3}  "
+    return ""
+
+
+def _stmt_lines(s: Stmt, indent: int, show_labels: bool) -> List[str]:
+    pad = "  " * indent
+    pre = _prefix(s, show_labels)
+    if isinstance(s, Assign):
+        return [f"{pre}{pad}{format_expr(s.target)} = {format_expr(s.expr)}"]
+    if isinstance(s, Loop):
+        hdr = f"{pre}{pad}do {s.var} = {format_expr(s.lower)}, {format_expr(s.upper)}"
+        if not (isinstance(s.step, Const) and s.step.value == 1):
+            hdr += f", {format_expr(s.step)}"
+        lines = [hdr]
+        for c in s.body:
+            lines.extend(_stmt_lines(c, indent + 1, show_labels))
+        tail_pre = "     " if show_labels else ""
+        lines.append(f"{tail_pre}{pad}enddo")
+        return lines
+    if isinstance(s, IfStmt):
+        lines = [f"{pre}{pad}if ({format_expr(s.cond)}) then"]
+        for c in s.then_body:
+            lines.extend(_stmt_lines(c, indent + 1, show_labels))
+        tail_pre = "     " if show_labels else ""
+        if s.else_body:
+            lines.append(f"{tail_pre}{pad}else")
+            for c in s.else_body:
+                lines.extend(_stmt_lines(c, indent + 1, show_labels))
+        lines.append(f"{tail_pre}{pad}endif")
+        return lines
+    if isinstance(s, ReadStmt):
+        return [f"{pre}{pad}read {format_expr(s.target)}"]
+    if isinstance(s, WriteStmt):
+        return [f"{pre}{pad}write {format_expr(s.expr)}"]
+    raise TypeError(f"unknown statement node: {s!r}")
+
+
+def format_program(p: Program, show_labels: bool = False) -> str:
+    """Render the whole program as source text."""
+    lines: List[str] = []
+    for s in p.body:
+        lines.extend(_stmt_lines(s, 0, show_labels))
+    return "\n".join(lines) + ("\n" if lines else "")

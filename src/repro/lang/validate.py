@@ -1,0 +1,69 @@
+"""Structural validation of programs.
+
+The undo engine mutates programs through primitive actions; these checks
+catch corrupted structure early (dangling parents, duplicate sids, body
+lists disagreeing with the parent map).  The test-suite runs the validator
+after every apply/undo step in its property tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.lang.ast_nodes import Program, ROOT_SID, Stmt
+
+
+class InvalidProgram(AssertionError):
+    """Raised when a structural invariant is violated."""
+
+
+def validate_program(p: Program) -> None:
+    """Check all structural invariants of ``p``; raise on violation."""
+    seen: Set[int] = set()
+
+    def check_list(stmts: List[Stmt], container) -> None:
+        for s in stmts:
+            if s.sid == -1:
+                raise InvalidProgram("attached statement without sid")
+            if s.sid in seen:
+                raise InvalidProgram(f"duplicate sid {s.sid} in program tree")
+            seen.add(s.sid)
+            if not p.has_node(s.sid):
+                raise InvalidProgram(f"sid {s.sid} missing from registry")
+            if p.node(s.sid) is not s:
+                raise InvalidProgram(f"registry maps sid {s.sid} to a different object")
+            if not p.is_attached(s.sid):
+                raise InvalidProgram(f"sid {s.sid} in tree but marked detached")
+            if p.parent_of(s.sid) != container:
+                raise InvalidProgram(
+                    f"sid {s.sid}: parent map says {p.parent_of(s.sid)}, "
+                    f"tree says {container}")
+            for slot in s.body_slots():
+                check_list(s.get_body(slot), (s.sid, slot))
+
+    check_list(p.body, (ROOT_SID, "body"))
+
+    # every registered-and-attached statement must be reachable
+    for sid in p.attached_sids():
+        if sid not in seen:
+            raise InvalidProgram(f"attached sid {sid} unreachable from root")
+
+
+def assert_detached_consistent(p: Program, sid: int) -> None:
+    """Check that a detached statement's subtree is internally consistent."""
+    stmt = p.node(sid)
+    if p.is_attached(sid):
+        raise InvalidProgram(f"sid {sid} expected detached")
+
+    def check(s: Stmt) -> None:
+        for slot in s.body_slots():
+            for c in s.get_body(slot):
+                if p.parent_of(c.sid) != (s.sid, slot):
+                    raise InvalidProgram(
+                        f"detached subtree {sid}: child {c.sid} parent broken")
+                if p.is_attached(c.sid):
+                    raise InvalidProgram(
+                        f"detached subtree {sid}: child {c.sid} marked attached")
+                check(c)
+
+    check(stmt)

@@ -1,0 +1,12 @@
+"""Benefit/cost model for transformation decisions.
+
+The paper's motivation (§1): "Applying a transformation does not always
+guarantee a time or space benefit ... it may be necessary to remove it
+if it is not beneficial to parallelism."  This package provides the
+static model an interactive user (or a driver script) consults to decide
+which transformations to keep and which to undo.
+"""
+
+from repro.model.costmodel import CostEstimate, estimate_cost, parallel_loops
+
+__all__ = ["CostEstimate", "estimate_cost", "parallel_loops"]

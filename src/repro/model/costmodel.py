@@ -1,0 +1,127 @@
+"""A static cost/parallelism model over the loop language.
+
+Estimates, from the program text alone:
+
+* **dynamic operation count** — expression operations weighted by the
+  (constant or default-assumed) trip counts of enclosing loops;
+* **parallel fraction** — the share of those operations inside DOALL
+  loops (no loop-carried dependence at that level, per the dependence
+  analysis);
+* **estimated parallel time** — operations with every DOALL loop's trip
+  divided out up to a processor budget (a simple work/span-style model).
+
+The model is deliberately simple: it exists so example sessions can make
+the paper's motivating decision — "this transformation bought nothing,
+undo it" — mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.depend import DependenceGraph, analyze_dependences, loop_parallelizable
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Expr,
+    IfStmt,
+    Loop,
+    Program,
+    ReadStmt,
+    Stmt,
+    UnaryOp,
+    WriteStmt,
+)
+from repro.transforms.loop_utils import const_trip_count
+
+#: trip count assumed for loops with non-constant bounds.
+DEFAULT_TRIP = 16
+
+
+@dataclass
+class CostEstimate:
+    """Static cost summary of one program snapshot."""
+
+    #: estimated dynamically executed expression operations.
+    total_ops: float
+    #: operations inside DOALL loops.
+    parallel_ops: float
+    #: estimated time with ``processors`` workers (work/span style).
+    parallel_time: float
+    #: sids of DOALL loops.
+    doall_loops: List[int] = field(default_factory=list)
+    processors: int = 8
+
+    @property
+    def parallel_fraction(self) -> float:
+        return self.parallel_ops / self.total_ops if self.total_ops else 0.0
+
+    @property
+    def speedup(self) -> float:
+        return self.total_ops / self.parallel_time if self.parallel_time else 1.0
+
+
+def _expr_ops(e: Expr) -> int:
+    if isinstance(e, (BinOp, UnaryOp)):
+        return 1 + sum(_expr_ops(c) for _n, c in e.children())
+    return sum(_expr_ops(c) for _n, c in e.children())
+
+
+def _stmt_ops(s: Stmt) -> int:
+    ops = 0
+    for _slot, e in s.expr_slots():
+        ops += _expr_ops(e)
+    if isinstance(s, (Assign, ReadStmt, WriteStmt)):
+        ops += 1  # the store / I/O operation itself
+    return ops
+
+
+def parallel_loops(program: Program,
+                   graph: Optional[DependenceGraph] = None) -> List[int]:
+    """Sids of loops with no carried dependence (DOALL candidates)."""
+    if graph is None:
+        graph = analyze_dependences(program)
+    return [s.sid for s in program.walk()
+            if isinstance(s, Loop) and loop_parallelizable(graph, s)]
+
+
+def estimate_cost(program: Program, processors: int = 8,
+                  graph: Optional[DependenceGraph] = None) -> CostEstimate:
+    """Estimate the cost profile of ``program``."""
+    if graph is None:
+        graph = analyze_dependences(program)
+    doall = set(parallel_loops(program, graph))
+
+    total = 0.0
+    par = 0.0
+    seq_time = 0.0
+
+    def walk(stmts: List[Stmt], trip_product: float, time_product: float,
+             in_parallel: bool) -> None:
+        nonlocal total, par, seq_time
+        for s in stmts:
+            ops = _stmt_ops(s)
+            total += ops * trip_product
+            seq_time += ops * time_product
+            if in_parallel:
+                par += ops * trip_product
+            if isinstance(s, Loop):
+                trip = const_trip_count(s)
+                n = trip if trip is not None else DEFAULT_TRIP
+                n = max(n, 0)
+                is_doall = s.sid in doall
+                # a DOALL loop's body time divides across processors
+                tfac = max(n / processors, 1.0) if is_doall else n
+                walk(s.body, trip_product * n, time_product * tfac,
+                     in_parallel or is_doall)
+            elif isinstance(s, IfStmt):
+                walk(s.then_body, trip_product * 0.5, time_product * 0.5,
+                     in_parallel)
+                walk(s.else_body, trip_product * 0.5, time_product * 0.5,
+                     in_parallel)
+
+    walk(program.body, 1.0, 1.0, False)
+    return CostEstimate(total_ops=total, parallel_ops=par,
+                        parallel_time=seq_time,
+                        doall_loops=sorted(doall), processors=processors)

@@ -1,0 +1,26 @@
+"""The two-level program representation (the paper's Section 3).
+
+The integrated representation couples a high-level APDG (Augmented
+Program Dependence Graph, for parallelizing transformations) with a
+low-level ADAG (Augmented DAG of basic blocks, for scalar
+optimizations).  "Augmented" means decorated with the order-stamped
+transformation annotations of Figure 2, which is what supports the undo
+facility.
+
+These modules are *views*: they render the current program + annotation
+store into the structures Figure 1 draws, and are rebuilt on demand.
+"""
+
+from repro.repr2.adag import ADAG, build_adag, render_adag
+from repro.repr2.apdg import APDG, build_apdg, render_apdg
+from repro.repr2.twolevel import TwoLevelRepresentation
+
+__all__ = [
+    "ADAG",
+    "build_adag",
+    "render_adag",
+    "APDG",
+    "build_apdg",
+    "render_apdg",
+    "TwoLevelRepresentation",
+]

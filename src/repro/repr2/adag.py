@@ -1,0 +1,108 @@
+"""The ADAG: basic-block DAGs augmented with transformation history.
+
+Figure 1's low level shows the block DAG with
+
+* a common subexpression's original tree retained, its root annotated
+  with the variable that replaced it (``md_1: D`` over ``E + F``), and
+* a propagated operand retained with the constant that replaced it
+  (``md_2: 1`` over ``C``).
+
+We reconstruct exactly that view: the DAG is built from the *current*
+statements, and every ``md`` annotation contributes a ghost subtree (the
+action record's ``old_expr``) linked to the modified position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dag import BlockDAG, build_block_dag
+from repro.core.actions import ActionRecord, HEADER_PATH
+from repro.core.annotations import AnnotationStore
+from repro.core.history import History
+from repro.lang.ast_nodes import Program
+from repro.lang.printer import format_expr
+
+
+@dataclass
+class GhostEntry:
+    """One retained original subtree from a ``md`` annotation."""
+
+    sid: int
+    path: Tuple[str, ...]
+    stamp: int
+    #: rendering of the original (pre-modification) expression.
+    original: str
+    #: rendering of what currently sits at the position.
+    current: str
+
+
+@dataclass
+class ADAG:
+    """Augmented DAG: per-block DAGs + modification ghosts."""
+
+    dags: Dict[int, BlockDAG] = field(default_factory=dict)
+    ghosts: List[GhostEntry] = field(default_factory=list)
+
+
+def _find_action(history: History, action_id: int) -> Optional[ActionRecord]:
+    for rec in history.all_records():
+        for act in rec.actions:
+            if act.action_id == action_id:
+                return act
+    return None
+
+
+def build_adag(program: Program, store: AnnotationStore,
+               history: History) -> ADAG:
+    """Build the ADAG view of the current program."""
+    from repro.lang.ast_nodes import expr_at
+
+    cfg = build_cfg(program)
+    out = ADAG()
+    for bid, block in cfg.blocks.items():
+        if block.kind == "block" and block.stmts:
+            out.dags[bid] = build_block_dag(program, block.stmts, bid)
+    for ann in store:
+        if ann.kind != "md" or ann.path is None or ann.path == HEADER_PATH:
+            continue
+        act = _find_action(history, ann.action_id)
+        if act is None or act.old_expr is None:
+            continue
+        current = "?"
+        if program.has_node(ann.sid) and program.is_attached(ann.sid):
+            try:
+                current = format_expr(expr_at(program.node(ann.sid), ann.path))
+            except KeyError:
+                current = "?"
+        out.ghosts.append(GhostEntry(
+            sid=ann.sid, path=ann.path, stamp=ann.stamp,
+            original=format_expr(act.old_expr), current=current))
+    out.ghosts.sort(key=lambda g: (g.stamp, g.sid))
+    return out
+
+
+def render_adag(adag: ADAG) -> str:
+    """ASCII rendering in the spirit of Figure 1's lower half."""
+    lines: List[str] = ["ADAG"]
+    for bid in sorted(adag.dags):
+        dag = adag.dags[bid]
+        lines.append(f"  block B{bid}:")
+        for nid in sorted(dag.nodes):
+            n = dag.nodes[nid]
+            ops = ",".join(f"n{o}" for o in n.operands)
+            labels = f" [{','.join(n.labels)}]" if n.labels else ""
+            lines.append(f"    n{nid}: {n.kind} {n.value!r}"
+                         f"{'(' + ops + ')' if ops else ''}{labels}")
+        shared = dag.common_subexpressions()
+        if shared:
+            lines.append(f"    shared: {[f'n{s.nid}' for s in shared]}")
+    if adag.ghosts:
+        lines.append("  retained originals (md annotations):")
+        for g in adag.ghosts:
+            lines.append(
+                f"    md_{g.stamp}: S{g.sid}.{'.'.join(g.path)} "
+                f"originally '{g.original}', now '{g.current}'")
+    return "\n".join(lines)

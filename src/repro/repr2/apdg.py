@@ -1,0 +1,86 @@
+"""The APDG: the PDG augmented with transformation history.
+
+Figure 1's upper half is the PDG of the restructured program with
+annotations like ``mv`` and ``md`` attached to the nodes whose code the
+transformations touched.  We render the control-dependence tree with
+region nodes, the per-region data-dependence summaries of Figure 3, and
+each node's annotation stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.control_dep import build_control_dep_tree
+from repro.analysis.depend import analyze_dependences
+from repro.analysis.pdg import PDG, build_pdg
+from repro.analysis.summaries import RegionSummaries, build_summaries
+from repro.core.annotations import AnnotationStore
+from repro.lang.ast_nodes import Assign, IfStmt, Loop, Program, ReadStmt, Stmt, WriteStmt
+from repro.lang.printer import format_expr
+
+
+@dataclass
+class APDG:
+    """Augmented PDG: the PDG plus annotation stacks and summaries."""
+
+    pdg: PDG
+    summaries: RegionSummaries
+    #: sid → compact annotation strings (``md_2``, ``mv_4``, …).
+    annotations: Dict[int, List[str]] = field(default_factory=dict)
+
+
+def build_apdg(program: Program, store: AnnotationStore) -> APDG:
+    """Build the APDG view of the current program."""
+    tree = build_control_dep_tree(program)
+    dgraph = analyze_dependences(program)
+    pdg = build_pdg(program, tree, dgraph)
+    summaries = build_summaries(program, tree, dgraph)
+    return APDG(pdg=pdg, summaries=summaries,
+                annotations=store.annotations_view(program))
+
+
+def _stmt_head(s: Stmt) -> str:
+    if isinstance(s, Assign):
+        return f"{format_expr(s.target)} = {format_expr(s.expr)}"
+    if isinstance(s, Loop):
+        return f"do {s.var} = {format_expr(s.lower)}, {format_expr(s.upper)}"
+    if isinstance(s, IfStmt):
+        return f"if ({format_expr(s.cond)})"
+    if isinstance(s, ReadStmt):
+        return f"read {format_expr(s.target)}"
+    if isinstance(s, WriteStmt):
+        return f"write {format_expr(s.expr)}"
+    return type(s).__name__
+
+
+def render_apdg(apdg: APDG) -> str:
+    """ASCII rendering in the spirit of Figure 1's upper half."""
+    program = apdg.pdg.program
+    tree = apdg.pdg.tree
+    lines: List[str] = ["APDG"]
+
+    def render_region(rid: int, depth: int) -> None:
+        region = tree.regions[rid]
+        pad = "  " * depth
+        summ = apdg.summaries.deps_on(rid)
+        summary = ""
+        if summ:
+            kinds = {}
+            for d in summ:
+                kinds[d.kind] = kinds.get(d.kind, 0) + 1
+            summary = "  {" + ", ".join(
+                f"{k}:{v}" for k, v in sorted(kinds.items())) + "}"
+        lines.append(f"{pad}R{rid} ({region.kind}){summary}")
+        for sid in region.members:
+            s = program.node(sid)
+            anns = apdg.annotations.get(sid, [])
+            ann = ("  <" + ",".join(anns) + ">") if anns else ""
+            lines.append(f"{pad}  S{sid}: {_stmt_head(s)}{ann}")
+            for crid in tree.regions[rid].children:
+                if tree.regions[crid].owner_sid == sid:
+                    render_region(crid, depth + 2)
+
+    render_region(0, 0)
+    return "\n".join(lines)

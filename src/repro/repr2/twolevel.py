@@ -1,0 +1,47 @@
+"""The integrated two-level representation (Figure 1).
+
+Bundles the APDG (high level) and the ADAG (low level) for one engine
+state, and renders the side-by-side picture of Figure 1: source text
+with labels, the annotated PDG, and the annotated DAG with retained
+original subtrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import TransformationEngine
+from repro.lang.printer import format_program
+from repro.repr2.adag import ADAG, build_adag, render_adag
+from repro.repr2.apdg import APDG, build_apdg, render_apdg
+
+
+@dataclass
+class TwoLevelRepresentation:
+    """One snapshot of the integrated representation."""
+
+    source: str
+    apdg: APDG
+    adag: ADAG
+
+    @staticmethod
+    def of(engine: TransformationEngine) -> "TwoLevelRepresentation":
+        """Build the current two-level view of an engine's program."""
+        return TwoLevelRepresentation(
+            source=format_program(engine.program, show_labels=True),
+            apdg=build_apdg(engine.program, engine.store),
+            adag=build_adag(engine.program, engine.store, engine.history),
+        )
+
+    def render(self) -> str:
+        """The full Figure 1 style dump: source, APDG, ADAG."""
+        return "\n".join([
+            "=== source ===",
+            self.source.rstrip(),
+            "",
+            "=== high level (APDG) ===",
+            render_apdg(self.apdg),
+            "",
+            "=== low level (ADAG) ===",
+            render_adag(self.adag),
+        ])

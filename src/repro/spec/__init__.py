@@ -1,0 +1,56 @@
+"""Transformation specifications — the paper's stated next step.
+
+The conclusion of the paper: "Another step will be to investigate
+techniques to automatically generate code for the detection of the
+disabling actions of the safety and reversibility conditions of
+transformations from the transformation specifications."  This package
+implements that step, in the spirit of Whitfield & Soffa's
+specification-driven transformation generators [5, 21]:
+
+* :mod:`repro.spec.dsl` — a small declarative vocabulary of
+  preconditions (pattern variables bound to statements, predicates over
+  them) and primitive-action templates;
+* :mod:`repro.spec.compile` — compiles a spec into a fully functional
+  :class:`~repro.transforms.base.Transformation`: the opportunity finder
+  enumerates bindings satisfying the preconditions, the application runs
+  the action templates, the **safety-disabling conditions are the
+  negated preconditions** (re-checked with divergence attribution), and
+  the **reversibility-disabling conditions are derived from the action
+  templates** (deleted/copied context for ``Delete``/``Move`` targets,
+  later modification for ``Modify`` positions) — no hand-written
+  checking code.
+
+The test-suite validates the generator two ways: a spec-defined DCE
+behaves exactly like the hand-written one, and a *new* transformation —
+loop reversal (LRV), which exists nowhere in the hand-written catalog —
+is defined purely as a spec and participates fully in independent-order
+undo.
+"""
+
+from repro.spec.dsl import (
+    ActionTemplate,
+    DeleteStmt,
+    HoistBeforeLoop,
+    ModifyOperand,
+    Pred,
+    ReverseHeader,
+    TransformationSpec,
+)
+from repro.spec.compile import SpecTransformation, compile_spec, register_spec
+from repro.spec.library import CTP_SPEC, DCE_SPEC, LRV_SPEC
+
+__all__ = [
+    "ActionTemplate",
+    "DeleteStmt",
+    "HoistBeforeLoop",
+    "ModifyOperand",
+    "Pred",
+    "ReverseHeader",
+    "TransformationSpec",
+    "SpecTransformation",
+    "compile_spec",
+    "register_spec",
+    "CTP_SPEC",
+    "DCE_SPEC",
+    "LRV_SPEC",
+]

@@ -1,0 +1,397 @@
+"""Spec compiler: declarative spec → fully functional Transformation.
+
+Everything a hand-written transformation provides is derived:
+
+* ``find``       — enumerate bindings over the variable domains and keep
+                   those satisfying every precondition;
+* ``apply``      — execute the action templates through the shared
+                   :class:`~repro.core.actions.ActionApplier`;
+* ``check_safety``
+                 — re-evaluate the preconditions on the current program
+                   (the disabling conditions *are* the negations), with
+                   the same benign-divergence attribution the hand-written
+                   transformations use;
+* ``check_reversibility``
+                 — generated from the action templates: ``Delete``/
+                   ``Move`` targets get the deleted/copied-context and
+                   moved-after checks, ``Modify`` positions get the
+                   later-modification and divergence checks;
+* Table 2/3 rows — rendered from the spec.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.incremental import AnalysisCache
+from repro.core.actions import HEADER_PATH, HeaderSpec
+from repro.core.annotations import AnnotationStore
+from repro.core.history import TransformationRecord
+from repro.core.locations import Location
+from repro.lang.ast_nodes import (
+    Assign,
+    Const,
+    Loop,
+    Program,
+    Stmt,
+    UnaryOp,
+    exprs_equal,
+)
+from repro.spec.dsl import (
+    ActionTemplate,
+    Binding,
+    DeleteStmt,
+    HoistBeforeLoop,
+    ModifyOperand,
+    ReverseHeader,
+    TransformationSpec,
+)
+from repro.transforms.base import (
+    ApplyContext,
+    Opportunity,
+    ReversibilityResult,
+    SafetyResult,
+    Transformation,
+    Violation,
+    container_context_violation,
+    modified_after,
+    moved_after,
+    stmt_deleted_after,
+)
+
+
+class SpecCompileError(ValueError):
+    """Raised when a spec cannot be compiled."""
+
+
+def _domain_ok(stmt: Stmt, domain: str) -> bool:
+    if domain == "assign":
+        return isinstance(stmt, Assign)
+    if domain == "loop":
+        return isinstance(stmt, Loop)
+    if domain == "any":
+        return True
+    raise SpecCompileError(f"unknown variable domain {domain!r}")
+
+
+class SpecTransformation(Transformation):
+    """A transformation interpreted from a :class:`TransformationSpec`."""
+
+    def __init__(self, spec: TransformationSpec):
+        self.spec = spec
+        self.name = spec.name
+        self.full_name = spec.full_name
+        self.enables = spec.enables
+        self.enables_published = False
+
+    # -- find -----------------------------------------------------------------
+
+    def find(self, program: Program, cache: AnalysisCache) -> List[Opportunity]:
+        """Backtracking join over the pattern variables.
+
+        Each predicate is evaluated as soon as every variable it
+        mentions is bound, pruning the enumeration early.
+        """
+        out: List[Opportunity] = []
+        stmts = list(program.walk())
+        variables = self.spec.variables
+        preds_at: Dict[int, List] = {i: [] for i in range(len(variables))}
+        for pred in self.spec.pre_conditions:
+            last = max(variables.index(v) for v in pred.vars)
+            preds_at[last].append(pred)
+
+        def emit(binding: Binding) -> None:
+            where = ", ".join(f"{v}=S{binding[v]}" for v in variables)
+            if self.spec.derive is not None:
+                for extra in self.spec.derive(program, cache, binding):
+                    out.append(Opportunity(
+                        self.name, {"binding": dict(binding), **extra},
+                        f"{self.spec.name} @ {where}"))
+            else:
+                out.append(Opportunity(
+                    self.name, {"binding": dict(binding)},
+                    f"{self.spec.pre_pattern_text()} @ {where}"))
+
+        def match(i: int, binding: Binding) -> None:
+            if i == len(variables):
+                emit(binding)
+                return
+            var = variables[i]
+            domain = self.spec.domains.get(var, "any")
+            for s in stmts:
+                if not _domain_ok(s, domain):
+                    continue
+                binding[var] = s.sid
+                if all(p.holds(program, cache, binding)
+                       for p in preds_at[i]):
+                    match(i + 1, binding)
+                del binding[var]
+
+        match(0, {})
+        return out
+
+    # -- apply ------------------------------------------------------------------
+
+    def apply_actions(self, ctx: ApplyContext, opp: Opportunity) -> None:
+        binding: Binding = opp.params["binding"]
+        ctx.record.pre_pattern = {"binding": dict(binding),
+                                  "spec": self.spec.name}
+        if "path" in opp.params:
+            ctx.record.pre_pattern["derived"] = {
+                "path": opp.params["path"],
+                "new": opp.params["new"].clone(),
+            }
+        post: Dict = {"binding": dict(binding), "pieces": []}
+        for tmpl in self.spec.actions:
+            sid = binding[tmpl.var]
+            if isinstance(tmpl, DeleteStmt):
+                act = ctx.delete(sid)
+                post["pieces"].append(("deleted", sid, act.from_loc))
+            elif isinstance(tmpl, HoistBeforeLoop):
+                loop_sid = binding[tmpl.loop_var]
+                act = ctx.move(sid, Location.before(ctx.program, loop_sid))
+                post["pieces"].append(("moved", sid, act.from_loc))
+            elif isinstance(tmpl, ReverseHeader):
+                loop = ctx.program.node(sid)
+                if not isinstance(loop, Loop):
+                    raise SpecCompileError("ReverseHeader needs a loop")
+                new = HeaderSpec(loop.var, loop.upper.clone(),
+                                 loop.lower.clone(), Const(-1))
+                ctx.modify_header(sid, new)
+                post["pieces"].append(("header", sid, new))
+            elif isinstance(tmpl, ModifyOperand):
+                path = opp.params["path"]
+                new = opp.params["new"]
+                ctx.modify(sid, path, new)
+                post["pieces"].append(("modified", sid, path, new.clone()))
+            else:  # pragma: no cover - vocabulary is closed
+                raise SpecCompileError(f"unknown template {tmpl!r}")
+        ctx.record.post_pattern = post
+
+    # -- safety: the negated preconditions, re-evaluated -------------------------
+
+    def _preimage_swaps(self, program: Program,
+                        record: TransformationRecord) -> List:
+        """Structurally roll back the record's own ``Modify`` actions.
+
+        The preconditions describe the *pre*-transformation code (a
+        reversed loop no longer has a unit step), so they must be
+        evaluated against the pre-image.  Each swap is performed only
+        when the current tree still matches the action's installed
+        value; positions clobbered by later transformations are left
+        alone (their divergence is attributed separately).  Returns the
+        swaps performed so the caller can redo them.
+        """
+        from repro.core.actions import ActionKind
+        from repro.lang.ast_nodes import expr_at, replace_expr
+
+        done = []
+        for act in reversed(record.actions):
+            if act.kind is not ActionKind.MODIFY:
+                continue
+            if not program.is_attached(act.sid):
+                continue
+            stmt = program.node(act.sid)
+            if act.path == HEADER_PATH:
+                assert act.old_header is not None and act.new_header is not None
+                current = HeaderSpec.of(stmt)
+                if (current.var == act.new_header.var
+                        and exprs_equal(current.lower, act.new_header.lower)
+                        and exprs_equal(current.upper, act.new_header.upper)
+                        and exprs_equal(current.step, act.new_header.step)):
+                    act.old_header.install(stmt)
+                    done.append(("header", act))
+            else:
+                try:
+                    current = expr_at(stmt, act.path)
+                except KeyError:
+                    continue
+                if act.new_expr is not None and exprs_equal(current,
+                                                            act.new_expr):
+                    replace_expr(stmt, act.path, act.old_expr.clone())
+                    done.append(("expr", act))
+        if done:
+            program.touch()
+        return done
+
+    def _redo_swaps(self, program: Program, done: List) -> None:
+        from repro.lang.ast_nodes import replace_expr
+
+        for kind, act in reversed(done):
+            stmt = program.node(act.sid)
+            if kind == "header":
+                act.new_header.install(stmt)
+            else:
+                replace_expr(stmt, act.path, act.new_expr.clone())
+        if done:
+            program.touch()
+
+    def check_safety(self, ctx, record: TransformationRecord) -> SafetyResult:
+        program, cache = ctx.program, ctx.cache
+        binding: Binding = record.pre_pattern["binding"]
+        t = record.stamp
+        # statements the actions removed/relocated are evaluated as the
+        # transformation left them; a missing pattern statement deleted
+        # by an active later transformation is benign.
+        for var, sid in binding.items():
+            if not program.has_node(sid):
+                return SafetyResult.broken(f"pattern variable {var} vanished")
+        # build the pre-image: restore deleted subjects (DCE-style probe)
+        # and roll back this record's own modifications.
+        deleted = [(piece[1], piece[2]) for piece in
+                   record.post_pattern["pieces"] if piece[0] == "deleted"]
+        restored: List[int] = []
+        swaps: List = []
+        try:
+            for sid, loc in deleted:
+                if program.is_attached(sid):
+                    continue
+                resolved = loc.resolve(program)
+                if resolved is None:
+                    continue  # context gone entirely: nothing to re-check
+                ref, idx = resolved
+                program.insert(ref, idx, program.node(sid))
+                restored.append(sid)
+            swaps = self._preimage_swaps(program, record)
+            for pred in self.spec.pre_conditions:
+                if not pred.holds(program, cache, binding):
+                    # benign when the divergence is an active later
+                    # transformation's doing
+                    if any(ctx.attributed_to_active(
+                               sid, t, ("md", "mv", "add", "cp", "del"))
+                           or (program.is_attached(sid)
+                               and ctx.subtree_touched_by_active(sid, t))
+                           for sid in binding.values()):
+                        continue
+                    return SafetyResult.broken(pred.negation)
+            # value-carrying patterns: the parameters recorded at apply
+            # time must still be derivable from the pre-image (e.g. the
+            # propagated constant must still be the value the definition
+            # produces).
+            derived = record.pre_pattern.get("derived")
+            if derived is not None and self.spec.derive is not None:
+                candidates = self.spec.derive(program, cache, binding)
+                ok = any(c.get("path") == derived["path"]
+                         and exprs_equal(c.get("new"), derived["new"])
+                         for c in candidates)
+                if not ok:
+                    if any(ctx.attributed_to_active(
+                               sid, t, ("md", "mv", "add", "cp", "del"))
+                           for sid in binding.values()):
+                        pass  # an active transformation's doing: benign
+                    else:
+                        return SafetyResult.broken(
+                            "the recorded replacement is no longer "
+                            "derivable from the pattern")
+        finally:
+            self._redo_swaps(program, swaps)
+            for sid in restored:
+                program.detach(sid)
+        return SafetyResult.ok()
+
+    # -- reversibility: generated from the action templates ----------------------
+
+    def check_reversibility(self, program: Program, store: AnnotationStore,
+                            record: TransformationRecord) -> ReversibilityResult:
+        t = record.stamp
+        for piece in record.post_pattern["pieces"]:
+            kind = piece[0]
+            if kind == "deleted":
+                _k, sid, loc = piece
+                v = container_context_violation(program, store, loc, t)
+                if v is not None:
+                    return ReversibilityResult.blocked(v)
+                if loc.resolve(program) is None:
+                    return ReversibilityResult.blocked(Violation(
+                        f"original location of S{sid} is unresolvable"))
+            elif kind == "moved":
+                _k, sid, loc = piece
+                v = stmt_deleted_after(program, store, sid, t)
+                if v is not None:
+                    return ReversibilityResult.blocked(v)
+                v = moved_after(program, store, sid, t)
+                if v is not None:
+                    return ReversibilityResult.blocked(v)
+                v = container_context_violation(program, store, loc, t)
+                if v is not None:
+                    return ReversibilityResult.blocked(v)
+            elif kind == "header":
+                _k, sid, new_header = piece
+                v = stmt_deleted_after(program, store, sid, t)
+                if v is not None:
+                    return ReversibilityResult.blocked(v)
+                v = modified_after(program, store, sid, HEADER_PATH, t)
+                if v is not None:
+                    return ReversibilityResult.blocked(v)
+                loop = program.node(sid)
+                if not isinstance(loop, Loop) or not (
+                        loop.var == new_header.var
+                        and exprs_equal(loop.lower, new_header.lower)
+                        and exprs_equal(loop.upper, new_header.upper)
+                        and exprs_equal(loop.step, new_header.step)):
+                    return ReversibilityResult.blocked(Violation(
+                        f"header of S{sid} diverged from the post pattern"))
+            elif kind == "modified":
+                _k, sid, path, new = piece
+                v = stmt_deleted_after(program, store, sid, t)
+                if v is not None:
+                    return ReversibilityResult.blocked(v)
+                v = modified_after(program, store, sid, path, t)
+                if v is not None:
+                    return ReversibilityResult.blocked(v)
+        return ReversibilityResult.ok()
+
+    # -- generated documentation ---------------------------------------------------
+
+    def table2_row(self) -> Dict[str, str]:
+        return {
+            "transformation": f"{self.full_name} ({self.name.upper()}) [spec]",
+            "pre_pattern": self.spec.pre_pattern_text(),
+            "primitive_actions": self.spec.actions_text(),
+            "post_pattern": "generated from action templates",
+        }
+
+    def table3_row(self) -> Dict[str, List[str]]:
+        safety = []
+        for p in self.spec.pre_conditions:
+            acts = "/".join(a.capitalize() for a in p.disabling_actions)
+            safety.append(f"{p.negation} (via {acts})")
+        reversibility = []
+        for tmpl in self.spec.actions:
+            if isinstance(tmpl, DeleteStmt):
+                reversibility.append(
+                    f"Delete/Copy context of {tmpl.var}'s location")
+            elif isinstance(tmpl, HoistBeforeLoop):
+                reversibility.append(
+                    f"Move {tmpl.var} again / destroy its origin")
+            elif isinstance(tmpl, (ReverseHeader,)):
+                reversibility.append(f"Modify {tmpl.var}'s header again")
+            elif isinstance(tmpl, ModifyOperand):
+                reversibility.append(
+                    f"Modify the replaced position of {tmpl.var} again")
+        return {"safety": safety, "reversibility": reversibility}
+
+
+def compile_spec(spec: TransformationSpec) -> SpecTransformation:
+    """Compile a spec into a transformation instance."""
+    if not spec.name or not spec.variables or not spec.actions:
+        raise SpecCompileError("spec needs a name, variables, and actions")
+    return SpecTransformation(spec)
+
+
+def register_spec(spec: TransformationSpec,
+                  registry: Optional[Dict] = None) -> SpecTransformation:
+    """Compile ``spec`` and add it to the transformation registry.
+
+    Registered spec transformations are first-class citizens: engines
+    find and apply them, and the undo machinery handles them untouched —
+    the point of the paper's transformation-independent design.
+    """
+    from repro.transforms.registry import REGISTRY
+
+    reg = registry if registry is not None else REGISTRY
+    if spec.name in reg:
+        raise SpecCompileError(f"{spec.name!r} already registered")
+    t = compile_spec(spec)
+    reg[spec.name] = t
+    return t

@@ -1,0 +1,109 @@
+"""Example specifications.
+
+``DCE_SPEC`` re-derives dead-code elimination declaratively (validated
+against the hand-written implementation in the tests).
+
+``LRV_SPEC`` — **loop reversal** — is a transformation that exists
+nowhere in the hand-written catalog: ``do i = l, u`` becomes
+``do i = u, l, -1`` when the loop carries no dependence, contains no
+I/O, and its index is private to the loop.  It exercises the generator
+end to end: compiled from the spec, it is found, applied, safety-checked
+after edits, and undone in independent order by machinery that has never
+heard of it.
+"""
+
+from __future__ import annotations
+
+from repro.spec.dsl import (
+    DeleteStmt,
+    ModifyOperand,
+    ReverseHeader,
+    TransformationSpec,
+    const_expr,
+    const_unit_header,
+    dead_value,
+    distinct,
+    index_private,
+    is_assign,
+    is_loop,
+    no_carried_dependence,
+    no_io,
+    scalar_target,
+    sole_reaching_def,
+)
+
+#: declarative dead-code elimination (mirror of Table 2's DCE row).
+DCE_SPEC = TransformationSpec(
+    name="sdce",
+    full_name="Dead Code Elimination (spec)",
+    variables=("S",),
+    domains={"S": "assign"},
+    pre_conditions=[is_assign("S"), dead_value("S")],
+    actions=[DeleteStmt("S")],
+    # same interaction row as the hand-written DCE
+    enables=frozenset({"dce", "sdce", "cse", "cpp", "icm", "fus", "inx"}),
+)
+
+def _ctp_derive(program, cache, binding):
+    """Operand positions in ``Sj`` where ``Si``'s constant propagates."""
+    from repro.lang.ast_nodes import Const, expr_at
+    from repro.transforms.ctp import _use_paths
+
+    from repro.lang.ast_nodes import Assign, VarRef
+
+    d = program.node(binding["Si"])
+    u = program.node(binding["Sj"])
+    # defensive: safety re-checks call derive after preconditions were
+    # *benignly* skipped (an active transformation rewrote the pattern),
+    # so the shape guarantees may no longer hold.
+    if not (isinstance(d, Assign) and isinstance(d.target, VarRef)
+            and isinstance(d.expr, Const)):
+        return []
+    name = d.target.name
+    value = d.expr.value
+    out = []
+    for path in _use_paths(u):
+        if expr_at(u, path).name == name:
+            out.append({"path": path, "new": Const(value)})
+    return out
+
+
+#: declarative constant propagation — a two-variable relational pattern
+#: (mirror of Table 2's CTP row), exercising the backtracking matcher.
+CTP_SPEC = TransformationSpec(
+    name="sctp",
+    full_name="Constant Propagation (spec)",
+    variables=("Si", "Sj"),
+    domains={"Si": "assign", "Sj": "any"},
+    pre_conditions=[
+        is_assign("Si"),
+        scalar_target("Si"),
+        const_expr("Si"),
+        distinct("Si", "Sj"),
+        sole_reaching_def("Si", "Sj"),
+    ],
+    actions=[ModifyOperand("Sj")],
+    derive=_ctp_derive,
+    enables=frozenset({"dce", "sdce", "cse", "sctp", "cfo", "icm", "smi",
+                       "fus", "inx"}),
+)
+
+
+#: loop reversal — a genuinely new transformation defined only as a spec.
+LRV_SPEC = TransformationSpec(
+    name="lrv",
+    full_name="Loop Reversal",
+    variables=("L",),
+    domains={"L": "loop"},
+    pre_conditions=[
+        is_loop("L"),
+        const_unit_header("L"),
+        no_carried_dependence("L"),
+        no_io("L"),
+        index_private("L"),
+    ],
+    actions=[ReverseHeader("L")],
+    # reversal flips carried-direction reasoning: direction-sensitive
+    # loop transformations applied after it may depend on it.
+    enables=frozenset({"lrv", "inx", "fus", "icm"}),
+)

@@ -1,0 +1,43 @@
+"""The transformation catalog.
+
+All ten transformations of the paper's Table 4, each expressed as a
+sequence of primitive actions (Table 2) with pre/post patterns and the
+safety / reversibility disabling conditions of Table 3:
+
+========  =============================  =====================
+code      transformation                 kind
+========  =============================  =====================
+``dce``   dead code elimination          scalar optimization
+``cse``   common subexpression elim.     scalar optimization
+``ctp``   constant propagation           scalar optimization
+``cpp``   copy propagation               scalar optimization
+``cfo``   constant folding               scalar optimization
+``icm``   invariant code motion          scalar/loop opt.
+``lur``   loop unrolling                 loop restructuring
+``smi``   strip mining                   parallelizing
+``fus``   loop fusion                    parallelizing
+``inx``   loop interchanging             parallelizing
+========  =============================  =====================
+"""
+
+from repro.transforms.base import (
+    ApplyContext,
+    Opportunity,
+    ReversibilityResult,
+    SafetyResult,
+    Transformation,
+    Violation,
+)
+from repro.transforms.registry import REGISTRY, get_transformation, all_names
+
+__all__ = [
+    "ApplyContext",
+    "Opportunity",
+    "ReversibilityResult",
+    "SafetyResult",
+    "Transformation",
+    "Violation",
+    "REGISTRY",
+    "get_transformation",
+    "all_names",
+]

@@ -1,0 +1,203 @@
+"""Constant Propagation (CTP).
+
+Table 2 row::
+
+    pre_pattern:        Stmt S_i: type(opr_2) == const;
+                        Stmt S_j: opr(pos) == S_i.opr_2;
+    primitive actions:  Modify(opr(S_j, pos), S_i.opr_2);
+    post_pattern:       Stmt S_j: opr(pos) = S_i.opr_2;
+
+One application replaces a single operand occurrence (the ``pos`` of the
+pattern) — Figure 1's ``ctp(2)`` replaces the ``C`` in statement 5 by the
+constant ``1``, retaining the original operand under an ``md_2``
+annotation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.incremental import AnalysisCache
+from repro.core.annotations import AnnotationStore
+from repro.core.history import TransformationRecord
+from repro.lang.ast_nodes import (
+    Assign,
+    Const,
+    Program,
+    VarRef,
+    exprs_equal,
+    expr_at,
+    walk_expr,
+)
+from repro.transforms.base import (
+    ApplyContext,
+    Opportunity,
+    ReversibilityResult,
+    SafetyResult,
+    Transformation,
+    Violation,
+    modified_after,
+    stmt_deleted_after,
+)
+
+
+def _const_def(program, cache, use_sid: int, var: str):
+    """The unique constant-assignment def reaching a use, or ``None``."""
+    df = cache.dataflow()
+    defs = {d for d in df.reach_in.get(use_sid, frozenset()) if d[1] == var}
+    if len(defs) != 1:
+        return None
+    def_sid = next(iter(defs))[0]
+    if not program.is_attached(def_sid):
+        return None
+    stmt = program.node(def_sid)
+    if (isinstance(stmt, Assign) and isinstance(stmt.target, VarRef)
+            and stmt.target.name == var and isinstance(stmt.expr, Const)):
+        return def_sid, stmt.expr.value
+    return None
+
+
+def _use_paths(stmt) -> List[tuple]:
+    """Paths of every scalar-variable occurrence usable as an operand.
+
+    The assignment target's base variable is excluded (it is a def), but
+    array-subscript variables anywhere are fair game.
+    """
+    paths = []
+    for slot, root in stmt.expr_slots():
+        for sub_path, node in walk_expr(root):
+            if isinstance(node, VarRef):
+                full = (slot,) + sub_path
+                if slot == "target" and not sub_path:
+                    continue  # scalar assignment target: a def, not a use
+                paths.append(full)
+    return paths
+
+
+class ConstantPropagation(Transformation):
+    """Replace a variable operand by the constant that must reach it."""
+
+    name = "ctp"
+    full_name = "Constant Propagation"
+    # Table 4, row CTP (published), PLUS a documented deviation: our CTP
+    # replaces one operand occurrence at a time, so propagating into a
+    # copy (``w = v`` → ``w = 1``) creates a new constant definition that
+    # enables a further CTP.  The published row marks CTP→CTP "-" (a
+    # whole-program constant propagator saturates in one application);
+    # omitting the self-entry makes the reverse-destroy heuristic unsound
+    # at occurrence granularity.  See EXPERIMENTS.md (T4).
+    enables = frozenset({"dce", "cse", "ctp", "cfo", "icm", "smi", "fus",
+                         "inx"})
+    enables_published = True
+
+    def find(self, program: Program, cache: AnalysisCache) -> List[Opportunity]:
+        out: List[Opportunity] = []
+        for s in program.walk():
+            for path in _use_paths(s):
+                node = expr_at(s, path)
+                hit = _const_def(program, cache, s.sid, node.name)
+                if hit is None:
+                    continue
+                def_sid, value = hit
+                out.append(Opportunity(
+                    self.name,
+                    {"def_sid": def_sid, "use_sid": s.sid, "path": path,
+                     "var": node.name, "value": value},
+                    f"{node.name}@S{s.sid}:{'.'.join(path)} ← {value} "
+                    f"(from S{def_sid})"))
+        return out
+
+    def apply_actions(self, ctx: ApplyContext, opp: Opportunity) -> None:
+        p = opp.params
+        ctx.record.pre_pattern = {
+            "def_sid": p["def_sid"], "use_sid": p["use_sid"],
+            "var": p["var"], "value": p["value"], "path": p["path"],
+        }
+        ctx.modify(p["use_sid"], p["path"], Const(p["value"]))
+        ctx.record.post_pattern = {
+            "use_sid": p["use_sid"], "path": p["path"],
+            "expr": Const(p["value"]),
+        }
+
+    def check_safety(self, ctx, record: TransformationRecord) -> SafetyResult:
+        program, cache = ctx.program, ctx.cache
+        pre = record.pre_pattern
+        def_sid, use_sid = pre["def_sid"], pre["use_sid"]
+        t = record.stamp
+        if not program.is_attached(use_sid):
+            # the transformed statement is gone; nothing to preserve
+            return SafetyResult.ok()
+        if not program.is_attached(def_sid):
+            # a later active transformation (typically DCE, which CTP
+            # itself enabled) may legally have removed the now-dead
+            # definition; only undos/edits deleting it break safety.
+            if ctx.deleted_by_active(def_sid, t):
+                return SafetyResult.ok()
+            return SafetyResult.broken(
+                f"constant definition S{def_sid} no longer exists")
+        stmt = program.node(def_sid)
+        if not (isinstance(stmt, Assign) and isinstance(stmt.target, VarRef)
+                and stmt.target.name == pre["var"]
+                and isinstance(stmt.expr, Const)
+                and stmt.expr.value == pre["value"]):
+            if ctx.attributed_to_active(def_sid, t, ("md",)):
+                return SafetyResult.ok()
+            return SafetyResult.broken(
+                f"S{def_sid} no longer assigns {pre['value']} to {pre['var']}")
+        df = cache.dataflow()
+        defs = {d for d in df.reach_in.get(use_sid, frozenset())
+                if d[1] == pre["var"]}
+        key = (def_sid, pre["var"])
+        extras = [d for d in defs - {key}
+                  if not ctx.attributed_to_active(d[0], t, ("cp", "add", "mv"))]
+        if extras:
+            return SafetyResult.broken(
+                f"S{extras[0][0]} also defines {pre['var']} reaching "
+                f"S{use_sid}")
+        if key not in defs and not ctx.attributed_to_active(def_sid, t, ("mv",)):
+            return SafetyResult.broken(
+                f"S{def_sid} no longer reaches S{use_sid}")
+        return SafetyResult.ok()
+
+    def check_reversibility(self, program: Program, store: AnnotationStore,
+                            record: TransformationRecord) -> ReversibilityResult:
+        post = record.post_pattern
+        sid, path = post["use_sid"], post["path"]
+        v = stmt_deleted_after(program, store, sid, record.stamp)
+        if v is not None:
+            return ReversibilityResult.blocked(v)
+        v = modified_after(program, store, sid, path, record.stamp)
+        if v is not None:
+            return ReversibilityResult.blocked(v)
+        try:
+            current = expr_at(program.node(sid), path)
+        except KeyError:
+            return ReversibilityResult.blocked(Violation(
+                f"operand path {path} no longer exists on S{sid}"))
+        if not exprs_equal(current, post["expr"]):
+            return ReversibilityResult.blocked(Violation(
+                f"operand at S{sid}:{'.'.join(path)} no longer matches the "
+                "post pattern"))
+        return ReversibilityResult.ok()
+
+    def table2_row(self) -> Dict[str, str]:
+        return {
+            "transformation": "Constant Propagation (CTP)",
+            "pre_pattern": "Stmt S_i: type(opr_2) == const; "
+                           "Stmt S_j: opr(pos) == S_i.opr_2;",
+            "primitive_actions": "Modify(opr(S_j,pos), S_i.opr_2);",
+            "post_pattern": "Stmt S_j: opr(pos) = S_i.opr_2;",
+        }
+
+    def table3_row(self) -> Dict[str, List[str]]:
+        return {
+            "safety": [
+                "Delete the constant definition S_i",
+                "Modify S_i so it no longer assigns the propagated constant",
+                "Add/Move a definition of the variable onto a path reaching S_j (†)",
+            ],
+            "reversibility": [
+                "Delete the modified statement S_j",
+                "Modify the propagated operand of S_j again",
+            ],
+        }

@@ -1,0 +1,208 @@
+"""Loop Interchanging (INX).
+
+Table 2 row::
+
+    pre_pattern:        Tight Loops (L_1, L_2);
+    primitive actions:  Copy(L_1, L_tmp);  Modify(L_1, L_2);  Modify(L_2, L_tmp);
+    post_pattern:       Tight Loops (L_2, L_1);
+
+We realise the header swap with two ``Modify(header)`` actions: the
+paper's ``Copy`` to an off-program temporary ``L_tmp`` exists only to
+hold ``L_1``'s header during the swap, and our action records hold the
+old header themselves.  (The temporary never appears in the program
+text, so annotating a program-resident copy would be artificial; the
+inverse-action sequence is identical either way.)
+
+Legality: no dependence between statements of the inner body with
+direction vector ``(<, >)`` over the pair — interchange would reverse
+it.  The same test re-run on the current nest is the safety re-check:
+a ``(<, >)`` dependence appearing later (through edits or undos of
+enabling transformations) means the applied interchange now reverses a
+dependence of the original program.
+
+Reversibility is the paper's §5.2 example: the post pattern requires the
+loops to *still be tightly nested*.  A statement hoisted in between by a
+later ICM (its ``mv`` annotation bears a later stamp) is an affecting
+transformation that must be undone first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.depend import interchange_legal
+from repro.analysis.incremental import AnalysisCache
+from repro.core.actions import HEADER_PATH, HeaderSpec
+from repro.core.annotations import AnnotationStore
+from repro.core.history import TransformationRecord
+from repro.lang.ast_nodes import Loop, Program, expr_vars
+from repro.transforms.base import (
+    ApplyContext,
+    Opportunity,
+    ReversibilityResult,
+    SafetyResult,
+    Transformation,
+    Violation,
+    modified_after,
+    stmt_deleted_after,
+)
+from repro.transforms.loop_utils import tight_nest
+
+
+def _rectangular(outer: Loop, inner: Loop) -> bool:
+    """Neither loop's bounds may reference the other's index variable.
+
+    Header-swap interchange is only meaning-preserving for rectangular
+    nests; a triangular inner bound (``do j = i, n``) would change the
+    iteration space.
+    """
+    inner_vars = (expr_vars(inner.lower) | expr_vars(inner.upper)
+                  | expr_vars(inner.step))
+    outer_vars = (expr_vars(outer.lower) | expr_vars(outer.upper)
+                  | expr_vars(outer.step))
+    return outer.var not in inner_vars and inner.var not in outer_vars
+
+
+def _headers_match(loop: Loop, spec: HeaderSpec) -> bool:
+    from repro.lang.ast_nodes import exprs_equal
+
+    return (loop.var == spec.var and exprs_equal(loop.lower, spec.lower)
+            and exprs_equal(loop.upper, spec.upper)
+            and exprs_equal(loop.step, spec.step))
+
+
+class LoopInterchanging(Transformation):
+    """Swap the headers of two tightly nested loops."""
+
+    name = "inx"
+    full_name = "Loop Interchanging"
+    # Table 4, row INX (published).
+    enables = frozenset({"icm", "fus", "inx"})
+    enables_published = True
+
+    def find(self, program: Program, cache: AnalysisCache) -> List[Opportunity]:
+        graph = cache.dependences()
+        out: List[Opportunity] = []
+        for s in program.walk():
+            if not isinstance(s, Loop):
+                continue
+            inner = tight_nest(program, s)
+            if inner is None or inner.var == s.var:
+                continue
+            if not _rectangular(s, inner):
+                continue
+            if interchange_legal(graph, s, inner):
+                out.append(Opportunity(
+                    self.name, {"outer": s.sid, "inner": inner.sid},
+                    f"interchange ({s.var}, {inner.var}) at S{s.sid}"))
+        return out
+
+    def apply_actions(self, ctx: ApplyContext, opp: Opportunity) -> None:
+        outer_sid, inner_sid = opp.params["outer"], opp.params["inner"]
+        outer = ctx.program.node(outer_sid)
+        inner = ctx.program.node(inner_sid)
+        h_outer = HeaderSpec.of(outer)
+        h_inner = HeaderSpec.of(inner)
+        ctx.record.pre_pattern = {
+            "outer": outer_sid, "inner": inner_sid,
+            "outer_header": h_outer, "inner_header": h_inner,
+        }
+        # L_tmp lives inside the first Modify's action record.
+        ctx.modify_header(outer_sid, h_inner)
+        ctx.modify_header(inner_sid, h_outer)
+        ctx.record.post_pattern = {
+            "outer": outer_sid, "inner": inner_sid,
+            "outer_header": h_inner, "inner_header": h_outer,
+        }
+
+    def check_safety(self, ctx, record: TransformationRecord) -> SafetyResult:
+        program, cache = ctx.program, ctx.cache
+        post = record.post_pattern
+        t = record.stamp
+        outer_sid, inner_sid = post["outer"], post["inner"]
+        for sid in (outer_sid, inner_sid):
+            if not program.is_attached(sid):
+                if ctx.deleted_by_active(sid, t):
+                    return SafetyResult.ok()
+                return SafetyResult.broken(
+                    f"interchanged loop S{sid} no longer exists")
+        outer = program.node(outer_sid)
+        inner = program.node(inner_sid)
+        if not isinstance(outer, Loop) or not isinstance(inner, Loop):
+            return SafetyResult.broken("pattern statements changed kind")
+        if outer_sid not in [a for a in program.ancestors(inner_sid)]:
+            if ctx.attributed_to_active(inner_sid, t, ("mv",)):
+                return SafetyResult.ok()
+            return SafetyResult.broken(
+                f"loop S{inner_sid} is no longer nested in S{outer_sid}")
+        if not _rectangular(outer, inner):
+            if ctx.attributed_to_active(outer_sid, t, ("md",)) or \
+                    ctx.attributed_to_active(inner_sid, t, ("md",)):
+                return SafetyResult.ok()
+            return SafetyResult.broken(
+                "the nest is no longer rectangular — the applied header "
+                "swap changes the iteration space")
+        graph = cache.dependences()
+        if not interchange_legal(graph, outer, inner):
+            # statements placed in the nest by active later transformations
+            # were legality-checked by those transformations themselves.
+            if ctx.subtree_touched_by_active(outer_sid, t):
+                return SafetyResult.ok()
+            return SafetyResult.broken(
+                "a dependence now forbids the applied interchange")
+        return SafetyResult.ok()
+
+    def check_reversibility(self, program: Program, store: AnnotationStore,
+                            record: TransformationRecord) -> ReversibilityResult:
+        post = record.post_pattern
+        outer_sid, inner_sid = post["outer"], post["inner"]
+        for sid in (outer_sid, inner_sid):
+            v = stmt_deleted_after(program, store, sid, record.stamp)
+            if v is not None:
+                return ReversibilityResult.blocked(v)
+            v = modified_after(program, store, sid, HEADER_PATH, record.stamp)
+            if v is not None:
+                return ReversibilityResult.blocked(v)
+        outer = program.node(outer_sid)
+        inner = program.node(inner_sid)
+        # post pattern: Tight Loops (L_2, L_1)
+        occupants = [m for m in outer.body if m.sid != inner_sid]
+        if occupants or inner not in outer.body:
+            # someone broke the tight nest; find the responsible action
+            for m in occupants:
+                anns = [a for a in store.for_sid(m.sid)
+                        if a.stamp > record.stamp
+                        and a.kind in ("mv", "add", "cp")]
+                if anns:
+                    a = min(anns, key=lambda x: x.stamp)
+                    return ReversibilityResult.blocked(Violation(
+                        f"S{m.sid} sits between the interchanged loops",
+                        action_id=a.action_id, stamp=a.stamp))
+            return ReversibilityResult.blocked(Violation(
+                "the loops are no longer tightly nested"))
+        if not _headers_match(outer, post["outer_header"]) or \
+                not _headers_match(inner, post["inner_header"]):
+            return ReversibilityResult.blocked(Violation(
+                "loop headers diverged from the post pattern"))
+        return ReversibilityResult.ok()
+
+    def table2_row(self) -> Dict[str, str]:
+        return {
+            "transformation": "Loop Interchanging (INX)",
+            "pre_pattern": "Tight Loops (L_1, L_2);",
+            "primitive_actions": "Copy(L_1, L_tmp); Modify(L_1, L_2); "
+                                 "Modify(L_2, L_tmp);",
+            "post_pattern": "Tight Loops (L_2, L_1);",
+        }
+
+    def table3_row(self) -> Dict[str, List[str]]:
+        return {
+            "safety": [
+                "Add/Move a statement creating a (<,>) dependence into the nest (†)",
+                "Delete one of the interchanged loops",
+            ],
+            "reversibility": [
+                "Move/Add a statement between the two loops (breaks tight nesting)",
+                "Modify either loop header again",
+            ],
+        }

@@ -1,0 +1,46 @@
+"""Registry of the ten transformations, keyed by their Table 4 codes."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.transforms.base import Transformation
+from repro.transforms.cfo import ConstantFolding
+from repro.transforms.cpp import CopyPropagation
+from repro.transforms.cse import CommonSubexpressionElimination
+from repro.transforms.ctp import ConstantPropagation
+from repro.transforms.dce import DeadCodeElimination
+from repro.transforms.fus import LoopFusion
+from repro.transforms.icm import InvariantCodeMotion
+from repro.transforms.inx import LoopInterchanging
+from repro.transforms.lur import LoopUnrolling
+from repro.transforms.smi import StripMining
+
+#: Table 4 column/row order.
+TABLE4_ORDER = ("dce", "cse", "ctp", "cpp", "cfo", "icm", "lur", "smi",
+                "fus", "inx")
+
+REGISTRY: Dict[str, Transformation] = {
+    t.name: t for t in (
+        DeadCodeElimination(),
+        CommonSubexpressionElimination(),
+        ConstantPropagation(),
+        CopyPropagation(),
+        ConstantFolding(),
+        InvariantCodeMotion(),
+        LoopUnrolling(),
+        StripMining(),
+        LoopFusion(),
+        LoopInterchanging(),
+    )
+}
+
+
+def get_transformation(name: str) -> Transformation:
+    """Look up a transformation by its code (raises ``KeyError``)."""
+    return REGISTRY[name]
+
+
+def all_names() -> List[str]:
+    """All transformation codes, in Table 4 order."""
+    return list(TABLE4_ORDER)

@@ -1,0 +1,31 @@
+"""Workloads: canonical kernels and the seeded program generator.
+
+The paper evaluates on Fortran program fragments (Figure 1) and defers
+experimental studies to future work; this package supplies both the
+exact paper fragments and a deterministic random-program generator with
+*plantable* transformation opportunities, used by the property tests and
+the scaling benchmarks (E1–E4).
+"""
+
+from repro.workloads.generator import GeneratorConfig, generate_program
+from repro.workloads.kernels import (
+    adjacent_loops_program,
+    figure1_program,
+    figure3_program,
+    matmul_program,
+    stencil_program,
+)
+from repro.workloads.scenarios import Session, build_session, apply_greedy
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_program",
+    "adjacent_loops_program",
+    "figure1_program",
+    "figure3_program",
+    "matmul_program",
+    "stencil_program",
+    "Session",
+    "build_session",
+    "apply_greedy",
+]

@@ -1,0 +1,157 @@
+"""Seeded random-program generator with plantable opportunities.
+
+Every program the generator emits is
+
+* **deterministic** in its seed (NumPy ``default_rng``),
+* **observable** — it ends with ``write`` statements over the values it
+  computed, so the interpreter's output trace fingerprints its
+  behaviour, and
+* **opportunity-rich** — each enabled feature plants a code shape one of
+  the ten transformations can fire on (a constant definition feeding a
+  use, a recomputed subexpression, a dead store, an invariant statement
+  inside a loop, a tight interchangeable nest, adjacent fusable loops, an
+  unrollable / strip-mineable loop, a propagatable copy).
+
+The property tests use it to fuzz the apply/undo machinery; the scaling
+benchmarks (E1–E3) use ``blocks`` to grow programs with a controlled
+number of independent transformation sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse_program
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for :func:`generate_program`."""
+
+    #: independent opportunity blocks to emit.
+    blocks: int = 4
+    #: plant scalar-optimization shapes (ctp/cse/cpp/cfo/dce).
+    scalars: bool = True
+    #: plant loop shapes (icm/inx/fus/lur/smi).
+    loops: bool = True
+    #: trip count used for generated loops (kept small: tests interpret).
+    trip: int = 8
+    #: occasionally emit if statements and I/O.
+    control: bool = True
+
+
+def _scalar_block(rng: np.random.Generator, k: int, lines: List[str]) -> List[str]:
+    """One scalar block; returns names worth writing at the end."""
+    v = f"v{k}"
+    w = f"w{k}"
+    u = f"u{k}"
+    d = f"d{k}"
+    c1 = int(rng.integers(1, 9))
+    c2 = int(rng.integers(1, 9))
+    shape = int(rng.integers(0, 4))
+    if shape == 0:
+        # constant def + use (ctp), foldable after propagation (cfo)
+        lines.append(f"{v} = {c1}")
+        lines.append(f"{w} = {v} + {c2}")
+        lines.append(f"{u} = {w} * 2")
+    elif shape == 1:
+        # common subexpression pair (cse)
+        lines.append(f"{v} = x{k} + y{k}")
+        lines.append(f"{w} = x{k} + y{k}")
+        lines.append(f"{u} = {w} - {v}")
+    elif shape == 2:
+        # copy chain (cpp) + dead store (dce)
+        lines.append(f"{v} = x{k}")
+        lines.append(f"{w} = {v} + {c1}")
+        lines.append(f"{d} = {w} * 99")  # dead: never used
+        lines.append(f"{u} = {w}")
+    else:
+        # mixed: const, copy, subexpression
+        lines.append(f"{v} = {c1}")
+        lines.append(f"{w} = {v}")
+        lines.append(f"{u} = {w} + {c2}")
+    return [u, w]
+
+
+def _loop_block(rng: np.random.Generator, k: int, trip: int,
+                lines: List[str]) -> List[str]:
+    """One loop block; returns expressions worth writing at the end."""
+    shape = int(rng.integers(0, 5))
+    i = f"i{k}"
+    j = f"j{k}"
+    a = f"A{k}"
+    b = f"B{k}"
+    r = f"R{k}"
+    c = int(rng.integers(2, 7))
+    if shape == 0:
+        # tight interchangeable nest with an invariant statement (inx+icm)
+        lines.append(f"g{k} = {c}")
+        lines.append(f"do {i} = 1, {trip}")
+        lines.append(f"  do {j} = 1, {max(trip // 2, 2)}")
+        lines.append(f"    {a}({j}) = {b}({j}) + g{k}")
+        lines.append(f"    {r}({i}, {j}) = {b}({i}) * 2")
+        lines.append("  enddo")
+        lines.append("enddo")
+        return [f"{a}(2)", f"{r}(2, 2)"]
+    if shape == 1:
+        # adjacent fusable loops (fus)
+        lines.append(f"do {i} = 1, {trip}")
+        lines.append(f"  {a}({i}) = {b}({i}) + {c}")
+        lines.append("enddo")
+        lines.append(f"do {i} = 1, {trip}")
+        lines.append(f"  {r}({i}) = {a}({i}) * 2")
+        lines.append("enddo")
+        return [f"{r}(3)", f"{a}(1)"]
+    if shape == 2:
+        # unrollable loop (lur) — even constant trip, simple body
+        even = trip if trip % 2 == 0 else trip + 1
+        lines.append(f"do {i} = 1, {even}")
+        lines.append(f"  {a}({i}) = {b}({i}) * {c}")
+        lines.append("enddo")
+        return [f"{a}(2)", f"{a}({even // 2})"]
+    if shape == 3:
+        # strip-mineable loop (smi): trip divisible by 4
+        quad = trip - (trip % 4) if trip >= 8 else 8
+        lines.append(f"do {i} = 1, {quad}")
+        lines.append(f"  {a}({i}) = {b}({i}) + {b}({i})")
+        lines.append("enddo")
+        return [f"{a}(3)"]
+    # deep nest: constants and invariants buried two levels down, with a
+    # scalar-opt site inside the outer body (stresses the affected-region
+    # machinery with non-root regions)
+    m = f"m{k}"
+    lines.append(f"{m} = {c}")
+    lines.append(f"do {i} = 1, {max(trip // 2, 2)}")
+    lines.append(f"  s{k} = {m} * 2")
+    lines.append(f"  do {j} = 1, {max(trip // 2, 2)}")
+    lines.append(f"    {r}({i}, {j}) = {b}({j}) + s{k}")
+    lines.append("  enddo")
+    lines.append(f"  {a}({i}) = s{k} + {i}")
+    lines.append("enddo")
+    return [f"{r}(2, 2)", f"{a}(1)"]
+
+
+def generate_program(seed: int, config: GeneratorConfig = GeneratorConfig()) -> Program:
+    """Generate a deterministic opportunity-rich program."""
+    rng = np.random.default_rng(seed)
+    lines: List[str] = []
+    observe: List[str] = []
+    for k in range(config.blocks):
+        pick_loop = config.loops and (not config.scalars or rng.random() < 0.5)
+        if pick_loop:
+            observe.extend(_loop_block(rng, k, config.trip, lines))
+        else:
+            observe.extend(_scalar_block(rng, k, lines))
+        if config.control and rng.random() < 0.2:
+            t = f"t{k}"
+            lines.append(f"if ({t} > 0) then")
+            lines.append(f"  {t} = {t} - 1")
+            lines.append("endif")
+            observe.append(t)
+    for name in observe:
+        lines.append(f"write {name}")
+    return parse_program("\n".join(lines) + "\n")

@@ -1,0 +1,113 @@
+"""Canonical kernel programs, including the paper's own fragments."""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse_program
+
+#: the exact program segment of the paper's Figure 1 (source column),
+#: extended with write statements so its behaviour is observable.
+FIGURE1_SOURCE = """\
+D = E + F
+C = 1
+do i = 1, 100
+  do j = 1, 50
+    A(j) = B(j) + C
+    R(i, j) = E + F
+  enddo
+enddo
+write D
+write A(7)
+write R(3, 11)
+write R(99, 49)
+"""
+
+
+def figure1_program(scale: int = 1) -> Program:
+    """The Figure 1 program (optionally with reduced trip counts).
+
+    ``scale=1`` gives the paper's 100×50 nest; smaller scales divide the
+    bounds for fast interpretation in tests.
+    """
+    if scale == 1:
+        return parse_program(FIGURE1_SOURCE)
+    src = FIGURE1_SOURCE.replace("1, 100", f"1, {max(100 // scale, 4)}")
+    src = src.replace("1, 50", f"1, {max(50 // scale, 4)}")
+    src = src.replace("R(99, 49)", "R(3, 3)")
+    src = src.replace("R(3, 11)", "R(2, 2)")
+    src = src.replace("A(7)", "A(2)")
+    return parse_program(src)
+
+
+def figure3_program(body_stmts: int = 2) -> Program:
+    """Two adjacent conformable loops as drawn in Figure 3.
+
+    The first loop produces ``A``, the second consumes it (the ``d2``
+    inter-region dependence summarized on their common region ``R1``).
+    ``body_stmts`` pads both bodies with independent statements so the
+    exhaustive fusion check has more nodes to visit.
+    """
+    pad1 = "".join(f"  P{k}(i) = U{k}(i) + {k}\n" for k in range(body_stmts))
+    pad2 = "".join(f"  Q{k}(i) = V{k}(i) * {k}\n" for k in range(body_stmts))
+    src = (
+        "do i = 1, 40\n"
+        f"{pad1}"
+        "  A(i) = B(i) + 1\n"
+        "enddo\n"
+        "do i = 1, 40\n"
+        f"{pad2}"
+        "  C(i) = A(i) * 2\n"
+        "enddo\n"
+        "write A(5)\n"
+        "write C(9)\n"
+    )
+    return parse_program(src)
+
+
+def adjacent_loops_program() -> Program:
+    """Minimal fusable pair used by the FUS unit tests."""
+    return parse_program(
+        "do i = 1, 20\n"
+        "  A(i) = B(i) + 1\n"
+        "enddo\n"
+        "do i = 1, 20\n"
+        "  C(i) = A(i) * 2\n"
+        "enddo\n"
+        "write C(3)\n"
+    )
+
+
+def matmul_program(n: int = 8) -> Program:
+    """Classic triple-nested matrix multiply (interchange playground)."""
+    return parse_program(
+        f"do i = 1, {n}\n"
+        f"  do j = 1, {n}\n"
+        "    CM(i, j) = 0\n"
+        "  enddo\n"
+        "enddo\n"
+        f"do i = 1, {n}\n"
+        f"  do j = 1, {n}\n"
+        f"    do k = 1, {n}\n"
+        "      CM(i, j) = CM(i, j) + AM(i, k) * BM(k, j)\n"
+        "    enddo\n"
+        "  enddo\n"
+        "enddo\n"
+        "write CM(2, 3)\n"
+        f"write CM({n - 1}, {n - 1})\n"
+    )
+
+
+def stencil_program(n: int = 16) -> Program:
+    """1-D Jacobi-style stencil (carried dependences block DOALL)."""
+    return parse_program(
+        f"do t = 1, 4\n"
+        f"  do i = 2, {n - 1}\n"
+        "    NEW(i) = (OLD(i - 1) + OLD(i + 1)) / 2\n"
+        "  enddo\n"
+        f"  do i = 2, {n - 1}\n"
+        "    OLD(i) = NEW(i)\n"
+        "  enddo\n"
+        "enddo\n"
+        "write OLD(3)\n"
+        f"write OLD({n // 2})\n"
+    )

@@ -1,0 +1,76 @@
+"""Prepared engine sessions for the benchmarks and integration tests.
+
+``build_session(seed, n)`` generates a program large enough to host
+``n`` transformations, applies ``n`` of them greedily (round-robin over
+the transformation kinds, deterministic in the seed) and hands back the
+live engine — the starting state for the undo scaling studies E1–E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.engine import TransformationEngine
+from repro.core.undo import UndoStrategy
+from repro.lang.ast_nodes import Program
+from repro.transforms.registry import TABLE4_ORDER
+from repro.workloads.generator import GeneratorConfig, generate_program
+
+
+@dataclass
+class Session:
+    """A live engine with a record of what was applied."""
+
+    engine: TransformationEngine
+    applied: List[int] = field(default_factory=list)
+
+    @property
+    def program(self) -> Program:
+        return self.engine.program
+
+
+def apply_greedy(engine: TransformationEngine, n: int, *,
+                 seed: int = 0,
+                 kinds: Optional[List[str]] = None) -> List[int]:
+    """Apply up to ``n`` transformations, round-robin over ``kinds``.
+
+    Re-scans for opportunities after every application (earlier
+    transformations enable later ones — the Table 4 chains the undo
+    engine must later unwind).  Deterministic in ``seed``.
+    """
+    rng = np.random.default_rng(seed)
+    if kinds is None:
+        kinds = [k for k in TABLE4_ORDER if k != "lur"] + ["lur"]
+    applied: List[int] = []
+    stall = 0
+    ki = 0
+    while len(applied) < n and stall < 2 * len(kinds):
+        name = kinds[ki % len(kinds)]
+        ki += 1
+        opps = engine.find(name)
+        if not opps:
+            stall += 1
+            continue
+        stall = 0
+        pick = opps[int(rng.integers(0, len(opps)))]
+        rec = engine.apply(pick)
+        applied.append(rec.stamp)
+    return applied
+
+
+def build_session(seed: int, n_transforms: int,
+                  strategy: Optional[UndoStrategy] = None,
+                  *, trip: int = 8) -> Session:
+    """Generate a program and apply ``n_transforms`` transformations.
+
+    The generated program grows with ``n_transforms`` so opportunities
+    do not run dry (roughly 2.5 applications land per block).
+    """
+    blocks = max(2, int(np.ceil(n_transforms / 2.0)))
+    program = generate_program(seed, GeneratorConfig(blocks=blocks, trip=trip))
+    engine = TransformationEngine(program, strategy=strategy)
+    applied = apply_greedy(engine, n_transforms, seed=seed + 1)
+    return Session(engine=engine, applied=applied)

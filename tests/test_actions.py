@@ -1,0 +1,244 @@
+"""Unit tests for the primitive actions and their inverses (Table 1)."""
+
+import pytest
+
+from repro.core.actions import (
+    ActionApplier,
+    ActionError,
+    ActionKind,
+    HEADER_PATH,
+    HeaderSpec,
+)
+from repro.core.locations import Location
+from repro.lang.ast_nodes import Const, Loop, VarRef, programs_equal
+from repro.lang.builder import assign
+from repro.lang.parser import parse_program
+from repro.lang.printer import format_program
+from repro.lang.validate import validate_program
+
+SRC = (
+    "a = 1\n"
+    "do i = 1, 4\n"
+    "  b = a + i\n"
+    "enddo\n"
+    "write b\n"
+)
+
+
+def setup():
+    p = parse_program(SRC)
+    return p, parse_program(SRC), ActionApplier(p)
+
+
+def stmt(p, label):
+    for s in p.walk():
+        if s.label == label:
+            return s
+    raise KeyError(label)
+
+
+class TestDelete:
+    def test_delete_detaches(self):
+        p, _orig, ap = setup()
+        s = stmt(p, 1)
+        rec = ap.delete(1, s.sid)
+        assert rec.kind is ActionKind.DELETE
+        assert not p.is_attached(s.sid)
+        validate_program(p)
+
+    def test_delete_annotates_ghost(self):
+        p, _orig, ap = setup()
+        s = stmt(p, 1)
+        ap.delete(1, s.sid)
+        anns = ap.store.for_sid(s.sid)
+        assert [a.short() for a in anns] == ["del_1"]
+
+    def test_delete_invert_restores_exactly(self):
+        p, orig, ap = setup()
+        s = stmt(p, 1)
+        rec = ap.delete(1, s.sid)
+        ap.invert(rec, 1)
+        assert programs_equal(p, orig)
+        assert not ap.store.for_sid(s.sid)
+        validate_program(p)
+
+    def test_delete_detached_rejected(self):
+        p, _orig, ap = setup()
+        s = stmt(p, 1)
+        ap.delete(1, s.sid)
+        with pytest.raises(ActionError):
+            ap.delete(2, s.sid)
+
+    def test_invert_fails_when_context_gone(self):
+        p, _orig, ap = setup()
+        body_stmt = stmt(p, 3)
+        loop = stmt(p, 2)
+        rec = ap.delete(1, body_stmt.sid)
+        ap.delete(2, loop.sid)
+        with pytest.raises(ActionError):
+            ap.invert(rec, 1)
+
+
+class TestAdd:
+    def test_add_inserts_and_annotates(self):
+        p, _orig, ap = setup()
+        new = assign("z", 7)
+        rec = ap.add(1, new, Location.at(p, (0, "body"), 0))
+        assert p.body[0] is new
+        assert [a.short() for a in ap.store.for_sid(new.sid)] == ["add_1"]
+
+    def test_add_invert_removes(self):
+        p, orig, ap = setup()
+        new = assign("z", 7)
+        rec = ap.add(1, new, Location.at(p, (0, "body"), 0))
+        ap.invert(rec, 1)
+        assert programs_equal(p, orig)
+
+
+class TestMove:
+    def test_move_relocates(self):
+        p, _orig, ap = setup()
+        s = stmt(p, 3)  # b = a + i inside the loop
+        loop = stmt(p, 2)
+        ap.move(1, s.sid, Location.before(p, loop.sid))
+        assert p.parent_of(s.sid) == (0, "body")
+
+    def test_move_invert_restores(self):
+        p, orig, ap = setup()
+        s = stmt(p, 3)
+        loop = stmt(p, 2)
+        rec = ap.move(1, s.sid, Location.before(p, loop.sid))
+        ap.invert(rec, 1)
+        assert programs_equal(p, orig)
+        validate_program(p)
+
+    def test_move_within_container(self):
+        p, _orig, ap = setup()
+        a = stmt(p, 1)
+        rec = ap.move(1, a.sid, Location.at(p, (0, "body"), 3))
+        assert p.body[-1].sid in (a.sid, p.body[-1].sid)
+        ap.invert(rec, 1)
+        assert p.body[0].sid == a.sid
+
+    def test_move_annotation(self):
+        p, _orig, ap = setup()
+        s = stmt(p, 3)
+        loop = stmt(p, 2)
+        ap.move(1, s.sid, Location.before(p, loop.sid))
+        assert [a.short() for a in ap.store.for_sid(s.sid)] == ["mv_1"]
+
+
+class TestCopy:
+    def test_copy_clones_subtree(self):
+        p, _orig, ap = setup()
+        loop = stmt(p, 2)
+        rec = ap.copy(1, loop.sid, Location.after(p, loop.sid))
+        clone = p.node(rec.sid)
+        assert isinstance(clone, Loop)
+        assert clone.sid != loop.sid
+        assert clone.body[0].sid != loop.body[0].sid
+
+    def test_copy_annotates_both_sides(self):
+        p, _orig, ap = setup()
+        loop = stmt(p, 2)
+        rec = ap.copy(1, loop.sid, Location.after(p, loop.sid))
+        assert [a.short() for a in ap.store.for_sid(rec.sid)] == ["cp_1"]
+        assert [a.short() for a in ap.store.for_sid(loop.sid)] == ["cps_1"]
+
+    def test_copy_invert_deletes_clone(self):
+        p, orig, ap = setup()
+        loop = stmt(p, 2)
+        rec = ap.copy(1, loop.sid, Location.after(p, loop.sid))
+        ap.invert(rec, 1)
+        assert programs_equal(p, orig)
+        assert not ap.store.for_sid(loop.sid)
+
+
+class TestModify:
+    def test_modify_replaces_subtree(self):
+        p, _orig, ap = setup()
+        s = stmt(p, 1)
+        ap.modify(1, s.sid, ("expr",), Const(42))
+        assert s.expr.value == 42
+
+    def test_modify_records_old_and_new(self):
+        p, _orig, ap = setup()
+        s = stmt(p, 3)
+        rec = ap.modify(1, s.sid, ("expr", "l"), VarRef("q"))
+        assert rec.old_expr.name == "a"
+        assert rec.new_expr.name == "q"
+
+    def test_modify_invert_restores(self):
+        p, orig, ap = setup()
+        s = stmt(p, 3)
+        rec = ap.modify(1, s.sid, ("expr", "l"), VarRef("q"))
+        ap.invert(rec, 1)
+        assert programs_equal(p, orig)
+
+    def test_modify_invert_detects_divergence(self):
+        p, _orig, ap = setup()
+        s = stmt(p, 3)
+        rec = ap.modify(1, s.sid, ("expr", "l"), VarRef("q"))
+        # clobber the position out-of-band
+        ap.modify(2, s.sid, ("expr", "l"), VarRef("r"))
+        with pytest.raises(ActionError):
+            ap.invert(rec, 1)
+
+    def test_modify_annotation_has_path(self):
+        p, _orig, ap = setup()
+        s = stmt(p, 1)
+        ap.modify(1, s.sid, ("expr",), Const(42))
+        ann = ap.store.for_sid(s.sid)[0]
+        assert ann.kind == "md" and ann.path == ("expr",)
+
+
+class TestModifyHeader:
+    def test_header_swap(self):
+        p, _orig, ap = setup()
+        loop = stmt(p, 2)
+        new = HeaderSpec("j", Const(0), Const(9), Const(3))
+        rec = ap.modify_header(1, loop.sid, new)
+        assert loop.var == "j" and loop.step.value == 3
+        assert rec.path == HEADER_PATH
+
+    def test_header_invert(self):
+        p, orig, ap = setup()
+        loop = stmt(p, 2)
+        rec = ap.modify_header(1, loop.sid, HeaderSpec("j", Const(0), Const(9),
+                                                       Const(3)))
+        ap.invert(rec, 1)
+        assert programs_equal(p, orig)
+
+    def test_header_invert_detects_divergence(self):
+        p, _orig, ap = setup()
+        loop = stmt(p, 2)
+        rec = ap.modify_header(1, loop.sid, HeaderSpec("j", Const(0), Const(9),
+                                                       Const(3)))
+        ap.modify_header(2, loop.sid, HeaderSpec("k", Const(1), Const(2),
+                                                 Const(1)))
+        with pytest.raises(ActionError):
+            ap.invert(rec, 1)
+
+    def test_header_on_non_loop_rejected(self):
+        p, _orig, ap = setup()
+        s = stmt(p, 1)
+        with pytest.raises(ActionError):
+            ap.modify_header(1, s.sid, HeaderSpec("j", Const(0), Const(9),
+                                                  Const(1)))
+
+
+class TestCounters:
+    def test_apply_invert_counted(self):
+        p, _orig, ap = setup()
+        rec = ap.delete(1, stmt(p, 1).sid)
+        ap.invert(rec, 1)
+        assert ap.applied_count == 1
+        assert ap.inverted_count == 1
+
+    def test_events_emitted(self):
+        p, _orig, ap = setup()
+        rec = ap.delete(1, stmt(p, 1).sid)
+        ap.invert(rec, 1)
+        evs = ap.events.all()
+        assert len(evs) == 2
+        assert not evs[0].inverse and evs[1].inverse

@@ -1,0 +1,134 @@
+"""Unit tests for the annotation store, history, and event log."""
+
+import pytest
+
+from repro.core.annotations import Annotation, AnnotationStore
+from repro.core.events import Event, EventKind, EventLog
+from repro.core.history import History
+from repro.lang.parser import parse_program
+
+
+def ann(kind, stamp, sid, action_id=None, path=None):
+    return Annotation(kind=kind, stamp=stamp,
+                      action_id=action_id if action_id is not None else stamp,
+                      sid=sid, path=path)
+
+
+class TestAnnotationStore:
+    def test_add_and_query(self):
+        st = AnnotationStore()
+        a = st.add(ann("md", 1, 10, path=("expr",)))
+        assert list(st.for_sid(10)) == [a]
+        assert list(st.for_stamp(1)) == [a]
+
+    def test_short_rendering(self):
+        assert ann("mv", 4, 5).short() == "mv_4"
+
+    def test_remove(self):
+        st = AnnotationStore()
+        a = st.add(ann("del", 2, 7))
+        st.remove(a)
+        assert not st.for_sid(7)
+        assert not st.for_stamp(2)
+
+    def test_remove_stamp_bulk(self):
+        st = AnnotationStore()
+        st.add(ann("md", 3, 1))
+        st.add(ann("mv", 3, 2))
+        st.add(ann("md", 4, 1, action_id=9))
+        st.remove_stamp(3)
+        assert st.stamps() == [4]
+
+    def test_after_filters_by_stamp_and_kind(self):
+        st = AnnotationStore()
+        st.add(ann("md", 1, 5))
+        st.add(ann("mv", 3, 5))
+        st.add(ann("md", 4, 5, action_id=8))
+        later = st.after(5, 2)
+        assert {a.stamp for a in later} == {3, 4}
+        only_md = st.after(5, 2, kinds=("md",))
+        assert {a.stamp for a in only_md} == {4}
+
+    def test_path_overlap_prefix(self):
+        st = AnnotationStore()
+        st.add(ann("md", 5, 1, path=("expr", "l")))
+        # enclosing path overlaps
+        assert st.path_modified_after(1, ("expr",), 2)
+        # sibling path does not
+        assert not st.path_modified_after(1, ("expr", "r"), 2)
+        # earlier stamp filtered out
+        assert not st.path_modified_after(1, ("expr", "l"), 5)
+
+    def test_subtree_after(self):
+        p = parse_program("do i = 1, 2\n  x = i\nenddo\n")
+        loop = p.body[0]
+        inner = loop.body[0]
+        st = AnnotationStore()
+        st.add(ann("md", 7, inner.sid, path=("expr",)))
+        hits = st.subtree_after(p, loop.sid, 3)
+        assert len(hits) == 1
+
+    def test_len_and_iter(self):
+        st = AnnotationStore()
+        st.add(ann("md", 1, 1))
+        st.add(ann("mv", 2, 2))
+        assert len(st) == 2
+        assert {a.kind for a in st} == {"md", "mv"}
+
+
+class TestHistory:
+    def test_stamps_monotonic(self):
+        h = History()
+        r1 = h.new_record("dce")
+        r2 = h.new_record("cse")
+        assert r2.stamp == r1.stamp + 1
+
+    def test_active_excludes_undone_and_edits(self):
+        h = History()
+        r1 = h.new_record("dce")
+        r2 = h.new_record("edit")
+        r3 = h.new_record("cse")
+        h.deactivate(r3.stamp)
+        assert [r.stamp for r in h.active()] == [r1.stamp]
+
+    def test_active_after(self):
+        h = History()
+        r1 = h.new_record("dce")
+        r2 = h.new_record("cse")
+        r3 = h.new_record("ctp")
+        assert [r.stamp for r in h.active_after(r1.stamp)] == [r2.stamp,
+                                                               r3.stamp]
+
+    def test_stamp_of_action(self):
+        from repro.core.actions import ActionApplier
+
+        p = parse_program("a = 1\n")
+        h = History()
+        ap = ActionApplier(p)
+        rec = h.new_record("dce")
+        act = ap.delete(rec.stamp, p.body[0].sid)
+        rec.actions.append(act)
+        assert h.stamp_of_action(act.action_id) == rec.stamp
+        assert h.stamp_of_action(999) is None
+
+    def test_describe_marks_undone(self):
+        h = History()
+        r = h.new_record("dce")
+        h.deactivate(r.stamp)
+        assert "(undone)" in h.describe()
+
+
+class TestEventLog:
+    def test_cursor_and_since(self):
+        log = EventLog()
+        log.emit(Event(EventKind.STMT_REMOVED, 1, (), 1, 1))
+        cur = log.cursor()
+        log.emit(Event(EventKind.STMT_INSERTED, 2, (), 2, 2))
+        assert len(log.since(cur)) == 1
+        assert len(log.all()) == 2
+
+    def test_len(self):
+        log = EventLog()
+        assert len(log) == 0
+        log.emit(Event(EventKind.STMT_MOVED, 1, (), 1, 1))
+        assert len(log) == 1

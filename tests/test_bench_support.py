@@ -1,0 +1,51 @@
+"""Tests for the benchmark-harness support (repro.bench.reporting)."""
+
+import pytest
+
+from repro.bench.reporting import Table, banner, ratio
+
+
+class TestTable:
+    def test_render_basic(self):
+        t = Table(["a", "bb"], "title")
+        t.add(1, "x")
+        t.add(22, "yy")
+        out = t.render()
+        assert "title" in out
+        assert "| a " in out and "| bb" in out
+        assert "| 22" in out
+
+    def test_floats_compact(self):
+        t = Table(["v"])
+        t.add(3.14159)
+        assert "3.14" in t.render()
+
+    def test_width_mismatch_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_column_widths_fit_content(self):
+        t = Table(["x"])
+        t.add("long-content-here")
+        lines = t.render().splitlines()
+        widths = {len(l) for l in lines if l.startswith(("|", "+"))}
+        assert len(widths) == 1  # all rows aligned
+
+    def test_show_prints(self, capsys):
+        t = Table(["n"])
+        t.add(5)
+        t.show()
+        assert "| 5" in capsys.readouterr().out
+
+
+class TestHelpers:
+    def test_banner(self, capsys):
+        banner("hello")
+        out = capsys.readouterr().out
+        assert "hello" in out and "=" in out
+
+    def test_ratio(self):
+        assert ratio(10, 5) == "2.00x"
+        assert ratio(0, 0) == "1.0"
+        assert ratio(3, 0) == "inf"

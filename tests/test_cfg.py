@@ -1,0 +1,107 @@
+"""Unit tests for CFG construction and dominators (repro.analysis.cfg)."""
+
+from repro.analysis.cfg import build_cfg
+from repro.lang.parser import parse_program
+
+
+def stmt(p, label):
+    """Statement with the given 1-based source label."""
+    for s in p.walk():
+        if s.label == label:
+            return s
+    raise KeyError(label)
+
+
+class TestConstruction:
+    def test_straight_line_single_block(self):
+        p = parse_program("a = 1\nb = 2\nc = 3\n")
+        cfg = build_cfg(p)
+        body_blocks = [b for b in cfg.blocks.values()
+                       if b.kind == "block" and b.stmts]
+        assert len(body_blocks) == 1
+        assert len(body_blocks[0].stmts) == 3
+
+    def test_loop_creates_header_and_backedge(self):
+        p = parse_program("do i = 1, 3\n  x = i\nenddo\ny = 1\n")
+        cfg = build_cfg(p)
+        headers = [b for b in cfg.blocks.values() if b.kind == "loop"]
+        assert len(headers) == 1
+        h = headers[0]
+        # the body block loops back to the header
+        assert any(h.bid in cfg.blocks[s].succs for s in h.succs)
+
+    def test_if_creates_two_paths(self):
+        p = parse_program(
+            "if (x > 0) then\n  y = 1\nelse\n  y = 2\nendif\nz = y\n")
+        cfg = build_cfg(p)
+        conds = [b for b in cfg.blocks.values() if b.kind == "cond"]
+        assert len(conds) == 1
+        assert len(conds[0].succs) == 2
+
+    def test_if_without_else_has_fallthrough(self):
+        p = parse_program("if (x > 0) then\n  y = 1\nendif\nz = y\n")
+        cfg = build_cfg(p)
+        cond = next(b for b in cfg.blocks.values() if b.kind == "cond")
+        assert len(cond.succs) == 2  # then-branch and skip edge
+
+    def test_every_statement_placed(self):
+        p = parse_program(
+            "a = 1\ndo i = 1, 2\n  b = i\nenddo\n"
+            "if (a > 0) then\n  c = 1\nendif\nwrite a\n")
+        cfg = build_cfg(p)
+        placed = set(cfg.statements())
+        assert placed == set(p.attached_sids())
+
+    def test_entry_reaches_exit(self):
+        p = parse_program("do i = 1, 2\n  x = i\nenddo\n")
+        cfg = build_cfg(p)
+        assert cfg.exit in cfg.rpo() or any(
+            cfg.exit in b.succs for b in cfg.blocks.values())
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        p = parse_program("a = 1\ndo i = 1, 2\n  b = i\nenddo\nc = 2\n")
+        cfg = build_cfg(p)
+        dom = cfg.dominators()
+        for bid in cfg.rpo():
+            assert cfg.entry in dom[bid]
+
+    def test_straightline_order(self):
+        p = parse_program("a = 1\nb = 2\n")
+        cfg = build_cfg(p)
+        sa = stmt(p, 1).sid
+        sb = stmt(p, 2).sid
+        assert cfg.dominates(sa, sb)
+        assert not cfg.dominates(sb, sa)
+
+    def test_statement_dominates_itself(self):
+        p = parse_program("a = 1\n")
+        cfg = build_cfg(p)
+        sa = stmt(p, 1).sid
+        assert cfg.dominates(sa, sa)
+
+    def test_pre_loop_dominates_body(self):
+        p = parse_program("a = 1\ndo i = 1, 2\n  b = a\nenddo\n")
+        cfg = build_cfg(p)
+        assert cfg.dominates(stmt(p, 1).sid, stmt(p, 3).sid)
+
+    def test_branches_do_not_dominate_join(self):
+        p = parse_program(
+            "if (x > 0) then\n  y = 1\nelse\n  y = 2\nendif\nz = y\n")
+        cfg = build_cfg(p)
+        then_stmt = stmt(p, 2).sid
+        join_stmt = stmt(p, 4).sid
+        assert not cfg.dominates(then_stmt, join_stmt)
+
+    def test_cond_dominates_branches(self):
+        p = parse_program(
+            "if (x > 0) then\n  y = 1\nelse\n  y = 2\nendif\n")
+        cfg = build_cfg(p)
+        assert cfg.dominates(stmt(p, 1).sid, stmt(p, 2).sid)
+        assert cfg.dominates(stmt(p, 1).sid, stmt(p, 3).sid)
+
+    def test_dominates_detached_is_false(self):
+        p = parse_program("a = 1\nb = 2\n")
+        cfg = build_cfg(p)
+        assert not cfg.dominates(999, stmt(p, 1).sid)

@@ -1,0 +1,169 @@
+"""Tests for the interactive CLI session (repro.cli)."""
+
+import pytest
+
+from repro.cli import CliSession
+
+SRC = (
+    "c = 1\n"
+    "x = c + 2\n"
+    "d = e + f\n"
+    "do i = 1, 8\n"
+    "  R(i) = e + f\n"
+    "enddo\n"
+    "write x\nwrite d\nwrite R(3)\n"
+)
+
+
+@pytest.fixture
+def session():
+    return CliSession(SRC)
+
+
+class TestBasics:
+    def test_show(self, session):
+        assert "c = 1" in session.execute("show")
+
+    def test_show_labels(self, session):
+        assert "1  c = 1" in session.execute("show labels")
+
+    def test_empty_line(self, session):
+        assert session.execute("") == ""
+
+    def test_unknown_command(self, session):
+        assert "unknown command" in session.execute("frobnicate")
+
+    def test_help_lists_commands(self, session):
+        out = session.execute("help")
+        for cmd in ("apply", "undo", "view", "table4"):
+            assert cmd in out
+
+
+class TestOpportunities:
+    def test_opps_all(self, session):
+        out = session.execute("opps")
+        assert "ctp[0]" in out and "cse[0]" in out
+
+    def test_opps_filtered(self, session):
+        out = session.execute("opps ctp")
+        assert "ctp[0]" in out and "cse" not in out
+
+    def test_opps_none(self):
+        s = CliSession("write 1\n")
+        assert "(no opportunities)" in s.execute("opps")
+
+
+class TestApplyUndo:
+    def test_apply_and_history(self, session):
+        out = session.execute("apply ctp")
+        assert "applied t1: ctp" in out
+        assert "t1:ctp" in session.execute("history")
+
+    def test_apply_bad_index(self, session):
+        assert "out of range" in session.execute("apply ctp 9")
+
+    def test_apply_no_opportunity(self, session):
+        assert "no inx opportunity" in session.execute("apply inx")
+
+    def test_undo_roundtrip(self, session):
+        before = session.execute("show")
+        session.execute("apply ctp")
+        out = session.execute("undo 1")
+        assert "undone: [1]" in out
+        assert session.execute("show") == before
+
+    def test_undo_cascade_reported(self, session):
+        session.execute("apply ctp")
+        session.execute("apply cfo")
+        out = session.execute("undo 1")
+        assert "affecting (peeled first): [2]" in out
+
+    def test_undo_error_surfaces(self, session):
+        assert "error" in session.execute("undo 7")
+
+    def test_undo_lifo(self, session):
+        session.execute("apply ctp")
+        session.execute("apply cse")
+        out = session.execute("undo-lifo 1")
+        assert "collateral removals: [2]" in out
+
+
+class TestInspection:
+    def test_safety_all(self, session):
+        session.execute("apply ctp")
+        assert "t1 ctp: safe" in session.execute("safety")
+
+    def test_revers_blocked_names_blocker(self):
+        s = CliSession(
+            "d = e + f\nc = 1\n"
+            "do i = 1, 4\n  do j = 1, 3\n"
+            "    A(j) = B(j) + c\n    R(i, j) = e + f\n"
+            "  enddo\nenddo\nwrite d\nwrite A(2)\n")
+        s.execute("apply cse")
+        s.execute("apply ctp")
+        s.execute("apply inx")
+        s.execute("apply icm")
+        out = s.execute("revers")
+        assert "t3 inx: BLOCKED" in out
+        assert "undo t4 first" in out
+
+    def test_view_renders(self, session):
+        session.execute("apply ctp")
+        out = session.execute("view")
+        assert "APDG" in out and "ADAG" in out and "md_1" in out
+
+    def test_cost(self, session):
+        out = session.execute("cost")
+        assert "est_speedup" in out
+
+    def test_table4(self, session):
+        out = session.execute("table4")
+        assert "DCE" in out and "INX" in out
+
+
+class TestEdits:
+    def test_edit_delete_and_invalidate(self, session):
+        session.execute("apply ctp")        # x = 1 + 2 (from c = 1)
+        # find c = 1's sid via labels: it is statement 1
+        sid = next(s.sid for s in session.engine.program.walk()
+                   if s.label == 1)
+        out = session.execute(f"edit-del {sid}")
+        assert "deleted" in out
+        out = session.execute("edit-unsafe")
+        assert "removed [1]" in out or "removed" in out
+        # the ctp is gone; the cse never applied so nothing else changed
+        assert not session.engine.history.by_stamp(1).active
+
+    def test_edit_unsafe_without_edits(self, session):
+        assert "(no pending edits)" in session.execute("edit-unsafe")
+
+
+class TestMain:
+    def test_main_requires_file(self, capsys):
+        from repro.cli import main
+
+        assert main([]) == 2
+
+    def test_main_runs_script(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        f = tmp_path / "prog.loop"
+        f.write_text(SRC)
+        inputs = iter(["opps ctp", "apply ctp", "history", "quit"])
+        monkeypatch.setattr("builtins.input", lambda _: next(inputs))
+        assert main([str(f)]) == 0
+        out = capsys.readouterr().out
+        assert "applied t1: ctp" in out
+
+
+class TestTableCommands:
+    def test_table2_renders_all(self, session):
+        out = session.execute("table2")
+        assert "Dead Code Elimination" in out
+        assert "Loop Interchanging" in out
+        assert "pre:" in out and "post:" in out
+
+    def test_table3_renders_conditions(self, session):
+        out = session.execute("table3")
+        assert "DCE:" in out
+        assert "safety:" in out and "reversibility:" in out

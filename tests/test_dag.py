@@ -1,0 +1,83 @@
+"""Unit tests for the basic-block DAG (repro.analysis.dag)."""
+
+from repro.analysis.dag import build_block_dag, build_dags
+from repro.lang.parser import parse_program
+
+
+def block_of(src):
+    p = parse_program(src)
+    sids = [s.sid for s in p.walk()]
+    return p, sids
+
+
+class TestValueNumbering:
+    def test_common_subexpression_shared(self):
+        p, sids = block_of("d = e + f\ng = e + f\n")
+        dag = build_block_dag(p, sids)
+        assert dag.shared_hits >= 1
+        shared = dag.common_subexpressions()
+        assert len(shared) == 1
+
+    def test_distinct_expressions_not_shared(self):
+        p, sids = block_of("d = e + f\ng = e - f\n")
+        dag = build_block_dag(p, sids)
+        assert not dag.common_subexpressions()
+
+    def test_redefinition_breaks_sharing(self):
+        p, sids = block_of("d = e + f\ne = 1\ng = e + f\n")
+        dag = build_block_dag(p, sids)
+        # e's value node changed, so e+f is a different node
+        assert not dag.common_subexpressions()
+
+    def test_labels_track_current_values(self):
+        p, sids = block_of("x = a + b\ny = x\n")
+        dag = build_block_dag(p, sids)
+        node = dag.nodes[dag.current["y"]]
+        assert "x" in node.labels and "y" in node.labels
+
+    def test_constants_hash_consed(self):
+        p, sids = block_of("x = 1\ny = 1\n")
+        dag = build_block_dag(p, sids)
+        consts = [n for n in dag.nodes.values() if n.kind == "const"]
+        assert len(consts) == 1
+
+    def test_relabeling_on_reassignment(self):
+        p, sids = block_of("x = 1\nx = 2\n")
+        dag = build_block_dag(p, sids)
+        one = next(n for n in dag.nodes.values()
+                   if n.kind == "const" and n.value == 1)
+        assert "x" not in one.labels
+
+
+class TestArraysAndIO:
+    def test_store_bumps_epoch(self):
+        p, sids = block_of("x = A(1)\nA(1) = 5\ny = A(1)\n")
+        dag = build_block_dag(p, sids)
+        loads = [n for n in dag.nodes.values() if n.kind == "load"]
+        assert len(loads) == 2  # pre-store and post-store loads differ
+
+    def test_loads_shared_without_store(self):
+        p, sids = block_of("x = A(1)\ny = A(1)\n")
+        dag = build_block_dag(p, sids)
+        loads = [n for n in dag.nodes.values() if n.kind == "load"]
+        assert len(loads) == 1
+
+    def test_read_creates_input_node(self):
+        p, sids = block_of("read x\ny = x\n")
+        dag = build_block_dag(p, sids)
+        assert any(n.kind == "input" for n in dag.nodes.values())
+
+    def test_write_consumes_value(self):
+        p, sids = block_of("x = 1\nwrite x\n")
+        dag = build_block_dag(p, sids)
+        assert any(n.value == "write" for n in dag.nodes.values())
+
+
+class TestWholeProgram:
+    def test_build_dags_per_block(self):
+        p = parse_program(
+            "a = 1\nb = a\ndo i = 1, 3\n  c = a + b\n  d = a + b\nenddo\n")
+        dags = build_dags(p)
+        assert len(dags) == 2  # pre-loop block and loop body block
+        shared_any = any(d.common_subexpressions() for d in dags.values())
+        assert shared_any

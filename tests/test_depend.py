@@ -1,0 +1,261 @@
+"""Unit tests for dependence analysis (repro.analysis.depend)."""
+
+import pytest
+
+from repro.analysis.depend import (
+    ANTI,
+    EQ,
+    FLOW,
+    GT,
+    IO,
+    LT,
+    OUTPUT,
+    Linear,
+    analyze_dependences,
+    dimension_directions,
+    fusion_preventing,
+    interchange_legal,
+    linearize,
+    loop_parallelizable,
+)
+from repro.lang.parser import parse_expr, parse_program
+
+
+def stmt(p, label):
+    for s in p.walk():
+        if s.label == label:
+            return s
+    raise KeyError(label)
+
+
+def deps_between(g, a, b):
+    return [d for d in g.deps if d.src == a and d.dst == b]
+
+
+class TestLinearize:
+    def test_constant(self):
+        f = linearize(parse_expr("7"))
+        assert f.coeffs == {} and f.const == 7
+
+    def test_affine(self):
+        f = linearize(parse_expr("2 * i + 3"))
+        assert f.coeffs == {"i": 2} and f.const == 3
+
+    def test_subtraction(self):
+        f = linearize(parse_expr("i - 1"))
+        assert f.coeffs == {"i": 1} and f.const == -1
+
+    def test_negation(self):
+        f = linearize(parse_expr("-i"))
+        assert f.coeffs == {"i": -1}
+
+    def test_var_times_var_nonlinear(self):
+        assert linearize(parse_expr("i * j")) is None
+
+    def test_division_nonlinear(self):
+        assert linearize(parse_expr("i / 2")) is None
+
+    def test_cancellation(self):
+        f = linearize(parse_expr("i - i"))
+        assert f.coeffs == {} and f.const == 0
+
+
+class TestDimensionTests:
+    def test_ziv_equal_constants(self):
+        res = dimension_directions(Linear({}, 3), Linear({}, 3), ["i"])
+        assert res == {}
+
+    def test_ziv_distinct_constants_independent(self):
+        res = dimension_directions(Linear({}, 3), Linear({}, 4), ["i"])
+        assert res is None
+
+    def test_strong_siv_forward(self):
+        # A(i) written, A(i-1) read: read lags the write by one iteration
+        res = dimension_directions(Linear({"i": 1}, 0), Linear({"i": 1}, -1),
+                                   ["i"])
+        assert res == {"i": {LT}}
+
+    def test_strong_siv_same_iteration(self):
+        res = dimension_directions(Linear({"i": 1}, 0), Linear({"i": 1}, 0),
+                                   ["i"])
+        assert res == {"i": {EQ}}
+
+    def test_strong_siv_backward(self):
+        res = dimension_directions(Linear({"i": 1}, 0), Linear({"i": 1}, 1),
+                                   ["i"])
+        assert res == {"i": {GT}}
+
+    def test_strong_siv_fractional_independent(self):
+        res = dimension_directions(Linear({"i": 2}, 0), Linear({"i": 2}, 1),
+                                   ["i"])
+        assert res is None
+
+    def test_gcd_infeasible(self):
+        # 2i = 2i' + 1 has no integer solution
+        res = dimension_directions(Linear({"i": 2}, 0), Linear({"j": 2}, 1),
+                                   ["i", "j"])
+        assert res is None
+
+    def test_symbolic_mismatch_conservative(self):
+        res = dimension_directions(Linear({"n": 1}, 0), Linear({}, 0), ["i"])
+        assert res == {}
+
+    def test_nonlinear_conservative(self):
+        assert dimension_directions(None, Linear({}, 0), ["i"]) == {}
+
+
+class TestScalarDeps:
+    def test_flow_dependence(self):
+        p = parse_program("x = 1\ny = x\n")
+        g = analyze_dependences(p)
+        ds = deps_between(g, stmt(p, 1).sid, stmt(p, 2).sid)
+        assert any(d.kind == FLOW and d.var == "x" for d in ds)
+
+    def test_anti_dependence(self):
+        p = parse_program("y = x\nx = 1\n")
+        g = analyze_dependences(p)
+        ds = deps_between(g, stmt(p, 1).sid, stmt(p, 2).sid)
+        assert any(d.kind == ANTI and d.var == "x" for d in ds)
+
+    def test_output_dependence(self):
+        p = parse_program("x = 1\nx = 2\n")
+        g = analyze_dependences(p)
+        ds = deps_between(g, stmt(p, 1).sid, stmt(p, 2).sid)
+        assert any(d.kind == OUTPUT for d in ds)
+
+    def test_scalar_in_loop_carried(self):
+        p = parse_program("do i = 1, 3\n  s = s + 1\nenddo\n")
+        g = analyze_dependences(p)
+        s = stmt(p, 2)
+        carried = [d for d in g.deps if d.src == s.sid and d.dst == s.sid
+                   and d.carried]
+        assert carried
+
+
+class TestArrayDeps:
+    def test_recurrence_carried(self):
+        p = parse_program("do i = 2, 9\n  A(i) = A(i - 1) + 1\nenddo\n")
+        g = analyze_dependences(p)
+        s = stmt(p, 2)
+        ds = [d for d in g.deps if d.src == s.sid and d.dst == s.sid
+              and d.var == "A" and d.carried]
+        assert ds and ds[0].directions == (LT,)
+
+    def test_independent_columns(self):
+        p = parse_program("do i = 1, 9\n  A(i) = B(i) + 1\nenddo\n")
+        g = analyze_dependences(p)
+        s = stmt(p, 2)
+        a_deps = [d for d in g.deps if d.var == "A"
+                  and d.src == s.sid and d.dst == s.sid]
+        assert not a_deps  # A(i) touches a distinct element each iteration
+
+    def test_same_element_every_iteration_output_dep(self):
+        p = parse_program(
+            "do i = 1, 4\n  do j = 1, 4\n    A(j) = i\n  enddo\nenddo\n")
+        g = analyze_dependences(p)
+        s = stmt(p, 3)
+        ds = [d for d in g.deps if d.src == s.sid and d.dst == s.sid
+              and d.kind == OUTPUT and d.carried]
+        assert ds  # A(j) rewritten across i iterations
+
+    def test_dependence_normalised_source_first(self):
+        p = parse_program("do i = 1, 8\n  A(i) = A(i + 1)\nenddo\n")
+        g = analyze_dependences(p)
+        s = stmt(p, 2)
+        for d in g.deps:
+            if d.var == "A" and d.carried:
+                assert d.directions[0] != GT
+
+    def test_io_dependences_chain(self):
+        p = parse_program("read a\nwrite a\nwrite a\n")
+        g = analyze_dependences(p)
+        io = [d for d in g.deps if d.kind == IO]
+        assert len(io) >= 2
+
+
+class TestLegality:
+    def test_interchange_legal_independent(self):
+        p = parse_program(
+            "do i = 1, 4\n  do j = 1, 4\n    C(i, j) = A(i) + B(j)\n"
+            "  enddo\nenddo\n")
+        g = analyze_dependences(p)
+        assert interchange_legal(g, stmt(p, 1), stmt(p, 2))
+
+    def test_interchange_illegal_wavefront(self):
+        # classic (<, >) dependence: A(i+1, j-1) read of A(i, j) write
+        p = parse_program(
+            "do i = 2, 8\n  do j = 2, 8\n"
+            "    A(i, j) = A(i - 1, j + 1) + 1\n  enddo\nenddo\n")
+        g = analyze_dependences(p)
+        assert not interchange_legal(g, stmt(p, 1), stmt(p, 2))
+
+    def test_doall_detection(self):
+        p = parse_program("do i = 1, 8\n  A(i) = B(i) * 2\nenddo\n")
+        g = analyze_dependences(p)
+        assert loop_parallelizable(g, stmt(p, 1))
+
+    def test_recurrence_not_doall(self):
+        p = parse_program("do i = 2, 8\n  A(i) = A(i - 1) * 2\nenddo\n")
+        g = analyze_dependences(p)
+        assert not loop_parallelizable(g, stmt(p, 1))
+
+
+class TestFusionPrevention:
+    def test_forward_dependence_allows_fusion(self):
+        p = parse_program(
+            "do i = 1, 8\n  A(i) = B(i)\nenddo\n"
+            "do i = 1, 8\n  C(i) = A(i)\nenddo\n")
+        assert fusion_preventing(p, stmt(p, 1), stmt(p, 3)) == []
+
+    def test_backward_distance_prevents_fusion(self):
+        # second loop reads A(i+1): needs the element a *later* iteration
+        # of the first loop produces
+        p = parse_program(
+            "do i = 1, 8\n  A(i) = B(i)\nenddo\n"
+            "do i = 1, 8\n  C(i) = A(i + 1)\nenddo\n")
+        blockers = fusion_preventing(p, stmt(p, 1), stmt(p, 3))
+        assert blockers and blockers[0][2] == "A"
+
+    def test_positive_distance_allows_fusion(self):
+        # reading A(i-1) is satisfied by earlier fused iterations
+        p = parse_program(
+            "do i = 2, 8\n  A(i) = B(i)\nenddo\n"
+            "do i = 2, 8\n  C(i) = A(i - 1)\nenddo\n")
+        assert fusion_preventing(p, stmt(p, 1), stmt(p, 3)) == []
+
+    def test_disjoint_arrays_fusable(self):
+        p = parse_program(
+            "do i = 1, 8\n  A(i) = B(i)\nenddo\n"
+            "do i = 1, 8\n  C(i) = D(i)\nenddo\n")
+        assert fusion_preventing(p, stmt(p, 1), stmt(p, 3)) == []
+
+    def test_different_index_names_aligned(self):
+        p = parse_program(
+            "do i = 1, 8\n  A(i) = B(i)\nenddo\n"
+            "do j = 1, 8\n  C(j) = A(j + 1)\nenddo\n")
+        blockers = fusion_preventing(p, stmt(p, 1), stmt(p, 3))
+        assert blockers
+
+    def test_nonlinear_conservative(self):
+        p = parse_program(
+            "do i = 1, 8\n  A(i * i) = B(i)\nenddo\n"
+            "do i = 1, 8\n  C(i) = A(i)\nenddo\n")
+        assert fusion_preventing(p, stmt(p, 1), stmt(p, 3))
+
+
+class TestGraphQueries:
+    def test_carried_by_loop(self):
+        p = parse_program("do i = 2, 8\n  A(i) = A(i - 1)\nenddo\n")
+        g = analyze_dependences(p)
+        assert g.carried_by(stmt(p, 1).sid)
+
+    def test_between(self):
+        p = parse_program("x = 1\ny = x\n")
+        g = analyze_dependences(p)
+        out = g.between({stmt(p, 1).sid}, {stmt(p, 2).sid})
+        assert out
+
+    def test_visited_pairs_counted(self):
+        p = parse_program("x = 1\ny = x\n")
+        g = analyze_dependences(p)
+        assert g.visited_pairs > 0

@@ -1,0 +1,50 @@
+"""Documentation quality gate: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    m.name for m in pkgutil.walk_packages(repro.__path__, "repro.")
+    if "__main__" not in m.name
+)
+
+
+@pytest.mark.parametrize("modname", MODULES)
+def test_module_has_docstring(modname):
+    mod = importlib.import_module(modname)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{modname} lacks a docstring"
+
+
+@pytest.mark.parametrize("modname", MODULES)
+def test_public_items_documented(modname):
+    mod = importlib.import_module(modname)
+    missing = []
+    for name, obj in vars(mod).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != modname:
+            continue  # re-export: documented at its definition site
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            missing.append(name)
+        if inspect.isclass(obj):
+            for mname, meth in vars(obj).items():
+                if mname.startswith("_") or not inspect.isfunction(meth):
+                    continue
+                if meth.__doc__ and meth.__doc__.strip():
+                    continue
+                # protocol overrides inherit their contract docs
+                inherited = any(
+                    getattr(base, mname, None) is not None
+                    and getattr(getattr(base, mname), "__doc__", None)
+                    for base in obj.__mro__[1:]
+                )
+                if not inherited:
+                    missing.append(f"{name}.{mname}")
+    assert not missing, f"{modname}: undocumented public items: {missing}"

@@ -1,0 +1,126 @@
+"""Tests for user edits and edit-driven invalidation (repro.edit)."""
+
+import pytest
+
+from tests.helpers import make_engine, stmt_by_label
+from repro.core.locations import Location
+from repro.edit.edits import EditSession
+from repro.edit.invalidate import find_unsafe, redo_all_baseline, remove_unsafe
+from repro.lang.ast_nodes import Const, programs_equal
+from repro.lang.builder import assign, var
+from repro.lang.interp import traces_equivalent
+
+
+class TestEditSession:
+    def test_add_stmt(self):
+        engine, p, _ = make_engine("a = 1\nwrite a\n")
+        edits = EditSession(engine)
+        rep = edits.add_stmt(assign("b", 2), Location.at(p, (0, "body"), 1))
+        assert rep.record.is_edit
+        assert len(p.body) == 3
+
+    def test_delete_stmt(self):
+        engine, p, _ = make_engine("a = 1\nb = 2\nwrite a\n")
+        edits = EditSession(engine)
+        edits.delete_stmt(stmt_by_label(p, 2).sid)
+        assert len(p.body) == 2
+
+    def test_move_stmt(self):
+        engine, p, _ = make_engine("a = 1\nb = 2\nwrite a\n")
+        edits = EditSession(engine)
+        edits.move_stmt(stmt_by_label(p, 2).sid, Location.at(p, (0, "body"), 0))
+        assert p.body[0].sid == stmt_by_label(p, 2).sid
+
+    def test_modify_expr(self):
+        engine, p, _ = make_engine("a = 1\nwrite a\n")
+        edits = EditSession(engine)
+        edits.modify_expr(stmt_by_label(p, 1).sid, ("expr",), Const(5))
+        assert stmt_by_label(p, 1).expr.value == 5
+
+    def test_edits_consume_stamps(self):
+        engine, p, _ = make_engine("a = 1\nwrite a\n")
+        edits = EditSession(engine)
+        r1 = edits.modify_expr(stmt_by_label(p, 1).sid, ("expr",), Const(5))
+        r2 = edits.modify_expr(stmt_by_label(p, 1).sid, ("expr",), Const(6))
+        assert r2.record.stamp == r1.record.stamp + 1
+
+    def test_edits_annotated(self):
+        engine, p, _ = make_engine("a = 1\nwrite a\n")
+        edits = EditSession(engine)
+        rep = edits.modify_expr(stmt_by_label(p, 1).sid, ("expr",), Const(5))
+        anns = engine.store.for_sid(stmt_by_label(p, 1).sid)
+        assert anns and anns[0].stamp == rep.record.stamp
+
+
+class TestInvalidation:
+    SRC = ("c = 1\nx = c + 2\nwrite x\n"
+           "a = b + q\nd = b + q\nwrite a + d\n")
+
+    def session(self):
+        engine, p, orig = make_engine(self.SRC)
+        ctp = engine.apply_first("ctp", var="c")
+        cse = engine.apply(engine.find("cse")[0])
+        return engine, p, (ctp, cse)
+
+    def test_edit_invalidates_only_touched(self):
+        engine, p, (ctp, cse) = self.session()
+        edits = EditSession(engine)
+        # change the constant definition: only ctp becomes unsafe
+        rep = edits.modify_expr(stmt_by_label(p, 1).sid, ("expr",), Const(9))
+        stats = find_unsafe(engine, rep)
+        assert stats.unsafe == [ctp.stamp]
+
+    def test_remove_unsafe_undoes_them(self):
+        engine, p, (ctp, cse) = self.session()
+        edits = EditSession(engine)
+        rep = edits.modify_expr(stmt_by_label(p, 1).sid, ("expr",), Const(9))
+        stats = remove_unsafe(engine, rep)
+        assert ctp.stamp in stats.removed
+        assert engine.history.by_stamp(cse.stamp).active
+        # the program is the edited source with the cse still applied
+        assert not engine.history.by_stamp(ctp.stamp).active
+
+    def test_benign_edit_removes_nothing(self):
+        engine, p, (ctp, cse) = self.session()
+        edits = EditSession(engine)
+        rep = edits.add_stmt(assign("zz", 1), Location.at(p, (0, "body"), 0))
+        stats = remove_unsafe(engine, rep)
+        assert not stats.unsafe and not stats.removed
+
+    def test_regional_filter_skips_unrelated(self):
+        engine, p, (ctp, cse) = self.session()
+        edits = EditSession(engine)
+        rep = edits.modify_expr(stmt_by_label(p, 1).sid, ("expr",), Const(9))
+        regional = find_unsafe(engine, rep, use_regional=True)
+        full = find_unsafe(engine, rep, use_regional=False)
+        assert regional.unsafe == full.unsafe
+        assert regional.safety_checks <= full.safety_checks
+
+    def test_edit_destroying_post_pattern_unrecoverable(self):
+        engine, p, (ctp, cse) = self.session()
+        edits = EditSession(engine)
+        use = stmt_by_label(p, 2)
+        # clobber the propagated operand, then break the def: the ctp is
+        # unsafe but its post pattern is edit-damaged → unrecoverable
+        edits.modify_expr(use.sid, ("expr", "l"), Const(7))
+        rep = edits.modify_expr(stmt_by_label(p, 1).sid, ("expr",), Const(9))
+        stats = remove_unsafe(engine, rep)
+        assert ctp.stamp in stats.unrecoverable
+
+    def test_redo_all_baseline_counts_everything(self):
+        engine, p, (ctp, cse) = self.session()
+        stats = redo_all_baseline(engine)
+        assert stats.transformations_discarded == 2
+        assert stats.reanalysis_runs == 1
+        assert stats.safety_checks_equiv >= 2
+
+
+class TestEditsBlockUndoAttribution:
+    def test_check_context_treats_edit_as_genuine(self):
+        # an edit deleting the producing definition breaks ctp safety
+        # (unlike an active DCE doing the same)
+        engine, p, _ = make_engine("c = 1\nx = c + 2\nwrite x\n")
+        ctp = engine.apply(engine.find("ctp")[0])
+        edits = EditSession(engine)
+        edits.delete_stmt(stmt_by_label(p, 1).sid)
+        assert not engine.check_safety(ctp.stamp).safe

@@ -1,0 +1,315 @@
+"""Unit tests for the AST node layer (repro.lang.ast_nodes)."""
+
+import pytest
+
+from repro.lang.ast_nodes import (
+    ROOT_SID,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    IfStmt,
+    Loop,
+    Program,
+    ReadStmt,
+    UnaryOp,
+    VarRef,
+    WriteStmt,
+    bodies_equal,
+    expr_arrays,
+    expr_at,
+    expr_vars,
+    exprs_equal,
+    programs_equal,
+    replace_expr,
+    stmt_defuse,
+    stmts_equal,
+    walk_expr,
+)
+from repro.lang.builder import arr, assign, binop, const, loop, prog, var
+
+
+class TestExprBasics:
+    def test_const_clone_independent(self):
+        c = Const(5)
+        d = c.clone()
+        assert d.value == 5 and d is not c
+
+    def test_binop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_unary_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            UnaryOp("!", Const(1))
+
+    def test_clone_is_deep(self):
+        e = BinOp("+", VarRef("a"), ArrayRef("B", [VarRef("i")]))
+        f = e.clone()
+        f.right.subscripts[0] = Const(0)
+        assert isinstance(e.right.subscripts[0], VarRef)
+
+    def test_children_order(self):
+        e = BinOp("*", VarRef("x"), VarRef("y"))
+        names = [n for n, _c in e.children()]
+        assert names == ["l", "r"]
+
+    def test_arrayref_children_named_by_position(self):
+        e = ArrayRef("A", [Const(1), Const(2)])
+        assert [n for n, _c in e.children()] == ["sub0", "sub1"]
+
+
+class TestExprsEqual:
+    def test_equal_structures(self):
+        a = BinOp("+", VarRef("x"), Const(1))
+        b = BinOp("+", VarRef("x"), Const(1))
+        assert exprs_equal(a, b)
+
+    def test_different_operator(self):
+        assert not exprs_equal(BinOp("+", Const(1), Const(2)),
+                               BinOp("-", Const(1), Const(2)))
+
+    def test_different_leaf_kind(self):
+        assert not exprs_equal(VarRef("x"), Const(0))
+
+    def test_array_subscript_count_matters(self):
+        assert not exprs_equal(ArrayRef("A", [Const(1)]),
+                               ArrayRef("A", [Const(1), Const(2)]))
+
+    def test_unary(self):
+        assert exprs_equal(UnaryOp("-", VarRef("v")), UnaryOp("-", VarRef("v")))
+        assert not exprs_equal(UnaryOp("-", VarRef("v")),
+                               UnaryOp("not", VarRef("v")))
+
+    def test_none_handling(self):
+        assert exprs_equal(None, None)
+        assert not exprs_equal(None, Const(0))
+
+
+class TestExprQueries:
+    def test_expr_vars_includes_subscripts(self):
+        e = BinOp("+", ArrayRef("A", [VarRef("i")]), VarRef("x"))
+        assert expr_vars(e) == {"i", "x"}
+
+    def test_expr_vars_excludes_array_names(self):
+        e = ArrayRef("A", [VarRef("i")])
+        assert "A" not in expr_vars(e)
+
+    def test_expr_arrays_nested(self):
+        e = ArrayRef("A", [ArrayRef("B", [VarRef("i")])])
+        assert expr_arrays(e) == {"A", "B"}
+
+    def test_walk_expr_paths(self):
+        e = BinOp("+", VarRef("x"), BinOp("*", VarRef("y"), Const(2)))
+        paths = {p for p, _n in walk_expr(e)}
+        assert () in paths and ("r", "l") in paths and ("r", "r") in paths
+
+
+class TestExprPaths:
+    def test_expr_at_assignment_slots(self):
+        s = assign("d", binop("+", "a", "b"))
+        assert isinstance(expr_at(s, ("expr", "l")), VarRef)
+        assert expr_at(s, ("target",)).name == "d"
+
+    def test_expr_at_missing_slot(self):
+        s = assign("d", const(1))
+        with pytest.raises(KeyError):
+            expr_at(s, ("nope",))
+
+    def test_expr_at_missing_child(self):
+        s = assign("d", const(1))
+        with pytest.raises(KeyError):
+            expr_at(s, ("expr", "l"))
+
+    def test_replace_expr_returns_old(self):
+        s = assign("d", binop("+", "a", "b"))
+        old = replace_expr(s, ("expr", "r"), Const(9))
+        assert isinstance(old, VarRef) and old.name == "b"
+        assert expr_at(s, ("expr", "r")).value == 9
+
+    def test_replace_whole_slot(self):
+        s = assign("d", binop("+", "a", "b"))
+        old = replace_expr(s, ("expr",), Const(0))
+        assert isinstance(old, BinOp)
+        assert isinstance(s.expr, Const)
+
+    def test_replace_array_subscript(self):
+        s = assign(arr("A", "i"), const(1))
+        replace_expr(s, ("target", "sub0"), Const(3))
+        assert s.target.subscripts[0].value == 3
+
+    def test_replace_empty_path_rejected(self):
+        s = assign("d", const(1))
+        with pytest.raises(ValueError):
+            replace_expr(s, (), Const(0))
+
+
+class TestStatementSlots:
+    def test_assign_target_must_be_ref(self):
+        with pytest.raises(TypeError):
+            Assign(Const(1), Const(2))
+
+    def test_loop_default_step_is_one(self):
+        l = Loop("i", Const(1), Const(10))
+        assert isinstance(l.step, Const) and l.step.value == 1
+
+    def test_loop_expr_slots(self):
+        l = loop("i", 1, 10, [])
+        assert [n for n, _e in l.expr_slots()] == ["lower", "upper", "step"]
+
+    def test_if_bodies(self):
+        s = IfStmt(Const(1), [assign("a", 1)], [assign("b", 2)])
+        assert s.body_slots() == ("then", "else")
+        assert len(s.get_body("then")) == 1
+        with pytest.raises(KeyError):
+            s.get_body("nope")
+
+    def test_read_target_must_be_ref(self):
+        with pytest.raises(TypeError):
+            ReadStmt(Const(1))
+
+    def test_header_equal(self):
+        a = loop("i", 1, 10, [])
+        b = loop("i", 1, 10, [])
+        c = loop("j", 1, 10, [])
+        assert a.header_equal(b)
+        assert not a.header_equal(c)
+
+
+class TestStructuralEquality:
+    def test_programs_equal_ignores_sids(self):
+        p1 = prog(assign("a", 1), loop("i", 1, 3, [assign(arr("A", "i"), "i")]))
+        p2 = prog(assign("a", 1), loop("i", 1, 3, [assign(arr("A", "i"), "i")]))
+        assert programs_equal(p1, p2)
+
+    def test_programs_differ_in_body(self):
+        p1 = prog(assign("a", 1))
+        p2 = prog(assign("a", 2))
+        assert not programs_equal(p1, p2)
+
+    def test_stmts_equal_mixed_kinds(self):
+        assert not stmts_equal(assign("a", 1), WriteStmt(Const(1)))
+
+    def test_bodies_equal_length(self):
+        assert not bodies_equal([assign("a", 1)], [])
+
+
+class TestProgramContainer:
+    def make(self):
+        inner = assign(arr("A", "i"), "i")
+        l = loop("i", 1, 5, [inner])
+        p = prog(assign("x", 1), l, assign("y", 2))
+        return p, l, inner
+
+    def test_register_assigns_unique_sids(self):
+        p, l, inner = self.make()
+        sids = p.attached_sids()
+        assert len(sids) == len(set(sids)) == 4
+
+    def test_parent_tracking(self):
+        p, l, inner = self.make()
+        assert p.parent_of(inner.sid) == (l.sid, "body")
+        assert p.parent_of(l.sid) == (ROOT_SID, "body")
+
+    def test_detach_keeps_registration(self):
+        p, l, inner = self.make()
+        p.detach(l.sid)
+        assert p.has_node(l.sid) and not p.is_attached(l.sid)
+        assert not p.is_attached(inner.sid)
+
+    def test_detach_twice_rejected(self):
+        p, l, _ = self.make()
+        p.detach(l.sid)
+        with pytest.raises(ValueError):
+            p.detach(l.sid)
+
+    def test_reinsert_restores_subtree(self):
+        p, l, inner = self.make()
+        p.detach(l.sid)
+        p.insert((ROOT_SID, "body"), 1, l)
+        assert p.is_attached(inner.sid)
+        assert p.parent_of(inner.sid) == (l.sid, "body")
+
+    def test_insert_attached_rejected(self):
+        p, l, _ = self.make()
+        with pytest.raises(ValueError):
+            p.insert((ROOT_SID, "body"), 0, l)
+
+    def test_move_stmt(self):
+        p, l, inner = self.make()
+        p.move_stmt(p.body[0].sid, (l.sid, "body"), 0)
+        assert len(p.body) == 2
+        assert len(l.body) == 2
+
+    def test_version_bumps_on_mutation(self):
+        p, l, _ = self.make()
+        v0 = p.version
+        p.detach(l.sid)
+        assert p.version > v0
+
+    def test_enclosing_loops(self):
+        inner_loop = loop("j", 1, 3, [assign(arr("A", "i", "j"), 0)])
+        outer = loop("i", 1, 3, [inner_loop])
+        p = prog(outer)
+        stmt = inner_loop.body[0]
+        chain = p.enclosing_loops(stmt.sid)
+        assert [l.var for l in chain] == ["i", "j"]
+
+    def test_ancestors_innermost_first(self):
+        inner_loop = loop("j", 1, 3, [assign(arr("A", "i", "j"), 0)])
+        outer = loop("i", 1, 3, [inner_loop])
+        p = prog(outer)
+        stmt = inner_loop.body[0]
+        assert p.ancestors(stmt.sid) == [inner_loop.sid, outer.sid]
+
+    def test_clone_subtree_fresh_sids(self):
+        p, l, inner = self.make()
+        copy = p.clone_subtree(l)
+        assert copy.sid != l.sid
+        assert copy.body[0].sid != inner.sid
+        assert stmts_equal(copy, l)
+
+    def test_snapshot_independent(self):
+        p, l, inner = self.make()
+        snap = p.snapshot()
+        assert programs_equal(p, snap)
+        p.detach(l.sid)
+        assert not programs_equal(p, snap)
+
+    def test_container_list_root(self):
+        p, _l, _i = self.make()
+        assert p.container_list((ROOT_SID, "body")) is p.body
+
+    def test_index_in_container_detached_raises(self):
+        p, l, _ = self.make()
+        p.detach(l.sid)
+        with pytest.raises(ValueError):
+            p.index_in_container(l.sid)
+
+
+class TestDefUse:
+    def test_scalar_assign(self):
+        du = stmt_defuse(assign("x", binop("+", "a", "b")))
+        assert du.defs == {"x"} and du.uses == {"a", "b"}
+
+    def test_array_store_defines_array(self):
+        du = stmt_defuse(assign(arr("A", "i"), binop("+", arr("B", "i"), 1)))
+        assert du.array_defs == {"A"}
+        assert du.array_uses == {"B"}
+        assert "i" in du.uses
+
+    def test_loop_header_defines_index(self):
+        du = stmt_defuse(loop("i", 1, var("n"), []))
+        assert du.defs == {"i"} and du.uses == {"n"}
+
+    def test_read_is_io(self):
+        du = stmt_defuse(ReadStmt(VarRef("x")))
+        assert du.is_io and du.defs == {"x"}
+
+    def test_write_is_io(self):
+        du = stmt_defuse(WriteStmt(VarRef("x")))
+        assert du.is_io and du.uses == {"x"}
+
+    def test_if_uses_condition(self):
+        du = stmt_defuse(IfStmt(BinOp(">", VarRef("c"), Const(0)), [], []))
+        assert du.uses == {"c"} and not du.defs

@@ -1,0 +1,185 @@
+"""Unit tests for the reference interpreter (repro.lang.interp)."""
+
+import pytest
+
+from repro.lang.interp import (
+    ExecutionLimitExceeded,
+    Interpreter,
+    fold_binop,
+    run_program,
+    traces_equivalent,
+)
+from repro.lang.parser import parse_program
+
+
+def run(src, **kw):
+    return run_program(parse_program(src), **kw)
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        r = run("a = 2\nb = 3\nwrite a + b\nwrite a - b\nwrite a * b\n")
+        assert r.output == [5, -1, 6]
+
+    def test_true_division(self):
+        r = run("write 7 / 2\n")
+        assert r.output == [3.5]
+
+    def test_division_by_zero_yields_zero(self):
+        r = run("write 1 / 0\n")
+        assert r.output == [0]
+
+    def test_comparisons_yield_01(self):
+        r = run("write 1 < 2\nwrite 2 < 1\nwrite 3 == 3\nwrite 3 != 3\n")
+        assert r.output == [1, 0, 1, 0]
+
+    def test_logical_ops(self):
+        r = run("write 1 and 0\nwrite 1 or 0\nwrite not 1\nwrite not 0\n")
+        assert r.output == [0, 1, 0, 1]
+
+    def test_unary_minus(self):
+        r = run("x = 5\nwrite -x\n")
+        assert r.output == [-5]
+
+    def test_fold_binop_matches_runtime(self):
+        for op in ("+", "-", "*", "/", "<", "==", "and"):
+            folded = fold_binop(op, 6, 4)
+            r = run(f"write 6 {op} 4\n")
+            assert r.output == [folded]
+
+
+class TestLoops:
+    def test_simple_loop_sum(self):
+        r = run("s = 0\ndo i = 1, 5\n  s = s + i\nenddo\nwrite s\n")
+        assert r.output == [15]
+
+    def test_loop_with_step(self):
+        r = run("s = 0\ndo i = 1, 9, 2\n  s = s + 1\nenddo\nwrite s\n")
+        assert r.output == [5]
+
+    def test_negative_step(self):
+        r = run("s = 0\ndo i = 5, 1, -1\n  s = s + i\nenddo\nwrite s\n")
+        assert r.output == [15]
+
+    def test_zero_trip_loop(self):
+        r = run("s = 7\ndo i = 5, 1\n  s = 0\nenddo\nwrite s\n")
+        assert r.output == [7]
+
+    def test_index_after_loop_exceeds_bound(self):
+        r = run("do i = 1, 3\n  x = i\nenddo\nwrite i\n")
+        assert r.output == [4]
+
+    def test_zero_step_raises(self):
+        with pytest.raises(ExecutionLimitExceeded):
+            run("do i = 1, 3, 0\n  x = i\nenddo\n")
+
+    def test_step_budget_enforced(self):
+        with pytest.raises(ExecutionLimitExceeded):
+            run("do i = 1, 100\n  do j = 1, 100\n    x = 1\n  enddo\nenddo\n",
+                max_steps=50)
+
+
+class TestConditionals:
+    def test_then_branch(self):
+        r = run("x = 1\nif (x > 0) then\n  y = 10\nelse\n  y = 20\nendif\nwrite y\n")
+        assert r.output == [10]
+
+    def test_else_branch(self):
+        r = run("x = -1\nif (x > 0) then\n  y = 10\nelse\n  y = 20\nendif\nwrite y\n")
+        assert r.output == [20]
+
+
+class TestArrays:
+    def test_store_load(self):
+        r = run("A(3) = 42\nwrite A(3)\n")
+        assert r.output == [42]
+
+    def test_modular_indexing_total(self):
+        # out-of-range subscripts wrap instead of crashing
+        r = run("A(1) = 7\nwrite A(33)\n", extent=32)
+        assert r.output == [7]
+
+    def test_2d_array(self):
+        r = run("M(2, 3) = 5\nwrite M(2, 3)\n")
+        assert r.output == [5]
+
+    def test_loop_fill(self):
+        r = run("do i = 1, 4\n  A(i) = i * i\nenddo\nwrite A(3)\n")
+        assert r.output == [9]
+
+    def test_arrays_seeded_deterministically(self):
+        r1 = run("write B(5)\n", seed=3)
+        r2 = run("write B(5)\n", seed=3)
+        r3 = run("write B(5)\n", seed=4)
+        assert r1.output == r2.output
+        assert r1.output != r3.output  # overwhelmingly likely
+
+
+class TestIO:
+    def test_read_consumes_inputs(self):
+        r = run("read a\nread b\nwrite a\nwrite b\n", inputs=[10, 20])
+        assert r.output == [10, 20]
+
+    def test_inputs_cycle(self):
+        r = run("read a\nread b\nread c\nwrite c\n", inputs=[1, 2])
+        assert r.output == [1]
+
+    def test_output_order_preserved(self):
+        r = run("write 1\nwrite 2\nwrite 3\n")
+        assert r.output == [1, 2, 3]
+
+
+class TestScalarInitialisation:
+    def test_uninitialised_scalar_name_keyed(self):
+        # same seed → same value regardless of read order
+        r1 = run("write q\nwrite z\n", seed=5)
+        r2 = run("write z\nwrite q\n", seed=5)
+        assert r1.output[0] == r2.output[1]
+        assert r1.output[1] == r2.output[0]
+
+    def test_undefined_raises_when_auto_init_off(self):
+        from repro.lang.interp import UndefinedVariable
+
+        interp = Interpreter(parse_program("write nope\n"), auto_init=False)
+        with pytest.raises(UndefinedVariable):
+            interp.run()
+
+
+class TestEquivalence:
+    def test_identical_programs_equivalent(self):
+        src = "do i = 1, 4\n  A(i) = i\nenddo\nwrite A(2)\n"
+        assert traces_equivalent(parse_program(src), parse_program(src))
+
+    def test_different_outputs_not_equivalent(self):
+        a = parse_program("write 1\n")
+        b = parse_program("write 2\n")
+        assert not traces_equivalent(a, b)
+
+    def test_trace_length_matters(self):
+        a = parse_program("write 1\n")
+        b = parse_program("write 1\nwrite 1\n")
+        assert not traces_equivalent(a, b)
+
+    def test_dead_code_is_unobservable(self):
+        a = parse_program("d = 12345\nwrite 9\n")
+        b = parse_program("write 9\n")
+        assert traces_equivalent(a, b)
+
+    def test_one_sided_divergence_detected(self):
+        a = parse_program("do i = 1, 100\n  do j = 1, 100\n    do k = 1, 100\n"
+                          "      x = 1\n    enddo\n  enddo\nenddo\n")
+        b = parse_program("x = 1\n")
+        assert not traces_equivalent(a, b, max_steps=1000)
+
+
+class TestResultHelpers:
+    def test_steps_counted(self):
+        r = run("a = 1\nb = 2\n")
+        assert r.steps == 2
+
+    def test_arrays_copied_out(self):
+        p = parse_program("A(1) = 5\n")
+        r = run_program(p)
+        r.arrays["A"][1] = 99
+        r2 = run_program(p)
+        assert r2.arrays["A"][1] == 5

@@ -1,0 +1,92 @@
+"""Unit tests for the lexer (repro.lang.lexer)."""
+
+import pytest
+
+from repro.lang.lexer import LexError, Token, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src) if t.kind not in ("newline", "eof")]
+
+
+class TestTokens:
+    def test_simple_assignment(self):
+        assert texts("x = 1") == ["x", "=", "1"]
+
+    def test_keywords_recognised(self):
+        toks = tokenize("do enddo if then else endif read write and or not")
+        kws = [t.text for t in toks if t.kind == "kw"]
+        assert kws == ["do", "enddo", "if", "then", "else", "endif",
+                       "read", "write", "and", "or", "not"]
+
+    def test_identifier_with_underscore_and_digits(self):
+        toks = tokenize("my_var2 = 0")
+        assert toks[0].kind == "ident" and toks[0].text == "my_var2"
+
+    def test_float_literal(self):
+        toks = tokenize("x = 3.25")
+        nums = [t for t in toks if t.kind == "num"]
+        assert nums[0].text == "3.25"
+
+    def test_integer_literal(self):
+        nums = [t for t in tokenize("x = 42") if t.kind == "num"]
+        assert nums[0].text == "42"
+
+    def test_multichar_operators_greedy(self):
+        ops = [t.text for t in tokenize("a <= b >= c == d != e")
+               if t.kind == "op"]
+        assert ops == ["<=", ">=", "==", "!="]
+
+    def test_parens_and_commas(self):
+        assert texts("A(i, j)") == ["A", "(", "i", ",", "j", ")"]
+
+
+class TestLayout:
+    def test_newline_tokens_between_statements(self):
+        ks = kinds("a = 1\nb = 2\n")
+        assert ks.count("newline") == 2
+
+    def test_blank_lines_produce_no_tokens(self):
+        ks = kinds("a = 1\n\n\nb = 2\n")
+        assert ks.count("newline") == 2
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind == "eof"
+        assert tokenize("a = 1")[-1].kind == "eof"
+
+    def test_trailing_newline_synthesised(self):
+        # a line with content but no trailing \n still ends the statement
+        ks = kinds("a = 1")
+        assert "newline" in ks
+
+    def test_positions(self):
+        toks = tokenize("a = 1\nbb = 2")
+        b = next(t for t in toks if t.text == "bb")
+        assert b.line == 2 and b.col == 1
+
+
+class TestComments:
+    def test_bang_comment_stripped(self):
+        assert texts("a = 1 ! trailing comment") == ["a", "=", "1"]
+
+    def test_hash_comment_stripped(self):
+        assert texts("# full line\na = 1") == ["a", "=", "1"]
+
+    def test_bang_not_confused_with_neq(self):
+        assert "!=" in texts("a != b")
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a = $")
+        assert "line 1" in str(exc.value)
+
+    def test_error_reports_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a = 1\nb = @")
+        assert exc.value.line == 2

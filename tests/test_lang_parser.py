@@ -1,0 +1,156 @@
+"""Unit tests for the parser (repro.lang.parser)."""
+
+import pytest
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    IfStmt,
+    Loop,
+    ReadStmt,
+    UnaryOp,
+    VarRef,
+    WriteStmt,
+    programs_equal,
+)
+from repro.lang.parser import ParseError, parse_expr, parse_program
+from repro.lang.printer import format_program
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("a + b * c")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = parse_expr("a - b - c")
+        assert e.op == "-" and isinstance(e.left, BinOp)
+        assert e.left.op == "-"
+
+    def test_parentheses_override(self):
+        e = parse_expr("(a + b) * c")
+        assert e.op == "*" and isinstance(e.left, BinOp)
+
+    def test_comparison_binds_looser_than_arith(self):
+        e = parse_expr("a + 1 < b * 2")
+        assert e.op == "<"
+
+    def test_logical_operators(self):
+        e = parse_expr("a < b and c > d or e == f")
+        assert e.op == "or"
+        assert e.left.op == "and"
+
+    def test_unary_minus(self):
+        e = parse_expr("-x + 1")
+        assert e.op == "+" and isinstance(e.left, UnaryOp)
+
+    def test_not_operator(self):
+        e = parse_expr("not a and b")
+        assert e.op == "and" and isinstance(e.left, UnaryOp)
+
+    def test_array_reference_multidim(self):
+        e = parse_expr("A(i, j + 1)")
+        assert isinstance(e, ArrayRef) and len(e.subscripts) == 2
+        assert isinstance(e.subscripts[1], BinOp)
+
+    def test_float_const(self):
+        e = parse_expr("1.5")
+        assert isinstance(e, Const) and e.value == 1.5
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("a + b )")
+
+
+class TestStatements:
+    def test_scalar_assignment(self):
+        p = parse_program("x = 1\n")
+        assert isinstance(p.body[0], Assign)
+        assert isinstance(p.body[0].target, VarRef)
+
+    def test_array_assignment(self):
+        p = parse_program("A(i) = B(i) + 1\n")
+        assert isinstance(p.body[0].target, ArrayRef)
+
+    def test_do_loop_with_step(self):
+        p = parse_program("do i = 1, 10, 2\n  x = i\nenddo\n")
+        l = p.body[0]
+        assert isinstance(l, Loop) and l.step.value == 2
+        assert len(l.body) == 1
+
+    def test_nested_loops(self):
+        p = parse_program(
+            "do i = 1, 3\n  do j = 1, 4\n    A(i, j) = 0\n  enddo\nenddo\n")
+        outer = p.body[0]
+        assert isinstance(outer.body[0], Loop)
+
+    def test_if_then_else(self):
+        p = parse_program(
+            "if (x > 0) then\n  y = 1\nelse\n  y = 2\nendif\n")
+        s = p.body[0]
+        assert isinstance(s, IfStmt)
+        assert len(s.then_body) == 1 and len(s.else_body) == 1
+
+    def test_if_without_else(self):
+        p = parse_program("if (x > 0) then\n  y = 1\nendif\n")
+        assert not p.body[0].else_body
+
+    def test_read_write(self):
+        p = parse_program("read x\nwrite x + 1\n")
+        assert isinstance(p.body[0], ReadStmt)
+        assert isinstance(p.body[1], WriteStmt)
+
+    def test_labels_assigned_in_order(self):
+        p = parse_program("a = 1\ndo i = 1, 2\n  b = 2\nenddo\n")
+        labels = [s.label for s in p.walk()]
+        assert labels == [1, 2, 3]
+
+    def test_statements_registered(self):
+        p = parse_program("a = 1\nb = 2\n")
+        for s in p.walk():
+            assert p.is_attached(s.sid)
+
+
+class TestErrors:
+    def test_missing_enddo(self):
+        with pytest.raises(ParseError):
+            parse_program("do i = 1, 3\n  x = i\n")
+
+    def test_missing_then(self):
+        with pytest.raises(ParseError):
+            parse_program("if (x > 0)\n  y = 1\nendif\n")
+
+    def test_two_statements_one_line(self):
+        with pytest.raises(ParseError):
+            parse_program("a = 1 b = 2\n")
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("a = 1\nb = = 2\n")
+        assert "line 2" in str(exc.value)
+
+    def test_assignment_to_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("1 = a\n")
+
+
+class TestRoundTrip:
+    CASES = [
+        "x = 1\n",
+        "A(i, j) = B(j) * (C(i) + 2)\n",
+        "do i = 1, 100\n  do j = 1, 50, 2\n    A(j) = B(j) + c\n  enddo\nenddo\n",
+        "if (a < b and c > 0) then\n  x = -y\nelse\n  x = y / 2\nendif\n",
+        "read n\ndo i = 1, n\n  write A(i)\nenddo\n",
+        "x = 1.5 + 2.25\n",
+    ]
+
+    @pytest.mark.parametrize("src", CASES)
+    def test_parse_print_parse_fixpoint(self, src):
+        p1 = parse_program(src)
+        text = format_program(p1)
+        p2 = parse_program(text)
+        assert programs_equal(p1, p2)
+        assert format_program(p2) == text

@@ -1,0 +1,107 @@
+"""Property-based tests for the language layer (hypothesis).
+
+Two core guarantees:
+
+* the printer/parser pair is a round trip for every generatable program;
+* the interpreter is deterministic in its seed.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    IfStmt,
+    Loop,
+    ReadStmt,
+    UnaryOp,
+    VarRef,
+    WriteStmt,
+    programs_equal,
+)
+from repro.lang.builder import prog
+from repro.lang.interp import run_program
+from repro.lang.parser import parse_program
+from repro.lang.printer import format_program
+from repro.lang.validate import validate_program
+
+names = st.sampled_from(["a", "b", "c", "x", "y", "tmp", "v_1"])
+array_names = st.sampled_from(["A", "B", "M2"])
+consts = st.integers(min_value=-20, max_value=20).map(Const)
+
+
+def exprs(depth=2):
+    leaf = st.one_of(consts, names.map(VarRef))
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(BinOp, st.sampled_from(["+", "-", "*", "/"]), sub, sub),
+        # canonical form: unary minus never wraps a literal (the parser
+        # folds ``-1`` to ``Const(-1)``)
+        st.builds(UnaryOp, st.just("-"), names.map(VarRef)),
+        st.builds(lambda n, s: ArrayRef(n, [s]), array_names, sub),
+    )
+
+
+def targets():
+    return st.one_of(
+        names.map(VarRef),
+        st.builds(lambda n, s: ArrayRef(n, [s]), array_names, exprs(1)),
+    )
+
+
+def stmts(depth=1):
+    simple = st.one_of(
+        st.builds(Assign, targets(), exprs(2)),
+        st.builds(WriteStmt, exprs(1)),
+        st.builds(ReadStmt, names.map(VarRef)),
+    )
+    if depth == 0:
+        return simple
+    body = st.lists(stmts(depth - 1), min_size=1, max_size=3)
+    return st.one_of(
+        simple,
+        st.builds(lambda v, lo, hi, b: Loop(v, Const(lo), Const(hi), None, b),
+                  st.sampled_from(["i", "j", "k"]),
+                  st.integers(1, 3), st.integers(1, 5), body),
+        st.builds(lambda c, t: IfStmt(c, t, []), exprs(1), body),
+    )
+
+
+programs = st.lists(stmts(2), min_size=1, max_size=6).map(lambda ss: prog(*ss))
+
+
+@given(programs)
+@settings(max_examples=60, deadline=None)
+def test_print_parse_roundtrip(p):
+    text = format_program(p)
+    p2 = parse_program(text)
+    assert programs_equal(p, p2)
+    assert format_program(p2) == text
+
+
+@given(programs)
+@settings(max_examples=40, deadline=None)
+def test_generated_programs_are_valid(p):
+    validate_program(p)
+
+
+@given(programs, st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_interpreter_deterministic(p, seed):
+    r1 = run_program(p, seed=seed, max_steps=50_000)
+    r2 = run_program(p, seed=seed, max_steps=50_000)
+    assert r1.output == r2.output
+    assert r1.scalars == r2.scalars
+
+
+@given(programs)
+@settings(max_examples=30, deadline=None)
+def test_snapshot_equals_original(p):
+    snap = p.snapshot()
+    assert programs_equal(p, snap)
+    validate_program(snap)

@@ -1,0 +1,139 @@
+"""Unit tests for locations and the cross-record orderer."""
+
+from repro.core.actions import ActionApplier
+from repro.core.history import History
+from repro.core.locations import (
+    Location,
+    SELF_FIRST,
+    X_FIRST,
+    make_sibling_orderer,
+)
+from repro.lang.builder import assign
+from repro.lang.parser import parse_program
+
+
+def stmt(p, label):
+    for s in p.walk():
+        if s.label == label:
+            return s
+    raise KeyError(label)
+
+
+class TestCapture:
+    def test_of_stmt_snapshot(self):
+        p = parse_program("a = 1\nb = 2\nc = 3\n")
+        loc = Location.of_stmt(p, stmt(p, 2).sid)
+        assert loc.before_sids == (stmt(p, 1).sid,)
+        assert loc.after_sids == (stmt(p, 3).sid,)
+        assert loc.prev_sid == stmt(p, 1).sid
+        assert loc.next_sid == stmt(p, 3).sid
+
+    def test_at_clamps_index(self):
+        p = parse_program("a = 1\n")
+        loc = Location.at(p, (0, "body"), 99)
+        assert loc.index == 1
+
+    def test_before_after_helpers(self):
+        p = parse_program("a = 1\nb = 2\n")
+        before = Location.before(p, stmt(p, 2).sid)
+        after = Location.after(p, stmt(p, 1).sid)
+        assert before.index == after.index == 1
+
+
+class TestResolve:
+    def test_resolves_unchanged(self):
+        p = parse_program("a = 1\nb = 2\nc = 3\n")
+        loc = Location.of_stmt(p, stmt(p, 2).sid)
+        p.detach(stmt(p, 2).sid)
+        ref, idx = loc.resolve(p)
+        assert idx == 1
+
+    def test_dead_container_unresolvable(self):
+        p = parse_program("do i = 1, 3\n  x = i\nenddo\n")
+        loop = stmt(p, 1)
+        inner = stmt(p, 2)
+        loc = Location.of_stmt(p, inner.sid)
+        p.detach(inner.sid)
+        p.detach(loop.sid)
+        assert loc.resolve(p) is None
+
+    def test_prev_anchor_preferred(self):
+        p = parse_program("a = 1\nb = 2\nc = 3\n")
+        sb = stmt(p, 2).sid
+        loc = Location.of_stmt(p, sb)
+        p.detach(sb)
+        # insert an unknown statement between a and c
+        new = assign("z", 0)
+        p.register(new)
+        p.insert((0, "body"), 1, new)
+        ref, idx = loc.resolve(p)
+        assert idx == 1  # right after a, before the unknown newcomer
+
+    def test_respects_surviving_after_anchor(self):
+        p = parse_program("a = 1\nb = 2\nc = 3\n")
+        sa, sb = stmt(p, 1).sid, stmt(p, 2).sid
+        loc = Location.of_stmt(p, sb)
+        p.detach(sb)
+        p.detach(sa)  # the prev anchor disappears
+        ref, idx = loc.resolve(p)
+        assert idx == 0  # before c
+
+    def test_raw_index_fallback(self):
+        p = parse_program("a = 1\nb = 2\nc = 3\n")
+        sids = [s.sid for s in p.walk()]
+        loc = Location.of_stmt(p, sids[1])
+        for sid in sids:
+            p.detach(sid)
+        new = assign("z", 0)
+        p.register(new)
+        p.insert((0, "body"), 0, new)
+        ref, idx = loc.resolve(p)
+        assert 0 <= idx <= 1
+
+
+class TestOrderer:
+    def build_session(self):
+        p = parse_program("a = 1\nb = 2\nc = 3\nd = 4\n")
+        history = History()
+        ap = ActionApplier(p)
+        ap.orderer = make_sibling_orderer(history)
+        return p, history, ap
+
+    def test_adjacent_deletes_restore_in_either_order(self):
+        # delete b then c; restore c first, then b — the orderer must
+        # place b back *before* c.
+        for first_restored in ("second", "first"):
+            p, history, ap = self.build_session()
+            sb, sc = stmt(p, 2).sid, stmt(p, 3).sid
+            r1 = history.new_record("dce")
+            r1.actions.append(ap.delete(r1.stamp, sb))
+            r2 = history.new_record("dce")
+            r2.actions.append(ap.delete(r2.stamp, sc))
+            if first_restored == "second":
+                ap.invert(r2.actions[0], r2.stamp)
+                ap.invert(r1.actions[0], r1.stamp)
+            else:
+                ap.invert(r1.actions[0], r1.stamp)
+                ap.invert(r2.actions[0], r2.stamp)
+            order = [s.sid for s in p.body]
+            assert order.index(sb) < order.index(sc)
+
+    def test_orderer_transitive(self):
+        # x ordered against z through a shared neighbour y
+        p, history, ap = self.build_session()
+        sa, sb, sc = stmt(p, 1).sid, stmt(p, 2).sid, stmt(p, 3).sid
+        rec = history.new_record("edit")
+        rec.actions.append(ap.delete(rec.stamp, sa))  # snapshot: a < b < c
+        orderer = make_sibling_orderer(history)
+        # a precedes b: restoring a sees b as "x after self"
+        assert orderer(sb, sa) == SELF_FIRST
+        # and b restoring sees a first
+        assert orderer(sa, sb) == X_FIRST
+        # transitivity: a < c via the same snapshot
+        assert orderer(sc, sa) == SELF_FIRST
+        assert orderer(sa, sc) == X_FIRST
+
+    def test_orderer_unknown_pair(self):
+        p, history, ap = self.build_session()
+        orderer = make_sibling_orderer(history)
+        assert orderer(998, 999) is None

@@ -1,0 +1,156 @@
+"""Tests for the cost model and the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.lang.ast_nodes import programs_equal
+from repro.lang.interp import run_program, traces_equivalent
+from repro.lang.validate import validate_program
+from repro.model.costmodel import estimate_cost, parallel_loops
+from repro.workloads.generator import GeneratorConfig, generate_program
+from repro.workloads.kernels import (
+    adjacent_loops_program,
+    figure1_program,
+    figure3_program,
+    matmul_program,
+    stencil_program,
+)
+from repro.workloads.scenarios import apply_greedy, build_session
+
+
+class TestCostModel:
+    def test_parallel_loop_detected(self):
+        from repro.lang.parser import parse_program
+
+        p = parse_program("do i = 1, 8\n  A(i) = B(i)\nenddo\nwrite A(2)\n")
+        assert parallel_loops(p)
+
+    def test_sequential_recurrence_not_parallel(self):
+        from repro.lang.parser import parse_program
+
+        p = parse_program(
+            "do i = 2, 8\n  A(i) = A(i - 1)\nenddo\nwrite A(2)\n")
+        assert not parallel_loops(p)
+
+    def test_ops_scale_with_trip_count(self):
+        from repro.lang.parser import parse_program
+
+        small = estimate_cost(parse_program(
+            "do i = 1, 4\n  A(i) = B(i) + 1\nenddo\n"))
+        large = estimate_cost(parse_program(
+            "do i = 1, 400\n  A(i) = B(i) + 1\nenddo\n"))
+        assert large.total_ops > 50 * small.total_ops
+
+    def test_parallel_fraction_bounds(self):
+        from repro.lang.parser import parse_program
+
+        p = parse_program(
+            "x = 1\ndo i = 1, 8\n  A(i) = B(i)\nenddo\nwrite A(2)\n")
+        c = estimate_cost(p)
+        assert 0.0 < c.parallel_fraction < 1.0
+
+    def test_doall_speedup(self):
+        from repro.lang.parser import parse_program
+
+        p = parse_program("do i = 1, 64\n  A(i) = B(i) * 2\nenddo\n")
+        c = estimate_cost(p, processors=8)
+        assert c.speedup > 2.0
+
+    def test_sequential_speedup_is_one(self):
+        from repro.lang.parser import parse_program
+
+        p = parse_program("a = 1\nb = 2\nwrite a + b\n")
+        c = estimate_cost(p)
+        assert c.speedup == pytest.approx(1.0)
+
+
+class TestKernels:
+    def test_figure1_matches_paper_shape(self):
+        p = figure1_program()
+        text_labels = [s.label for s in p.walk()]
+        assert len(text_labels) >= 8
+        # loops 100 x 50 as printed
+        loops = [s for s in p.walk() if s.__class__.__name__ == "Loop"]
+        assert loops[0].upper.value == 100
+        assert loops[1].upper.value == 50
+
+    def test_figure1_scaled_runs_fast(self):
+        p = figure1_program(scale=10)
+        r = run_program(p)
+        assert len(r.output) == 4
+
+    def test_figure3_has_inter_loop_dependence(self):
+        from repro.analysis.summaries import build_summaries
+
+        p = figure3_program()
+        summ = build_summaries(p)
+        assert any(d.var == "A" for d in summ.deps_on(0))
+
+    def test_kernels_execute(self):
+        for p in (adjacent_loops_program(), matmul_program(4),
+                  stencil_program(8), figure3_program(1)):
+            validate_program(p)
+            r = run_program(p, max_steps=500_000)
+            assert r.output
+
+    def test_matmul_computes_product(self):
+        p = matmul_program(3)
+        r = run_program(p, seed=7)
+        a, b = r.arrays["AM"], r.arrays["BM"]
+        expect = sum(a[2, k] * b[k, 3] for k in range(1, 4))
+        assert r.arrays["CM"][2, 3] == pytest.approx(expect)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        for seed in range(5):
+            assert programs_equal(generate_program(seed),
+                                  generate_program(seed))
+
+    def test_distinct_seeds_distinct_programs(self):
+        assert not programs_equal(generate_program(1), generate_program(2))
+
+    def test_programs_valid_and_observable(self):
+        for seed in range(8):
+            p = generate_program(seed, GeneratorConfig(blocks=5))
+            validate_program(p)
+            r = run_program(p, max_steps=500_000)
+            assert r.output  # ends with writes
+
+    def test_blocks_scale_size(self):
+        small = generate_program(0, GeneratorConfig(blocks=2))
+        large = generate_program(0, GeneratorConfig(blocks=12))
+        assert len(list(large.walk())) > len(list(small.walk()))
+
+    def test_opportunities_planted(self):
+        from repro.core.engine import TransformationEngine
+
+        hit_kinds = set()
+        for seed in range(10):
+            p = generate_program(seed, GeneratorConfig(blocks=6))
+            engine = TransformationEngine(p)
+            for name, opps in engine.find_all().items():
+                if opps:
+                    hit_kinds.add(name)
+        # the generator plants most of the catalog across seeds
+        assert len(hit_kinds) >= 7
+
+
+class TestScenarios:
+    def test_build_session_applies_n(self):
+        s = build_session(2, 6)
+        assert len(s.applied) == 6
+        assert len(s.engine.history.active()) == 6
+
+    def test_sessions_preserve_semantics(self):
+        for seed in (0, 3, 5):
+            s = build_session(seed, 8)
+            blocks = max(2, int(np.ceil(8 / 2.0)))
+            orig = generate_program(seed, GeneratorConfig(blocks=blocks))
+            assert traces_equivalent(orig, s.program)
+
+    def test_apply_greedy_deterministic(self):
+        s1 = build_session(4, 6)
+        s2 = build_session(4, 6)
+        assert [r.name for r in s1.engine.history.active()] == \
+            [r.name for r in s2.engine.history.active()]

@@ -1,0 +1,168 @@
+"""Unit tests for control-dependence tree, PDG, and region summaries."""
+
+from repro.analysis.control_dep import (
+    ROOT_REGION,
+    build_control_dep_tree,
+    region_of_container,
+)
+from repro.analysis.depend import analyze_dependences
+from repro.analysis.pdg import build_pdg
+from repro.analysis.summaries import build_summaries
+from repro.lang.parser import parse_program
+from repro.workloads.kernels import figure3_program
+
+
+def stmt(p, label):
+    for s in p.walk():
+        if s.label == label:
+            return s
+    raise KeyError(label)
+
+
+NESTED = (
+    "a = 1\n"
+    "do i = 1, 4\n"
+    "  b = a\n"
+    "  if (b > 0) then\n"
+    "    c = 1\n"
+    "  else\n"
+    "    c = 2\n"
+    "  endif\n"
+    "enddo\n"
+)
+
+
+class TestControlDepTree:
+    def test_root_region_members(self):
+        p = parse_program(NESTED)
+        t = build_control_dep_tree(p)
+        root = t.regions[ROOT_REGION]
+        assert len(root.members) == 2  # a = 1 and the loop
+
+    def test_loop_body_region(self):
+        p = parse_program(NESTED)
+        t = build_control_dep_tree(p)
+        loop = stmt(p, 2)
+        body_rids = [r for r in t.regions.values()
+                     if r.owner_sid == loop.sid and r.kind == "loop_body"]
+        assert len(body_rids) == 1
+        assert stmt(p, 3).sid in body_rids[0].members
+
+    def test_if_creates_then_and_else_regions(self):
+        p = parse_program(NESTED)
+        t = build_control_dep_tree(p)
+        ifs = stmt(p, 4)
+        kinds = {r.kind for r in t.regions.values() if r.owner_sid == ifs.sid}
+        assert kinds == {"then", "else"}
+
+    def test_region_chain_innermost_first(self):
+        p = parse_program(NESTED)
+        t = build_control_dep_tree(p)
+        chain = t.region_chain(stmt(p, 5).sid)  # c = 1 in then-branch
+        assert chain[-1] == ROOT_REGION
+        assert len(chain) == 3  # then < loop body < root
+
+    def test_lcr_of_siblings(self):
+        p = parse_program(NESTED)
+        t = build_control_dep_tree(p)
+        assert t.lcr(stmt(p, 3).sid, stmt(p, 4).sid) != ROOT_REGION
+
+    def test_lcr_across_nesting_levels(self):
+        p = parse_program(NESTED)
+        t = build_control_dep_tree(p)
+        assert t.lcr(stmt(p, 1).sid, stmt(p, 5).sid) == ROOT_REGION
+
+    def test_stmts_under_recursive(self):
+        p = parse_program(NESTED)
+        t = build_control_dep_tree(p)
+        loop = stmt(p, 2)
+        rid = next(r.rid for r in t.regions.values()
+                   if r.owner_sid == loop.sid)
+        under = set(t.stmts_under(rid))
+        assert {stmt(p, k).sid for k in (3, 4, 5, 6)} <= under
+
+    def test_is_ancestor(self):
+        p = parse_program(NESTED)
+        t = build_control_dep_tree(p)
+        inner = t.region_of[stmt(p, 5).sid]
+        assert t.is_ancestor(ROOT_REGION, inner)
+        assert not t.is_ancestor(inner, ROOT_REGION)
+
+    def test_region_of_container(self):
+        p = parse_program(NESTED)
+        t = build_control_dep_tree(p)
+        loop = stmt(p, 2)
+        rid = region_of_container(t, p, (loop.sid, "body"))
+        assert t.regions[rid].kind == "loop_body"
+        assert region_of_container(t, p, (0, "body")) == ROOT_REGION
+
+
+class TestPDG:
+    def test_nodes_cover_statements_and_regions(self):
+        p = parse_program(NESTED)
+        pdg = build_pdg(p)
+        stmt_nodes = [n for n in pdg.nodes if n.kind == "stmt"]
+        region_nodes = [n for n in pdg.nodes if n.kind == "region"]
+        assert len(stmt_nodes) == len(list(p.walk()))
+        assert len(region_nodes) >= 4
+
+    def test_control_edges_from_regions(self):
+        p = parse_program(NESTED)
+        pdg = build_pdg(p)
+        ctrl = [e for e in pdg.edges if e.kind == "control"]
+        assert ctrl
+
+    def test_data_edges_match_dependences(self):
+        p = parse_program("x = 1\ny = x\n")
+        g = analyze_dependences(p)
+        pdg = build_pdg(p, dgraph=g)
+        assert len(pdg.data_edges()) == len(g.deps)
+
+    def test_dependent_regions(self):
+        p = figure3_program(body_stmts=0)
+        pdg = build_pdg(p)
+        t = pdg.tree
+        first_loop = p.body[0]
+        rid = next(r.rid for r in t.regions.values()
+                   if r.owner_sid == first_loop.sid)
+        # the A-dependence flows into the second loop's region
+        assert pdg.dependent_regions(rid)
+
+
+class TestSummaries:
+    def test_dependences_summarised_on_lcr(self):
+        p = figure3_program(body_stmts=0)
+        summ = build_summaries(p)
+        # the inter-loop flow dep on A lands on the root region (the LCR
+        # of the two loop bodies)
+        root_deps = summ.deps_on(ROOT_REGION)
+        assert any(d.var == "A" for d in root_deps)
+
+    def test_intra_loop_dep_stays_local(self):
+        p = parse_program(
+            "do i = 1, 4\n  x = A(i)\n  B(i) = x\nenddo\nwrite B(2)\n")
+        summ = build_summaries(p)
+        t = summ.tree
+        loop = p.body[0]
+        rid = next(r.rid for r in t.regions.values()
+                   if r.owner_sid == loop.sid)
+        assert any(d.var == "x" for d in summ.deps_on(rid))
+
+    def test_fusion_check_summary_equals_exhaustive(self):
+        p = figure3_program(body_stmts=3)
+        g = analyze_dependences(p)
+        summ = build_summaries(p, dgraph=g)
+        l1, l2 = p.body[0], p.body[1]
+        via_summary = summ.fusion_blockers_via_summary(p, l1, l2)
+        exhaustive = summ.fusion_blockers_exhaustive(p, g, l1, l2)
+        key = lambda d: (d.src, d.dst, d.kind, d.var)
+        assert sorted(map(key, via_summary)) == sorted(map(key, exhaustive))
+
+    def test_summary_visits_fewer_nodes(self):
+        p = figure3_program(body_stmts=6)
+        g = analyze_dependences(p)
+        summ = build_summaries(p, dgraph=g)
+        l1, l2 = p.body[0], p.body[1]
+        summ.fusion_blockers_via_summary(p, l1, l2)
+        summ.fusion_blockers_exhaustive(p, g, l1, l2)
+        assert summ.visits_summary < summ.visits_exhaustive

@@ -1,0 +1,104 @@
+"""Tests for the two-level representation views (repro.repr2)."""
+
+from tests.helpers import make_engine, stmt_by_label
+from repro.repr2 import (
+    TwoLevelRepresentation,
+    build_adag,
+    build_apdg,
+    render_adag,
+    render_apdg,
+)
+
+FIG1 = (
+    "d = e + f\nc = 1\n"
+    "do i = 1, 4\n  do j = 1, 3\n"
+    "    A(j) = B(j) + c\n    R(i, j) = e + f\n"
+    "  enddo\nenddo\nwrite d\nwrite A(2)\n"
+)
+
+
+def figure1_engine():
+    engine, p, orig = make_engine(FIG1)
+    engine.apply(engine.find("cse")[0])
+    engine.apply(engine.find("ctp")[0])
+    engine.apply(engine.find("inx")[0])
+    engine.apply(engine.find("icm")[0])
+    return engine, p
+
+
+class TestADAG:
+    def test_ghosts_ordered_by_stamp(self):
+        engine, p = figure1_engine()
+        adag = build_adag(p, engine.store, engine.history)
+        stamps = [g.stamp for g in adag.ghosts]
+        assert stamps == sorted(stamps)
+
+    def test_ghost_originals(self):
+        engine, p = figure1_engine()
+        adag = build_adag(p, engine.store, engine.history)
+        originals = {g.original for g in adag.ghosts}
+        assert "e + f" in originals
+        assert "c" in originals
+
+    def test_header_modifies_not_ghosted(self):
+        # the inx header modifications carry md annotations but are not
+        # expression ghosts
+        engine, p = figure1_engine()
+        adag = build_adag(p, engine.store, engine.history)
+        assert all(g.path != ("header",) for g in adag.ghosts)
+
+    def test_render_mentions_shared_values(self):
+        engine, p, _ = make_engine("x = a + b\ny = a + b\nwrite x + y\n")
+        adag = build_adag(p, engine.store, engine.history)
+        text = render_adag(adag)
+        assert "shared" in text
+
+    def test_ghosts_follow_undo(self):
+        engine, p, _ = make_engine("c = 1\nx = c\nwrite x\n")
+        rec = engine.apply(engine.find("ctp")[0])
+        engine.undo(rec.stamp)
+        adag = build_adag(p, engine.store, engine.history)
+        assert not adag.ghosts
+
+
+class TestAPDG:
+    def test_region_tree_rendered(self):
+        engine, p = figure1_engine()
+        apdg = build_apdg(p, engine.store)
+        text = render_apdg(apdg)
+        assert "R0 (root)" in text
+        assert "loop_body" in text
+
+    def test_annotations_inline(self):
+        engine, p = figure1_engine()
+        text = render_apdg(build_apdg(p, engine.store))
+        assert "<md_2,mv_4>" in text or "md_2" in text
+
+    def test_summaries_shown_on_regions(self):
+        engine, p, _ = make_engine(FIG1)
+        text = render_apdg(build_apdg(p, engine.store))
+        assert "{" in text  # at least one region shows a summary count
+
+    def test_statement_heads(self):
+        engine, p, _ = make_engine("read n\nwrite n\n")
+        text = render_apdg(build_apdg(p, engine.store))
+        assert "read n" in text and "write n" in text
+
+
+class TestTwoLevel:
+    def test_of_engine_snapshot(self):
+        engine, p = figure1_engine()
+        view = TwoLevelRepresentation.of(engine)
+        assert "do j" in view.source
+
+    def test_render_sections(self):
+        engine, p = figure1_engine()
+        text = TwoLevelRepresentation.of(engine).render()
+        for section in ("=== source ===", "=== high level (APDG) ===",
+                        "=== low level (ADAG) ==="):
+            assert section in text
+
+    def test_retained_subexpression_in_render(self):
+        engine, p = figure1_engine()
+        text = TwoLevelRepresentation.of(engine).render()
+        assert "originally 'e + f'" in text

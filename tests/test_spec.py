@@ -1,0 +1,287 @@
+"""Tests for the specification compiler (repro.spec) — the paper's
+stated future work: generating disabling-condition detection from
+transformation specifications."""
+
+import pytest
+
+from repro.core.engine import TransformationEngine
+from repro.core.locations import Location
+from repro.edit.edits import EditSession
+from repro.lang.ast_nodes import Loop, programs_equal
+from repro.lang.builder import arr, assign, binop, var
+from repro.lang.interp import traces_equivalent
+from repro.lang.parser import parse_program
+from repro.spec import DCE_SPEC, LRV_SPEC, compile_spec, register_spec
+from repro.spec.compile import SpecCompileError
+from repro.spec.dsl import DeleteStmt, TransformationSpec, is_assign
+from repro.transforms.registry import REGISTRY
+
+
+def spec_engine(src, *specs):
+    """Engine with an isolated registry extended by compiled specs."""
+    registry = dict(REGISTRY)
+    compiled = [register_spec(s, registry) for s in specs]
+    p = parse_program(src)
+    engine = TransformationEngine(p)
+    engine.registry = registry
+    engine._undo_engine.registry = registry
+    return engine, p, parse_program(src), compiled
+
+
+class TestCompile:
+    def test_compile_rejects_empty(self):
+        with pytest.raises(SpecCompileError):
+            compile_spec(TransformationSpec(
+                name="", full_name="", variables=(), domains={},
+                pre_conditions=[], actions=[]))
+
+    def test_register_rejects_duplicates(self):
+        registry = dict(REGISTRY)
+        register_spec(LRV_SPEC, registry)
+        with pytest.raises(SpecCompileError):
+            register_spec(LRV_SPEC, registry)
+
+    def test_register_rejects_collisions_with_builtin(self):
+        registry = dict(REGISTRY)
+        clash = TransformationSpec(
+            name="dce", full_name="clash", variables=("S",),
+            domains={"S": "assign"}, pre_conditions=[is_assign("S")],
+            actions=[DeleteStmt("S")])
+        with pytest.raises(SpecCompileError):
+            register_spec(clash, registry)
+
+    def test_generated_table_rows(self):
+        t = compile_spec(LRV_SPEC)
+        row2 = t.table2_row()
+        assert "no_carried_dependence" in row2["pre_pattern"]
+        assert "Modify(L.header, reversed)" in row2["primitive_actions"]
+        row3 = t.table3_row()
+        assert any("loop-carried dependence" in c for c in row3["safety"])
+        assert any("header again" in c for c in row3["reversibility"])
+
+
+class TestSpecDceMirrorsHandwritten:
+    SRC = "d = 99\nx = 1\nwrite x\n"
+
+    def test_same_opportunities(self):
+        engine, p, _, (sdce,) = spec_engine(self.SRC, DCE_SPEC)
+        hand = {o.params["sid"] for o in engine.find("dce")}
+        spec = {o.params["binding"]["S"] for o in engine.find("sdce")}
+        assert hand == spec
+
+    def test_apply_undo_roundtrip(self):
+        engine, p, orig, _ = spec_engine(self.SRC, DCE_SPEC)
+        rec = engine.apply(engine.find("sdce")[0])
+        assert traces_equivalent(orig, p)
+        engine.undo(rec.stamp)
+        assert programs_equal(orig, p)
+
+    def test_safety_probe_matches_handwritten(self):
+        engine, p, _, _ = spec_engine(self.SRC, DCE_SPEC)
+        rec = engine.apply(engine.find("sdce")[0])
+        assert engine.check_safety(rec.stamp).safe
+        EditSession(engine).add_stmt(
+            assign("q", var("d")), Location.at(p, (0, "body"), 0))
+        result = engine.check_safety(rec.stamp)
+        assert not result.safe
+        assert "using the value" in result.reasons[0]
+
+    def test_copied_context_blocks_reversal(self):
+        src = ("do i = 1, 4\n  d = i * 3\n  A(i) = B(i)\nenddo\n"
+               "write A(2)\n")
+        engine, p, orig, _ = spec_engine(src, DCE_SPEC)
+        sdce = engine.apply(engine.find("sdce")[0])
+        lur = engine.apply(engine.find("lur")[0])
+        rr = engine.check_reversibility(sdce.stamp)
+        assert not rr.reversible
+        assert rr.violations[0].stamp == lur.stamp
+        report = engine.undo(sdce.stamp)
+        assert report.affecting == [lur.stamp]
+        assert programs_equal(orig, p)
+
+
+class TestLoopReversal:
+    SRC = "do i = 1, 8\n  A(i) = B(i) * 2\nenddo\nwrite A(3)\n"
+
+    def test_found_on_doall_loop(self):
+        engine, _, _, (lrv,) = spec_engine(self.SRC, LRV_SPEC)
+        assert engine.find("lrv")
+
+    def test_not_found_with_recurrence(self):
+        engine, _, _, _ = spec_engine(
+            "do i = 2, 8\n  A(i) = A(i - 1)\nenddo\nwrite A(3)\n", LRV_SPEC)
+        assert not engine.find("lrv")
+
+    def test_not_found_with_io(self):
+        engine, _, _, _ = spec_engine(
+            "do i = 1, 4\n  write A(i)\nenddo\n", LRV_SPEC)
+        assert not engine.find("lrv")
+
+    def test_not_found_when_index_escapes(self):
+        engine, _, _, _ = spec_engine(
+            "do i = 1, 8\n  A(i) = B(i)\nenddo\nwrite i\nwrite A(2)\n",
+            LRV_SPEC)
+        assert not engine.find("lrv")
+
+    def test_apply_reverses_header(self):
+        engine, p, orig, _ = spec_engine(self.SRC, LRV_SPEC)
+        engine.apply(engine.find("lrv")[0])
+        loop = p.body[0]
+        assert loop.lower.value == 8 and loop.upper.value == 1
+        assert loop.step.value == -1
+        assert traces_equivalent(orig, p)
+
+    def test_safety_survives_own_modification(self):
+        engine, p, _, _ = spec_engine(self.SRC, LRV_SPEC)
+        rec = engine.apply(engine.find("lrv")[0])
+        # the preconditions are evaluated on the pre-image, so the
+        # reversed (non-unit-step) header does not trip them
+        assert engine.check_safety(rec.stamp).safe
+
+    def test_edit_adding_recurrence_breaks_safety(self):
+        engine, p, _, _ = spec_engine(self.SRC, LRV_SPEC)
+        rec = engine.apply(engine.find("lrv")[0])
+        loop = p.body[0]
+        EditSession(engine).add_stmt(
+            assign(arr("A", "i"), binop("+", arr("A", binop("-", "i", 1)), 1)),
+            Location.at(p, (loop.sid, "body"), 1))
+        result = engine.check_safety(rec.stamp)
+        assert not result.safe
+        assert "loop-carried" in result.reasons[0]
+
+    def test_undo_restores_exactly(self):
+        engine, p, orig, _ = spec_engine(self.SRC, LRV_SPEC)
+        rec = engine.apply(engine.find("lrv")[0])
+        engine.undo(rec.stamp)
+        assert programs_equal(orig, p)
+        assert len(engine.store) == 0
+
+    def test_interleaved_with_builtin_transformations(self):
+        src = ("c = 2\ndo i = 1, 8\n  A(i) = B(i) * c\nenddo\nwrite A(3)\n")
+        engine, p, orig, _ = spec_engine(src, LRV_SPEC)
+        ctp = engine.apply(engine.find("ctp")[0])
+        lrv = engine.apply(engine.find("lrv")[0])
+        dce = engine.apply(engine.find("dce")[0])
+        assert traces_equivalent(orig, p)
+        # undo the ctp out of order: the dce of c must ripple; the loop
+        # reversal is untouched
+        report = engine.undo(ctp.stamp)
+        assert dce.stamp in report.affected
+        assert engine.history.by_stamp(lrv.stamp).active
+        assert traces_equivalent(orig, p)
+        engine.undo(lrv.stamp)
+        assert programs_equal(orig, p)
+
+    def test_later_header_modify_is_affecting(self):
+        # strip-mining after reversal? reversal yields step -1 so smi
+        # won't fire; instead reverse twice is not offered (step != 1).
+        # Use an edit-free check: interchange after reversal inside a
+        # nest would modify the header — simulate with a direct second
+        # reversal via a fresh spec registry is impossible (step != 1),
+        # so verify the generated check flags a header edit instead.
+        from repro.lang.ast_nodes import Const
+
+        engine, p, _, _ = spec_engine(self.SRC, LRV_SPEC)
+        rec = engine.apply(engine.find("lrv")[0])
+        loop = p.body[0]
+        EditSession(engine).modify_expr(loop.sid, ("upper",), Const(3))
+        rr = engine.check_reversibility(rec.stamp)
+        assert not rr.reversible
+
+
+class TestSpecCtpTwoVariablePattern:
+    """The backtracking matcher + relational predicates + derive."""
+
+    SRC = "c = 1\nx = c + c\nwrite x\n"
+
+    def _engine(self, src=None):
+        from repro.spec import CTP_SPEC
+
+        return spec_engine(src or self.SRC, CTP_SPEC)
+
+    def test_opportunities_match_handwritten(self):
+        engine, p, _, _ = self._engine()
+        hand = {(o.params["use_sid"], o.params["path"])
+                for o in engine.find("ctp")}
+        spec = {(o.params["binding"]["Sj"], o.params["path"])
+                for o in engine.find("sctp")}
+        assert hand == spec
+
+    def test_two_reaching_defs_rejected(self):
+        engine, _, _, _ = self._engine(
+            "if (q > 0) then\n  c = 1\nelse\n  c = 2\nendif\n"
+            "x = c\nwrite x\n")
+        assert not engine.find("sctp")
+
+    def test_apply_undo_roundtrip(self):
+        engine, p, orig, _ = self._engine()
+        rec = engine.apply(engine.find("sctp")[0])
+        assert traces_equivalent(orig, p)
+        engine.undo(rec.stamp)
+        assert programs_equal(orig, p)
+
+    def test_ripples_into_dce(self):
+        engine, p, orig, _ = self._engine()
+        r1 = engine.apply(engine.find("sctp")[0])
+        r2 = engine.apply(engine.find("sctp")[0])
+        dce = engine.apply(engine.find("dce")[0])
+        report = engine.undo(r1.stamp)
+        assert dce.stamp in report.affected
+        assert traces_equivalent(orig, p)
+
+    def test_safety_benign_when_def_dce_d(self):
+        engine, p, _, _ = self._engine("c = 1\nx = c\nwrite x\n")
+        r1 = engine.apply(engine.find("sctp")[0])
+        dce = engine.apply(engine.find("dce")[0])
+        assert engine.check_safety(r1.stamp).safe
+
+    def test_safety_broken_by_edit(self):
+        from repro.lang.ast_nodes import Const
+
+        engine, p, _, _ = self._engine()
+        rec = engine.apply(engine.find("sctp")[0])
+        c_def = next(s for s in p.walk() if s.label == 1)
+        EditSession(engine).modify_expr(c_def.sid, ("expr",), Const(9))
+        result = engine.check_safety(rec.stamp)
+        assert not result.safe
+
+    def test_stacked_modify_is_affecting(self):
+        engine, p, orig, _ = self._engine()
+        r1 = engine.apply(engine.find("sctp")[0])
+        r2 = engine.apply(engine.find("sctp")[0])
+        cfo = engine.apply(engine.find("cfo")[0])
+        report = engine.undo(r1.stamp)
+        assert cfo.stamp in report.affecting
+        assert traces_equivalent(orig, p)
+
+
+class TestExtensionHeuristicSoundness:
+    def test_dce_undo_recheck_reaches_extension(self):
+        """Table 4 cannot mention extensions, so the heuristic must never
+        skip them: a DCE-enabled loop reversal falls when the DCE is
+        undone."""
+        from repro.spec import compile_spec
+
+        src = ("do i = 1, 8\n  s = B(i)\n  C(i) = B(i) * 2\nenddo\n"
+               "write C(3)\n")
+        p = parse_program(src)
+        orig = parse_program(src)
+        engine = TransformationEngine(
+            p, extra_transformations=[compile_spec(LRV_SPEC)])
+        assert not engine.find("lrv")  # blocked by the carried output dep
+        dce = engine.apply_first("dce")
+        lrv = engine.apply(engine.find("lrv")[0])
+        report = engine.undo(dce.stamp)
+        assert lrv.stamp in report.affected
+        assert traces_equivalent(orig, p)
+
+    def test_engine_register_api(self):
+        from repro.core.engine import ApplyError
+        from repro.spec import compile_spec
+
+        engine = TransformationEngine(parse_program("write 1\n"))
+        t = compile_spec(LRV_SPEC)
+        engine.register(t)
+        assert "lrv" in engine.registry
+        with pytest.raises(ApplyError):
+            engine.register(t)

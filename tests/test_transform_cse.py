@@ -1,0 +1,134 @@
+"""Tests for Common Subexpression Elimination (repro.transforms.cse)."""
+
+import pytest
+
+from tests.helpers import assert_apply_undo_roundtrip, make_engine, stmt_by_label
+from repro.core.locations import Location
+from repro.edit.edits import EditSession
+from repro.lang.ast_nodes import Const, VarRef, programs_equal
+from repro.lang.builder import assign
+
+
+class TestFind:
+    def test_basic_pair(self):
+        engine, p, _ = make_engine("a = b + c\nd = b + c\nwrite a + d\n")
+        opps = engine.find("cse")
+        assert len(opps) == 1
+        assert opps[0].params["var"] == "a"
+
+    def test_global_across_loop(self):
+        # the paper's Figure 1 shape: producer outside, consumer inside
+        engine, _, _ = make_engine(
+            "d = e + f\ndo i = 1, 4\n  R(i) = e + f\nenddo\n"
+            "write d\nwrite R(2)\n")
+        assert engine.find("cse")
+
+    def test_operand_redefined_between_blocked(self):
+        engine, _, _ = make_engine(
+            "a = b + c\nb = 1\nd = b + c\nwrite a + d + b\n")
+        assert not engine.find("cse")
+
+    def test_producer_var_redefined_between_blocked(self):
+        engine, _, _ = make_engine(
+            "a = b + c\na = 0\nd = b + c\nwrite a + d\n")
+        assert not engine.find("cse")
+
+    def test_stale_value_after_recompute_blocked(self):
+        # a holds the OLD b+c; the recomputation by another statement
+        # must not license the replacement
+        engine, _, _ = make_engine(
+            "a = b + c\nb = 5\ne = b + c\nd = b + c\nwrite a + d + e\n")
+        opps = engine.find("cse")
+        assert all(o.params["var"] != "a" for o in opps)
+
+    def test_no_dominance_no_cse(self):
+        engine, _, _ = make_engine(
+            "if (q > 0) then\n  a = b + c\nendif\nd = b + c\nwrite d\n")
+        assert not any(o.params["var"] == "a" for o in engine.find("cse"))
+
+    def test_compound_expressions_not_keyed(self):
+        engine, _, _ = make_engine(
+            "a = b + c * 2\nd = b + c * 2\nwrite a + d\n")
+        assert not engine.find("cse")
+
+
+class TestApplyUndo:
+    def test_roundtrip(self):
+        assert_apply_undo_roundtrip(
+            "a = b + c\nd = b + c\nwrite a + d\n", "cse")
+
+    def test_rhs_replaced_by_variable(self):
+        engine, p, _ = make_engine("a = b + c\nd = b + c\nwrite a + d\n")
+        engine.apply(engine.find("cse")[0])
+        consumer = stmt_by_label(p, 2)
+        assert isinstance(consumer.expr, VarRef)
+        assert consumer.expr.name == "a"
+
+    def test_annotation_records_original(self):
+        engine, p, _ = make_engine("a = b + c\nd = b + c\nwrite a + d\n")
+        rec = engine.apply(engine.find("cse")[0])
+        anns = engine.store.for_sid(stmt_by_label(p, 2).sid)
+        assert [a.short() for a in anns] == ["md_1"]
+        from repro.lang.ast_nodes import BinOp, exprs_equal
+
+        assert isinstance(rec.pre_pattern["old_expr"], BinOp)
+
+
+class TestSafety:
+    def test_edit_redefining_operand_makes_unsafe(self):
+        engine, p, _ = make_engine("a = b + c\nd = b + c\nwrite a + d\n")
+        rec = engine.apply(engine.find("cse")[0])
+        edits = EditSession(engine)
+        edits.add_stmt(assign("b", 0), Location.at(p, (0, "body"), 1))
+        assert not engine.check_safety(rec.stamp).safe
+
+    def test_edit_redefining_producer_var_makes_unsafe(self):
+        engine, p, _ = make_engine("a = b + c\nd = b + c\nwrite a + d\n")
+        rec = engine.apply(engine.find("cse")[0])
+        edits = EditSession(engine)
+        edits.add_stmt(assign("a", 0), Location.at(p, (0, "body"), 1))
+        assert not engine.check_safety(rec.stamp).safe
+
+    def test_edit_elsewhere_stays_safe(self):
+        engine, p, _ = make_engine("a = b + c\nd = b + c\nwrite a + d\n")
+        rec = engine.apply(engine.find("cse")[0])
+        edits = EditSession(engine)
+        edits.add_stmt(assign("zz", 1), Location.at(p, (0, "body"), 0))
+        assert engine.check_safety(rec.stamp).safe
+
+
+class TestChains:
+    def test_cse_enables_cpp(self):
+        # Table 4, row CSE: the created D = A copy enables copy
+        # propagation of A.
+        engine, p, _ = make_engine(
+            "a = b + c\nd = b + c\ne = d\nwrite a + e\n")
+        engine.apply(engine.find("cse")[0])
+        assert any(o.params["var"] == "d" for o in engine.find("cpp"))
+
+    def test_undo_cse_removes_enabled_cpp(self):
+        engine, p, orig = make_engine(
+            "a = b + c\nd = b + c\ne = d\nwrite a + e\n")
+        cse = engine.apply(engine.find("cse")[0])
+        cpp = engine.apply_first("cpp", var="d")
+        report = engine.undo(cse.stamp)
+        # undoing CSE makes d's def no longer a copy of a — the cpp that
+        # propagated a into e = d becomes unsafe and is removed too
+        assert cpp.stamp in report.affected
+        assert programs_equal(orig, p)
+
+    def test_figure1_cse_ctp_independent(self):
+        # CSE and CTP touch different statements: each can be undone
+        # alone, in any order
+        src = ("d = e + f\nc = 1\n"
+               "do i = 1, 4\n  do j = 1, 3\n"
+               "    A(j) = B(j) + c\n    R(i, j) = e + f\n"
+               "  enddo\nenddo\nwrite d\nwrite A(2)\nwrite R(2, 2)\n")
+        engine, p, orig = make_engine(src)
+        cse = engine.apply(engine.find("cse")[0])
+        ctp = engine.apply(engine.find("ctp")[0])
+        r1 = engine.undo(cse.stamp)
+        assert r1.undone == [cse.stamp]
+        r2 = engine.undo(ctp.stamp)
+        assert r2.undone == [ctp.stamp]
+        assert programs_equal(orig, p)

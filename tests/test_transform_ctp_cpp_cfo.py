@@ -1,0 +1,195 @@
+"""Tests for the propagation/folding family: CTP, CPP, CFO."""
+
+import pytest
+
+from tests.helpers import assert_apply_undo_roundtrip, make_engine, stmt_by_label
+from repro.core.locations import Location
+from repro.core.undo import UndoError
+from repro.edit.edits import EditSession
+from repro.lang.ast_nodes import Const, VarRef, programs_equal
+from repro.lang.builder import assign, binop, var
+from repro.lang.interp import traces_equivalent
+
+
+class TestCtpFind:
+    def test_detects_constant_use(self):
+        engine, p, _ = make_engine("c = 1\nx = c + 2\nwrite x\n")
+        opps = engine.find("ctp")
+        assert len(opps) == 1
+        assert opps[0].params["value"] == 1
+
+    def test_multiple_occurrences_individual(self):
+        engine, _, _ = make_engine("c = 1\nx = c + c\nwrite x\n")
+        assert len(engine.find("ctp")) == 2
+
+    def test_two_reaching_defs_blocked(self):
+        engine, _, _ = make_engine(
+            "if (q > 0) then\n  c = 1\nelse\n  c = 2\nendif\n"
+            "x = c\nwrite x\n")
+        assert not engine.find("ctp")
+
+    def test_non_constant_def_blocked(self):
+        engine, _, _ = make_engine("c = q\nx = c\nwrite x\n")
+        assert not engine.find("ctp")
+
+    def test_propagates_into_subscripts(self):
+        engine, _, _ = make_engine("k = 3\nA(k) = 5\nwrite A(3)\n")
+        opps = engine.find("ctp")
+        assert any(o.params["path"][0] == "target" for o in opps)
+
+    def test_propagates_into_loop_bounds(self):
+        engine, _, _ = make_engine(
+            "n = 4\ndo i = 1, n\n  A(i) = i\nenddo\nwrite A(2)\n")
+        opps = engine.find("ctp")
+        assert any(o.params["path"] == ("upper",) for o in opps)
+
+
+class TestCtpApplyUndo:
+    def test_roundtrip(self):
+        assert_apply_undo_roundtrip("c = 1\nx = c + 2\nwrite x\n", "ctp")
+
+    def test_figure1_annotation(self):
+        # Figure 1: the propagated operand keeps its original under md_t
+        engine, p, _ = make_engine("c = 1\nx = c + 2\nwrite x\n")
+        rec = engine.apply(engine.find("ctp")[0])
+        use = stmt_by_label(p, 2)
+        assert isinstance(use.expr.left, Const)
+        anns = engine.store.for_sid(use.sid)
+        assert [a.short() for a in anns] == ["md_1"]
+
+    def test_enables_folding_chain(self):
+        engine, p, orig = make_engine("c = 1\nx = c + 2\nwrite x\n")
+        assert not engine.find("cfo")
+        ctp = engine.apply(engine.find("ctp")[0])
+        cfo_opps = engine.find("cfo")
+        assert cfo_opps  # ctp enabled cfo (Table 4 row CTP, column CFO)
+        cfo = engine.apply(cfo_opps[0])
+        assert traces_equivalent(orig, p)
+        # undoing ctp must peel cfo first (affecting transformation)
+        report = engine.undo(ctp.stamp)
+        assert report.affecting == [cfo.stamp]
+        assert programs_equal(orig, p)
+
+
+class TestCtpSafety:
+    def test_edit_changing_const_makes_unsafe(self):
+        engine, p, _ = make_engine("c = 1\nx = c + 2\nwrite x\n")
+        rec = engine.apply(engine.find("ctp")[0])
+        edits = EditSession(engine)
+        d = stmt_by_label(p, 1)
+        edits.modify_expr(d.sid, ("expr",), Const(9))
+        assert not engine.check_safety(rec.stamp).safe
+
+    def test_edit_adding_def_makes_unsafe(self):
+        engine, p, _ = make_engine("c = 1\nx = c + 2\nwrite x\n")
+        rec = engine.apply(engine.find("ctp")[0])
+        edits = EditSession(engine)
+        edits.add_stmt(assign("c", 5), Location.at(p, (0, "body"), 1))
+        assert not engine.check_safety(rec.stamp).safe
+
+    def test_dce_of_def_is_benign(self):
+        # ctp kills the last use → dce deletes the def → ctp stays safe
+        engine, p, _ = make_engine("c = 1\nx = c + 2\nwrite x\n")
+        ctp = engine.apply(engine.find("ctp")[0])
+        dce = engine.apply_first("dce", sid=stmt_by_label(p, 1).sid)
+        assert engine.check_safety(ctp.stamp).safe
+
+    def test_undo_ctp_cascades_to_dce(self):
+        # the classic ripple: undoing ctp restores the use, so the dce
+        # that deleted the now-used def must also be undone (Table 4:
+        # CTP enables DCE → reverse-destroy).
+        engine, p, orig = make_engine("c = 1\nx = c + 2\nwrite x\n")
+        ctp = engine.apply(engine.find("ctp")[0])
+        dce = engine.apply(engine.find("dce")[0])
+        report = engine.undo(ctp.stamp)
+        assert dce.stamp in report.affected
+        assert programs_equal(orig, p)
+
+
+class TestCpp:
+    def test_find_copy(self):
+        engine, _, _ = make_engine("y = q\nx = y\nz = x + 1\nwrite z\n")
+        opps = engine.find("cpp")
+        assert any(o.params["var"] == "x" and o.params["src"] == "y"
+                   for o in opps)
+
+    def test_source_redefined_between_blocked(self):
+        engine, _, _ = make_engine(
+            "x = y\ny = 0\nz = x + 1\nwrite z\nwrite y\n")
+        assert not any(o.params["var"] == "x" for o in engine.find("cpp"))
+
+    def test_roundtrip(self):
+        assert_apply_undo_roundtrip(
+            "y = q\nx = y\nz = x + 1\nwrite z\n", "cpp", var="x")
+
+    def test_self_copy_not_offered(self):
+        engine, _, _ = make_engine("x = x\nwrite x\n")
+        assert not engine.find("cpp")
+
+    def test_cpp_enables_dce_of_copy(self):
+        engine, p, orig = make_engine("y = q\nx = y\nz = x\nwrite z\n")
+        cpp = engine.apply_first("cpp", var="x")
+        dce_opps = engine.find("dce")
+        assert any(o.params["sid"] == stmt_by_label(p, 2).sid
+                   for o in dce_opps)
+
+    def test_edit_breaking_copy_makes_unsafe(self):
+        engine, p, _ = make_engine("y = q\nx = y\nz = x + 1\nwrite z\n")
+        cpp = engine.apply_first("cpp", var="x")
+        edits = EditSession(engine)
+        copy_stmt = stmt_by_label(p, 2)
+        edits.modify_expr(copy_stmt.sid, ("expr",), VarRef("w"))
+        assert not engine.check_safety(cpp.stamp).safe
+
+
+class TestCfo:
+    def test_find_constant_binop(self):
+        engine, _, _ = make_engine("x = 2 + 3\nwrite x\n")
+        opps = engine.find("cfo")
+        assert opps and opps[0].params["value"] == 5
+
+    def test_nested_fold_innermost_offered(self):
+        engine, _, _ = make_engine("x = (2 + 3) * q\nwrite x\n")
+        opps = engine.find("cfo")
+        assert any(o.params["path"] == ("expr", "l") for o in opps)
+
+    def test_no_opportunity_without_const_pair(self):
+        engine, _, _ = make_engine("x = q + 3\nwrite x\n")
+        assert not engine.find("cfo")
+
+    def test_roundtrip(self):
+        assert_apply_undo_roundtrip("x = 2 + 3\nwrite x\n", "cfo")
+
+    def test_division_matches_interpreter(self):
+        engine, p, orig = make_engine("x = 7 / 2\nwrite x\n")
+        engine.apply(engine.find("cfo")[0])
+        assert traces_equivalent(orig, p)
+
+    def test_always_safe(self):
+        engine, p, _ = make_engine("x = 2 + 3\ny = 1\nwrite x\n")
+        rec = engine.apply(engine.find("cfo")[0])
+        edits = EditSession(engine)
+        edits.delete_stmt(stmt_by_label(p, 2).sid)
+        assert engine.check_safety(rec.stamp).safe
+
+    def test_edit_on_folded_position_blocks_reversal(self):
+        engine, p, _ = make_engine("x = 2 + 3\nwrite x\n")
+        rec = engine.apply(engine.find("cfo")[0])
+        edits = EditSession(engine)
+        edits.modify_expr(stmt_by_label(p, 1).sid, ("expr",), Const(0))
+        rr = engine.check_reversibility(rec.stamp)
+        assert not rr.reversible
+        with pytest.raises(UndoError):
+            engine.undo(rec.stamp)
+
+    def test_stacked_folds_peel_in_order(self):
+        # fold 2+3 → 5, then fold 5*4 → 20; undoing the first must peel
+        # the second (its md sits on an enclosing path)
+        engine, p, orig = make_engine("x = (2 + 3) * 4\nwrite x\n")
+        f1 = engine.apply_first("cfo", path=("expr", "l"))
+        f2_opps = engine.find("cfo")
+        assert f2_opps
+        f2 = engine.apply(f2_opps[0])
+        report = engine.undo(f1.stamp)
+        assert report.affecting == [f2.stamp]
+        assert programs_equal(orig, p)

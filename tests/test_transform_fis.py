@@ -1,0 +1,145 @@
+"""Tests for the Loop Fission extension (repro.transforms.fis)."""
+
+import pytest
+
+from repro.core.engine import TransformationEngine
+from repro.core.locations import Location
+from repro.edit.edits import EditSession
+from repro.lang.ast_nodes import Loop, programs_equal
+from repro.lang.builder import arr, assign, binop
+from repro.lang.interp import traces_equivalent
+from repro.lang.parser import parse_program
+from repro.model.costmodel import parallel_loops
+from repro.transforms.fis import LoopFission
+
+SRC = (
+    "do i = 2, 9\n"
+    "  A(i) = A(i - 1) + 1\n"
+    "  C(i) = B(i) * 2\n"
+    "enddo\n"
+    "write A(5)\nwrite C(3)\n"
+)
+
+
+def fission_engine(src=SRC):
+    p = parse_program(src)
+    engine = TransformationEngine(
+        p, extra_transformations=[LoopFission()])
+    return engine, p, parse_program(src)
+
+
+class TestFind:
+    def test_recurrence_plus_clean_half_splittable(self):
+        engine, _, _ = fission_engine()
+        assert engine.find("fis")
+
+    def test_scalar_coupling_blocks(self):
+        engine, _, _ = fission_engine(
+            "do i = 1, 8\n  t = B(i)\n  C(i) = t * 2\nenddo\nwrite C(3)\n")
+        assert not engine.find("fis")
+
+    def test_array_flow_same_iteration_allows_split(self):
+        # G1 writes A(i), G2 reads A(i): after the split G2 still reads
+        # values G1 produced (all iterations done) — legal
+        engine, _, _ = fission_engine(
+            "do i = 1, 8\n  A(i) = B(i)\n  C(i) = A(i) * 2\nenddo\n"
+            "write C(3)\nwrite A(2)\n")
+        assert engine.find("fis")
+
+    def test_backward_array_dependence_blocks(self):
+        # G2 writes A(i), G1 reads A(i-1): the original interleaving has
+        # G1 reading the previous iteration's G2 value; splitting makes
+        # G1 read the initial array — illegal
+        engine, _, _ = fission_engine(
+            "do i = 2, 9\n  D(i) = A(i - 1)\n  A(i) = B(i)\nenddo\n"
+            "write D(5)\nwrite A(3)\n")
+        assert not engine.find("fis")
+
+    def test_io_in_both_halves_blocks(self):
+        engine, _, _ = fission_engine(
+            "do i = 1, 4\n  write A(i)\n  write B(i)\nenddo\n")
+        assert not engine.find("fis")
+
+    def test_single_statement_body_not_splittable(self):
+        engine, _, _ = fission_engine(
+            "do i = 1, 8\n  A(i) = B(i)\nenddo\nwrite A(2)\n")
+        assert not engine.find("fis")
+
+
+class TestApplyUndo:
+    def test_split_structure(self):
+        engine, p, _ = fission_engine()
+        rec = engine.apply(engine.find("fis")[0])
+        loops = [s for s in p.body if isinstance(s, Loop)]
+        assert len(loops) == 2
+        assert loops[0].header_equal(loops[1])
+        assert len(loops[0].body) == 1 and len(loops[1].body) == 1
+
+    def test_semantics_preserved(self):
+        engine, p, orig = fission_engine()
+        engine.apply(engine.find("fis")[0])
+        assert traces_equivalent(orig, p)
+
+    def test_exposes_doall_half(self):
+        engine, p, _ = fission_engine()
+        assert not parallel_loops(p)
+        engine.apply(engine.find("fis")[0])
+        assert parallel_loops(p)  # the clean half
+
+    def test_undo_restores_exactly(self):
+        engine, p, orig = fission_engine()
+        rec = engine.apply(engine.find("fis")[0])
+        engine.undo(rec.stamp)
+        assert programs_equal(orig, p)
+        assert len(engine.store) == 0
+
+    def test_fission_then_fusion_roundtrip(self):
+        engine, p, orig = fission_engine()
+        fis = engine.apply(engine.find("fis")[0])
+        fus = engine.apply(engine.find("fus")[0])
+        assert traces_equivalent(orig, p)
+        # undoing the fission must peel the fusion stacked on it
+        report = engine.undo(fis.stamp)
+        assert fus.stamp in report.affecting or fus.stamp in report.affected
+        assert programs_equal(orig, p)
+
+
+class TestSafetyReversibility:
+    def test_edit_coupling_halves_breaks_safety(self):
+        engine, p, _ = fission_engine()
+        rec = engine.apply(engine.find("fis")[0])
+        second = p.node(rec.post_pattern["second"])
+        # make the split-off half read what the first half writes at a
+        # *later* iteration: illegal in split form
+        EditSession(engine).add_stmt(
+            assign(arr("D", "i"), arr("A", binop("+", "i", 1))),
+            Location.at(p, (second.sid, "body"), 0))
+        assert not engine.check_safety(rec.stamp).safe
+
+    def test_statement_entering_second_loop_blocks_reversal(self):
+        engine, p, _ = fission_engine()
+        rec = engine.apply(engine.find("fis")[0])
+        second = p.node(rec.post_pattern["second"])
+        EditSession(engine).add_stmt(
+            assign("z", 1), Location.at(p, (second.sid, "body"), 0))
+        rr = engine.check_reversibility(rec.stamp)
+        assert not rr.reversible
+
+    def test_later_icm_from_second_loop_is_affecting(self):
+        src = ("g = 3\n"
+               "do i = 2, 9\n"
+               "  A(i) = A(i - 1) + 1\n"
+               "  t = g * 2\n"
+               "  C(i) = B(i) + t\n"
+               "enddo\n"
+               "write A(5)\nwrite C(3)\n")
+        engine, p, orig = fission_engine(src)
+        fis_opps = engine.find("fis")
+        if not fis_opps:
+            pytest.skip("no legal split in this shape")
+        fis = engine.apply(fis_opps[0])
+        icm_opps = engine.find("icm")
+        if icm_opps:
+            icm = engine.apply(icm_opps[0])
+            report = engine.undo(fis.stamp)
+            assert traces_equivalent(orig, p)

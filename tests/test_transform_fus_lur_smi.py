@@ -1,0 +1,238 @@
+"""Tests for Loop Fusion, Loop Unrolling, and Strip Mining."""
+
+import pytest
+
+from tests.helpers import assert_apply_undo_roundtrip, make_engine, stmt_by_label
+from repro.core.locations import Location
+from repro.core.undo import UndoError
+from repro.edit.edits import EditSession
+from repro.lang.ast_nodes import Const, Loop, programs_equal
+from repro.lang.builder import assign
+from repro.lang.interp import traces_equivalent
+
+FUS_SRC = (
+    "do i = 1, 8\n  A(i) = B(i) + 1\nenddo\n"
+    "do i = 1, 8\n  C(i) = A(i) * 2\nenddo\n"
+    "write C(3)\nwrite A(5)\n"
+)
+
+LUR_SRC = (
+    "do i = 1, 8\n  A(i) = B(i) * 3\nenddo\nwrite A(2)\nwrite A(7)\n"
+)
+
+SMI_SRC = (
+    "do i = 1, 8\n  A(i) = B(i) + B(i)\nenddo\nwrite A(3)\n"
+)
+
+
+class TestFusFind:
+    def test_adjacent_conformable_found(self):
+        engine, _, _ = make_engine(FUS_SRC)
+        assert engine.find("fus")
+
+    def test_different_headers_blocked(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 8\n  A(i) = B(i)\nenddo\n"
+            "do i = 1, 9\n  C(i) = A(i)\nenddo\nwrite C(2)\n")
+        assert not engine.find("fus")
+
+    def test_backward_dependence_blocked(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 8\n  A(i) = B(i)\nenddo\n"
+            "do i = 1, 8\n  C(i) = A(i + 1)\nenddo\nwrite C(2)\n")
+        assert not engine.find("fus")
+
+    def test_statement_between_blocked(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 8\n  A(i) = B(i)\nenddo\nq = 1\n"
+            "do i = 1, 8\n  C(i) = A(i)\nenddo\nwrite C(2) + q\n")
+        assert not engine.find("fus")
+
+    def test_io_in_both_blocked(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 4\n  write A(i)\nenddo\n"
+            "do i = 1, 4\n  write B(i)\nenddo\n")
+        assert not engine.find("fus")
+
+
+class TestFusApplyUndo:
+    def test_roundtrip(self):
+        assert_apply_undo_roundtrip(FUS_SRC, "fus")
+
+    def test_single_loop_remains(self):
+        engine, p, _ = make_engine(FUS_SRC)
+        engine.apply(engine.find("fus")[0])
+        loops = [s for s in p.body if isinstance(s, Loop)]
+        assert len(loops) == 1
+        assert len(loops[0].body) == 2
+
+    def test_semantics_preserved(self):
+        engine, p, orig = make_engine(FUS_SRC)
+        engine.apply(engine.find("fus")[0])
+        assert traces_equivalent(orig, p)
+
+    def test_moved_statements_annotated(self):
+        engine, p, _ = make_engine(FUS_SRC)
+        rec = engine.apply(engine.find("fus")[0])
+        for sid in rec.post_pattern["moved"]:
+            assert any(a.kind == "mv" for a in engine.store.for_sid(sid))
+
+    def test_fusion_chain(self):
+        engine, p, orig = make_engine(
+            "do i = 1, 4\n  A(i) = 1\nenddo\n"
+            "do i = 1, 4\n  B(i) = 2\nenddo\n"
+            "do i = 1, 4\n  C(i) = 3\nenddo\n"
+            "write A(1) + B(1) + C(1)\n")
+        f1 = engine.apply(engine.find("fus")[0])
+        f2 = engine.apply(engine.find("fus")[0])
+        loops = [s for s in p.body if isinstance(s, Loop)]
+        assert len(loops) == 1 and len(loops[0].body) == 3
+        # undoing the first fusion must peel the second first: its moved
+        # block entered the fused loop after f1 and would otherwise be
+        # carried across the split boundary
+        report = engine.undo(f1.stamp)
+        assert report.affecting == [f2.stamp]
+        assert report.undone == [f2.stamp, f1.stamp]
+        assert programs_equal(orig, p)
+
+    def test_fusion_chain_order_sensitive_semantics(self):
+        # C(i) = B(i - 1): fusing all three is legal, but splitting the
+        # first fusion alone would move B past C — the engine must not
+        # allow it silently.
+        engine, p, orig = make_engine(
+            "do i = 2, 4\n  A(i) = 1\nenddo\n"
+            "do i = 2, 4\n  B(i) = A(i)\nenddo\n"
+            "do i = 2, 4\n  C(i) = B(i - 1)\nenddo\n"
+            "write C(3)\n")
+        f1 = engine.apply_first("fus")
+        f2_opps = engine.find("fus")
+        assert f2_opps, "second fusion should be conformable and legal"
+        f2 = engine.apply(f2_opps[0])
+        report = engine.undo(f1.stamp)
+        assert f2.stamp in report.affecting
+        assert programs_equal(orig, p)
+        assert traces_equivalent(orig, p)
+
+
+class TestLurFind:
+    def test_even_trip_found(self):
+        engine, _, _ = make_engine(LUR_SRC)
+        assert engine.find("lur")
+
+    def test_odd_trip_blocked(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 7\n  A(i) = B(i)\nenddo\nwrite A(2)\n")
+        assert not engine.find("lur")
+
+    def test_symbolic_bounds_blocked(self):
+        engine, _, _ = make_engine(
+            "do i = 1, n\n  A(i) = B(i)\nenddo\nwrite A(2)\n")
+        assert not engine.find("lur")
+
+    def test_nested_loop_body_blocked(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 4\n  do j = 1, 4\n    A(i, j) = 1\n  enddo\n"
+            "enddo\nwrite A(2, 2)\n")
+        opps = engine.find("lur")
+        # only the inner loop (simple body) qualifies
+        assert all(o.params["loop"] != 1 or True for o in opps)
+        engine2, p2, _ = make_engine(
+            "do i = 1, 4\n  do j = 1, 4\n    A(i, j) = 1\n  enddo\nenddo\n"
+            "write A(2, 2)\n")
+        outer = p2.body[0]
+        assert all(o.params["loop"] != outer.sid
+                   for o in engine2.find("lur"))
+
+
+class TestLurApplyUndo:
+    def test_roundtrip(self):
+        assert_apply_undo_roundtrip(LUR_SRC, "lur")
+
+    def test_body_doubled_step_doubled(self):
+        engine, p, _ = make_engine(LUR_SRC)
+        engine.apply(engine.find("lur")[0])
+        loop = p.body[0]
+        assert len(loop.body) == 2
+        assert loop.step.value == 2
+
+    def test_semantics_preserved(self):
+        engine, p, orig = make_engine(LUR_SRC)
+        engine.apply(engine.find("lur")[0])
+        assert traces_equivalent(orig, p)
+
+    def test_copies_shift_index(self):
+        engine, p, _ = make_engine(LUR_SRC)
+        rec = engine.apply(engine.find("lur")[0])
+        clone = p.node(rec.post_pattern["clones"][0])
+        from repro.lang.printer import format_stmt
+
+        assert "i + 1" in format_stmt(clone)
+
+    def test_ctp_into_clone_is_affecting(self):
+        # a transformation applied inside an unrolled copy blocks the
+        # unroll's reversal until it is undone
+        engine, p, orig = make_engine(
+            "k = 2\ndo i = 1, 8\n  A(i) = B(i) * k\nenddo\nwrite A(2)\n")
+        lur = engine.apply(engine.find("lur")[0])
+        clone_sid = lur.post_pattern["clones"][0]
+        ctp_opps = [o for o in engine.find("ctp")
+                    if o.params["use_sid"] == clone_sid]
+        assert ctp_opps
+        ctp = engine.apply(ctp_opps[0])
+        rr = engine.check_reversibility(lur.stamp)
+        assert not rr.reversible and rr.violations[0].stamp == ctp.stamp
+        report = engine.undo(lur.stamp)
+        assert report.affecting == [ctp.stamp]
+        assert programs_equal(orig, p)
+
+
+class TestSmi:
+    def test_find(self):
+        engine, _, _ = make_engine(SMI_SRC)
+        opps = engine.find("smi")
+        assert opps and opps[0].params["strip"] == 4
+
+    def test_indivisible_trip_blocked(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 7\n  A(i) = B(i)\nenddo\nwrite A(2)\n")
+        assert not engine.find("smi")
+
+    def test_roundtrip(self):
+        assert_apply_undo_roundtrip(SMI_SRC, "smi")
+
+    def test_structure_after_apply(self):
+        engine, p, _ = make_engine(SMI_SRC)
+        rec = engine.apply(engine.find("smi")[0])
+        outer = p.node(rec.post_pattern["outer"])
+        inner = p.node(rec.post_pattern["inner"])
+        assert isinstance(outer, Loop) and outer.step.value == 4
+        assert outer.body == [inner]
+        assert inner.var == "i" and outer.var == "i_o"
+
+    def test_semantics_preserved(self):
+        engine, p, orig = make_engine(SMI_SRC)
+        engine.apply(engine.find("smi")[0])
+        assert traces_equivalent(orig, p)
+
+    def test_fresh_variable_avoids_collisions(self):
+        engine, p, _ = make_engine("i_o = 9\n" + SMI_SRC + "write i_o\n")
+        rec = engine.apply(engine.find("smi")[0])
+        assert rec.post_pattern["outer_var"] != "i_o"
+
+    def test_smi_strip_nest_not_interchangeable(self):
+        # the strip nest is triangular in the outer variable
+        engine, p, _ = make_engine(SMI_SRC)
+        engine.apply(engine.find("smi")[0])
+        assert not engine.find("inx")
+
+    def test_edit_in_nest_blocks_reversal(self):
+        engine, p, _ = make_engine(SMI_SRC)
+        rec = engine.apply(engine.find("smi")[0])
+        outer = p.node(rec.post_pattern["outer"])
+        edits = EditSession(engine)
+        edits.add_stmt(assign("q", 1),
+                       Location.at(p, (outer.sid, "body"), 0))
+        rr = engine.check_reversibility(rec.stamp)
+        assert not rr.reversible
+        with pytest.raises(UndoError):
+            engine.undo(rec.stamp)

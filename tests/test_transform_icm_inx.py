@@ -1,0 +1,231 @@
+"""Tests for Invariant Code Motion and Loop Interchanging."""
+
+import pytest
+
+from tests.helpers import assert_apply_undo_roundtrip, make_engine, stmt_by_label
+from repro.core.locations import Location
+from repro.core.undo import UndoError
+from repro.edit.edits import EditSession
+from repro.lang.ast_nodes import Loop, programs_equal
+from repro.lang.builder import assign, var
+from repro.lang.interp import traces_equivalent
+
+ICM_SRC = (
+    "g = 5\n"
+    "do i = 1, 4\n"
+    "  x = g * 2\n"
+    "  A(i) = B(i) + x\n"
+    "enddo\n"
+    "write A(2)\n"
+)
+
+INX_SRC = (
+    "do i = 1, 4\n"
+    "  do j = 1, 3\n"
+    "    C(i, j) = A(i) + B(j)\n"
+    "  enddo\n"
+    "enddo\n"
+    "write C(2, 2)\n"
+)
+
+
+class TestIcmFind:
+    def test_detects_invariant_scalar(self):
+        engine, p, _ = make_engine(ICM_SRC)
+        opps = engine.find("icm")
+        assert any(o.params["sid"] == stmt_by_label(p, 3).sid for o in opps)
+
+    def test_loop_var_use_not_invariant(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 4\n  x = i * 2\n  A(i) = x\nenddo\nwrite A(2)\n")
+        assert not engine.find("icm")
+
+    def test_operand_defined_in_loop_not_invariant(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 4\n  y = i\n  x = y * 2\n  A(i) = x\nenddo\n"
+            "write A(2)\n")
+        opps = engine.find("icm")
+        assert not any(p["sid"] for p in []) or not opps
+
+    def test_target_used_elsewhere_in_loop_blocked(self):
+        engine, p, _ = make_engine(
+            "g = 5\ndo i = 1, 4\n  A(i) = x\n  x = g\nenddo\nwrite A(2)\n")
+        assert not engine.find("icm")
+
+    def test_array_store_invariant(self):
+        # Figure 1: A(j) = B(j) + 1 is invariant in the i loop after
+        # interchange
+        engine, _, _ = make_engine(
+            "do j = 1, 3\n  do i = 1, 4\n    A(j) = B(j) + 1\n"
+            "  enddo\nenddo\nwrite A(2)\n")
+        opps = engine.find("icm")
+        assert opps
+
+    def test_array_read_elsewhere_blocks_array_hoist(self):
+        engine, _, _ = make_engine(
+            "do j = 1, 3\n  do i = 1, 4\n    A(j) = B(j) + 1\n"
+            "    C(i) = A(j)\n  enddo\nenddo\nwrite A(2)\nwrite C(2)\n")
+        inner_opps = [o for o in engine.find("icm")]
+        assert not inner_opps
+
+    def test_zero_trip_loop_blocked_for_arrays(self):
+        engine, _, _ = make_engine(
+            "do j = 1, 3\n  do i = 1, n\n    A(j) = B(j) + 1\n"
+            "  enddo\nenddo\nwrite A(2)\n")
+        assert not engine.find("icm")
+
+
+class TestIcmApplyUndo:
+    def test_roundtrip(self):
+        assert_apply_undo_roundtrip(ICM_SRC, "icm")
+
+    def test_statement_moved_before_loop(self):
+        engine, p, _ = make_engine(ICM_SRC)
+        rec = engine.apply(engine.find("icm")[0])
+        sid = rec.post_pattern["sid"]
+        assert p.parent_of(sid) == (0, "body")
+        loop = stmt_by_label(p, 2)
+        assert p.body.index(p.node(sid)) == p.body.index(loop) - 1
+
+    def test_mv_annotation(self):
+        engine, p, _ = make_engine(ICM_SRC)
+        rec = engine.apply(engine.find("icm")[0])
+        anns = engine.store.for_sid(rec.post_pattern["sid"])
+        assert [a.short() for a in anns] == ["mv_1"]
+
+    def test_semantics_preserved(self):
+        engine, p, orig = make_engine(ICM_SRC)
+        engine.apply(engine.find("icm")[0])
+        assert traces_equivalent(orig, p)
+
+
+class TestIcmSafety:
+    def test_edit_defining_operand_in_loop_unsafe(self):
+        engine, p, _ = make_engine(ICM_SRC)
+        rec = engine.apply(engine.find("icm")[0])
+        loop = stmt_by_label(p, 2)
+        edits = EditSession(engine)
+        edits.add_stmt(assign("g", var("i")),
+                       Location.at(p, (loop.sid, "body"), 0))
+        assert not engine.check_safety(rec.stamp).safe
+
+    def test_edit_using_target_between_unsafe(self):
+        engine, p, _ = make_engine(ICM_SRC)
+        rec = engine.apply(engine.find("icm")[0])
+        loop = stmt_by_label(p, 2)
+        edits = EditSession(engine)
+        edits.add_stmt(assign("q", var("x")), Location.before(p, loop.sid))
+        assert not engine.check_safety(rec.stamp).safe
+
+
+class TestInxFind:
+    def test_detects_legal_interchange(self):
+        engine, _, _ = make_engine(INX_SRC)
+        assert engine.find("inx")
+
+    def test_wavefront_blocked(self):
+        engine, _, _ = make_engine(
+            "do i = 2, 6\n  do j = 2, 6\n"
+            "    A(i, j) = A(i - 1, j + 1)\n  enddo\nenddo\nwrite A(3, 3)\n")
+        assert not engine.find("inx")
+
+    def test_non_tight_nest_blocked(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 4\n  x = i\n  do j = 1, 3\n    A(i, j) = x\n"
+            "  enddo\nenddo\nwrite A(2, 2)\n")
+        assert not engine.find("inx")
+
+    def test_triangular_nest_blocked(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 6\n  do j = i, 6\n    A(i, j) = 1\n"
+            "  enddo\nenddo\nwrite A(2, 3)\n")
+        assert not engine.find("inx")
+
+
+class TestInxApplyUndo:
+    def test_roundtrip(self):
+        assert_apply_undo_roundtrip(INX_SRC, "inx")
+
+    def test_headers_swapped_bodies_stay(self):
+        engine, p, _ = make_engine(INX_SRC)
+        engine.apply(engine.find("inx")[0])
+        outer = p.body[0]
+        assert isinstance(outer, Loop) and outer.var == "j"
+        inner = outer.body[0]
+        assert isinstance(inner, Loop) and inner.var == "i"
+
+    def test_header_annotations(self):
+        engine, p, _ = make_engine(INX_SRC)
+        rec = engine.apply(engine.find("inx")[0])
+        for sid in (rec.post_pattern["outer"], rec.post_pattern["inner"]):
+            anns = engine.store.for_sid(sid)
+            assert any(a.kind == "md" and a.path == ("header",)
+                       for a in anns)
+
+    def test_semantics_preserved(self):
+        engine, p, orig = make_engine(INX_SRC)
+        engine.apply(engine.find("inx")[0])
+        assert traces_equivalent(orig, p)
+
+
+class TestSection52:
+    """The paper's §5.2 example: INX blocked by a later ICM."""
+
+    FIG1 = (
+        "d = e + f\n"
+        "c = 1\n"
+        "do i = 1, 8\n"
+        "  do j = 1, 5\n"
+        "    A(j) = B(j) + c\n"
+        "    R(i, j) = e + f\n"
+        "  enddo\nenddo\n"
+        "write d\nwrite A(2)\nwrite R(2, 3)\n"
+    )
+
+    def apply_all_four(self):
+        engine, p, orig = make_engine(self.FIG1)
+        cse = engine.apply(engine.find("cse")[0])
+        ctp = engine.apply(engine.find("ctp")[0])
+        inx = engine.apply(engine.find("inx")[0])
+        icm = engine.apply(engine.find("icm")[0])
+        return engine, p, orig, (cse, ctp, inx, icm)
+
+    def test_icm_enabled_only_after_inx(self):
+        engine, p, orig = make_engine(self.FIG1)
+        engine.apply(engine.find("cse")[0])
+        engine.apply(engine.find("ctp")[0])
+        assert not engine.find("icm")  # A(j) not invariant in j loop
+        engine.apply(engine.find("inx")[0])
+        assert engine.find("icm")  # Table 4: INX enables ICM
+
+    def test_inx_post_pattern_broken_by_icm(self):
+        engine, _p, _orig, (cse, ctp, inx, icm) = self.apply_all_four()
+        rr = engine.check_reversibility(inx.stamp)
+        assert not rr.reversible
+        assert rr.violations[0].stamp == icm.stamp
+
+    def test_undo_inx_peels_icm_first(self):
+        engine, p, orig, (cse, ctp, inx, icm) = self.apply_all_four()
+        report = engine.undo(inx.stamp)
+        assert report.affecting == [icm.stamp]
+        assert report.undone == [icm.stamp, inx.stamp]
+        assert traces_equivalent(orig, p)
+
+    def test_cse_ctp_immediately_reversible(self):
+        engine, _p, _orig, (cse, ctp, inx, icm) = self.apply_all_four()
+        assert engine.check_reversibility(cse.stamp).reversible
+        assert engine.check_reversibility(ctp.stamp).reversible
+
+    def test_icm_immediately_reversible_as_last(self):
+        engine, _p, _orig, (cse, ctp, inx, icm) = self.apply_all_four()
+        assert engine.check_reversibility(icm.stamp).reversible
+
+    def test_full_undo_any_order_restores(self):
+        import itertools
+
+        for order in itertools.permutations(range(4)):
+            engine, p, orig, recs = self.apply_all_four()
+            for k in order:
+                if engine.history.by_stamp(recs[k].stamp).active:
+                    engine.undo(recs[k].stamp)
+            assert programs_equal(orig, p), f"order {order} failed"

@@ -1,0 +1,110 @@
+"""Tests for the structural validator and the pretty-printer details."""
+
+import pytest
+
+from repro.lang.ast_nodes import ROOT_SID, Const, Loop, VarRef
+from repro.lang.builder import assign, loop, prog
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.printer import format_expr, format_program, format_stmt
+from repro.lang.validate import InvalidProgram, assert_detached_consistent, validate_program
+
+
+class TestValidator:
+    def test_valid_program_passes(self):
+        p = parse_program("a = 1\ndo i = 1, 2\n  b = i\nenddo\n")
+        validate_program(p)
+
+    def test_duplicate_in_tree_detected(self):
+        p = prog(assign("a", 1))
+        s = p.body[0]
+        p.body.append(s)  # corrupt: same node twice
+        with pytest.raises(InvalidProgram):
+            validate_program(p)
+
+    def test_unregistered_statement_detected(self):
+        p = prog(assign("a", 1))
+        ghost = assign("b", 2)  # never registered
+        p.body.append(ghost)
+        with pytest.raises(InvalidProgram):
+            validate_program(p)
+
+    def test_parent_map_disagreement_detected(self):
+        p = prog(assign("a", 1), loop("i", 1, 2, [assign("b", 2)]))
+        l = p.body[1]
+        inner = l.body[0]
+        # move the node without updating the parent map
+        l.body.remove(inner)
+        p.body.append(inner)
+        with pytest.raises(InvalidProgram):
+            validate_program(p)
+
+    def test_detached_marked_attached_detected(self):
+        p = prog(assign("a", 1))
+        s = p.body[0]
+        p.detach(s.sid)
+        p.body.append(s)  # bypass insert: attached flag stays False
+        with pytest.raises(InvalidProgram):
+            validate_program(p)
+
+    def test_detached_subtree_consistency(self):
+        p = prog(loop("i", 1, 2, [assign("b", 2)]))
+        l = p.body[0]
+        p.detach(l.sid)
+        assert_detached_consistent(p, l.sid)
+
+    def test_detached_check_rejects_attached(self):
+        p = prog(assign("a", 1))
+        with pytest.raises(InvalidProgram):
+            assert_detached_consistent(p, p.body[0].sid)
+
+
+class TestPrinterDetails:
+    def test_minimal_parentheses(self):
+        assert format_expr(parse_expr("a + b * c")) == "a + b * c"
+        assert format_expr(parse_expr("(a + b) * c")) == "(a + b) * c"
+
+    def test_left_assoc_subtraction_roundtrip(self):
+        e = parse_expr("a - b - c")
+        assert format_expr(e) == "a - b - c"
+        e2 = parse_expr("a - (b - c)")
+        assert format_expr(e2) == "a - (b - c)"
+
+    def test_unary_in_context(self):
+        assert format_expr(parse_expr("-a * b")) == "-a * b"
+        assert format_expr(parse_expr("-(a * b)")) == "-(a * b)"
+
+    def test_not_and_precedence(self):
+        e = parse_expr("not a and b")
+        assert format_expr(e) == "not a and b"
+
+    def test_float_without_trailing_zero(self):
+        assert format_expr(Const(3.0)) == "3"
+        assert format_expr(Const(2.5)) == "2.5"
+
+    def test_nonunit_step_printed(self):
+        p = parse_program("do i = 1, 9, 2\n  x = i\nenddo\n")
+        assert "do i = 1, 9, 2" in format_program(p)
+
+    def test_unit_step_omitted(self):
+        p = parse_program("do i = 1, 9\n  x = i\nenddo\n")
+        assert ", 1" not in format_program(p).splitlines()[0]
+
+    def test_else_branch_printed(self):
+        p = parse_program(
+            "if (a > 0) then\n  x = 1\nelse\n  x = 2\nendif\n")
+        text = format_program(p)
+        assert "else" in text and "endif" in text
+
+    def test_labels_align(self):
+        p = parse_program("a = 1\nb = 2\n")
+        lines = format_program(p, show_labels=True).splitlines()
+        assert lines[0].startswith("  1  ")
+
+    def test_format_stmt_single(self):
+        p = parse_program("do i = 1, 2\n  x = i\nenddo\n")
+        text = format_stmt(p.body[0])
+        assert text.startswith("do i") and text.endswith("enddo")
+
+    def test_empty_program(self):
+        p = prog()
+        assert format_program(p) == ""
