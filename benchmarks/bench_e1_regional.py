@@ -20,7 +20,8 @@ baseline checks grow ~linearly in n; the regional path stays flat.
 import numpy as np
 import pytest
 
-from repro.bench.reporting import Table, banner, ratio
+from repro.analysis.incremental import FULL, REGIONAL
+from repro.bench.reporting import Table, banner, ms, ratio
 from repro.core.undo import UndoStrategy
 from repro.lang.interp import traces_equivalent
 from repro.workloads.scenarios import build_session
@@ -95,6 +96,46 @@ def test_e1_incremental_analysis_work():
     # never more work, and clearly less at scale
     assert all(inc <= full for inc, full in rows)
     assert rows[-1][0] < rows[-1][1]
+
+
+def undo_update_timings(n: int, strategy_name: str):
+    """(pairs examined, updates, cumulative update seconds) for one undo
+    serviced under ``strategy_name``, plus the from-scratch comparison
+    figures measured on the same session."""
+    session = build_session(
+        SEED, n, UndoStrategy(incremental_strategy=strategy_name))
+    engine = session.engine
+    cache = engine.cache
+    graph = cache.dependences()  # materialize so the undo patches it
+    c0 = cache.counters.snapshot()
+    engine.undo(session.applied[0])
+    c1 = cache.counters.snapshot()
+    pairs = c1["incremental_pairs"] - c0["incremental_pairs"]
+    updates = c1["incremental_updates"] - c0["incremental_updates"]
+    secs = (c1["timers"].get("dependence_update", 0.0) -
+            c0["timers"].get("dependence_update", 0.0))
+    return pairs, updates, secs, graph.visited_pairs
+
+
+def test_e1_measured_update_time():
+    """E1c — the new wall-clock timers: regional vs full update strategy.
+
+    The visited-pair columns are deterministic and asserted; the
+    measured-time columns are reported (asserting on wall clock in CI
+    would flake).
+    """
+    banner("E1c — measured dependence-update time: "
+           "regional strategy vs from-scratch strategy")
+    t = Table(["n transforms", "regional pairs", "full pairs",
+               "pairs saved", "regional time", "full time"])
+    for n in SIZES:
+        rp, ru, rs, _ = undo_update_timings(n, REGIONAL)
+        fp, fu, fs, _scratch = undo_update_timings(n, FULL)
+        t.add(n, rp, fp, ratio(fp, max(rp, 1)), ms(rs), ms(fs))
+        assert ru >= 1 and fu >= 1
+        # the regional path must examine strictly fewer pairs per update
+        assert rp / ru < fp / fu
+    t.show()
 
 
 @pytest.mark.benchmark(group="e1")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Verify every module named in docs/ARCHITECTURE.md exists.
+
+The architecture document is the map new contributors navigate by; a
+renamed or deleted module must not survive there.  We scan the document
+for dotted ``repro.*`` names and check each against the source tree —
+a name resolves if it is an importable module/package or an attribute
+(class/function) of one.
+
+Exit status 0 when every reference resolves, 1 otherwise (with a list
+of the dangling names).  Run from the repository root:
+
+    python scripts/check_docs_modules.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+DOCS = [ROOT / "docs" / "ARCHITECTURE.md"]
+
+NAME_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+
+def module_exists(parts: list[str]) -> bool:
+    """Is ``parts`` an importable module or package under src/?"""
+    path = SRC.joinpath(*parts)
+    return path.with_suffix(".py").is_file() or \
+        (path / "__init__.py").is_file()
+
+
+def attribute_exists(parts: list[str]) -> bool:
+    """Is ``parts`` a module attribute (``pkg.module.Name`` or deeper)?"""
+    for split in range(len(parts) - 1, 0, -1):
+        if not module_exists(parts[:split]):
+            continue
+        mod = SRC.joinpath(*parts[:split]).with_suffix(".py")
+        if not mod.is_file():
+            mod = SRC.joinpath(*parts[:split]) / "__init__.py"
+        text = mod.read_text(encoding="utf-8")
+        name = parts[split]
+        if re.search(rf"^\s*(?:def|class)\s+{re.escape(name)}\b", text,
+                     re.MULTILINE):
+            return True
+        if re.search(rf"^{re.escape(name)}\s*(?::|=)", text, re.MULTILINE):
+            return True
+    return False
+
+
+def main() -> int:
+    missing: list[tuple[str, str]] = []
+    checked = 0
+    for doc in DOCS:
+        for name in sorted(set(NAME_RE.findall(doc.read_text("utf-8")))):
+            parts = name.split(".")
+            checked += 1
+            if not (module_exists(parts) or attribute_exists(parts)):
+                missing.append((doc.name, name))
+    if missing:
+        for doc, name in missing:
+            print(f"{doc}: dangling reference {name!r}", file=sys.stderr)
+        return 1
+    print(f"ok: {checked} doc reference(s) resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

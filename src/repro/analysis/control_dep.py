@@ -45,15 +45,36 @@ class ControlDepTree:
         self._next = ROOT_REGION
         #: sid → rid of the region directly containing the statement.
         self.region_of: Dict[int, int] = {}
+        #: (owner_sid, kind) → rid, for O(1) container-to-region lookup.
+        self.by_owner: Dict[Tuple[int, str], int] = {}
 
     def new_region(self, kind: str, owner_sid: int, parent: int) -> RegionNode:
         """Create a region node and link it under ``parent``."""
         r = RegionNode(self._next, kind, owner_sid, parent)
         self._next += 1
         self.regions[r.rid] = r
+        if owner_sid >= 0:
+            self.by_owner[(owner_sid, kind)] = r.rid
         if parent >= 0:
             self.regions[parent].children.append(r.rid)
         return r
+
+    def drop_region(self, rid: int) -> None:
+        """Delete region ``rid`` and everything nested inside it."""
+        stack = [rid]
+        while stack:
+            r = self.regions.pop(stack.pop(), None)
+            if r is None:
+                continue
+            stack.extend(r.children)
+            if r.owner_sid >= 0:
+                self.by_owner.pop((r.owner_sid, r.kind), None)
+            for sid in r.members:
+                if self.region_of.get(sid) == r.rid:
+                    del self.region_of[sid]
+            parent = self.regions.get(r.parent)
+            if parent is not None and r.rid in parent.children:
+                parent.children.remove(r.rid)
 
     # -- queries ---------------------------------------------------------------
 
@@ -130,17 +151,124 @@ def build_control_dep_tree(program: Program) -> ControlDepTree:
     return tree
 
 
+#: container slot → region kind.
+_SLOT_KIND = {"body": "loop_body", "then": "then", "else": "else"}
+
+
 def region_of_container(tree: ControlDepTree, program: Program,
                         container: Tuple[int, str]) -> int:
     """Map a statement-container reference to the region holding its code."""
     sid, slot = container
     if sid == 0:
         return ROOT_REGION
-    # find the region owned by this predicate with the matching slot
-    want = {"body": "loop_body", "then": "then", "else": "else"}[slot]
-    for rid, r in tree.regions.items():
-        if r.owner_sid == sid and r.kind == want:
-            return rid
+    # the region owned by this predicate with the matching slot
+    rid = tree.by_owner.get((sid, _SLOT_KIND[slot]))
+    if rid is not None:
+        return rid
     # container exists but holds no region (e.g. empty else): fall back to
     # the region containing the owner statement itself.
     return tree.region_of.get(sid, ROOT_REGION)
+
+
+def ensure_container_region(tree: ControlDepTree, program: Program,
+                            container: Tuple[int, str]) -> int:
+    """Region for a container, creating the owner chain when missing.
+
+    Unlike :func:`region_of_container` this never falls back: a missing
+    region (a freshly attached loop/branch, or a previously empty
+    ``else``) is created under the region of the owner's own container,
+    recursing up the parent chain as needed.
+    """
+    sid, slot = container
+    if sid == 0:
+        return ROOT_REGION
+    kind = _SLOT_KIND[slot]
+    rid = tree.by_owner.get((sid, kind))
+    if rid is not None:
+        return rid
+    parent_ref = program.parent_of(sid) or (0, "body")
+    parent_rid = ensure_container_region(tree, program, parent_ref)
+    return tree.new_region(kind, sid, parent_rid).rid
+
+
+def update_control_tree(tree: ControlDepTree, program: Program,
+                        events) -> ControlDepTree:
+    """Patch ``tree`` in place after a change-event batch.
+
+    Only the event statements' subtrees (and the containers they entered
+    or left) are reconciled; untouched regions — ids, membership, nesting
+    — are preserved, which is what lets the dependence summaries keyed by
+    region id survive an undo.  The patched tree is structurally equal to
+    a fresh :func:`build_control_dep_tree` (region ids may differ; see
+    :func:`tree_signature`).
+    """
+    from repro.analysis.regional import touched_statements
+
+    dirty = touched_statements(program, events)
+    if not dirty:
+        return tree
+
+    # 1. statements that left the program take their owned regions along
+    for sid in dirty:
+        if program.has_node(sid) and program.is_attached(sid):
+            continue
+        rid = tree.region_of.pop(sid, None)
+        if rid is not None:
+            region = tree.regions.get(rid)
+            if region is not None and sid in region.members:
+                region.members.remove(sid)
+        for kind in ("loop_body", "then", "else"):
+            owned = tree.by_owner.get((sid, kind))
+            if owned is not None:
+                tree.drop_region(owned)
+
+    # 2. re-place attached dirty statements, ancestors before descendants
+    #    (one linear walk keeps preorder without sorting)
+    for s in program.walk():
+        if s.sid not in dirty:
+            continue
+        parent_ref = program.parent_of(s.sid) or (0, "body")
+        rid = ensure_container_region(tree, program, parent_ref)
+        old = tree.region_of.get(s.sid)
+        if old != rid:
+            old_region = tree.regions.get(old) if old is not None else None
+            if old_region is not None and s.sid in old_region.members:
+                old_region.members.remove(s.sid)
+            tree.region_of[s.sid] = rid
+        # keep member order aligned with the container's statement list
+        region = tree.regions[rid]
+        siblings = program.container_list(parent_ref)
+        region.members = [c.sid for c in siblings
+                          if tree.region_of.get(c.sid) == rid]
+        # regions this statement owns follow it to its new parent region
+        for kind in ("loop_body", "then", "else"):
+            owned = tree.by_owner.get((s.sid, kind))
+            if owned is None:
+                continue
+            owned_region = tree.regions[owned]
+            if owned_region.parent != rid:
+                old_parent = tree.regions.get(owned_region.parent)
+                if old_parent is not None and owned in old_parent.children:
+                    old_parent.children.remove(owned)
+                owned_region.parent = rid
+                tree.regions[rid].children.append(owned)
+    return tree
+
+
+def tree_signature(tree: ControlDepTree):
+    """A region-id-independent structural fingerprint of the tree.
+
+    Two trees describe the same control-dependence structure exactly when
+    their signatures are equal: every statement maps to the same chain of
+    ``(kind, owner_sid)`` regions, innermost first.  Used by the
+    incremental-correctness tests to compare a patched tree against a
+    fresh build.
+    """
+    sig = {}
+    for sid in tree.region_of:
+        chain = []
+        for rid in tree.region_chain(sid):
+            r = tree.regions[rid]
+            chain.append((r.kind, r.owner_sid))
+        sig[sid] = tuple(chain)
+    return sig

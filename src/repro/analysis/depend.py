@@ -336,7 +336,7 @@ class DependenceGraph:
         return out
 
 
-def _array_refs(stmt: Stmt) -> List[Tuple[str, ArrayRef, bool]]:
+def stmt_array_refs(stmt: Stmt) -> List[Tuple[str, ArrayRef, bool]]:
     """``(array, ref, is_write)`` for every array reference in ``stmt``."""
     out: List[Tuple[str, ArrayRef, bool]] = []
 
@@ -362,8 +362,154 @@ def _array_refs(stmt: Stmt) -> List[Tuple[str, ArrayRef, bool]]:
     return out
 
 
+#: Backward-compatible alias (pre-regional name).
+_array_refs = stmt_array_refs
+
+
+# ---------------------------------------------------------------------------
+# Pair-level dependence tests
+#
+# The whole-program analysis and the regional (incremental) analysis in
+# :mod:`repro.analysis.regional` both reduce to these three primitives:
+# given ONE candidate pair, compute its dependences.  Keeping them in one
+# place is what guarantees the incremental engine derives exactly the
+# edges the from-scratch run would.
+# ---------------------------------------------------------------------------
+
+
+def _index_def(stmt: Stmt, name: str) -> bool:
+    """A loop header's definition of its own index variable.
+
+    Loop-index variables are the loop's iteration mechanism: a header's
+    definition of its own index is private plumbing (conceptually the
+    index is renamed per loop), so dependences whose *defining* endpoint
+    is a loop header defining its own variable are excluded.  Without
+    this, every pair of loops sharing an index name appears coupled and
+    no outer loop is ever parallel.
+    """
+    return isinstance(stmt, Loop) and stmt.var == name
+
+
+def scalar_pair_deps(node_a: Stmt, da, node_b: Stmt, db,
+                     common: Sequence[Loop]) -> List[Dependence]:
+    """Scalar dependences of one statement pair.
+
+    ``node_a`` must not come after ``node_b`` textually (pass the same
+    statement twice for the self pair); ``da``/``db`` are their
+    :func:`~repro.lang.ast_nodes.stmt_defuse` results and ``common`` the
+    pair's common enclosing-loop chain, outermost first.
+    """
+    sa, sb = node_a.sid, node_b.sid
+    out: List[Dependence] = []
+    lv = [l.var for l in common]
+    for kind, xs, ys in ((FLOW, da.defs, db.uses),
+                         (ANTI, da.uses, db.defs),
+                         (OUTPUT, da.defs, db.defs)):
+        for name in xs & ys:
+            def_node = node_a if kind in (FLOW, OUTPUT) else node_b
+            if _index_def(def_node, name):
+                continue
+            if kind == OUTPUT and _index_def(node_b, name):
+                continue
+            if sa == sb and not common:
+                # self dependences only matter when loop-carried
+                continue
+            if sa != sb:
+                out.append(Dependence(sa, sb, kind, name,
+                                      tuple(EQ for _ in lv), False))
+            if common:
+                # conservative loop-carried scalar dependence
+                vec = (LT,) + tuple(ANY for _ in lv[1:])
+                out.append(Dependence(sa, sb, kind, name, vec, True))
+                if sa != sb:
+                    out.append(Dependence(sb, sa, kind, name, vec, True))
+    return out
+
+
+def array_pair_deps(sa: int, ra: ArrayRef, wa: bool,
+                    sb: int, rb: ArrayRef, wb: bool,
+                    same_ref: bool, common: Sequence[Loop],
+                    pos: Dict[int, int]) -> List[Dependence]:
+    """Array dependences of one (ordered) reference pair.
+
+    Callers guarantee both refs name the same array, at least one writes,
+    and ``ra`` does not come after ``rb`` in the global reference order.
+    ``same_ref`` marks the self pair of a single access.
+    """
+    kind = OUTPUT if (wa and wb) else (FLOW if wa else ANTI)
+    lv = [l.var for l in common]
+    if same_ref and not common:
+        return []  # a single access depends on itself only across iterations
+    dims: List[Optional[Dict[str, Set[str]]]] = []
+    ndim = max(len(ra.subscripts), len(rb.subscripts))
+    for k in range(ndim):
+        fa = linearize(ra.subscripts[k]) if k < len(ra.subscripts) else None
+        fb = linearize(rb.subscripts[k]) if k < len(rb.subscripts) else None
+        dims.append(dimension_directions(fa, fb, lv))
+    merged = _merge_constraints(dims, lv)
+    if merged is None:
+        return []  # proven independent
+    if same_ref and all(merged.get(v) == {EQ} for v in lv):
+        return []  # same access touching the same element: no dep
+    out: List[Dependence] = []
+    for vec in _constraints_to_vectors(merged, lv):
+        norm = _normalize(sa, sb, vec, pos)
+        if norm is None:
+            continue
+        src, dst, v, carried = norm
+        if src == dst and not carried:
+            continue
+        if not carried and src == sa and dst == sb and pos[sa] > pos[sb]:
+            continue
+        out.append(Dependence(src, dst, kind, ra.name, v, carried))
+    return out
+
+
+def io_chain_deps(io_sids: Sequence[int], loops_of,
+                  common_loops) -> List[Dependence]:
+    """I/O ordering dependences over the textual chain of I/O statements.
+
+    ``loops_of(sid)`` and ``common_loops(a, b)`` supply the enclosing /
+    common loop chains.  The chain couples *adjacent* I/O statements, so
+    any structural change re-derives it wholesale (it is linear in the
+    number of I/O statements, never quadratic).
+    """
+    deps: List[Dependence] = []
+    for a, b in zip(io_sids, io_sids[1:]):
+        cl = common_loops(a, b)
+        deps.append(Dependence(a, b, IO, "<io>",
+                               tuple(EQ for _ in cl), False))
+        if cl:
+            deps.append(Dependence(a, b, IO, "<io>",
+                                   (LT,) + tuple(ANY for _ in cl[1:]), True))
+    # an I/O statement inside a loop depends on itself across iterations
+    for a in io_sids:
+        if loops_of(a):
+            vec = (LT,) + tuple(ANY for _ in loops_of(a)[1:])
+            deps.append(Dependence(a, a, IO, "<io>", vec, True))
+    return deps
+
+
+def dedupe_deps(deps: Sequence[Dependence]) -> List[Dependence]:
+    """Drop duplicate edges, keeping first occurrences."""
+    seen: Set[Tuple] = set()
+    uniq: List[Dependence] = []
+    for d in deps:
+        key = (d.src, d.dst, d.kind, d.var, d.directions, d.carried)
+        if key not in seen:
+            seen.add(key)
+            uniq.append(d)
+    return uniq
+
+
 def analyze_dependences(program: Program) -> DependenceGraph:
-    """Compute the dependence graph of ``program``."""
+    """Compute the dependence graph of ``program`` from scratch.
+
+    Examines every statement pair (O(n²)) and every same-array reference
+    pair; ``visited_pairs`` on the result records that work.  The
+    regional engine (:mod:`repro.analysis.regional`) produces the same
+    edges while examining only pairs near a change.
+    """
     stmts = list(program.walk())
     pos = {s.sid: i for i, s in enumerate(stmts)}
     loops_of: Dict[int, List[Loop]] = {
@@ -381,109 +527,32 @@ def analyze_dependences(program: Program) -> DependenceGraph:
         return out
 
     # ---- scalar dependences --------------------------------------------------
-    # Loop-index variables are the loop's iteration mechanism: a header's
-    # definition of its own index is private plumbing (conceptually the
-    # index is renamed per loop), so dependences whose *defining* endpoint
-    # is a loop header defining its own variable are excluded.  Without
-    # this, every pair of loops sharing an index name appears coupled and
-    # no outer loop is ever parallel.
-    def _index_def(stmt: Stmt, name: str) -> bool:
-        return isinstance(stmt, Loop) and stmt.var == name
-
-    du = [(s.sid, stmt_defuse(s)) for s in stmts]
-    node_of = {s.sid: s for s in stmts}
-    for i, (sa, da) in enumerate(du):
-        for sb, db in du[i:]:
+    du = [(s, stmt_defuse(s)) for s in stmts]
+    for i, (na, da) in enumerate(du):
+        for nb, db in du[i:]:
             visited_pairs += 1
-            pairs = []
-            for kind, xs, ys in ((FLOW, da.defs, db.uses),
-                                 (ANTI, da.uses, db.defs),
-                                 (OUTPUT, da.defs, db.defs)):
-                for name in xs & ys:
-                    def_side = sa if kind in (FLOW, OUTPUT) else sb
-                    if _index_def(node_of[def_side], name):
-                        continue
-                    if kind == OUTPUT and _index_def(node_of[sb], name):
-                        continue
-                    pairs.append((kind, name))
-            if sa == sb:
-                # self dependences only matter when loop-carried
-                pairs = [(k, n) for k, n in pairs if loops_of[sa]]
-            for kind, name in pairs:
-                cl = common_loops(sa, sb)
-                lv = [l.var for l in cl]
-                if pos[sa] <= pos[sb] and sa != sb:
-                    deps.append(Dependence(sa, sb, kind, name,
-                                           tuple(EQ for _ in lv), False))
-                if cl:
-                    # conservative loop-carried scalar dependence
-                    vec = (LT,) + tuple(ANY for _ in lv[1:])
-                    deps.append(Dependence(sa, sb, kind, name, vec, True))
-                    if sa != sb:
-                        deps.append(Dependence(sb, sa, kind, name, vec, True))
+            deps.extend(scalar_pair_deps(na, da, nb, db,
+                                         common_loops(na.sid, nb.sid)))
 
     # ---- array dependences ------------------------------------------------------
     refs: List[Tuple[int, str, ArrayRef, bool]] = []
     for s in stmts:
-        for name, ref, w in _array_refs(s):
+        for name, ref, w in stmt_array_refs(s):
             refs.append((s.sid, name, ref, w))
     for i, (sa, na, ra, wa) in enumerate(refs):
         for sb, nb, rb, wb in refs[i:]:
             if na != nb or not (wa or wb):
                 continue
             visited_pairs += 1
-            kind = OUTPUT if (wa and wb) else (FLOW if wa else ANTI)
-            cl = common_loops(sa, sb)
-            lv = [l.var for l in cl]
-            self_same_ref = sa == sb and ra is rb
-            if self_same_ref and not cl:
-                continue  # a single access depends on itself only across iterations
-            dims: List[Optional[Dict[str, Set[str]]]] = []
-            ndim = max(len(ra.subscripts), len(rb.subscripts))
-            for k in range(ndim):
-                fa = linearize(ra.subscripts[k]) if k < len(ra.subscripts) else None
-                fb = linearize(rb.subscripts[k]) if k < len(rb.subscripts) else None
-                dims.append(dimension_directions(fa, fb, lv))
-            merged = _merge_constraints(dims, lv)
-            if merged is None:
-                continue  # proven independent
-            if self_same_ref and all(merged.get(v) == {EQ} for v in lv):
-                continue  # same access touching the same element: no dep
-            for vec in _constraints_to_vectors(merged, lv):
-                norm = _normalize(sa, sb, vec, pos)
-                if norm is None:
-                    continue
-                src, dst, v, carried = norm
-                if src == dst and not carried:
-                    continue
-                if not carried and src == sa and dst == sb and pos[sa] > pos[sb]:
-                    continue
-                deps.append(Dependence(src, dst, kind, na, v, carried))
+            deps.extend(array_pair_deps(sa, ra, wa, sb, rb, wb,
+                                        sa == sb and ra is rb,
+                                        common_loops(sa, sb), pos))
 
     # ---- I/O ordering dependences --------------------------------------------------
     io_stmts = [s.sid for s in stmts if stmt_defuse(s).is_io]
-    for a, b in zip(io_stmts, io_stmts[1:]):
-        cl = common_loops(a, b)
-        deps.append(Dependence(a, b, IO, "<io>",
-                               tuple(EQ for _ in cl), False))
-        if cl:
-            deps.append(Dependence(a, b, IO, "<io>",
-                                   (LT,) + tuple(ANY for _ in cl[1:]), True))
-    # an I/O statement inside a loop depends on itself across iterations
-    for a in io_stmts:
-        if loops_of[a]:
-            vec = (LT,) + tuple(ANY for _ in loops_of[a][1:])
-            deps.append(Dependence(a, a, IO, "<io>", vec, True))
+    deps.extend(io_chain_deps(io_stmts, lambda a: loops_of[a], common_loops))
 
-    # dedupe
-    seen: Set[Tuple] = set()
-    uniq: List[Dependence] = []
-    for d in deps:
-        key = (d.src, d.dst, d.kind, d.var, d.directions, d.carried)
-        if key not in seen:
-            seen.add(key)
-            uniq.append(d)
-    return DependenceGraph(program, uniq, visited_pairs)
+    return DependenceGraph(program, dedupe_deps(deps), visited_pairs)
 
 
 # ---------------------------------------------------------------------------

@@ -27,7 +27,15 @@ from repro.lang.ast_nodes import Loop, Program
 
 @dataclass
 class RegionSummaries:
-    """Dependence summaries keyed by region id."""
+    """Dependence summaries keyed by region id.
+
+    Besides the region buckets, three auxiliary maps make the summaries
+    *patchable*: ``_rid_of`` remembers where each dependence was
+    summarized, ``_by_stmt`` buckets dependences by endpoint (so the
+    edges invalidated by a touched statement are found without scanning
+    every region), and ``_io`` tracks the I/O chain, which incremental
+    updates re-derive wholesale.
+    """
 
     tree: ControlDepTree
     #: region id → dependences whose LCR is that region.
@@ -36,10 +44,51 @@ class RegionSummaries:
     visits_summary: int = 0
     #: instrumentation: nodes visited by exhaustive queries.
     visits_exhaustive: int = 0
+    #: dependence → region it is summarized on.
+    _rid_of: Dict[Dependence, int] = field(default_factory=dict)
+    #: endpoint sid → dependences touching it.
+    _by_stmt: Dict[int, Set[Dependence]] = field(default_factory=dict)
+    #: the currently summarized I/O-chain dependences.
+    _io: Set[Dependence] = field(default_factory=set)
 
     def deps_on(self, rid: int) -> List[Dependence]:
         """Dependences summarized on region ``rid``."""
         return list(self.by_region.get(rid, ()))
+
+    # -- incremental maintenance ----------------------------------------------
+
+    def add_dep(self, d: Dependence, rid: int) -> None:
+        """Summarize ``d`` on region ``rid`` (no-op when already there)."""
+        if d in self._rid_of:
+            return
+        self.by_region.setdefault(rid, []).append(d)
+        self._rid_of[d] = rid
+        self._by_stmt.setdefault(d.src, set()).add(d)
+        self._by_stmt.setdefault(d.dst, set()).add(d)
+        if d.kind == "io":
+            self._io.add(d)
+
+    def discard_dep(self, d: Dependence) -> None:
+        """Remove ``d`` from every map (no-op when absent)."""
+        rid = self._rid_of.pop(d, None)
+        if rid is None:
+            return
+        bucket = self.by_region.get(rid)
+        if bucket is not None and d in bucket:
+            bucket.remove(d)
+            if not bucket:
+                del self.by_region[rid]
+        for sid in (d.src, d.dst):
+            deps = self._by_stmt.get(sid)
+            if deps is not None:
+                deps.discard(d)
+                if not deps:
+                    del self._by_stmt[sid]
+        self._io.discard(d)
+
+    def stmt_deps(self, sid: int) -> List[Dependence]:
+        """Summarized dependences with ``sid`` as an endpoint."""
+        return list(self._by_stmt.get(sid, ()))
 
     # -- Figure 3's motivating query -----------------------------------------
 
@@ -85,10 +134,7 @@ class RegionSummaries:
         return out
 
     def _body_region(self, loop: Loop) -> int:
-        for rid, r in self.tree.regions.items():
-            if r.owner_sid == loop.sid and r.kind == "loop_body":
-                return rid
-        return 0
+        return self.tree.by_owner.get((loop.sid, "loop_body"), 0)
 
 
 def build_summaries(program: Program,
@@ -103,6 +149,38 @@ def build_summaries(program: Program,
     for d in dgraph.deps:
         if d.src not in tree.region_of or d.dst not in tree.region_of:
             continue
-        rid = tree.lcr(d.src, d.dst)
-        out.by_region.setdefault(rid, []).append(d)
+        out.add_dep(d, tree.lcr(d.src, d.dst))
     return out
+
+
+def update_summaries(summ: RegionSummaries, program: Program,
+                     tree: ControlDepTree, touched: Set[int],
+                     dgraph: DependenceGraph) -> RegionSummaries:
+    """Patch ``summ`` in place after a change-event batch.
+
+    ``tree`` must be the *in-place patched* control tree the summaries
+    were built over (untouched region ids preserved — that is what keeps
+    the untouched buckets valid), and ``dgraph`` the already-updated
+    dependence graph.  Only dependences with a touched endpoint, plus
+    the wholesale-re-derived I/O chain, are re-hung on their (possibly
+    new) LCR; everything else stays where it is.
+    """
+    summ.tree = tree
+    # 1. drop what the events may have invalidated
+    stale = set(summ._io)
+    for sid in touched:
+        stale.update(summ._by_stmt.get(sid, ()))
+    for d in stale:
+        summ.discard_dep(d)
+    # 2. re-hang the current edges of touched statements + the I/O chain
+    fresh: Set[Dependence] = set()
+    for sid in touched:
+        fresh.update(dgraph.from_stmt(sid))
+        fresh.update(dgraph.to_stmt(sid))
+    for d in dgraph.deps:
+        if d.kind == "io":
+            fresh.add(d)
+    for d in fresh:
+        if d.src in tree.region_of and d.dst in tree.region_of:
+            summ.add_dep(d, tree.lcr(d.src, d.dst))
+    return summ

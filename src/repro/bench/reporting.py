@@ -62,3 +62,8 @@ def ratio(a: float, b: float) -> str:
     if b == 0:
         return "inf" if a else "1.0"
     return f"{a / b:.2f}x"
+
+
+def ms(seconds: float) -> str:
+    """Format a ``WorkCounters`` timer value as milliseconds."""
+    return f"{seconds * 1e3:.3f}ms"

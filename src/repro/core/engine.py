@@ -58,7 +58,7 @@ class TransformationEngine:
         self.applier = ActionApplier(program)
         self.history = History()
         self.applier.orderer = make_sibling_orderer(self.history)
-        self.cache = AnalysisCache(program)
+        self.cache = AnalysisCache(program, events=self.applier.events)
         self.strategy = strategy if strategy is not None else UndoStrategy()
         self._undo_engine = UndoEngine(program, self.applier, self.history,
                                        self.cache, self.registry,

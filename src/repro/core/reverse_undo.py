@@ -41,11 +41,15 @@ class ReverseUndoEngine:
     """Strict LIFO undo over the same history/applier as the main engine."""
 
     def __init__(self, program: Program, applier: ActionApplier,
-                 history: History, cache: AnalysisCache):
+                 history: History, cache: AnalysisCache,
+                 incremental: bool = True):
         self.program = program
         self.applier = applier
         self.history = history
         self.cache = cache
+        #: patch materialized analyses from the inverse-action events
+        #: instead of dropping the whole cache after every step.
+        self.incremental = incremental
 
     def undo_last(self) -> int:
         """Undo the most recently applied active transformation."""
@@ -53,6 +57,7 @@ class ReverseUndoEngine:
         if not active:
             raise UndoError("no active transformation to undo")
         rec = active[-1]
+        cursor = self.applier.events.cursor()
         for act in reversed(rec.actions):
             try:
                 self.applier.invert(act, rec.stamp)
@@ -60,7 +65,10 @@ class ReverseUndoEngine:
                 raise UndoError(
                     f"LIFO inverse of t{rec.stamp} failed: {exc}") from exc
         self.history.deactivate(rec.stamp)
-        self.cache.invalidate()
+        if self.incremental:
+            self.cache.update_after_events(self.applier.events.since(cursor))
+        else:
+            self.cache.invalidate()
         return rec.stamp
 
     def undo_to(self, stamp: int) -> ReverseUndoReport:

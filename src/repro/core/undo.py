@@ -27,7 +27,12 @@ studies can quantify each ingredient:
     only).
 ``use_incremental``
     Update the dependence information from change events instead of
-    re-running the whole analysis.
+    re-running the whole analysis.  ``incremental_strategy`` selects the
+    updater: ``"regional"`` (default) patches every materialized analysis
+    from the events through the regional engine
+    (:meth:`AnalysisCache.update_after_events`), while ``"full"`` reruns
+    the from-scratch analysis — the baseline the benchmarks compare
+    against (see docs/PERFORMANCE.md).
 
 All three default to on — the paper's configuration.
 """
@@ -95,6 +100,9 @@ class UndoStrategy:
     use_heuristic: bool = True
     use_regional: bool = True
     use_incremental: bool = True
+    #: ``"regional"`` (event-driven patching) or ``"full"`` (from-scratch
+    #: baseline); only consulted when ``use_incremental`` is on.
+    incremental_strategy: str = "regional"
 
 
 class UndoEngine:
@@ -218,10 +226,12 @@ class UndoEngine:
         self.history.deactivate(rec.stamp)
         report.undone.append(rec.stamp)
 
-        # line 13: dependence and data flow update
+        # line 13: dependence and data flow update — patch every
+        # materialized analysis from the change events
         events = self.applier.events.since(cursor)
         if self.strategy.use_incremental:
-            self.cache.update_dependences(events)
+            self.cache.update_after_events(
+                events, strategy=self.strategy.incremental_strategy)
         else:
             self.cache.invalidate()
 

@@ -24,6 +24,7 @@ and parent map stay consistent; the primitive actions in
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
@@ -535,6 +536,31 @@ class Program:
         #: bumped on every structural or expression mutation; analyses use
         #: it to detect staleness.
         self.version = 0
+        #: highest version ever reached; :meth:`probe` rolls ``version``
+        #: back but never re-issues a burned number.
+        self._version_hwm = 0
+
+    def _bump_version(self) -> None:
+        self._version_hwm = max(self._version_hwm, self.version) + 1
+        self.version = self._version_hwm
+
+    @contextmanager
+    def probe(self) -> Iterator[None]:
+        """Scope for a trial mutation that will be perfectly restored.
+
+        Safety checks sometimes re-insert a deleted statement, ask an
+        analysis question, and detach it again — a structural no-op that
+        must not make event-patched caches look stale.  The version is
+        restored on exit; the versions consumed inside are burned (never
+        reused), so caches stamped during the probe can never collide
+        with a later program state.
+        """
+        saved = self.version
+        try:
+            yield
+        finally:
+            self._version_hwm = max(self._version_hwm, self.version)
+            self.version = saved
 
     # -- registration --------------------------------------------------------
 
@@ -618,7 +644,7 @@ class Program:
         lst.insert(index, stmt)
         info.parent = ref
         self._mark_attached(stmt, True)
-        self.version += 1
+        self._bump_version()
 
     def detach(self, sid: int) -> Stmt:
         """Remove ``sid`` from its container; keeps it registered."""
@@ -634,7 +660,7 @@ class Program:
         # a detached statement keeps no parent, but its children keep
         # pointing at it so re-attachment restores the whole subtree.
         info.parent = None
-        self.version += 1
+        self._bump_version()
         return info.stmt
 
     def move_stmt(self, sid: int, ref: ContainerRef, index: int) -> None:
@@ -644,7 +670,7 @@ class Program:
 
     def touch(self) -> None:
         """Record a non-structural (expression) mutation."""
-        self.version += 1
+        self._bump_version()
 
     # -- traversal ---------------------------------------------------------------
 

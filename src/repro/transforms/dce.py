@@ -111,12 +111,13 @@ class DeadCodeElimination(Transformation):
             # restore point and no reachable uses — still safe.
             return SafetyResult.ok()
         ref, idx = resolved
-        program.insert(ref, idx, program.node(sid))
-        try:
-            df = analyze_dataflow(program)
-            dead = df.is_dead(sid, target)
-        finally:
-            program.detach(sid)
+        with program.probe():
+            program.insert(ref, idx, program.node(sid))
+            try:
+                df = analyze_dataflow(program)
+                dead = df.is_dead(sid, target)
+            finally:
+                program.detach(sid)
         if dead:
             return SafetyResult.ok()
         return SafetyResult.broken(
