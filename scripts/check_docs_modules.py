@@ -21,7 +21,8 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
-DOCS = [ROOT / "docs" / "ARCHITECTURE.md"]
+DOCS = [ROOT / "docs" / "ARCHITECTURE.md",
+        ROOT / "docs" / "PERSISTENCE.md"]
 
 NAME_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Regenerate the paper tables/figures printed by the benchmark suite.
+#
+# By default writes benchmarks/output/tables_output.regen.txt (gitignored)
+# so a regeneration never silently rewrites the tracked reference copy;
+# pass --promote to overwrite benchmarks/output/tables_output.txt after
+# reviewing the diff.
+#
+#   scripts/regen_tables.sh             # fresh copy for comparison
+#   scripts/regen_tables.sh --promote   # update the tracked reference
+set -eu
+
+cd "$(dirname "$0")/.."
+out="benchmarks/output/tables_output.regen.txt"
+[ "${1:-}" = "--promote" ] && out="benchmarks/output/tables_output.txt"
+
+mkdir -p benchmarks/output
+PYTHONPATH=src python -m pytest benchmarks/ -q -s --benchmark-disable \
+    | grep -v -E '^(=|platform |rootdir|plugins|configfile|cachedir|collecting|[0-9]+ passed)' \
+    > "$out"
+echo "wrote $out"

@@ -108,6 +108,44 @@ class WorkCounters:
         out["timers"] = dict(self.timers)
         return out
 
+    def reset(self) -> None:
+        """Zero every counter and timer in place.
+
+        For callers that own the counters outright (a fresh benchmark
+        phase).  Request-scoped samplers must NOT reset shared counters —
+        that would clobber a concurrently running benchmark's timers; they
+        take two :meth:`snapshot` copies and diff them with :meth:`delta`.
+        """
+        for name in self.__dataclass_fields__:
+            if name == "timers":
+                self.timers.clear()
+            else:
+                setattr(self, name, 0)
+
+    @staticmethod
+    def delta(before: Dict[str, object],
+              after: Dict[str, object]) -> Dict[str, object]:
+        """Per-field ``after - before`` of two :meth:`snapshot` dicts.
+
+        The non-destructive way to attribute analysis work to one request:
+        sample before, run, sample after, diff — the live counters keep
+        accumulating for whoever else is watching them.  Timer keys absent
+        on either side count as 0; zero-valued timer deltas are dropped.
+        """
+        out: Dict[str, object] = {}
+        for key, end in after.items():
+            if key == "timers":
+                continue
+            out[key] = end - before.get(key, 0)  # type: ignore[operator]
+        timers: Dict[str, float] = {}
+        b_timers = before.get("timers", {})
+        for key, end in after.get("timers", {}).items():  # type: ignore
+            diff = end - b_timers.get(key, 0.0)  # type: ignore[union-attr]
+            if diff:
+                timers[key] = diff
+        out["timers"] = timers
+        return out
+
 
 class AnalysisCache:
     """Version-checked, event-patchable cache of every analysis.

@@ -67,3 +67,13 @@ def ratio(a: float, b: float) -> str:
 def ms(seconds: float) -> str:
     """Format a ``WorkCounters`` timer value as milliseconds."""
     return f"{seconds * 1e3:.3f}ms"
+
+
+def rate(count: float, seconds: float) -> str:
+    """Format a throughput as operations per second."""
+    if seconds <= 0:
+        return "inf/s"
+    per_s = count / seconds
+    if per_s >= 1000:
+        return f"{per_s / 1000:.1f}k/s"
+    return f"{per_s:.1f}/s"

@@ -236,12 +236,75 @@ class CliSession:
         return __doc__.split("Commands", 1)[1]
 
 
+USAGE = """\
+usage: python -m repro <program file>            interactive session
+       python -m repro serve <root>              line-protocol server on stdio
+       python -m repro session <root> <name> <verb> [args...]
+           verbs: init <file> | apply <name> [k] | undo <stamp>
+                  undo-lifo <stamp> | log | show | metrics | snapshot
+                  reopen [--verify]"""
+
+
+def _main_serve(argv: List[str]) -> int:
+    """``repro serve <root>`` — the durable multi-session server."""
+    from repro.service.server import SessionServer
+    from repro.service.session import SessionManager
+
+    if len(argv) != 1:
+        print(USAGE)
+        return 2
+    server = SessionServer(SessionManager(argv[0]))
+    server.serve(sys.stdin, sys.stdout)
+    return 0
+
+
+def _main_session(argv: List[str]) -> int:
+    """``repro session <root> <name> <verb> [args...]`` — one-shot command."""
+    from repro.service.server import SessionServer
+    from repro.service.session import DurableSession, SessionManager
+
+    if len(argv) < 3:
+        print(USAGE)
+        return 2
+    root, name, verb, args = argv[0], argv[1], argv[2], argv[3:]
+    import os
+
+    if verb == "reopen":
+        # explicit crash-recovery entry point, bypassing the manager so
+        # --verify can request the from-scratch replay check
+        session = DurableSession.open(os.path.join(root, name),
+                                      verify="--verify" in args)
+        r = session.recovery
+        print(f"reopened {name}: seq {r.seq}, replayed {r.replayed} "
+              f"command(s) from "
+              f"{'snapshot ' + str(r.snapshot_seq) if r.snapshot_seq else 'genesis'}"
+              + (f", dropped {r.torn_bytes} torn byte(s)" if r.torn_bytes
+                 else "")
+              + (", verified" if r.verified else ""))
+        session.snapshot()
+        session.close()
+        return 0
+    if verb == "show":
+        verb, args = "source", ["labels"]
+    manager = SessionManager(root)
+    server = SessionServer(manager)
+    out = server.handle_line(" ".join([name, verb] + args))
+    manager.close_all()
+    if out:
+        print(out)
+    return 1 if out.startswith("error:") else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro``."""
     argv = argv if argv is not None else sys.argv[1:]
     if not argv:
-        print("usage: python -m repro <program file>")
+        print(USAGE)
         return 2
+    if argv[0] == "serve":
+        return _main_serve(argv[1:])
+    if argv[0] == "session":
+        return _main_session(argv[1:])
     with open(argv[0]) as fh:
         source = fh.read()
     session = CliSession(source)

@@ -161,6 +161,21 @@ class ActionApplier:
         #: inverse actions restore statements into contested positions.
         self.orderer = None
 
+    # -- instrumentation / persistence hooks ---------------------------------
+
+    @property
+    def next_action_id(self) -> int:
+        """The id the next applied action will receive (persisted by the
+        durable-session serializer so restored sessions never reuse ids)."""
+        return self._next_action_id
+
+    def restore_instrumentation(self, next_action_id: int,
+                                applied: int, inverted: int) -> None:
+        """Restore the id counter and apply/invert totals after a reopen."""
+        self._next_action_id = next_action_id
+        self.applied_count = applied
+        self.inverted_count = inverted
+
     # -- internals -----------------------------------------------------------
 
     def _new_id(self) -> int:

@@ -19,7 +19,7 @@ Typical session::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.incremental import AnalysisCache
 from repro.core.actions import ActionApplier
@@ -47,7 +47,10 @@ class TransformationEngine:
 
     def __init__(self, program: Program,
                  strategy: Optional[UndoStrategy] = None,
-                 extra_transformations: Optional[Sequence] = None):
+                 extra_transformations: Optional[Sequence] = None,
+                 *, history: Optional[History] = None,
+                 store: Optional[AnnotationStore] = None,
+                 events: Optional[EventLog] = None):
         from repro.transforms.registry import REGISTRY
 
         from repro.core.locations import make_sibling_orderer
@@ -55,9 +58,18 @@ class TransformationEngine:
         self.program = program
         # a private copy so per-engine registration never leaks globally
         self.registry = dict(REGISTRY)
-        self.applier = ActionApplier(program)
-        self.history = History()
+        # ``history``/``store``/``events`` let the durable-session layer
+        # rebuild an engine around previously persisted state
+        # (:func:`repro.service.serde.engine_from_doc`); normal sessions
+        # leave them None and start empty.
+        self.applier = ActionApplier(program, store=store, events=events)
+        self.history = history if history is not None else History()
         self.applier.orderer = make_sibling_orderer(self.history)
+        #: journal hook point: callables invoked with one logical-command
+        #: dict after every top-level ``apply``/``undo``/``undo_reverse_to``
+        #: — including *failed* ones that consumed an order stamp or
+        #: mutated state, so a journal replay reproduces stamps exactly.
+        self.command_observers: List[Callable[[Dict], None]] = []
         self.cache = AnalysisCache(program, events=self.applier.events)
         self.strategy = strategy if strategy is not None else UndoStrategy()
         self._undo_engine = UndoEngine(program, self.applier, self.history,
@@ -110,6 +122,11 @@ class TransformationEngine:
         return {name: t.find(self.program, self.cache)
                 for name, t in self.registry.items()}
 
+    def _notify_command(self, cmd: Dict) -> None:
+        """Tell every journal observer about a completed logical command."""
+        for observer in list(self.command_observers):
+            observer(cmd)
+
     def apply(self, opportunity: Opportunity) -> TransformationRecord:
         """Apply a previously found opportunity, recording history."""
         transform = self.registry[opportunity.name]
@@ -122,8 +139,16 @@ class TransformationEngine:
             for act in reversed(rec.actions):
                 self.applier.invert(act, rec.stamp)
             self.history.deactivate(rec.stamp)
+            # the failed record consumed a stamp and action ids — journal
+            # it so a replay re-runs (and re-fails) it deterministically
+            self._notify_command({"op": "apply", "name": opportunity.name,
+                                  "params": dict(opportunity.params),
+                                  "stamp": rec.stamp, "failed": True})
             raise ApplyError(
                 f"applying {opportunity.name} failed: {exc}") from exc
+        self._notify_command({"op": "apply", "name": opportunity.name,
+                              "params": dict(opportunity.params),
+                              "stamp": rec.stamp})
         return rec
 
     def apply_first(self, name: str, **match) -> TransformationRecord:
@@ -157,11 +182,29 @@ class TransformationEngine:
 
     def undo(self, stamp: int) -> UndoReport:
         """Independent-order undo (Figure 4)."""
-        return self._undo_engine.undo(stamp)
+        try:
+            report = self._undo_engine.undo(stamp)
+        except UndoError:
+            # a cascade can commit partial undos before the failure;
+            # journal the failed command so replay reproduces that state
+            self._notify_command({"op": "undo", "stamp": stamp,
+                                  "failed": True})
+            raise
+        self._notify_command({"op": "undo", "stamp": stamp,
+                              "undone": list(report.undone)})
+        return report
 
     def undo_reverse_to(self, stamp: int) -> ReverseUndoReport:
         """Reverse-order (LIFO) undo baseline of [5]."""
-        return self._reverse_engine.undo_to(stamp)
+        try:
+            report = self._reverse_engine.undo_to(stamp)
+        except UndoError:
+            self._notify_command({"op": "undo_lifo", "stamp": stamp,
+                                  "failed": True})
+            raise
+        self._notify_command({"op": "undo_lifo", "stamp": stamp,
+                              "undone": list(report.undone)})
+        return report
 
     def check_reversibility(self, stamp: int):
         """Post-pattern validation of one applied transformation."""

@@ -58,6 +58,25 @@ class History:
         self._by_stamp: Dict[int, TransformationRecord] = {}
         self._next_stamp = 1
 
+    @classmethod
+    def restore(cls, records: Iterable[TransformationRecord]) -> "History":
+        """Rebuild a history from deserialized records (stamp order).
+
+        Records are never removed from a history — undone ones are only
+        deactivated — so the next free stamp is derivable as
+        ``max(stamps) + 1``.  Used by :mod:`repro.service.serde` when a
+        durable session is reopened.
+        """
+        hist = cls()
+        for rec in records:
+            if rec.stamp in hist._by_stamp:
+                raise ValueError(f"duplicate stamp {rec.stamp} in records")
+            hist._records.append(rec)
+            hist._by_stamp[rec.stamp] = rec
+        if hist._records:
+            hist._next_stamp = max(hist._by_stamp) + 1
+        return hist
+
     def new_record(self, name: str, **params) -> TransformationRecord:
         """Create, register and return a record with the next order stamp."""
         rec = TransformationRecord(stamp=self._next_stamp, name=name,

@@ -1,0 +1,195 @@
+"""Append-only write-ahead journal of session commands.
+
+One JSON line per *committed* logical command::
+
+    {"seq": 7, "cmd": {"op": "apply", ...}, "crc": "9f2a..."}
+
+Design points:
+
+* **Redo-log discipline** — a command is journaled after the engine
+  committed it, so every prefix of the journal is a valid command
+  sequence.  Truncating the file at *any* byte offset loses at most the
+  suffix of commands, never consistency (the crash-recovery property
+  test exercises every offset).
+* **Torn-tail detection** — a crash mid-write leaves a final line that
+  is incomplete, unparseable, or fails its per-line CRC.
+  :func:`scan_journal` returns the longest valid prefix and the byte
+  offset where it ends; :func:`repair_journal` truncates the file
+  there.
+* **Batched fsync** — every append is written and flushed to the OS
+  immediately (so an abandoned process loses nothing that reached the
+  file), but the expensive ``fsync`` is issued once per ``fsync_every``
+  records and on :meth:`Journal.sync`/:meth:`Journal.close`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class JournalError(RuntimeError):
+    """Raised on journal protocol violations (bad seq, closed journal)."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One committed command, as read back from the journal."""
+
+    seq: int
+    cmd: Dict[str, Any]
+
+
+def _crc(seq: int, cmd: Dict[str, Any]) -> str:
+    body = json.dumps({"seq": seq, "cmd": cmd}, sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
+def format_record(seq: int, cmd: Dict[str, Any]) -> bytes:
+    """Render one journal line (newline-terminated UTF-8)."""
+    doc = {"seq": seq, "cmd": cmd, "crc": _crc(seq, cmd)}
+    return (json.dumps(doc, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def parse_record(line: bytes) -> Optional[JournalRecord]:
+    """Parse one journal line; ``None`` when torn or corrupt."""
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(doc, dict):
+        return None
+    seq, cmd, crc = doc.get("seq"), doc.get("cmd"), doc.get("crc")
+    if not isinstance(seq, int) or not isinstance(cmd, dict):
+        return None
+    if crc != _crc(seq, cmd):
+        return None
+    return JournalRecord(seq=seq, cmd=cmd)
+
+
+def scan_journal(path: str) -> Tuple[List[JournalRecord], int, bool]:
+    """Read the longest valid record prefix of a journal file.
+
+    Returns ``(records, valid_bytes, torn)``: the committed records, the
+    byte offset where the valid prefix ends, and whether anything
+    invalid follows it (a torn final write, garbage, or corruption).
+    Sequence numbers must be strictly increasing; a regression marks the
+    rest of the file invalid.  A missing file is an empty journal.
+    """
+    if not os.path.exists(path):
+        return [], 0, False
+    with open(path, "rb") as fh:
+        data = fh.read()
+    records: List[JournalRecord] = []
+    offset = 0
+    last_seq = -1
+    while offset < len(data):
+        nl = data.find(b"\n", offset)
+        if nl == -1:
+            return records, offset, True  # unterminated tail
+        rec = parse_record(data[offset:nl])
+        if rec is None or rec.seq <= last_seq:
+            return records, offset, True
+        records.append(rec)
+        last_seq = rec.seq
+        offset = nl + 1
+    return records, offset, False
+
+
+def repair_journal(path: str) -> Tuple[List[JournalRecord], int]:
+    """Truncate a journal to its valid prefix.
+
+    Returns ``(records, dropped_bytes)``.  Safe to call on a healthy or
+    missing journal (both drop zero bytes).
+    """
+    records, valid_bytes, torn = scan_journal(path)
+    dropped = 0
+    if torn:
+        size = os.path.getsize(path)
+        dropped = size - valid_bytes
+        with open(path, "r+b") as fh:
+            fh.truncate(valid_bytes)
+            fh.flush()
+            os.fsync(fh.fileno())
+    return records, dropped
+
+
+def rewrite_journal(path: str, records: List[JournalRecord]) -> None:
+    """Atomically replace a journal's contents (snapshot truncation).
+
+    Written to a temp file, fsynced, then ``os.replace``d so a crash
+    leaves either the old or the new journal — never a mix.
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        for rec in records:
+            fh.write(format_record(rec.seq, rec.cmd))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class Journal:
+    """Append handle over a journal file with batched fsync."""
+
+    def __init__(self, path: str, *, fsync_every: int = 8):
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be >= 1")
+        self.path = path
+        self.fsync_every = fsync_every
+        self._fh = open(path, "ab")
+        self._unsynced = 0
+        #: instrumentation for the recovery/throughput benchmarks.
+        self.records_written = 0
+        self.syncs = 0
+
+    def append(self, seq: int, cmd: Dict[str, Any]) -> None:
+        """Append one committed command; fsync per batch policy."""
+        if self._fh is None:
+            raise JournalError("journal is closed")
+        self._fh.write(format_record(seq, cmd))
+        self._fh.flush()  # reaches the OS even if the process is killed
+        self.records_written += 1
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the batched records to stable storage."""
+        if self._fh is None or self._unsynced == 0:
+            return
+        os.fsync(self._fh.fileno())
+        self.syncs += 1
+        self._unsynced = 0
+
+    def truncate_through(self, seq: int) -> None:
+        """Drop every record with ``seq`` at or below the given one.
+
+        Called after a snapshot covering commands up to ``seq`` has been
+        durably written; the journal then only carries the tail.
+        """
+        self.sync()
+        self._fh.close()
+        records, _valid, _torn = scan_journal(self.path)
+        rewrite_journal(self.path, [r for r in records if r.seq > seq])
+        self._fh = open(self.path, "ab")
+        self._unsynced = 0
+
+    def close(self) -> None:
+        """Flush, fsync, and release the file handle (idempotent)."""
+        if self._fh is None:
+            return
+        self.sync()
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

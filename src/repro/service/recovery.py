@@ -1,0 +1,312 @@
+"""Session recovery: snapshot load + journal-tail replay + verification.
+
+Reopening a durable session:
+
+1. **Repair** the journal — a crash mid-append leaves a torn final
+   record, which is detected and cleanly truncated
+   (:func:`repro.service.journal.repair_journal`).
+2. **Load** the latest *valid* snapshot (corrupt ones are skipped); if
+   none exists, start from the session's genesis program source.
+3. **Replay** the journal tail — every command with a sequence number
+   beyond the snapshot — through the *real* engine.  Replay is not a
+   simulation: it runs the same ``find``/``apply``/``undo`` code paths
+   the original session ran, including commands that failed (a failed
+   apply consumed an order stamp; re-failing it keeps stamps aligned).
+4. Optionally **verify**: rebuild a second engine by replaying the
+   *entire* command history from the genesis source and compare
+   semantic fingerprints.  The cumulative command list travels inside
+   each snapshot precisely so this check survives journal truncation.
+
+The recovery invariant (tested property): for any byte-truncation of
+the journal, recovery yields the state produced by some *prefix* of the
+committed command sequence — never a torn or mixed state.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.engine import ApplyError, TransformationEngine
+from repro.core.undo import UndoError, UndoStrategy
+from repro.lang.parser import parse_program
+from repro.service.journal import JournalRecord, repair_journal, scan_journal
+from repro.service.serde import (
+    KIND_META,
+    engine_from_doc,
+    state_fingerprint,
+    stmt_from_doc,
+    unwrap,
+    value_from_doc,
+    value_to_doc,
+    wrap,
+)
+from repro.service.snapshot import SnapshotStore
+
+#: On-disk layout of one session directory.
+META_FILE = "session.json"
+JOURNAL_FILE = "journal.jsonl"
+SNAPSHOT_DIR = "snapshots"
+
+
+class ReplayError(RuntimeError):
+    """A journaled command did not replay the way it originally ran."""
+
+
+class RecoveryError(RuntimeError):
+    """The recovered state failed an integrity or verification check."""
+
+
+# ---------------------------------------------------------------------------
+# Session metadata
+# ---------------------------------------------------------------------------
+
+
+def meta_path(dirpath: str) -> str:
+    """Path of a session directory's metadata file."""
+    return os.path.join(dirpath, META_FILE)
+
+
+def write_meta(dirpath: str, payload: Dict[str, Any]) -> None:
+    """Durably write the session metadata envelope."""
+    import json
+
+    os.makedirs(dirpath, exist_ok=True)
+    path = meta_path(dirpath)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(wrap(payload, KIND_META), fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def read_meta(dirpath: str) -> Dict[str, Any]:
+    """Load and checksum-verify the session metadata."""
+    import json
+
+    try:
+        with open(meta_path(dirpath), "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise RecoveryError(
+            f"no readable session metadata in {dirpath!r}: {exc}") from exc
+    return unwrap(doc, KIND_META)
+
+
+def strategy_to_doc(strategy: UndoStrategy) -> Dict[str, Any]:
+    """Undo-strategy knobs as a JSON-safe dict."""
+    return {"use_heuristic": strategy.use_heuristic,
+            "use_regional": strategy.use_regional,
+            "use_incremental": strategy.use_incremental,
+            "incremental_strategy": strategy.incremental_strategy}
+
+
+def strategy_from_doc(doc: Dict[str, Any]) -> UndoStrategy:
+    """Rebuild an :class:`UndoStrategy` from its serialized knobs."""
+    return UndoStrategy(use_heuristic=doc["use_heuristic"],
+                        use_regional=doc["use_regional"],
+                        use_incremental=doc["use_incremental"],
+                        incremental_strategy=doc["incremental_strategy"])
+
+
+# ---------------------------------------------------------------------------
+# Command encoding (live dict -> JSON-safe journal form)
+# ---------------------------------------------------------------------------
+
+
+def encode_command(cmd: Dict[str, Any]) -> Dict[str, Any]:
+    """Make a logical command JSON-safe for the journal.
+
+    Engine-notified commands carry live opportunity params (which may
+    contain tuples); everything else is already plain.
+    """
+    if cmd.get("op") == "apply":
+        out = dict(cmd)
+        out["params"] = value_to_doc(cmd["params"])
+        return out
+    return dict(cmd)
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+def _expect_failure(what: str, fn, exc_type) -> None:
+    try:
+        fn()
+    except exc_type:
+        return
+    raise ReplayError(f"{what} was journaled as failed but succeeded on "
+                      "replay — journal and state have diverged")
+
+
+def replay_command(engine: TransformationEngine, cmd: Dict[str, Any]) -> None:
+    """Re-execute one journaled command against a live engine.
+
+    Raises :class:`ReplayError` when the outcome diverges from what the
+    journal recorded (wrong stamp, missing opportunity, a failure that
+    no longer fails) — any divergence means the journal does not
+    describe this state and recovery must not continue silently.
+    """
+    op = cmd.get("op")
+    failed = bool(cmd.get("failed"))
+    if op == "apply":
+        from repro.transforms.base import Opportunity
+
+        params = value_from_doc(cmd["params"])
+        if failed:
+            # the opportunity may not be findable at all — frequently the
+            # very reason the original apply failed — so rebuild it from
+            # the journaled params and require the same failure
+            bogus = Opportunity(cmd["name"], params, "journal replay")
+            _expect_failure(f"apply {cmd['name']}",
+                            lambda: engine.apply(bogus), ApplyError)
+            return
+        match = None
+        for opp in engine.find(cmd["name"]):
+            if opp.params == params:
+                match = opp
+                break
+        if match is None:
+            raise ReplayError(
+                f"no {cmd['name']} opportunity matching {params!r} during "
+                "replay")
+        rec = engine.apply(match)
+        if rec.stamp != cmd["stamp"]:
+            raise ReplayError(
+                f"replayed {cmd['name']} got stamp {rec.stamp}, journal "
+                f"recorded {cmd['stamp']}")
+    elif op in ("undo", "undo_lifo"):
+        fn = engine.undo if op == "undo" else engine.undo_reverse_to
+        if failed:
+            _expect_failure(f"{op} t{cmd['stamp']}",
+                            lambda: fn(cmd["stamp"]), UndoError)
+            return
+        report = fn(cmd["stamp"])
+        if "undone" in cmd and list(report.undone) != list(cmd["undone"]):
+            raise ReplayError(
+                f"{op} t{cmd['stamp']} undid {report.undone}, journal "
+                f"recorded {cmd['undone']}")
+    elif op == "edit":
+        from repro.edit.edits import EditSession
+
+        session = EditSession(engine)
+        kind = cmd.get("kind")
+
+        def run():
+            if kind == "delete":
+                session.delete_stmt(cmd["sid"])
+            elif kind == "modify":
+                session.modify_expr(cmd["sid"], value_from_doc(cmd["path"]),
+                                    value_from_doc(cmd["expr"]))
+            elif kind == "move":
+                session.move_stmt(cmd["sid"], value_from_doc(cmd["loc"]))
+            elif kind == "add":
+                session.add_stmt(stmt_from_doc(cmd["stmt"]),
+                                 value_from_doc(cmd["loc"]))
+            else:
+                raise ReplayError(f"unknown edit kind {kind!r}")
+
+        if failed:
+            _expect_failure(f"edit {kind}", run, Exception)
+        else:
+            run()
+    else:
+        raise ReplayError(f"unknown journaled op {op!r}")
+
+
+def replay_from_scratch(source: str, commands: List[Dict[str, Any]],
+                        strategy: Optional[UndoStrategy] = None,
+                        ) -> TransformationEngine:
+    """Rebuild an engine by replaying every command from genesis."""
+    engine = TransformationEngine(parse_program(source), strategy=strategy)
+    for cmd in commands:
+        replay_command(engine, cmd)
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# Recovery proper
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryResult:
+    """What one :func:`recover` call reconstructed, with work stats."""
+
+    engine: TransformationEngine
+    #: cumulative encoded command history since genesis.
+    commands: List[Dict[str, Any]] = field(default_factory=list)
+    #: sequence number of the last applied command.
+    seq: int = 0
+    #: commands replayed through the live engine (the journal tail).
+    replayed: int = 0
+    #: snapshot the recovery started from (``None`` = genesis replay).
+    snapshot_seq: Optional[int] = None
+    #: bytes dropped when truncating a torn journal tail.
+    torn_bytes: int = 0
+    #: journal records already covered by the snapshot (skipped).
+    stale_skipped: int = 0
+    #: result of the optional from-scratch verification.
+    verified: Optional[bool] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+def recover(dirpath: str, *, strategy: Optional[UndoStrategy] = None,
+            verify: bool = False) -> RecoveryResult:
+    """Reconstruct a session's engine from its directory.
+
+    ``verify=True`` additionally replays the *whole* command history
+    from the genesis source into a second engine and requires the two
+    semantic fingerprints to match (raising :class:`RecoveryError`
+    otherwise) — the recovered state must be indistinguishable from one
+    that never crashed.
+    """
+    meta = read_meta(dirpath)
+    if strategy is None:
+        strategy = strategy_from_doc(meta["strategy"])
+
+    records, torn_bytes = repair_journal(os.path.join(dirpath, JOURNAL_FILE))
+    snap = SnapshotStore(os.path.join(dirpath, SNAPSHOT_DIR)).latest()
+
+    if snap is not None:
+        snap_seq, payload = snap
+        engine = engine_from_doc(payload["engine"], strategy=strategy)
+        base_commands: List[Dict[str, Any]] = list(payload["commands"])
+        tail = [r for r in records if r.seq > snap_seq]
+        stale = len(records) - len(tail)
+        seq = snap_seq
+    else:
+        snap_seq = None
+        engine = TransformationEngine(parse_program(meta["source"]),
+                                      strategy=strategy)
+        base_commands = []
+        tail = records
+        stale = 0
+        seq = 0
+
+    for rec in tail:
+        if rec.seq != seq + 1:
+            raise RecoveryError(
+                f"journal gap: expected seq {seq + 1}, found {rec.seq}")
+        replay_command(engine, rec.cmd)
+        seq = rec.seq
+
+    commands = base_commands + [r.cmd for r in tail]
+    result = RecoveryResult(engine=engine, commands=commands, seq=seq,
+                            replayed=len(tail), snapshot_seq=snap_seq,
+                            torn_bytes=torn_bytes, stale_skipped=stale,
+                            meta=meta)
+    if verify:
+        fresh = replay_from_scratch(meta["source"], commands,
+                                    strategy=strategy)
+        result.verified = (state_fingerprint(fresh)
+                           == state_fingerprint(engine))
+        if not result.verified:
+            raise RecoveryError(
+                "recovered state diverges from a from-scratch replay of "
+                f"{len(commands)} command(s)")
+    return result

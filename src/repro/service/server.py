@@ -1,0 +1,117 @@
+"""Line-protocol front-end over a :class:`SessionManager`.
+
+One request per line, ``<session> <verb> [args...]``; one text response
+per request (multi-line responses are terminated by a lone ``.`` so the
+stream stays parseable).  The protocol is transport-agnostic — the CLI's
+``repro serve`` runs it over stdin/stdout, the concurrency tests drive
+:meth:`SessionServer.handle_line` directly from many threads.
+
+Verbs::
+
+    <s> init <file>        create session <s> from a program file
+    <s> source [labels]    current program text
+    <s> opps [name]        list opportunities (all kinds, or one)
+    <s> apply <name> [k]   apply the k-th opportunity
+    <s> undo <stamp>       independent-order undo (Figure 4)
+    <s> undo-lifo <stamp>  reverse-order undo baseline
+    <s> log                committed command history
+    <s> metrics            persistence + analysis-work stats
+    <s> snapshot           cut a snapshot now
+    _ sessions             list sessions (no target session)
+    _ stats                manager stats
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List
+
+from repro.core.engine import ApplyError
+from repro.core.undo import UndoError
+from repro.lang.parser import ParseError
+from repro.service.recovery import RecoveryError, ReplayError
+from repro.service.session import SessionError, SessionManager
+
+
+class SessionServer:
+    """Parses request lines and dispatches them onto a manager."""
+
+    def __init__(self, manager: SessionManager):
+        self.manager = manager
+        self.requests = 0
+        self.errors = 0
+
+    def handle_line(self, line: str) -> str:
+        """Serve one request; never raises for a malformed request."""
+        self.requests += 1
+        try:
+            out = self._dispatch(line.strip().split())
+        except (SessionError, ApplyError, UndoError, ParseError,
+                RecoveryError, ReplayError) as exc:
+            out = f"error: {exc}"
+        except (KeyError, IndexError, ValueError) as exc:
+            out = f"error: bad request ({exc})"
+        if out.startswith("error:"):
+            self.errors += 1
+        return out
+
+    def _dispatch(self, parts: List[str]) -> str:
+        if not parts:
+            return ""
+        if len(parts) < 2:
+            return "error: expected '<session> <verb> [args...]'"
+        name, verb, args = parts[0], parts[1], parts[2:]
+        if verb == "sessions":
+            return " ".join(self.manager.list_sessions()) or "(none)"
+        if verb == "stats":
+            return json.dumps(self.manager.stats(), sort_keys=True)
+        if verb == "init":
+            with open(args[0]) as fh:
+                source = fh.read()
+            self.manager.create(name, source)
+            return f"created {name}"
+        if verb == "source":
+            return self.manager.source(
+                name, show_labels=bool(args and args[0] == "labels"))
+        with self.manager.session(name) as session:
+            if verb == "opps":
+                names = args[:1] or sorted(session.engine.registry)
+                lines = [f"  {kind}[{k}]: {o.description}"
+                         for kind in names
+                         for k, o in enumerate(session.engine.find(kind))]
+                return "\n".join(lines) or "(no opportunities)"
+            if verb == "apply":
+                k = int(args[1]) if len(args) > 1 else 0
+                rec = session.apply(args[0], k)
+                return f"applied t{rec.stamp}: {args[0]}"
+            if verb == "undo":
+                report = session.undo(int(args[0]))
+                return f"undone: {report.undone}"
+            if verb == "undo-lifo":
+                report = session.undo_lifo(int(args[0]))
+                return f"undone (last-first): {report.undone}"
+            if verb == "log":
+                return "\n".join(
+                    json.dumps(cmd, sort_keys=True)
+                    for cmd in session.log()) or "(empty log)"
+            if verb == "metrics":
+                return json.dumps(session.metrics(), sort_keys=True)
+            if verb == "snapshot":
+                path = session.snapshot()
+                return f"snapshot: {path}" if path else "(nothing new)"
+        return f"error: unknown verb {verb!r}"
+
+    def serve(self, in_stream: IO[str], out_stream: IO[str]) -> int:
+        """Serve requests until EOF; returns requests handled."""
+        handled = 0
+        for line in in_stream:
+            if line.strip() in ("quit", "exit"):
+                break
+            out = self.handle_line(line)
+            for chunk in out.splitlines() or [""]:
+                out_stream.write(chunk + "\n")
+            out_stream.write(".\n")
+            out_stream.flush()
+            handled += 1
+        self.manager.close_all()
+        return handled

@@ -1,0 +1,450 @@
+"""Durable sessions and the concurrent multi-session front-end.
+
+:class:`DurableSession` wraps one :class:`TransformationEngine` with the
+persistence stack: every committed logical command — apply, undo,
+reverse-undo, edit, including *failed* ones that consumed an order stamp
+— is appended to a write-ahead journal before control returns to the
+caller, and a full-state snapshot is taken every ``snapshot_every``
+commands (after which the journal is truncated to the tail).  Killing
+the process at any instant and calling :meth:`DurableSession.open`
+reconstructs the exact engine state via
+:func:`repro.service.recovery.recover`.
+
+:class:`SessionManager` serves many named sessions from one root
+directory with a bounded number live in memory: a global lock guards the
+session table, a per-session re-entrant lock serializes commands on each
+session, and least-recently-used idle sessions are evicted to disk
+(snapshot + close) and transparently reopened on next touch.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.engine import TransformationEngine
+from repro.core.history import TransformationRecord
+from repro.core.reverse_undo import ReverseUndoReport
+from repro.core.undo import UndoReport, UndoStrategy
+from repro.edit.edits import EditReport, EditSession
+from repro.edit.invalidate import InvalidationStats, remove_unsafe
+from repro.lang.ast_nodes import Expr, ExprPath, Stmt
+from repro.lang.parser import parse_program
+from repro.core.locations import Location
+from repro.analysis.incremental import WorkCounters
+from repro.service.journal import Journal
+from repro.service.recovery import (
+    JOURNAL_FILE,
+    SNAPSHOT_DIR,
+    RecoveryResult,
+    encode_command,
+    meta_path,
+    read_meta,
+    recover,
+    strategy_to_doc,
+    write_meta,
+)
+from repro.service.serde import (
+    engine_to_doc,
+    location_to_doc,
+    stmt_to_doc,
+    value_to_doc,
+)
+from repro.service.snapshot import SnapshotStore
+
+
+class SessionError(RuntimeError):
+    """Session-level protocol violations (exists/missing/closed)."""
+
+
+class DurableSession:
+    """One engine whose command history survives process death.
+
+    Construct via :meth:`create` (new session directory) or
+    :meth:`open` (recover an existing one); the constructor itself only
+    wires an already-recovered engine to its journal.
+    """
+
+    def __init__(self, dirpath: str, engine: TransformationEngine,
+                 meta: Dict[str, Any], seq: int,
+                 commands: List[Dict[str, Any]],
+                 recovery: Optional[RecoveryResult] = None):
+        self.dirpath = dirpath
+        self.engine = engine
+        self.meta = meta
+        self.seq = seq
+        #: cumulative encoded command history since genesis (mirrors
+        #: snapshot payloads so the next snapshot can be cut any time).
+        self.commands = commands
+        #: how the state was reconstructed (None for a fresh create).
+        self.recovery = recovery
+        self.snapshot_every = int(meta.get("snapshot_every", 32))
+        self.snapshots = SnapshotStore(os.path.join(dirpath, SNAPSHOT_DIR))
+        self.journal = Journal(os.path.join(dirpath, JOURNAL_FILE),
+                               fsync_every=int(meta.get("fsync_every", 8)))
+        self._since_snapshot = 0
+        self._pending_edits: List[EditReport] = []
+        self._closed = False
+        #: analysis-work delta of the most recent command
+        #: (:meth:`WorkCounters.delta` of two snapshots — never resets
+        #: the engine's live counters).
+        self.last_work: Dict[str, Any] = {}
+        # attach AFTER recovery replay so recovered commands are not
+        # journaled a second time
+        engine.command_observers.append(self._on_command)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(cls, dirpath: str, source: str, *,
+               strategy: Optional[UndoStrategy] = None,
+               snapshot_every: int = 32,
+               fsync_every: int = 8) -> "DurableSession":
+        """Initialise a new session directory around ``source``."""
+        if os.path.exists(meta_path(dirpath)):
+            raise SessionError(f"session already exists at {dirpath!r}")
+        program = parse_program(source)  # validate before touching disk
+        strategy = strategy if strategy is not None else UndoStrategy()
+        meta = {"source": source, "strategy": strategy_to_doc(strategy),
+                "snapshot_every": snapshot_every,
+                "fsync_every": fsync_every}
+        write_meta(dirpath, meta)
+        engine = TransformationEngine(program, strategy=strategy)
+        return cls(dirpath, engine, meta, seq=0, commands=[])
+
+    @classmethod
+    def open(cls, dirpath: str, *, verify: bool = False,
+             strategy: Optional[UndoStrategy] = None) -> "DurableSession":
+        """Recover a session from disk (crash-safe reopen)."""
+        result = recover(dirpath, strategy=strategy, verify=verify)
+        return cls(dirpath, result.engine, result.meta, seq=result.seq,
+                   commands=list(result.commands), recovery=result)
+
+    def close(self) -> None:
+        """Detach from the engine and durably close the journal."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.engine.command_observers.remove(self._on_command)
+        except ValueError:
+            pass
+        self.journal.close()
+
+    def __enter__(self) -> "DurableSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- journaling ----------------------------------------------------------
+
+    def _on_command(self, cmd: Dict[str, Any]) -> None:
+        """Journal one committed logical command (engine observer)."""
+        if self._closed:
+            raise SessionError("session is closed")
+        enc = encode_command(cmd)
+        self.seq += 1
+        self.journal.append(self.seq, enc)
+        self.commands.append(enc)
+        self._since_snapshot += 1
+        if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
+            self.snapshot()
+
+    def snapshot(self) -> Optional[str]:
+        """Cut a full-state snapshot now and truncate the journal.
+
+        Returns the snapshot path, or ``None`` when there is nothing new
+        to snapshot.  The ordering is load-bearing: the snapshot is
+        durably written *before* the journal loses the records it
+        covers, so a crash between the two steps merely replays a tail
+        that the snapshot already contains.
+        """
+        if self.seq == 0 or self.seq in self.snapshots.seqs():
+            self._since_snapshot = 0
+            return None
+        payload = {"journal_seq": self.seq,
+                   "engine": engine_to_doc(self.engine),
+                   "commands": list(self.commands)}
+        path = self.snapshots.write(self.seq, payload)
+        self.journal.truncate_through(self.seq)
+        self.snapshots.prune(keep=2)
+        self._since_snapshot = 0
+        return path
+
+    @contextmanager
+    def _sampled(self) -> Iterator[None]:
+        """Attribute the analysis work of one command to ``last_work``.
+
+        Doubles as the closed-session guard: a command on a closed
+        session would mutate the engine *without journaling* (the
+        observer is detached), silently forfeiting durability.
+        """
+        if self._closed:
+            raise SessionError("session is closed")
+        before = self.engine.cache.counters.snapshot()
+        try:
+            yield
+        finally:
+            after = self.engine.cache.counters.snapshot()
+            self.last_work = WorkCounters.delta(before, after)
+
+    # -- command API ---------------------------------------------------------
+
+    def apply(self, name: str, k: int = 0) -> TransformationRecord:
+        """Apply the ``k``-th current opportunity of ``name``."""
+        opps = self.engine.find(name)
+        if not 0 <= k < len(opps):
+            raise SessionError(
+                f"no {name} opportunity at index {k} "
+                f"(have {len(opps)})")
+        with self._sampled():
+            return self.engine.apply(opps[k])
+
+    def apply_params(self, name: str, **match) -> TransformationRecord:
+        """Apply the first ``name`` opportunity matching ``match``."""
+        with self._sampled():
+            return self.engine.apply_first(name, **match)
+
+    def undo(self, stamp: int) -> UndoReport:
+        """Independent-order undo (Figure 4), journaled."""
+        with self._sampled():
+            return self.engine.undo(stamp)
+
+    def undo_lifo(self, stamp: int) -> ReverseUndoReport:
+        """Reverse-order undo baseline, journaled."""
+        with self._sampled():
+            return self.engine.undo_reverse_to(stamp)
+
+    def edit_delete(self, sid: int) -> EditReport:
+        """User edit: delete statement ``sid``."""
+        with self._sampled():
+            report = EditSession(self.engine).delete_stmt(sid)
+        self._on_command({"op": "edit", "kind": "delete", "sid": sid})
+        self._pending_edits.append(report)
+        return report
+
+    def edit_modify(self, sid: int, path: ExprPath, expr: Expr) -> EditReport:
+        """User edit: replace the expression at ``(sid, path)``."""
+        with self._sampled():
+            report = EditSession(self.engine).modify_expr(sid, path, expr)
+        self._on_command({"op": "edit", "kind": "modify", "sid": sid,
+                          "path": value_to_doc(path),
+                          "expr": value_to_doc(expr)})
+        self._pending_edits.append(report)
+        return report
+
+    def edit_move(self, sid: int, loc: Location) -> EditReport:
+        """User edit: relocate statement ``sid``."""
+        with self._sampled():
+            report = EditSession(self.engine).move_stmt(sid, loc)
+        self._on_command({"op": "edit", "kind": "move", "sid": sid,
+                          "loc": value_to_doc(loc)})
+        self._pending_edits.append(report)
+        return report
+
+    def edit_add(self, stmt: Stmt, loc: Location) -> EditReport:
+        """User edit: insert a new statement at ``loc``."""
+        doc = stmt_to_doc(stmt)  # encode before sids are assigned
+        with self._sampled():
+            report = EditSession(self.engine).add_stmt(stmt, loc)
+        self._on_command({"op": "edit", "kind": "add", "stmt": doc,
+                          "loc": value_to_doc(loc)})
+        self._pending_edits.append(report)
+        return report
+
+    def edit_unsafe(self) -> List[InvalidationStats]:
+        """Remove transformations the pending edits made unsafe.
+
+        Needs no journal record of its own: the removals run through the
+        public ``engine.undo`` so each cascade is journaled as an
+        ordinary undo command and replays deterministically.
+        """
+        out = []
+        with self._sampled():
+            for report in self._pending_edits:
+                out.append(remove_unsafe(self.engine, report))
+        self._pending_edits.clear()
+        return out
+
+    # -- inspection ----------------------------------------------------------
+
+    def source(self, show_labels: bool = False) -> str:
+        """Current program text."""
+        return self.engine.source(show_labels=show_labels)
+
+    def log(self) -> List[Dict[str, Any]]:
+        """The committed command history (encoded form) since genesis."""
+        return list(self.commands)
+
+    def metrics(self) -> Dict[str, Any]:
+        """Persistence + analysis-work stats for this session."""
+        return {"seq": self.seq,
+                "commands": len(self.commands),
+                "active": len(self.engine.history.active()),
+                "journal_records_written": self.journal.records_written,
+                "journal_syncs": self.journal.syncs,
+                "snapshots_written": self.snapshots.written,
+                "snapshots_on_disk": len(self.snapshots.seqs()),
+                "last_work": dict(self.last_work)}
+
+
+class SessionManager:
+    """Thread-safe front-end over many sessions in one root directory.
+
+    Locking protocol: ``_lock`` (global) guards the live table and LRU
+    order; each live session carries its own :class:`threading.RLock`
+    serializing commands.  The global lock is never held across engine
+    work — it is released before a command runs — so slow commands on
+    one session do not block the others.
+    """
+
+    def __init__(self, root: str, *, max_live: int = 8,
+                 snapshot_every: int = 32, fsync_every: int = 8,
+                 strategy: Optional[UndoStrategy] = None):
+        if max_live < 1:
+            raise ValueError("max_live must be >= 1")
+        self.root = root
+        self.max_live = max_live
+        self.snapshot_every = snapshot_every
+        self.fsync_every = fsync_every
+        self.strategy = strategy
+        self._lock = threading.Lock()
+        #: name -> (session, per-session lock); LRU order, oldest first.
+        self._live: "OrderedDict[str, Tuple[DurableSession, threading.RLock]]" \
+            = OrderedDict()
+        self.evictions = 0
+        self.reopens = 0
+
+    def path_for(self, name: str) -> str:
+        """Directory of one named session (rejects path-escape names)."""
+        if not name or "/" in name or name.startswith("."):
+            raise SessionError(f"bad session name {name!r}")
+        return os.path.join(self.root, name)
+
+    # -- the live table ------------------------------------------------------
+
+    def create(self, name: str, source: str) -> None:
+        """Create a brand-new named session."""
+        with self._lock:
+            if name in self._live:
+                raise SessionError(f"session {name!r} already live")
+            session = DurableSession.create(
+                self.path_for(name), source, strategy=self.strategy,
+                snapshot_every=self.snapshot_every,
+                fsync_every=self.fsync_every)
+            self._live[name] = (session, threading.RLock())
+            self._evict_idle_locked(keep=name)
+
+    def _entry(self, name: str) -> Tuple[DurableSession, threading.RLock]:
+        """Return (and LRU-touch) a live entry, reopening from disk."""
+        with self._lock:
+            if name in self._live:
+                self._live.move_to_end(name)
+                return self._live[name]
+            dirpath = self.path_for(name)
+            if not os.path.exists(meta_path(dirpath)):
+                raise SessionError(f"no session named {name!r}")
+            session = DurableSession.open(dirpath, strategy=self.strategy)
+            self.reopens += 1
+            self._live[name] = (session, threading.RLock())
+            self._evict_idle_locked(keep=name)
+            return self._live[name]
+
+    def _evict_idle_locked(self, keep: str = "") -> None:
+        """Push LRU *idle* sessions to disk until under capacity.
+
+        Holds the global lock; a session whose lock cannot be acquired
+        without blocking is mid-command and is skipped this round, as is
+        ``keep`` — the session the caller is about to hand out (when the
+        rest of the table is busy, eviction could otherwise reap the
+        very session that was just opened).
+        """
+        if len(self._live) <= self.max_live:
+            return
+        for name in list(self._live):
+            if len(self._live) <= self.max_live:
+                break
+            if name == keep:
+                continue
+            session, lock = self._live[name]
+            if not lock.acquire(blocking=False):
+                continue  # busy — not idle, not evictable
+            try:
+                session.snapshot()
+                session.close()
+                del self._live[name]
+                self.evictions += 1
+            finally:
+                lock.release()
+
+    @contextmanager
+    def session(self, name: str) -> Iterator[DurableSession]:
+        """Exclusive access to one session for a block of commands."""
+        session, lock = self._entry(name)
+        with lock:
+            if session._closed:
+                # evicted between lookup and acquire — take the fresh one
+                with self.session(name) as fresh:
+                    yield fresh
+                    return
+            yield session
+
+    # -- convenience command wrappers ---------------------------------------
+
+    def apply(self, name: str, transform: str, k: int = 0):
+        """Apply ``transform``'s ``k``-th opportunity in one session."""
+        with self.session(name) as s:
+            return s.apply(transform, k)
+
+    def undo(self, name: str, stamp: int):
+        """Independent-order undo of ``stamp`` in one session."""
+        with self.session(name) as s:
+            return s.undo(stamp)
+
+    def undo_lifo(self, name: str, stamp: int):
+        """Reverse-order undo to ``stamp`` in one session."""
+        with self.session(name) as s:
+            return s.undo_lifo(stamp)
+
+    def source(self, name: str, show_labels: bool = False) -> str:
+        """Current program text of one session."""
+        with self.session(name) as s:
+            return s.source(show_labels=show_labels)
+
+    def metrics(self, name: str) -> Dict[str, Any]:
+        """Persistence + analysis-work stats of one session."""
+        with self.session(name) as s:
+            return s.metrics()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def list_sessions(self) -> List[str]:
+        """Every session under the root, live or on disk."""
+        if not os.path.isdir(self.root):
+            return []
+        out = []
+        for entry in sorted(os.listdir(self.root)):
+            if os.path.exists(meta_path(os.path.join(self.root, entry))):
+                out.append(entry)
+        return out
+
+    def stats(self) -> Dict[str, Any]:
+        """Live/on-disk session names and eviction/reopen counts."""
+        with self._lock:
+            return {"live": list(self._live),
+                    "on_disk": self.list_sessions(),
+                    "evictions": self.evictions,
+                    "reopens": self.reopens}
+
+    def close_all(self) -> None:
+        """Snapshot and close every live session (shutdown path)."""
+        with self._lock:
+            for name, (session, lock) in list(self._live.items()):
+                with lock:
+                    session.snapshot()
+                    session.close()
+                del self._live[name]

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.bench.reporting import Table, banner, ratio
+from repro.analysis.incremental import WorkCounters
+from repro.bench.reporting import Table, banner, rate, ratio
 
 
 class TestTable:
@@ -49,3 +50,52 @@ class TestHelpers:
         assert ratio(10, 5) == "2.00x"
         assert ratio(0, 0) == "1.0"
         assert ratio(3, 0) == "inf"
+
+    def test_rate(self):
+        assert rate(500, 1.0) == "500.0/s"
+        assert rate(2500, 1.0) == "2.5k/s"
+        assert rate(5, 0.0) == "inf/s"
+
+
+class TestWorkCounters:
+    def test_snapshot_is_detached_copy(self):
+        wc = WorkCounters()
+        wc.dependence_pairs = 3
+        wc.add_time("depend", 0.5)
+        snap = wc.snapshot()
+        wc.dependence_pairs = 9
+        wc.add_time("depend", 0.5)
+        assert snap["dependence_pairs"] == 3
+        assert snap["timers"] == {"depend": 0.5}
+
+    def test_delta_is_non_destructive(self):
+        wc = WorkCounters()
+        wc.incremental_pairs = 2
+        before = wc.snapshot()
+        wc.incremental_pairs += 5
+        wc.add_time("depend", 0.25)
+        d = WorkCounters.delta(before, wc.snapshot())
+        assert d["incremental_pairs"] == 5
+        assert d["timers"] == {"depend": 0.25}
+        # the live counters were never touched by sampling
+        assert wc.incremental_pairs == 7
+        assert wc.time("depend") == 0.25
+
+    def test_delta_drops_zero_timers(self):
+        wc = WorkCounters()
+        wc.add_time("depend", 1.0)
+        before = wc.snapshot()
+        wc.dependence_pairs += 1
+        d = WorkCounters.delta(before, wc.snapshot())
+        assert d["dependence_pairs"] == 1
+        assert "depend" not in d["timers"]
+
+    def test_reset_zeroes_everything(self):
+        wc = WorkCounters()
+        wc.dependence_pairs = 4
+        wc.control_tree_updates = 2
+        wc.add_time("depend", 1.0)
+        wc.reset()
+        assert wc.dependence_pairs == 0
+        assert wc.control_tree_updates == 0
+        assert wc.timers == {}

@@ -1,0 +1,165 @@
+"""Tests for the versioned, checksummed serialization layer."""
+
+import pytest
+
+from tests.helpers import make_engine
+from repro.edit.edits import EditSession
+from repro.lang.ast_nodes import programs_equal
+from repro.lang.printer import format_program
+from repro.service.serde import (
+    SerdeError,
+    engine_from_doc,
+    engine_to_doc,
+    program_from_doc,
+    program_to_doc,
+    state_fingerprint,
+    unwrap,
+    value_from_doc,
+    value_to_doc,
+    wrap,
+)
+
+SRC = (
+    "c = 1\n"
+    "x = c + 2\n"
+    "d = e + f\n"
+    "do i = 1, 8\n"
+    "  R(i) = e + f\n"
+    "enddo\n"
+    "write x\nwrite d\nwrite R(3)\n"
+)
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        doc = wrap({"a": [1, 2]}, "repro-snapshot")
+        assert unwrap(doc, "repro-snapshot") == {"a": [1, 2]}
+
+    def test_checksum_tamper_detected(self):
+        doc = wrap({"a": 1}, "repro-snapshot")
+        doc["payload"]["a"] = 2
+        with pytest.raises(SerdeError):
+            unwrap(doc, "repro-snapshot")
+
+    def test_wrong_kind_rejected(self):
+        doc = wrap({}, "repro-snapshot")
+        with pytest.raises(SerdeError):
+            unwrap(doc, "repro-session-meta")
+
+    def test_future_version_rejected(self):
+        doc = wrap({}, "repro-snapshot")
+        doc["version"] = 99
+        doc["checksum"] = doc["checksum"]
+        with pytest.raises(SerdeError):
+            unwrap(doc, "repro-snapshot")
+
+
+class TestProgramCodec:
+    def test_text_roundtrip(self):
+        engine, p, _ = make_engine(SRC)
+        q = program_from_doc(program_to_doc(p))
+        assert programs_equal(p, q)
+        assert format_program(q) == format_program(p)
+
+    def test_sids_and_version_preserved(self):
+        engine, p, _ = make_engine(SRC)
+        engine.apply(engine.find("ctp")[0])
+        doc = program_to_doc(p)
+        q = program_from_doc(doc)
+        assert {s.sid for s in q.walk()} == {s.sid for s in p.walk()}
+        assert q.version == p.version
+
+    def test_detached_statements_survive(self):
+        # dce detaches the dead statement; the copy must carry it so the
+        # Delete record's inverse can re-attach it after deserialization
+        engine, p, _ = make_engine("d = 99\nwrite 1\n")
+        engine.apply(engine.find("dce")[0])
+        doc = program_to_doc(p)
+        assert doc["detached"], "detached stmt missing from serialization"
+        q = program_from_doc(doc)
+        assert programs_equal(p, q)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("v", [
+        1, 2.5, "s", None, True,
+        (1, 2), ["a", ("b", 3)], {"k": (1, (2, 3))},
+        ("expr", "r"), {1, 2, 3},
+    ])
+    def test_scalar_and_container_roundtrip(self, v):
+        assert value_from_doc(value_to_doc(v)) == v
+
+    def test_tuples_stay_tuples(self):
+        out = value_from_doc(value_to_doc(("+", ("v", "x"), ("v", "y"))))
+        assert isinstance(out, tuple) and isinstance(out[1], tuple)
+
+    def test_opportunity_params_roundtrip(self):
+        engine, _, _ = make_engine(SRC)
+        for name in ("cse", "ctp", "icm"):
+            for opp in engine.find(name):
+                assert value_from_doc(value_to_doc(opp.params)) == opp.params
+
+
+class TestEngineCodec:
+    def _transformed_engine(self):
+        engine, p, _ = make_engine(SRC)
+        engine.apply(engine.find("cse")[0])
+        engine.apply(engine.find("ctp")[0])
+        engine.apply(engine.find("cfo")[0])
+        return engine, p
+
+    def test_full_roundtrip_equivalence(self):
+        engine, p = self._transformed_engine()
+        clone = engine_from_doc(engine_to_doc(engine))
+        assert programs_equal(p, clone.program)
+        assert clone.source() == engine.source()
+        assert state_fingerprint(clone) == state_fingerprint(engine)
+
+    def test_history_stamps_and_annotations_preserved(self):
+        engine, _ = self._transformed_engine()
+        clone = engine_from_doc(engine_to_doc(engine))
+        assert [r.stamp for r in clone.history.active()] == \
+            [r.stamp for r in engine.history.active()]
+        assert len(clone.store) == len(engine.store)
+
+    def test_clone_can_undo_out_of_order(self):
+        engine, _ = self._transformed_engine()
+        clone = engine_from_doc(engine_to_doc(engine))
+        first = clone.history.active()[0].stamp
+        report = clone.undo(first)
+        assert first in report.undone
+        # and the original engine is untouched
+        assert engine.history.by_stamp(first).active
+
+    def test_clone_continues_with_fresh_stamps(self):
+        engine, _ = self._transformed_engine()
+        clone = engine_from_doc(engine_to_doc(engine))
+        before = max(r.stamp for r in clone.history.active())
+        opps = clone.find("dce") or clone.find("cfo")
+        if opps:
+            rec = clone.apply(opps[0])
+            assert rec.stamp > before
+
+    def test_fingerprint_insensitive_to_probe_queries(self):
+        engine, _ = self._transformed_engine()
+        fp = state_fingerprint(engine)
+        # read-only safety queries probe the program (burning version
+        # high-water marks) but must not change the semantic fingerprint
+        engine.unsafe_transformations()
+        for rec in engine.history.active():
+            engine.check_reversibility(rec.stamp)
+        assert state_fingerprint(engine) == fp
+
+    def test_fingerprint_sensitive_to_state(self):
+        engine, _ = self._transformed_engine()
+        fp = state_fingerprint(engine)
+        engine.undo(engine.history.active()[-1].stamp)
+        assert state_fingerprint(engine) != fp
+
+    def test_edit_history_roundtrip(self):
+        engine, p, _ = make_engine(SRC)
+        engine.apply(engine.find("cse")[0])
+        EditSession(engine).delete_stmt(
+            engine.history.active()[0].actions[0].sid)
+        clone = engine_from_doc(engine_to_doc(engine))
+        assert state_fingerprint(clone) == state_fingerprint(engine)
