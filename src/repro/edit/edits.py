@@ -39,30 +39,44 @@ class EditSession:
     def _record(self, **params) -> TransformationRecord:
         return self.engine.history.new_record("edit", **params)
 
+    def _run(self, rec: TransformationRecord, primitive) -> EditReport:
+        """Run one applier primitive for ``rec``, sound on failure.
+
+        The record is registered (its order stamp consumed) before the
+        applier validates, so a failed primitive must deactivate it —
+        mirroring ``TransformationEngine.apply``'s failure path — or the
+        history would keep an active record with no actions.  The same
+        code runs during journal replay, so a re-failed edit leaves the
+        identical deactivated record.
+        """
+        try:
+            act = primitive()
+        except Exception:
+            self.engine.history.deactivate(rec.stamp)
+            raise
+        rec.actions.append(act)
+        return EditReport(record=rec)
+
     def add_stmt(self, stmt: Stmt, loc: Location) -> EditReport:
         """Insert a new statement at ``loc``."""
         rec = self._record(kind="add")
-        act = self.engine.applier.add(rec.stamp, stmt, loc)
-        rec.actions.append(act)
-        return EditReport(record=rec)
+        return self._run(
+            rec, lambda: self.engine.applier.add(rec.stamp, stmt, loc))
 
     def delete_stmt(self, sid: int) -> EditReport:
         """Remove statement ``sid``."""
         rec = self._record(kind="delete", sid=sid)
-        act = self.engine.applier.delete(rec.stamp, sid)
-        rec.actions.append(act)
-        return EditReport(record=rec)
+        return self._run(
+            rec, lambda: self.engine.applier.delete(rec.stamp, sid))
 
     def move_stmt(self, sid: int, loc: Location) -> EditReport:
         """Relocate statement ``sid`` to ``loc``."""
         rec = self._record(kind="move", sid=sid)
-        act = self.engine.applier.move(rec.stamp, sid, loc)
-        rec.actions.append(act)
-        return EditReport(record=rec)
+        return self._run(
+            rec, lambda: self.engine.applier.move(rec.stamp, sid, loc))
 
     def modify_expr(self, sid: int, path: ExprPath, new: Expr) -> EditReport:
         """Replace the expression at ``(sid, path)`` with ``new``."""
         rec = self._record(kind="modify", sid=sid)
-        act = self.engine.applier.modify(rec.stamp, sid, path, new)
-        rec.actions.append(act)
-        return EditReport(record=rec)
+        return self._run(
+            rec, lambda: self.engine.applier.modify(rec.stamp, sid, path, new))

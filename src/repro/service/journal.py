@@ -35,6 +35,28 @@ class JournalError(RuntimeError):
     """Raised on journal protocol violations (bad seq, closed journal)."""
 
 
+def fsync_dir(dirpath: str) -> None:
+    """fsync a directory so a preceding ``os.replace`` survives power loss.
+
+    POSIX only guarantees a rename is durable once the parent directory
+    entry itself is flushed; without this, a crash can leave the *new*
+    journal durable but the snapshot rename lost (or vice versa),
+    opening a recovery gap.  Platforms that cannot open a directory for
+    reading (e.g. Windows) skip silently — there the guarantee degrades
+    to process-crash safety, as documented in docs/PERSISTENCE.md.
+    """
+    try:
+        fd = os.open(dirpath or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 @dataclass(frozen=True)
 class JournalRecord:
     """One committed command, as read back from the journal."""
@@ -132,6 +154,7 @@ def rewrite_journal(path: str, records: List[JournalRecord]) -> None:
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    fsync_dir(os.path.dirname(path))
 
 
 class Journal:

@@ -31,7 +31,12 @@ from typing import Any, Dict, List, Optional
 from repro.core.engine import ApplyError, TransformationEngine
 from repro.core.undo import UndoError, UndoStrategy
 from repro.lang.parser import parse_program
-from repro.service.journal import JournalRecord, repair_journal, scan_journal
+from repro.service.journal import (
+    JournalRecord,
+    fsync_dir,
+    repair_journal,
+    scan_journal,
+)
 from repro.service.serde import (
     KIND_META,
     engine_from_doc,
@@ -80,6 +85,7 @@ def write_meta(dirpath: str, payload: Dict[str, Any]) -> None:
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    fsync_dir(dirpath)
 
 
 def read_meta(dirpath: str) -> Dict[str, Any]:
@@ -195,22 +201,28 @@ def replay_command(engine: TransformationEngine, cmd: Dict[str, Any]) -> None:
 
         session = EditSession(engine)
         kind = cmd.get("kind")
-
-        def run():
-            if kind == "delete":
-                session.delete_stmt(cmd["sid"])
-            elif kind == "modify":
-                session.modify_expr(cmd["sid"], value_from_doc(cmd["path"]),
-                                    value_from_doc(cmd["expr"]))
-            elif kind == "move":
-                session.move_stmt(cmd["sid"], value_from_doc(cmd["loc"]))
-            elif kind == "add":
-                session.add_stmt(stmt_from_doc(cmd["stmt"]),
-                                 value_from_doc(cmd["loc"]))
-            else:
-                raise ReplayError(f"unknown edit kind {kind!r}")
+        # decode args and validate the kind *before* running, so a
+        # corrupt record raises SerdeError/ReplayError rather than being
+        # mistaken for the journaled failure of a ``failed: true`` edit
+        if kind == "delete":
+            run = lambda: session.delete_stmt(cmd["sid"])
+        elif kind == "modify":
+            path = value_from_doc(cmd["path"])
+            expr = value_from_doc(cmd["expr"])
+            run = lambda: session.modify_expr(cmd["sid"], path, expr)
+        elif kind == "move":
+            loc = value_from_doc(cmd["loc"])
+            run = lambda: session.move_stmt(cmd["sid"], loc)
+        elif kind == "add":
+            stmt = stmt_from_doc(cmd["stmt"])
+            loc = value_from_doc(cmd["loc"])
+            run = lambda: session.add_stmt(stmt, loc)
+        else:
+            raise ReplayError(f"unknown edit kind {kind!r}")
 
         if failed:
+            # a failed edit still consumed an order stamp and left a
+            # deactivated record; re-failing reproduces both
             _expect_failure(f"edit {kind}", run, Exception)
         else:
             run()

@@ -262,7 +262,14 @@ def value_to_doc(v: Any) -> Any:
     if isinstance(v, list):
         return {"$": "list", "v": [value_to_doc(x) for x in v]}
     if isinstance(v, (set, frozenset)):
-        return {"$": "set", "v": sorted(value_to_doc(x) for x in v)}
+        # encoded elements can be dicts (tuples, Exprs) or mixed scalar
+        # types, which Python cannot compare — order by the canonical
+        # JSON rendering instead, which totally orders any encoded value
+        try:
+            docs = sorted((value_to_doc(x) for x in v), key=canonical_dumps)
+        except (TypeError, ValueError) as exc:
+            raise SerdeError(f"cannot canonically order set: {exc}") from exc
+        return {"$": "set", "v": docs}
     if isinstance(v, dict):
         return {"$": "dict",
                 "v": [[value_to_doc(k), value_to_doc(x)] for k, x in v.items()]}

@@ -47,7 +47,9 @@ class SessionServer:
         try:
             out = self._dispatch(line.strip().split())
         except (SessionError, ApplyError, UndoError, ParseError,
-                RecoveryError, ReplayError) as exc:
+                RecoveryError, ReplayError, OSError) as exc:
+            # OSError covers ``init`` naming an unreadable file — one bad
+            # request must not take down every other session's server
             out = f"error: {exc}"
         except (KeyError, IndexError, ValueError) as exc:
             out = f"error: bad request ({exc})"

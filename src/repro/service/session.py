@@ -49,7 +49,6 @@ from repro.service.recovery import (
 )
 from repro.service.serde import (
     engine_to_doc,
-    location_to_doc,
     stmt_to_doc,
     value_to_doc,
 )
@@ -159,9 +158,13 @@ class DurableSession:
 
         Returns the snapshot path, or ``None`` when there is nothing new
         to snapshot.  The ordering is load-bearing: the snapshot is
-        durably written *before* the journal loses the records it
-        covers, so a crash between the two steps merely replays a tail
-        that the snapshot already contains.
+        durably written *before* the journal loses any records, and the
+        journal is truncated only through the *oldest* snapshot retained
+        after pruning — so every snapshot still on disk has its tail in
+        the journal, and :meth:`SnapshotStore.latest` falling back from
+        a corrupt newest snapshot can always replay forward from the
+        older one.  A crash between any two steps merely leaves extra
+        journal records that replay-by-seq skips.
         """
         if self.seq == 0 or self.seq in self.snapshots.seqs():
             self._since_snapshot = 0
@@ -170,8 +173,10 @@ class DurableSession:
                    "engine": engine_to_doc(self.engine),
                    "commands": list(self.commands)}
         path = self.snapshots.write(self.seq, payload)
-        self.journal.truncate_through(self.seq)
         self.snapshots.prune(keep=2)
+        retained = self.snapshots.seqs()
+        if retained:
+            self.journal.truncate_through(retained[0])
         self._since_snapshot = 0
         return path
 
@@ -219,42 +224,52 @@ class DurableSession:
         with self._sampled():
             return self.engine.undo_reverse_to(stamp)
 
-    def edit_delete(self, sid: int) -> EditReport:
-        """User edit: delete statement ``sid``."""
-        with self._sampled():
-            report = EditSession(self.engine).delete_stmt(sid)
-        self._on_command({"op": "edit", "kind": "delete", "sid": sid})
+    def _edit(self, cmd: Dict[str, Any], run) -> EditReport:
+        """Run one edit, journaling it whether it succeeds or fails.
+
+        ``EditSession`` registers the history record (consuming an order
+        stamp) before the applier validates, so a failed edit mutated
+        durable state exactly like a failed ``engine.apply`` — it is
+        journaled with ``failed: True`` and replay re-fails it
+        deterministically, keeping journal and engine stamps aligned.
+        """
+        try:
+            with self._sampled():
+                report = run(EditSession(self.engine))
+        except SessionError:
+            raise  # closed-session guard: no stamp consumed
+        except Exception:
+            self._on_command(dict(cmd, failed=True))
+            raise
+        self._on_command(cmd)
         self._pending_edits.append(report)
         return report
+
+    def edit_delete(self, sid: int) -> EditReport:
+        """User edit: delete statement ``sid``."""
+        return self._edit({"op": "edit", "kind": "delete", "sid": sid},
+                          lambda es: es.delete_stmt(sid))
 
     def edit_modify(self, sid: int, path: ExprPath, expr: Expr) -> EditReport:
         """User edit: replace the expression at ``(sid, path)``."""
-        with self._sampled():
-            report = EditSession(self.engine).modify_expr(sid, path, expr)
-        self._on_command({"op": "edit", "kind": "modify", "sid": sid,
-                          "path": value_to_doc(path),
-                          "expr": value_to_doc(expr)})
-        self._pending_edits.append(report)
-        return report
+        return self._edit({"op": "edit", "kind": "modify", "sid": sid,
+                           "path": value_to_doc(path),
+                           "expr": value_to_doc(expr)},
+                          lambda es: es.modify_expr(sid, path, expr))
 
     def edit_move(self, sid: int, loc: Location) -> EditReport:
         """User edit: relocate statement ``sid``."""
-        with self._sampled():
-            report = EditSession(self.engine).move_stmt(sid, loc)
-        self._on_command({"op": "edit", "kind": "move", "sid": sid,
-                          "loc": value_to_doc(loc)})
-        self._pending_edits.append(report)
-        return report
+        return self._edit({"op": "edit", "kind": "move", "sid": sid,
+                           "loc": value_to_doc(loc)},
+                          lambda es: es.move_stmt(sid, loc))
 
     def edit_add(self, stmt: Stmt, loc: Location) -> EditReport:
         """User edit: insert a new statement at ``loc``."""
-        doc = stmt_to_doc(stmt)  # encode before sids are assigned
-        with self._sampled():
-            report = EditSession(self.engine).add_stmt(stmt, loc)
-        self._on_command({"op": "edit", "kind": "add", "stmt": doc,
-                          "loc": value_to_doc(loc)})
-        self._pending_edits.append(report)
-        return report
+        # encode before the applier assigns sids
+        return self._edit({"op": "edit", "kind": "add",
+                           "stmt": stmt_to_doc(stmt),
+                           "loc": value_to_doc(loc)},
+                          lambda es: es.add_stmt(stmt, loc))
 
     def edit_unsafe(self) -> List[InvalidationStats]:
         """Remove transformations the pending edits made unsafe.

@@ -31,6 +31,7 @@ import json
 import re
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.service.journal import fsync_dir
 from repro.service.serde import KIND_SNAPSHOT, SerdeError, unwrap, wrap
 
 _SNAP_RE = re.compile(r"^snap-(\d{10})\.json$")
@@ -70,6 +71,7 @@ class SnapshotStore:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_dir(self.dirpath)
         self.written += 1
         return path
 

@@ -221,6 +221,51 @@ class TestFuzzedSequences:
         # the failed command occupies a seq slot
         assert reopened.seq == 3
 
+    def test_failed_edits_replay_deterministically(self, tmp_path):
+        from repro.core.actions import ActionError
+
+        sdir = str(tmp_path / "fe")
+        session = DurableSession.create(sdir, SRC, snapshot_every=0)
+        session.apply("cse", 0)
+        # an edit on an unknown sid fails inside the applier — after the
+        # history record already consumed an order stamp, so it must be
+        # journaled (failed) and the record left deactivated
+        with pytest.raises(ActionError):
+            session.edit_delete(99999)
+        failed_rec = session.engine.history.by_stamp(2)
+        assert failed_rec.name == "edit" and not failed_rec.active
+        session.apply("ctp", 0)
+        assert [(c["op"], bool(c.get("failed"))) for c in session.log()] == \
+            [("apply", False), ("edit", True), ("apply", False)]
+        live_fp = state_fingerprint(session.engine)
+        reopened = DurableSession.open(sdir, verify=True)
+        assert state_fingerprint(reopened.engine) == live_fp
+        # the failed edit occupies a seq slot and a stamp on both sides
+        assert reopened.seq == 3
+        assert reopened.engine.history.by_stamp(3).stamp == 3
+
+    def test_corrupt_newest_snapshot_falls_back(self, tmp_path):
+        """One corrupt snapshot must cost replay time, not the session:
+        the journal is truncated only through the *oldest* retained
+        snapshot, so recovery can fall back and replay forward."""
+        sdir = str(tmp_path / "cs")
+        session = DurableSession.create(sdir, SRC, snapshot_every=0)
+        stamps = drive(session, n_apply=2)
+        session.snapshot()
+        stamps += drive(session, n_apply=2, seed=1)
+        session.snapshot()
+        assert len(stamps) == 4
+        session.close()
+        seqs = session.snapshots.seqs()
+        assert len(seqs) == 2
+        with open(session.snapshots.path_for(seqs[-1]), "r+b") as fh:
+            fh.truncate(os.path.getsize(fh.name) // 2)  # torn newest snap
+        result = recover(sdir, verify=True)
+        assert result.snapshot_seq == seqs[0]
+        assert result.seq == seqs[-1]  # tail beyond the old snap replayed
+        assert state_fingerprint(result.engine) == \
+            state_fingerprint(session.engine)
+
     def test_meta_checksum_guard(self, tmp_path):
         import json
 

@@ -93,6 +93,21 @@ class TestValueCodec:
         out = value_from_doc(value_to_doc(("+", ("v", "x"), ("v", "y"))))
         assert isinstance(out, tuple) and isinstance(out[1], tuple)
 
+    @pytest.mark.parametrize("v", [
+        {(1, 2), (3, 4)},          # tuples encode to dicts: unorderable
+        {1, "a"},                  # mixed scalar types: unorderable
+        frozenset({("x",), 2, "y"}),
+    ])
+    def test_sets_with_unorderable_encodings_roundtrip(self, v):
+        assert value_from_doc(value_to_doc(v)) == frozenset(v)
+
+    def test_set_encoding_is_deterministic(self):
+        from repro.service.serde import canonical_dumps
+
+        a = value_to_doc({("k", 1), "s", 2})
+        b = value_to_doc({2, "s", ("k", 1)})
+        assert canonical_dumps(a) == canonical_dumps(b)
+
     def test_opportunity_params_roundtrip(self):
         engine, _, _ = make_engine(SRC)
         for name in ("cse", "ctp", "icm"):

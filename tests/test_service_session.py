@@ -168,6 +168,18 @@ class TestSessionServer:
         assert server.handle_line("") == ""
         assert server.errors == 2
 
+    def test_init_missing_file_is_an_error_response(self, tmp_path):
+        # an unreadable program file must not crash the serve loop
+        server = SessionServer(SessionManager(str(tmp_path / "root")))
+        missing = tmp_path / "does-not-exist.loop"
+        assert server.handle_line(f"s init {missing}").startswith("error:")
+        assert server.errors == 1
+        # the manager is still fully serviceable afterwards
+        prog = tmp_path / "p.loop"
+        prog.write_text(SRC)
+        assert server.handle_line(f"s init {prog}") == "created s"
+        assert server.handle_line("s apply cse").startswith("applied t1")
+
     def test_serve_stream(self, tmp_path):
         import io
 
