@@ -13,8 +13,12 @@ properties worth measuring rather than asserting:
    write-ahead journal adds one JSON line + flush per command (fsync
    amortized over ``fsync_every``); command throughput with journaling
    should stay within a small factor of the bare engine.
+3. **Batching amortizes durability.**  A ``BatchCommand`` of N
+   sub-commands journals as one record and pays one fsync, so at
+   ``fsync_every=1`` batched execution clears 2x the single-command
+   journaled throughput by batch size 16.
 
-Both tables print with `pytest benchmarks/bench_e6_recovery.py -s`.
+All tables print with `pytest benchmarks/bench_e6_recovery.py -s`.
 """
 
 import time
@@ -135,6 +139,60 @@ def test_e6_journal_overhead_table(tmp_path):
         t.add(f"journaled (fsync_every={fsync_every})", ops_d, ms(t_dur),
               rate(ops_d, t_dur), syncs, ratio(t_dur, t_bare))
     t.show()
+
+
+def test_e6_batch_throughput_table(tmp_path):
+    from repro.core.commands import EditCommand
+    from repro.lang.ast_nodes import Assign, Const
+
+    banner("E6 — batched vs single-command journaled throughput "
+           "(fsync_every=1)")
+    source = format_program(generate_program(SEED))
+    n_ops = 64
+
+    def make_commands(engine):
+        sid = next(s.sid for s in engine.program.walk()
+                   if isinstance(s, Assign))
+        return [EditCommand(kind="modify", sid=sid, path=("expr",),
+                            expr=Const(k)) for k in range(n_ops)]
+
+    def run(tag, batch_size):
+        session = DurableSession.create(
+            str(tmp_path / tag), source, snapshot_every=0, fsync_every=1)
+        cmds = make_commands(session.engine)
+        syncs0 = session.journal.syncs
+        start = time.perf_counter()
+        if batch_size == 1:
+            for cmd in cmds:
+                session.execute(cmd)
+        else:
+            for k in range(0, n_ops, batch_size):
+                session.batch(cmds[k:k + batch_size])
+        elapsed = time.perf_counter() - start
+        syncs = session.journal.syncs - syncs0
+        fp = state_fingerprint(session.engine)
+        session.close()
+        return elapsed, syncs, fp
+
+    t_single, syncs_single, fp_single = run("single", 1)
+    t = Table(["configuration", "commands", "records", "fsyncs",
+               "elapsed", "throughput", "speedup"])
+    t.add("single-command", n_ops, n_ops, syncs_single, ms(t_single),
+          rate(n_ops, t_single), "1.00x")
+    speedups = {}
+    for batch_size in (4, 16):
+        t_batch, syncs_batch, fp_batch = run(f"b{batch_size}", batch_size)
+        # batch boundaries are semantically invisible
+        assert fp_batch == fp_single
+        assert syncs_batch == n_ops // batch_size
+        speedups[batch_size] = t_single / t_batch
+        t.add(f"batched (size={batch_size})", n_ops,
+              n_ops // batch_size, syncs_batch, ms(t_batch),
+              rate(n_ops, t_batch), ratio(t_single, t_batch))
+    t.show()
+    assert syncs_single == n_ops
+    # the acceptance bar: batch-16 clears 2x single-command throughput
+    assert speedups[16] >= 2.0
 
 
 def test_e6_recovery_correctness_spot_check(tmp_path):

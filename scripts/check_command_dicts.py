@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Fail if any module outside core/commands.py builds a raw command dict.
+
+The whole point of the command pipeline is that the ``{"op": ...}``
+journal encoding has exactly ONE construction site —
+:meth:`repro.core.commands.Command.encode` — so the journal format, the
+replay protocol, and the observers can never drift apart again (the
+PR-2 stamp-misalignment bugs were precisely such drift).  This check
+keeps it that way: any ``"op":``/``'op':`` dict-literal key in
+``src/repro`` outside ``core/commands.py`` is an error.  Dicts built
+with keyword syntax (``dict(op=...)``, used by the expression codecs
+where ``op`` is an arithmetic operator, not a command tag) are fine —
+the journal encoding is what must stay centralized, and it is built
+from string-keyed literals.
+
+Exit status 0 when clean, 1 otherwise (with the offending lines).  Run
+from the repository root:
+
+    python scripts/check_command_dicts.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+ALLOWED = SRC / "core" / "commands.py"
+
+OP_KEY_RE = re.compile(r"""["']op["']\s*:""")
+
+
+def main() -> int:
+    offenders: list[tuple[Path, int, str]] = []
+    checked = 0
+    for path in sorted(SRC.rglob("*.py")):
+        if path == ALLOWED:
+            continue
+        checked += 1
+        for lineno, line in enumerate(
+                path.read_text("utf-8").splitlines(), start=1):
+            if OP_KEY_RE.search(line):
+                offenders.append((path, lineno, line.strip()))
+    if offenders:
+        for path, lineno, line in offenders:
+            rel = path.relative_to(ROOT)
+            print(f"{rel}:{lineno}: raw command-dict key outside "
+                  f"core/commands.py: {line}", file=sys.stderr)
+        print("construct/encode commands via repro.core.commands instead",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {checked} module(s) build no raw command dicts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

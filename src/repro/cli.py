@@ -20,6 +20,8 @@ Commands (also ``help`` inside the session)::
     table4               the interaction matrix
     edit-del <sid>       user edit: delete statement
     edit-unsafe          find & remove transformations edits broke
+    batch <verb args> [; <verb args>]...
+                         run a ;-separated command group as one unit
     quit
 
 Every command is a pure function of the session state, so the test
@@ -31,10 +33,18 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.core.engine import ApplyError, TransformationEngine
+from repro.core.commands import (
+    ApplyCommand,
+    CommandError,
+    EditCommand,
+    UndoCommand,
+    UndoLifoCommand,
+    parse_batch,
+)
+from repro.core.engine import TransformationEngine
 from repro.core.interactions import render_table4
 from repro.core.undo import UndoError
-from repro.edit.edits import EditReport, EditSession
+from repro.edit.edits import EditReport
 from repro.edit.invalidate import remove_unsafe
 from repro.lang.parser import ParseError, parse_program
 from repro.model.costmodel import estimate_cost
@@ -63,6 +73,7 @@ class CliSession:
             "table4": self.cmd_table4,
             "edit-del": self.cmd_edit_del,
             "edit-unsafe": self.cmd_edit_unsafe,
+            "batch": self.cmd_batch,
             "help": self.cmd_help,
         }
 
@@ -79,7 +90,7 @@ class CliSession:
             return f"unknown command {cmd!r} (try 'help')"
         try:
             return fn(args)
-        except (ApplyError, UndoError, ParseError) as exc:
+        except (CommandError, UndoError, ParseError) as exc:
             return f"error: {exc}"
         except (KeyError, IndexError, ValueError) as exc:
             return f"error: bad argument ({exc})"
@@ -109,8 +120,9 @@ class CliSession:
             return f"no {name} opportunity"
         if not 0 <= k < len(opps):
             return f"index {k} out of range (0..{len(opps) - 1})"
-        rec = self.engine.apply(opps[k])
-        return f"applied t{rec.stamp}: {name} — {opps[k].description}"
+        cmd = ApplyCommand.from_opportunity(opps[k])
+        self.engine.execute(cmd)
+        return f"applied t{cmd.stamp}: {name} — {opps[k].description}"
 
     def cmd_history(self, args: List[str]) -> str:
         """``history`` — the transformation history."""
@@ -120,7 +132,7 @@ class CliSession:
     def cmd_undo(self, args: List[str]) -> str:
         """``undo <stamp>`` — independent-order undo (Figure 4)."""
         stamp = int(args[0])
-        report = self.engine.undo(stamp)
+        report = self.engine.execute(UndoCommand(stamp=stamp))
         out = [f"undone: {report.undone}"]
         if report.affecting:
             out.append(f"affecting (peeled first): {report.affecting}")
@@ -135,7 +147,7 @@ class CliSession:
     def cmd_undo_lifo(self, args: List[str]) -> str:
         """``undo-lifo <stamp>`` — reverse-order undo [5]."""
         stamp = int(args[0])
-        report = self.engine.undo_reverse_to(stamp)
+        report = self.engine.execute(UndoLifoCommand(stamp=stamp))
         return (f"undone (last-first): {report.undone}\n"
                 f"collateral removals: {report.collateral}")
 
@@ -213,9 +225,18 @@ class CliSession:
     def cmd_edit_del(self, args: List[str]) -> str:
         """``edit-del <sid>`` — user edit: delete a statement."""
         sid = int(args[0])
-        report = EditSession(self.engine).delete_stmt(sid)
+        report = self.engine.execute(EditCommand(kind="delete", sid=sid))
         self._pending_edits.append(report)
         return f"edit t{report.record.stamp}: deleted S{sid}"
+
+    def cmd_batch(self, args: List[str]) -> str:
+        """``batch <verb args> [; ...]`` — one transactional group."""
+        cmd = parse_batch(args)
+        result = self.engine.execute(cmd)
+        lines = [sub.describe() for sub in cmd.commands]
+        if result.error is not None:
+            lines.append(f"batch stopped: {result.error}")
+        return "\n".join(lines)
 
     def cmd_edit_unsafe(self, args: List[str]) -> str:
         """``edit-unsafe`` — remove transformations pending edits broke."""
@@ -241,8 +262,9 @@ usage: python -m repro <program file>            interactive session
        python -m repro serve <root>              line-protocol server on stdio
        python -m repro session <root> <name> <verb> [args...]
            verbs: init <file> | apply <name> [k] | undo <stamp>
-                  undo-lifo <stamp> | log | show | metrics | snapshot
-                  reopen [--verify]"""
+                  undo-lifo <stamp> | edit-del <sid> | log | show
+                  batch <verb args ; verb args ...> | metrics
+                  snapshot | reopen [--verify]"""
 
 
 def _main_serve(argv: List[str]) -> int:

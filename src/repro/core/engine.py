@@ -14,32 +14,46 @@ Typical session::
     ...
     engine.undo(record.stamp)        # independent order (Figure 4)
     engine.undo_reverse_to(stamp)    # LIFO baseline of [5]
+
+Every state change flows through ONE transactional path,
+:meth:`TransformationEngine.execute`, which takes a typed
+:class:`repro.core.commands.Command`: ``apply``/``undo``/
+``undo_reverse_to`` are thin constructors over it, and so are user
+edits (:class:`repro.edit.edits.EditSession`), the line-protocol
+server, and journal replay.  ``execute_batch`` runs a group of
+commands as a single journaled unit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.incremental import AnalysisCache
+from repro.analysis.incremental import AnalysisCache, WorkCounters
 from repro.core.actions import ActionApplier
 from repro.core.annotations import AnnotationStore
+from repro.core.commands import (
+    ApplyCommand,
+    ApplyError,
+    BatchCommand,
+    BatchResult,
+    Command,
+    RegistryError,
+    UndoCommand,
+    UndoLifoCommand,
+)
 from repro.core.events import EventLog
 from repro.core.history import History, TransformationRecord
 from repro.core.reverse_undo import ReverseUndoEngine, ReverseUndoReport
-from repro.core.undo import UndoEngine, UndoError, UndoReport, UndoStrategy
+from repro.core.undo import UndoEngine, UndoReport, UndoStrategy
 from repro.lang.ast_nodes import Program
 from repro.lang.printer import format_program
 from repro.transforms.base import (
-    ApplyContext,
     CheckContext,
     Opportunity,
     SafetyResult,
 )
 
-
-class ApplyError(RuntimeError):
-    """Raised when a transformation cannot be applied."""
+__all__ = ["ApplyError", "RegistryError", "TransformationEngine"]
 
 
 class TransformationEngine:
@@ -65,11 +79,16 @@ class TransformationEngine:
         self.applier = ActionApplier(program, store=store, events=events)
         self.history = history if history is not None else History()
         self.applier.orderer = make_sibling_orderer(self.history)
-        #: journal hook point: callables invoked with one logical-command
-        #: dict after every top-level ``apply``/``undo``/``undo_reverse_to``
-        #: — including *failed* ones that consumed an order stamp or
-        #: mutated state, so a journal replay reproduces stamps exactly.
-        self.command_observers: List[Callable[[Dict], None]] = []
+        #: journal hook point: callables invoked with the executed
+        #: :class:`~repro.core.commands.Command` after every top-level
+        #: command — including *failed* ones that consumed an order
+        #: stamp or mutated state, so a journal replay reproduces
+        #: stamps exactly.  During a batch, sub-command notifications
+        #: are collected into the enclosing batch instead.
+        self.command_observers: List[Callable[[Command], None]] = []
+        #: batch collection stack: while non-empty, notifications go to
+        #: the innermost batch's group instead of the observers.
+        self._batch_sinks: List[List[Command]] = []
         self.cache = AnalysisCache(program, events=self.applier.events)
         self.strategy = strategy if strategy is not None else UndoStrategy()
         self._undo_engine = UndoEngine(program, self.applier, self.history,
@@ -86,10 +105,12 @@ class TransformationEngine:
 
         Registered transformations are first-class: ``find``/``apply``
         offer them and both undo engines handle them through the same
-        transformation-independent machinery.
+        transformation-independent machinery.  A name collision raises
+        :class:`RegistryError` (an :class:`ApplyError` subclass, so the
+        misconfiguration is distinguishable from an apply that failed).
         """
         if transformation.name in self.registry:
-            raise ApplyError(
+            raise RegistryError(
                 f"transformation {transformation.name!r} already registered")
         self.registry[transformation.name] = transformation
 
@@ -122,34 +143,89 @@ class TransformationEngine:
         return {name: t.find(self.program, self.cache)
                 for name, t in self.registry.items()}
 
-    def _notify_command(self, cmd: Dict) -> None:
-        """Tell every journal observer about a completed logical command."""
+    # -- the transactional command path ------------------------------------------
+
+    def execute(self, command: Command):
+        """Run one typed command through THE transactional path.
+
+        The only place command execution is sequenced — for every
+        command class and every entry point (engine API, edit sessions,
+        server verbs, journal replay):
+
+        1. **begin** — resolve arguments and allocate the order stamp;
+           a failure here consumed nothing and propagates raw,
+           unjournaled;
+        2. **run** — perform the state change;
+        3. on a failure the command class declares
+           (``Command.failure_types``): roll back the record's partial
+           primitive actions, deactivate it — the stamp stays consumed —
+           and mark the command ``failed``;
+        4. **notify** ``command_observers`` with the command, success
+           and failure alike, so a journal replay reproduces stamps
+           exactly (inside a batch, the notification is collected into
+           the group instead).
+
+        Returns whatever the command's run produced (a
+        :class:`~repro.core.history.TransformationRecord` for applies,
+        an undo report for undos, ...); the analysis-work delta of the
+        execution lands on ``command.work``.
+        """
+        before = self.cache.counters.snapshot()
+        rec = command._begin(self)
+        try:
+            result = command._run(self, rec)
+        except command.failure_types as exc:
+            if rec is not None:
+                # roll the partial run back so the program stays sound;
+                # the record consumed a stamp — deactivate, don't erase
+                for act in reversed(rec.actions):
+                    self.applier.invert(act, rec.stamp)
+                self.history.deactivate(rec.stamp)
+            command.failed = True
+            command._note_failure(exc)
+            command.work = WorkCounters.delta(
+                before, self.cache.counters.snapshot())
+            self._notify(command)
+            surfaced = command._surface(exc)
+            if surfaced is exc:
+                raise
+            raise surfaced from exc
+        command.work = WorkCounters.delta(
+            before, self.cache.counters.snapshot())
+        self._notify(command)
+        return result
+
+    def execute_batch(self, commands: Sequence[Command]) -> BatchResult:
+        """Execute a group of commands as one journaled unit.
+
+        Observers see a single :class:`~repro.core.commands.BatchCommand`
+        carrying the executed prefix (one journal record, one fsync).  A
+        failing sub-command stops the batch — it is journaled ``failed``
+        at its position — and the batch returns rather than raises; see
+        :attr:`~repro.core.commands.BatchResult.error`.
+        """
+        return self.execute(BatchCommand(commands=list(commands)))
+
+    def _notify(self, command: Command) -> None:
+        """Hand one executed command to the journal observers (or the
+        enclosing batch's group, when one is collecting)."""
+        if self._batch_sinks:
+            self._batch_sinks[-1].append(command)
+            return
         for observer in list(self.command_observers):
-            observer(cmd)
+            observer(command)
+
+    def _push_batch(self, sink: List[Command]) -> None:
+        self._batch_sinks.append(sink)
+
+    def _pop_batch(self) -> None:
+        self._batch_sinks.pop()
+
+    # -- thin command constructors ------------------------------------------------
 
     def apply(self, opportunity: Opportunity) -> TransformationRecord:
         """Apply a previously found opportunity, recording history."""
-        transform = self.registry[opportunity.name]
-        rec = self.history.new_record(opportunity.name, **opportunity.params)
-        ctx = ApplyContext(self.program, self.applier, self.cache, rec)
-        try:
-            transform.apply_actions(ctx, opportunity)
-        except Exception as exc:
-            # roll the partial application back so the program stays sound
-            for act in reversed(rec.actions):
-                self.applier.invert(act, rec.stamp)
-            self.history.deactivate(rec.stamp)
-            # the failed record consumed a stamp and action ids — journal
-            # it so a replay re-runs (and re-fails) it deterministically
-            self._notify_command({"op": "apply", "name": opportunity.name,
-                                  "params": dict(opportunity.params),
-                                  "stamp": rec.stamp, "failed": True})
-            raise ApplyError(
-                f"applying {opportunity.name} failed: {exc}") from exc
-        self._notify_command({"op": "apply", "name": opportunity.name,
-                              "params": dict(opportunity.params),
-                              "stamp": rec.stamp})
-        return rec
+        return self.execute(ApplyCommand.from_opportunity(opportunity))
 
     def apply_first(self, name: str, **match) -> TransformationRecord:
         """Find-and-apply the first opportunity whose params match ``match``."""
@@ -157,6 +233,14 @@ class TransformationEngine:
             if all(opp.params.get(k) == v for k, v in match.items()):
                 return self.apply(opp)
         raise ApplyError(f"no {name} opportunity matching {match!r}")
+
+    def undo(self, stamp: int) -> UndoReport:
+        """Independent-order undo (Figure 4)."""
+        return self.execute(UndoCommand(stamp=stamp))
+
+    def undo_reverse_to(self, stamp: int) -> ReverseUndoReport:
+        """Reverse-order (LIFO) undo baseline of [5]."""
+        return self.execute(UndoLifoCommand(stamp=stamp))
 
     # -- safety inspection -----------------------------------------------------------
 
@@ -177,34 +261,6 @@ class TransformationEngine:
             if not self.check_safety(rec.stamp).safe:
                 out.append(rec.stamp)
         return out
-
-    # -- undoing -----------------------------------------------------------------------
-
-    def undo(self, stamp: int) -> UndoReport:
-        """Independent-order undo (Figure 4)."""
-        try:
-            report = self._undo_engine.undo(stamp)
-        except UndoError:
-            # a cascade can commit partial undos before the failure;
-            # journal the failed command so replay reproduces that state
-            self._notify_command({"op": "undo", "stamp": stamp,
-                                  "failed": True})
-            raise
-        self._notify_command({"op": "undo", "stamp": stamp,
-                              "undone": list(report.undone)})
-        return report
-
-    def undo_reverse_to(self, stamp: int) -> ReverseUndoReport:
-        """Reverse-order (LIFO) undo baseline of [5]."""
-        try:
-            report = self._reverse_engine.undo_to(stamp)
-        except UndoError:
-            self._notify_command({"op": "undo_lifo", "stamp": stamp,
-                                  "failed": True})
-            raise
-        self._notify_command({"op": "undo_lifo", "stamp": stamp,
-                              "undone": list(report.undone)})
-        return report
 
     def check_reversibility(self, stamp: int):
         """Post-pattern validation of one applied transformation."""

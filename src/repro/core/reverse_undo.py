@@ -72,16 +72,26 @@ class ReverseUndoEngine:
         return rec.stamp
 
     def undo_to(self, stamp: int) -> ReverseUndoReport:
-        """Peel transformations last-first until ``stamp`` is undone."""
+        """Peel transformations last-first until ``stamp`` is undone.
+
+        Like :meth:`repro.core.undo.UndoEngine.undo`, a raised
+        :class:`UndoError` carries ``target``/``undone`` so the command
+        pipeline can journal the partial progress of a failed peel.
+        """
         rec = self.history.by_stamp(stamp)
-        if not rec.active:
-            raise UndoError(f"t{stamp} is not active")
         report = ReverseUndoReport(target=stamp)
-        while rec.active:
-            undone = self.undo_last()
-            report.undone.append(undone)
-            report.actions_inverted += len(
-                self.history.by_stamp(undone).actions)
-            if undone != stamp:
-                report.collateral.append(undone)
+        try:
+            if not rec.active:
+                raise UndoError(f"t{stamp} is not active")
+            while rec.active:
+                undone = self.undo_last()
+                report.undone.append(undone)
+                report.actions_inverted += len(
+                    self.history.by_stamp(undone).actions)
+                if undone != stamp:
+                    report.collateral.append(undone)
+        except UndoError as exc:
+            exc.target = stamp
+            exc.undone = list(report.undone)
+            raise
         return report

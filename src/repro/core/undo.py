@@ -62,7 +62,19 @@ class UndoError(RuntimeError):
     something outside the recorded history (e.g. a user edit destroyed
     the post pattern): the algorithm has no affecting transformation to
     remove first.
+
+    Instances raised by the top-level undo entry points surface their
+    partial progress: ``target`` is the stamp the caller asked to undo
+    and ``undone`` lists the stamps the cascade committed before the
+    failure (a failed undo can still have mutated state — the journal
+    records exactly that, so replay re-fails it identically).  Both are
+    ``None`` when the error came from a context with no report.
     """
+
+    #: the stamp the failed undo targeted (``None`` = unrecorded).
+    target: Optional[int] = None
+    #: stamps the cascade committed before failing (``None`` = unrecorded).
+    undone: Optional[List[int]] = None
 
 
 @dataclass
@@ -128,14 +140,26 @@ class UndoEngine:
     # -- public API -----------------------------------------------------------
 
     def undo(self, stamp: int) -> UndoReport:
-        """Undo transformation ``stamp`` in independent order."""
+        """Undo transformation ``stamp`` in independent order.
+
+        On failure the raised :class:`UndoError` carries the partial
+        progress (``target``/``undone``) the cascade committed before
+        the failing step, so callers — the command pipeline in
+        particular — can journal exactly what happened.
+        """
         rec = self.history.by_stamp(stamp)
-        if not rec.active:
-            raise UndoError(f"t{stamp} ({rec.name}) is not active")
-        if rec.is_edit:
-            raise UndoError("user edits are not undoable through the engine")
         report = UndoReport(target=stamp)
-        self._undo(rec, report, set())
+        try:
+            if not rec.active:
+                raise UndoError(f"t{stamp} ({rec.name}) is not active")
+            if rec.is_edit:
+                raise UndoError(
+                    "user edits are not undoable through the engine")
+            self._undo(rec, report, set())
+        except UndoError as exc:
+            exc.target = stamp
+            exc.undone = list(report.undone)
+            raise
         return report
 
     # -- Figure 4 --------------------------------------------------------------

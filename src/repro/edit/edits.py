@@ -5,17 +5,27 @@ order stamp and leave annotations exactly like transformations, so the
 reversibility checks can attribute a broken post pattern to an edit —
 in which case the engine reports the transformation as unrecoverable by
 automatic undo (the user changed the code out from under it).
+
+:class:`EditSession` is a thin convenience layer over the command
+pipeline: each method builds an :class:`repro.core.commands.EditCommand`
+and runs it through ``engine.execute``, the same transactional path
+applies and undos take.  That routing is load-bearing for durability —
+an edit made through *any* entry point (including a bare
+``EditSession(engine)`` someone constructs ad hoc) notifies the
+engine's ``command_observers``, so a journaled engine records it with
+its order stamp, success or failure alike.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
+from repro.core.commands import EditCommand
 from repro.core.engine import TransformationEngine
 from repro.core.history import TransformationRecord
 from repro.core.locations import Location
-from repro.lang.ast_nodes import Expr, ExprPath, Program, Stmt
+from repro.lang.ast_nodes import Expr, ExprPath, Stmt
 
 
 @dataclass
@@ -36,47 +46,21 @@ class EditSession:
     def __init__(self, engine: TransformationEngine):
         self.engine = engine
 
-    def _record(self, **params) -> TransformationRecord:
-        return self.engine.history.new_record("edit", **params)
-
-    def _run(self, rec: TransformationRecord, primitive) -> EditReport:
-        """Run one applier primitive for ``rec``, sound on failure.
-
-        The record is registered (its order stamp consumed) before the
-        applier validates, so a failed primitive must deactivate it —
-        mirroring ``TransformationEngine.apply``'s failure path — or the
-        history would keep an active record with no actions.  The same
-        code runs during journal replay, so a re-failed edit leaves the
-        identical deactivated record.
-        """
-        try:
-            act = primitive()
-        except Exception:
-            self.engine.history.deactivate(rec.stamp)
-            raise
-        rec.actions.append(act)
-        return EditReport(record=rec)
-
     def add_stmt(self, stmt: Stmt, loc: Location) -> EditReport:
         """Insert a new statement at ``loc``."""
-        rec = self._record(kind="add")
-        return self._run(
-            rec, lambda: self.engine.applier.add(rec.stamp, stmt, loc))
+        return self.engine.execute(EditCommand(kind="add", stmt=stmt,
+                                               loc=loc))
 
     def delete_stmt(self, sid: int) -> EditReport:
         """Remove statement ``sid``."""
-        rec = self._record(kind="delete", sid=sid)
-        return self._run(
-            rec, lambda: self.engine.applier.delete(rec.stamp, sid))
+        return self.engine.execute(EditCommand(kind="delete", sid=sid))
 
     def move_stmt(self, sid: int, loc: Location) -> EditReport:
         """Relocate statement ``sid`` to ``loc``."""
-        rec = self._record(kind="move", sid=sid)
-        return self._run(
-            rec, lambda: self.engine.applier.move(rec.stamp, sid, loc))
+        return self.engine.execute(EditCommand(kind="move", sid=sid,
+                                               loc=loc))
 
     def modify_expr(self, sid: int, path: ExprPath, new: Expr) -> EditReport:
         """Replace the expression at ``(sid, path)`` with ``new``."""
-        rec = self._record(kind="modify", sid=sid)
-        return self._run(
-            rec, lambda: self.engine.applier.modify(rec.stamp, sid, path, new))
+        return self.engine.execute(EditCommand(kind="modify", sid=sid,
+                                               path=path, expr=new))

@@ -1,8 +1,10 @@
 """Append-only write-ahead journal of session commands.
 
-One JSON line per *committed* logical command::
-
-    {"seq": 7, "cmd": {"op": "apply", ...}, "crc": "9f2a..."}
+One JSON line per *committed* logical command: ``{"seq": 7, "cmd":
+<encoded command>, "crc": "9f2a..."}`` — the ``cmd`` payload is the
+canonical encoding produced by
+:meth:`repro.core.commands.Command.encode` (a batch journals its whole
+group as one record, hence one fsync).
 
 Design points:
 

@@ -28,8 +28,11 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.core.engine import ApplyError, TransformationEngine
-from repro.core.undo import UndoError, UndoStrategy
+# the exception's canonical home is the command module (replay is part
+# of the command protocol); re-exported here for compatibility
+from repro.core.commands import ReplayError, decode_command
+from repro.core.engine import TransformationEngine
+from repro.core.undo import UndoStrategy
 from repro.lang.parser import parse_program
 from repro.service.journal import (
     JournalRecord,
@@ -41,10 +44,7 @@ from repro.service.serde import (
     KIND_META,
     engine_from_doc,
     state_fingerprint,
-    stmt_from_doc,
     unwrap,
-    value_from_doc,
-    value_to_doc,
     wrap,
 )
 from repro.service.snapshot import SnapshotStore
@@ -53,10 +53,6 @@ from repro.service.snapshot import SnapshotStore
 META_FILE = "session.json"
 JOURNAL_FILE = "journal.jsonl"
 SNAPSHOT_DIR = "snapshots"
-
-
-class ReplayError(RuntimeError):
-    """A journaled command did not replay the way it originally ran."""
 
 
 class RecoveryError(RuntimeError):
@@ -118,116 +114,27 @@ def strategy_from_doc(doc: Dict[str, Any]) -> UndoStrategy:
 
 
 # ---------------------------------------------------------------------------
-# Command encoding (live dict -> JSON-safe journal form)
-# ---------------------------------------------------------------------------
-
-
-def encode_command(cmd: Dict[str, Any]) -> Dict[str, Any]:
-    """Make a logical command JSON-safe for the journal.
-
-    Engine-notified commands carry live opportunity params (which may
-    contain tuples); everything else is already plain.
-    """
-    if cmd.get("op") == "apply":
-        out = dict(cmd)
-        out["params"] = value_to_doc(cmd["params"])
-        return out
-    return dict(cmd)
-
-
-# ---------------------------------------------------------------------------
 # Replay
 # ---------------------------------------------------------------------------
-
-
-def _expect_failure(what: str, fn, exc_type) -> None:
-    try:
-        fn()
-    except exc_type:
-        return
-    raise ReplayError(f"{what} was journaled as failed but succeeded on "
-                      "replay — journal and state have diverged")
 
 
 def replay_command(engine: TransformationEngine, cmd: Dict[str, Any]) -> None:
     """Re-execute one journaled command against a live engine.
 
-    Raises :class:`ReplayError` when the outcome diverges from what the
-    journal recorded (wrong stamp, missing opportunity, a failure that
-    no longer fails) — any divergence means the journal does not
-    describe this state and recovery must not continue silently.
+    Dispatches through the command registry: the journal dict is decoded
+    back into its typed :class:`~repro.core.commands.Command` (the v1
+    dicts of earlier journals decode unchanged) and its ``replay``
+    protocol re-runs it through the same ``engine.execute`` path the
+    original session used — replay is not a simulation.  Raises
+    :class:`ReplayError` when the outcome diverges from what the journal
+    recorded (wrong stamp, missing opportunity, a different undo set, a
+    failure that no longer fails) — any divergence means the journal
+    does not describe this state and recovery must not continue
+    silently.  Command args are decoded *before* anything runs, so a
+    corrupt record raises a decode error rather than being mistaken for
+    the journaled failure of a ``failed: true`` command.
     """
-    op = cmd.get("op")
-    failed = bool(cmd.get("failed"))
-    if op == "apply":
-        from repro.transforms.base import Opportunity
-
-        params = value_from_doc(cmd["params"])
-        if failed:
-            # the opportunity may not be findable at all — frequently the
-            # very reason the original apply failed — so rebuild it from
-            # the journaled params and require the same failure
-            bogus = Opportunity(cmd["name"], params, "journal replay")
-            _expect_failure(f"apply {cmd['name']}",
-                            lambda: engine.apply(bogus), ApplyError)
-            return
-        match = None
-        for opp in engine.find(cmd["name"]):
-            if opp.params == params:
-                match = opp
-                break
-        if match is None:
-            raise ReplayError(
-                f"no {cmd['name']} opportunity matching {params!r} during "
-                "replay")
-        rec = engine.apply(match)
-        if rec.stamp != cmd["stamp"]:
-            raise ReplayError(
-                f"replayed {cmd['name']} got stamp {rec.stamp}, journal "
-                f"recorded {cmd['stamp']}")
-    elif op in ("undo", "undo_lifo"):
-        fn = engine.undo if op == "undo" else engine.undo_reverse_to
-        if failed:
-            _expect_failure(f"{op} t{cmd['stamp']}",
-                            lambda: fn(cmd["stamp"]), UndoError)
-            return
-        report = fn(cmd["stamp"])
-        if "undone" in cmd and list(report.undone) != list(cmd["undone"]):
-            raise ReplayError(
-                f"{op} t{cmd['stamp']} undid {report.undone}, journal "
-                f"recorded {cmd['undone']}")
-    elif op == "edit":
-        from repro.edit.edits import EditSession
-
-        session = EditSession(engine)
-        kind = cmd.get("kind")
-        # decode args and validate the kind *before* running, so a
-        # corrupt record raises SerdeError/ReplayError rather than being
-        # mistaken for the journaled failure of a ``failed: true`` edit
-        if kind == "delete":
-            run = lambda: session.delete_stmt(cmd["sid"])
-        elif kind == "modify":
-            path = value_from_doc(cmd["path"])
-            expr = value_from_doc(cmd["expr"])
-            run = lambda: session.modify_expr(cmd["sid"], path, expr)
-        elif kind == "move":
-            loc = value_from_doc(cmd["loc"])
-            run = lambda: session.move_stmt(cmd["sid"], loc)
-        elif kind == "add":
-            stmt = stmt_from_doc(cmd["stmt"])
-            loc = value_from_doc(cmd["loc"])
-            run = lambda: session.add_stmt(stmt, loc)
-        else:
-            raise ReplayError(f"unknown edit kind {kind!r}")
-
-        if failed:
-            # a failed edit still consumed an order stamp and left a
-            # deactivated record; re-failing reproduces both
-            _expect_failure(f"edit {kind}", run, Exception)
-        else:
-            run()
-    else:
-        raise ReplayError(f"unknown journaled op {op!r}")
+    decode_command(cmd).replay(engine)
 
 
 def replay_from_scratch(source: str, commands: List[Dict[str, Any]],

@@ -119,10 +119,10 @@ def expr_to_doc(e: Expr) -> Dict[str, Any]:
         return {"k": "arr", "n": e.name,
                 "s": [expr_to_doc(s) for s in e.subscripts]}
     if isinstance(e, BinOp):
-        return {"k": "bin", "op": e.op,
-                "l": expr_to_doc(e.left), "r": expr_to_doc(e.right)}
+        return dict(k="bin", op=e.op,
+                    l=expr_to_doc(e.left), r=expr_to_doc(e.right))
     if isinstance(e, UnaryOp):
-        return {"k": "un", "op": e.op, "e": expr_to_doc(e.operand)}
+        return dict(k="un", op=e.op, e=expr_to_doc(e.operand))
     raise SerdeError(f"unknown expression node {type(e).__name__}")
 
 

@@ -14,6 +14,11 @@ Verbs::
     <s> apply <name> [k]   apply the k-th opportunity
     <s> undo <stamp>       independent-order undo (Figure 4)
     <s> undo-lifo <stamp>  reverse-order undo baseline
+    <s> edit-del <sid>     user edit: delete a statement
+    <s> batch <verb args> [; <verb args>]...
+                           execute a ;-separated group as ONE journal
+                           record (single fsync); a failure stops the
+                           group and is journaled at its position
     <s> log                committed command history
     <s> metrics            persistence + analysis-work stats
     <s> snapshot           cut a snapshot now
@@ -26,11 +31,15 @@ from __future__ import annotations
 import json
 from typing import IO, List
 
-from repro.core.engine import ApplyError
+from repro.core.commands import CommandError, parse_batch, parse_verb
 from repro.core.undo import UndoError
 from repro.lang.parser import ParseError
-from repro.service.recovery import RecoveryError, ReplayError
+from repro.service.recovery import RecoveryError
 from repro.service.session import SessionError, SessionManager
+
+#: request verbs parsed straight into typed commands (one code path
+#: from the wire to ``engine.execute``).
+COMMAND_VERBS = ("apply", "undo", "undo-lifo", "edit-del")
 
 
 class SessionServer:
@@ -46,8 +55,8 @@ class SessionServer:
         self.requests += 1
         try:
             out = self._dispatch(line.strip().split())
-        except (SessionError, ApplyError, UndoError, ParseError,
-                RecoveryError, ReplayError, OSError) as exc:
+        except (SessionError, CommandError, UndoError, ParseError,
+                RecoveryError, OSError) as exc:
             # OSError covers ``init`` naming an unreadable file — one bad
             # request must not take down every other session's server
             out = f"error: {exc}"
@@ -82,16 +91,18 @@ class SessionServer:
                          for kind in names
                          for k, o in enumerate(session.engine.find(kind))]
                 return "\n".join(lines) or "(no opportunities)"
-            if verb == "apply":
-                k = int(args[1]) if len(args) > 1 else 0
-                rec = session.apply(args[0], k)
-                return f"applied t{rec.stamp}: {args[0]}"
-            if verb == "undo":
-                report = session.undo(int(args[0]))
-                return f"undone: {report.undone}"
-            if verb == "undo-lifo":
-                report = session.undo_lifo(int(args[0]))
-                return f"undone (last-first): {report.undone}"
+            if verb in COMMAND_VERBS:
+                cmd = parse_verb(verb, args)
+                session.execute(cmd)
+                return cmd.describe()
+            if verb == "batch":
+                cmd = parse_batch(args)
+                result = session.execute(cmd)
+                if result.error is not None:
+                    return (f"error: batch stopped after "
+                            f"{len(result.executed)} command(s): "
+                            f"{result.error}")
+                return cmd.describe()
             if verb == "log":
                 return "\n".join(
                     json.dumps(cmd, sort_keys=True)

@@ -25,33 +25,28 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.core.commands import BatchResult, Command, EditCommand
 from repro.core.engine import TransformationEngine
 from repro.core.history import TransformationRecord
 from repro.core.reverse_undo import ReverseUndoReport
 from repro.core.undo import UndoReport, UndoStrategy
-from repro.edit.edits import EditReport, EditSession
+from repro.edit.edits import EditReport
 from repro.edit.invalidate import InvalidationStats, remove_unsafe
 from repro.lang.ast_nodes import Expr, ExprPath, Stmt
 from repro.lang.parser import parse_program
 from repro.core.locations import Location
-from repro.analysis.incremental import WorkCounters
 from repro.service.journal import Journal
 from repro.service.recovery import (
     JOURNAL_FILE,
     SNAPSHOT_DIR,
     RecoveryResult,
-    encode_command,
     meta_path,
     read_meta,
     recover,
     strategy_to_doc,
     write_meta,
 )
-from repro.service.serde import (
-    engine_to_doc,
-    stmt_to_doc,
-    value_to_doc,
-)
+from repro.service.serde import engine_to_doc
 from repro.service.snapshot import SnapshotStore
 
 
@@ -141,14 +136,22 @@ class DurableSession:
 
     # -- journaling ----------------------------------------------------------
 
-    def _on_command(self, cmd: Dict[str, Any]) -> None:
-        """Journal one committed logical command (engine observer)."""
+    def _on_command(self, command: Command) -> None:
+        """Journal one executed command (the engine-observer hook).
+
+        The engine notifies with the typed command — success and failure
+        alike, batches as one group — and this observer is the ONLY
+        place commands become journal records: one ``encode()``, one
+        append, one (amortized) fsync.  Also samples the command's
+        analysis-work delta into ``last_work`` for :meth:`metrics`.
+        """
         if self._closed:
             raise SessionError("session is closed")
-        enc = encode_command(cmd)
+        enc = command.encode()
         self.seq += 1
         self.journal.append(self.seq, enc)
         self.commands.append(enc)
+        self.last_work = dict(command.work)
         self._since_snapshot += 1
         if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
             self.snapshot()
@@ -180,96 +183,92 @@ class DurableSession:
         self._since_snapshot = 0
         return path
 
-    @contextmanager
-    def _sampled(self) -> Iterator[None]:
-        """Attribute the analysis work of one command to ``last_work``.
+    def _check_open(self) -> None:
+        """Refuse commands on a closed session *before* they run.
 
-        Doubles as the closed-session guard: a command on a closed
-        session would mutate the engine *without journaling* (the
-        observer is detached), silently forfeiting durability.
+        A command on a closed session would mutate the engine and then
+        fail journaling (the observer raises), leaving state the journal
+        does not describe — so every command entry point guards first,
+        while no stamp has been consumed.
         """
         if self._closed:
             raise SessionError("session is closed")
-        before = self.engine.cache.counters.snapshot()
-        try:
-            yield
-        finally:
-            after = self.engine.cache.counters.snapshot()
-            self.last_work = WorkCounters.delta(before, after)
 
     # -- command API ---------------------------------------------------------
 
+    def execute(self, command: Command):
+        """Run one typed command through the journaled engine.
+
+        THE generic entry point (the server's verb parser lands here);
+        the named wrappers below are conveniences over it.  Journaling
+        happens via the engine's observer notification — success and
+        failure alike — so there is nothing session-specific to do
+        beyond the closed guard.
+        """
+        self._check_open()
+        return self.engine.execute(command)
+
+    def batch(self, commands) -> BatchResult:
+        """Execute a group of commands as ONE journal record + fsync."""
+        self._check_open()
+        return self.engine.execute_batch(commands)
+
     def apply(self, name: str, k: int = 0) -> TransformationRecord:
         """Apply the ``k``-th current opportunity of ``name``."""
+        self._check_open()
         opps = self.engine.find(name)
         if not 0 <= k < len(opps):
             raise SessionError(
                 f"no {name} opportunity at index {k} "
                 f"(have {len(opps)})")
-        with self._sampled():
-            return self.engine.apply(opps[k])
+        return self.engine.apply(opps[k])
 
     def apply_params(self, name: str, **match) -> TransformationRecord:
         """Apply the first ``name`` opportunity matching ``match``."""
-        with self._sampled():
-            return self.engine.apply_first(name, **match)
+        self._check_open()
+        return self.engine.apply_first(name, **match)
 
     def undo(self, stamp: int) -> UndoReport:
         """Independent-order undo (Figure 4), journaled."""
-        with self._sampled():
-            return self.engine.undo(stamp)
+        self._check_open()
+        return self.engine.undo(stamp)
 
     def undo_lifo(self, stamp: int) -> ReverseUndoReport:
         """Reverse-order undo baseline, journaled."""
-        with self._sampled():
-            return self.engine.undo_reverse_to(stamp)
+        self._check_open()
+        return self.engine.undo_reverse_to(stamp)
 
-    def _edit(self, cmd: Dict[str, Any], run) -> EditReport:
-        """Run one edit, journaling it whether it succeeds or fails.
+    def _edit(self, command: EditCommand) -> EditReport:
+        """Run one edit command; track its report for ``edit_unsafe``.
 
-        ``EditSession`` registers the history record (consuming an order
-        stamp) before the applier validates, so a failed edit mutated
-        durable state exactly like a failed ``engine.apply`` — it is
-        journaled with ``failed: True`` and replay re-fails it
-        deterministically, keeping journal and engine stamps aligned.
+        Journaling needs no session-side handling any more: edits run
+        through ``engine.execute`` like every other command, so success
+        *and* failure notify the observer with the stamp the edit
+        consumed, and replay re-fails a failed edit deterministically.
         """
-        try:
-            with self._sampled():
-                report = run(EditSession(self.engine))
-        except SessionError:
-            raise  # closed-session guard: no stamp consumed
-        except Exception:
-            self._on_command(dict(cmd, failed=True))
-            raise
-        self._on_command(cmd)
+        self._check_open()
+        report = self.engine.execute(command)
         self._pending_edits.append(report)
         return report
 
     def edit_delete(self, sid: int) -> EditReport:
         """User edit: delete statement ``sid``."""
-        return self._edit({"op": "edit", "kind": "delete", "sid": sid},
-                          lambda es: es.delete_stmt(sid))
+        return self._edit(EditCommand(kind="delete", sid=sid))
 
     def edit_modify(self, sid: int, path: ExprPath, expr: Expr) -> EditReport:
         """User edit: replace the expression at ``(sid, path)``."""
-        return self._edit({"op": "edit", "kind": "modify", "sid": sid,
-                           "path": value_to_doc(path),
-                           "expr": value_to_doc(expr)},
-                          lambda es: es.modify_expr(sid, path, expr))
+        return self._edit(EditCommand(kind="modify", sid=sid, path=path,
+                                      expr=expr))
 
     def edit_move(self, sid: int, loc: Location) -> EditReport:
         """User edit: relocate statement ``sid``."""
-        return self._edit({"op": "edit", "kind": "move", "sid": sid,
-                           "loc": value_to_doc(loc)},
-                          lambda es: es.move_stmt(sid, loc))
+        return self._edit(EditCommand(kind="move", sid=sid, loc=loc))
 
     def edit_add(self, stmt: Stmt, loc: Location) -> EditReport:
         """User edit: insert a new statement at ``loc``."""
-        # encode before the applier assigns sids
-        return self._edit({"op": "edit", "kind": "add",
-                           "stmt": stmt_to_doc(stmt),
-                           "loc": value_to_doc(loc)},
-                          lambda es: es.add_stmt(stmt, loc))
+        # EditCommand captures the encoded form at construction, before
+        # the applier assigns sids into the live statement
+        return self._edit(EditCommand(kind="add", stmt=stmt, loc=loc))
 
     def edit_unsafe(self) -> List[InvalidationStats]:
         """Remove transformations the pending edits made unsafe.
@@ -278,10 +277,10 @@ class DurableSession:
         public ``engine.undo`` so each cascade is journaled as an
         ordinary undo command and replays deterministically.
         """
+        self._check_open()
         out = []
-        with self._sampled():
-            for report in self._pending_edits:
-                out.append(remove_unsafe(self.engine, report))
+        for report in self._pending_edits:
+            out.append(remove_unsafe(self.engine, report))
         self._pending_edits.clear()
         return out
 

@@ -60,8 +60,8 @@ class ConstantFolding(Transformation):
                                            node.right.value)
                         out.append(Opportunity(
                             self.name,
-                            {"sid": s.sid, "path": path, "value": value,
-                             "op": node.op},
+                            dict(sid=s.sid, path=path, value=value,
+                                 op=node.op),
                             f"S{s.sid}:{'.'.join(path)} "
                             f"{node.left.value} {node.op} {node.right.value}"
                             f" → {value}"))

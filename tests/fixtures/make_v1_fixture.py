@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Regenerate the checked-in v1-format journal fixture.
+
+The fixture under ``tests/fixtures/v1_session/`` was produced by the
+PR-2 session service — the code that journaled ad-hoc ``{"op": ...}``
+dicts straight from the engine — and is kept verbatim so the command
+decoder's v1 shim is exercised against genuine old output.  This script
+documents how it was made; rerunning it against current code would
+produce a *current*-format journal, which is not the point of the
+fixture.  Do not regenerate unless the on-disk serde format itself is
+versioned up (then check in a new fixture beside this one).
+
+Covers every op kind: apply (success + failed), undo (success +
+failed), undo_lifo, and all four edit kinds (plus a failed edit).
+
+Usage: PYTHONPATH=src python tests/fixtures/make_v1_fixture.py
+"""
+
+import json
+import os
+import shutil
+
+from repro.core.engine import ApplyError
+from repro.core.undo import UndoError
+from repro.lang.ast_nodes import Const
+from repro.lang.builder import assign
+from repro.core.locations import Location
+from repro.service.serde import state_fingerprint
+from repro.service.session import DurableSession
+from repro.transforms.base import Opportunity
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+OUT = os.path.join(HERE, "v1_session")
+
+SRC = ("c = 1\n"
+       "x = c + 2\n"
+       "write x\n"
+       "a = b + q\n"
+       "d = b + q\n"
+       "write a + d\n")
+
+
+def main():
+    shutil.rmtree(OUT, ignore_errors=True)
+    session = DurableSession.create(OUT, SRC, snapshot_every=0,
+                                    fsync_every=1)
+    p = session.engine.program
+
+    ctp = session.apply_params("ctp", var="c")          # 1: apply
+    cse = session.apply("cse", 0)                       # 2: apply
+    try:                                                # 3: apply, failed
+        session.engine.apply(Opportunity("dce", {"sid": 99999}, "bogus"))
+    except ApplyError:
+        pass
+    added = session.edit_add(assign("zz", 1),           # 4: edit add
+                             Location.at(p, (0, "body"), 0))
+    zz_sid = added.record.actions[0].sid
+    session.edit_move(zz_sid,                           # 5: edit move
+                      Location.at(p, (0, "body"), 1))
+    session.undo_lifo(cse.stamp)                        # 6: undo_lifo
+    try:                                                # 7: edit, failed
+        session.edit_delete(99999)
+    except Exception:
+        pass
+    # clobber the constant ctp propagated: its post pattern is now
+    # edit-damaged, so undoing it must fail — and journal that failure
+    use = p.body[2]  # "x = 1 + 2" after ctp (zz sits at index 1)
+    session.edit_modify(use.sid, ("expr", "l"), Const(7))   # 8: edit modify
+    try:                                                # 9: undo, failed
+        session.undo(ctp.stamp)
+    except UndoError:
+        pass
+    session.edit_delete(zz_sid)                         # 10: edit delete
+    cse2 = session.apply("cse", 0)                      # 11: apply
+    session.undo(cse2.stamp)                            # 12: undo
+
+    session.journal.sync()  # crash model: durable journal, no close()
+    expected = {
+        "seq": session.seq,
+        "fingerprint": state_fingerprint(session.engine),
+        "source": session.source(),
+        "records": [(r.stamp, r.name, r.active)
+                    for r in session.engine.history.all_records()],
+    }
+    with open(os.path.join(HERE, "v1_expected.json"), "w") as fh:
+        json.dump(expected, fh, indent=1, sort_keys=True)
+    print(f"wrote {OUT} ({session.seq} journaled commands)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,417 @@
+"""The command pipeline: typed commands, the one transactional execute
+path, batch semantics, and backward-compatible (v1) journal replay."""
+
+import json
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core.commands import (
+    COMMANDS,
+    ApplyCommand,
+    BatchCommand,
+    Command,
+    CommandDecodeError,
+    CommandError,
+    EditCommand,
+    RegistryError,
+    ReplayError,
+    UndoCommand,
+    UndoLifoCommand,
+    decode_command,
+    parse_batch,
+    parse_verb,
+    register_command,
+)
+from repro.core.engine import ApplyError, TransformationEngine
+from repro.core.undo import UndoError
+from repro.edit.edits import EditSession
+from repro.lang.ast_nodes import Const
+from repro.lang.parser import parse_program
+from repro.service.recovery import recover
+from repro.service.serde import state_fingerprint
+from repro.service.session import DurableSession
+
+SRC = (
+    "c = 1\n"
+    "x = c + 2\n"
+    "d = e + f\n"
+    "do i = 1, 8\n"
+    "  R(i) = e + f\n"
+    "enddo\n"
+    "write x\nwrite d\nwrite R(3)\n"
+)
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures")
+
+
+def sid_of_label(program, label):
+    return next(s.sid for s in program.walk() if s.label == label)
+
+
+class TestRegistry:
+    def test_engine_register_collision_is_registry_error(self):
+        engine = TransformationEngine(parse_program(SRC))
+        dup = engine.registry["cse"]
+        with pytest.raises(RegistryError):
+            engine.register(dup)
+
+    def test_registry_error_is_an_apply_error(self):
+        # compat: callers catching ApplyError keep working
+        assert issubclass(RegistryError, ApplyError)
+        engine = TransformationEngine(parse_program(SRC))
+        with pytest.raises(ApplyError):
+            engine.register(engine.registry["dce"])
+
+    def test_command_registry_collision(self):
+        with pytest.raises(RegistryError):
+            @register_command
+            class Duplicate(Command):  # noqa: F811
+                op = "apply"
+        assert COMMANDS["apply"] is ApplyCommand
+
+    def test_decode_unknown_op(self):
+        with pytest.raises(ReplayError):
+            decode_command({"op": "frobnicate"})
+        with pytest.raises(CommandDecodeError):
+            decode_command("not a dict")
+
+    def test_every_op_is_registered(self):
+        assert set(COMMANDS) == {"apply", "undo", "undo_lifo", "edit",
+                                 "batch"}
+
+
+class TestEncodeDecode:
+    def test_apply_roundtrip(self):
+        engine = TransformationEngine(parse_program(SRC))
+        rec = engine.apply(engine.find("cse")[0])
+        cmd = ApplyCommand.from_opportunity(engine.find("ctp")[0])
+        engine.execute(cmd)
+        doc = cmd.encode()
+        assert doc["op"] == "apply" and doc["stamp"] == rec.stamp + 1
+        again = decode_command(json.loads(json.dumps(doc)))
+        assert again.encode() == doc
+
+    def test_unresolved_apply_refuses_encode(self):
+        with pytest.raises(CommandError):
+            ApplyCommand(name="cse", index=2).encode()
+
+    def test_edit_kind_validation(self):
+        with pytest.raises(CommandError):
+            EditCommand(kind="teleport", sid=1)
+        with pytest.raises(CommandError):
+            EditCommand(kind="modify", sid=1)  # missing path/expr
+        with pytest.raises(CommandDecodeError):
+            decode_command({"op": "edit", "kind": "teleport"})
+
+    def test_edit_add_encodes_pre_assignment_stmt(self):
+        from repro.core.locations import Location
+        from repro.lang.builder import assign
+
+        engine = TransformationEngine(parse_program(SRC))
+        stmt = assign("zz", 1)
+        loc = Location.at(engine.program, (0, "body"), 0)
+        cmd = EditCommand(kind="add", stmt=stmt, loc=loc)
+        frozen = dict(cmd._args_doc)
+        engine.execute(cmd)
+        assert stmt.sid is not None  # the applier assigned in place...
+        # ...but the journal form still carries the pre-assignment stmt,
+        # so replay re-runs sid assignment identically
+        assert cmd.encode()["stmt"] == frozen["stmt"]
+        assert cmd.encode()["stamp"] == 1
+
+    def test_undo_roundtrip_and_describe(self):
+        engine = TransformationEngine(parse_program(SRC))
+        rec = engine.apply(engine.find("cse")[0])
+        cmd = UndoCommand(stamp=rec.stamp)
+        engine.execute(cmd)
+        assert cmd.encode() == {"op": "undo", "stamp": rec.stamp,
+                                "undone": [rec.stamp]}
+        assert cmd.describe() == f"undone: [{rec.stamp}]"
+        again = decode_command(cmd.encode())
+        assert isinstance(again, UndoCommand) and not isinstance(
+            again, UndoLifoCommand)
+
+    def test_v1_shaped_dicts_decode(self):
+        # v1 journals: edits had no stamp, failed undos had no undone
+        edit = decode_command({"op": "edit", "kind": "delete", "sid": 4})
+        assert edit.stamp is None
+        undo = decode_command({"op": "undo", "stamp": 2, "failed": True})
+        assert undo.failed and undo.undone is None
+
+    def test_parse_verbs(self):
+        cmd = parse_verb("apply", ["cse", "1"])
+        assert isinstance(cmd, ApplyCommand) and cmd.index == 1
+        assert isinstance(parse_verb("undo-lifo", ["3"]), UndoLifoCommand)
+        assert parse_verb("edit-del", ["7"]).sid == 7
+        with pytest.raises(ValueError):
+            parse_verb("frobnicate", [])
+        batch = parse_batch(["apply", "cse", ";", "undo", "1"])
+        assert [type(c) for c in batch.commands] == [ApplyCommand,
+                                                     UndoCommand]
+        with pytest.raises(ValueError):
+            parse_batch([";"])
+
+
+class TestOneExecutePath:
+    """Every entry point journals through the same observer — the PR-2
+    bug class (edits silently bypassing the journal) is structurally
+    gone."""
+
+    def test_bare_edit_session_is_journaled(self, tmp_path):
+        session = DurableSession.create(str(tmp_path), SRC,
+                                        snapshot_every=0)
+        # an EditSession constructed ad hoc, NOT via session.edit_*:
+        # before the command pipeline this mutated state unjournaled
+        report = EditSession(session.engine).delete_stmt(
+            sid_of_label(session.engine.program, 3))
+        assert [c["op"] for c in session.log()] == ["edit"]
+        assert session.log()[0]["stamp"] == report.record.stamp == 1
+        reopened = DurableSession.open(str(tmp_path), verify=True)
+        assert state_fingerprint(reopened.engine) == \
+            state_fingerprint(session.engine)
+
+    def test_bare_failed_edit_is_journaled(self, tmp_path):
+        session = DurableSession.create(str(tmp_path), SRC,
+                                        snapshot_every=0)
+        with pytest.raises(Exception):
+            EditSession(session.engine).delete_stmt(99999)
+        assert [(c["op"], bool(c.get("failed"))) for c in session.log()] \
+            == [("edit", True)]
+        assert session.log()[0]["stamp"] == 1  # the stamp it consumed
+        reopened = DurableSession.open(str(tmp_path), verify=True)
+        assert reopened.engine.history.by_stamp(1).active is False
+
+    def test_direct_engine_calls_are_journaled(self, tmp_path):
+        session = DurableSession.create(str(tmp_path), SRC,
+                                        snapshot_every=0)
+        engine = session.engine  # bypass every session wrapper
+        rec = engine.apply(engine.find("cse")[0])
+        engine.undo(rec.stamp)
+        EditSession(engine).modify_expr(
+            sid_of_label(engine.program, 1), ("expr",), Const(9))
+        assert [c["op"] for c in session.log()] == ["apply", "undo",
+                                                    "edit"]
+        # apply consumed stamp 1, the undo targeted it, the edit is 2
+        assert [c.get("stamp") for c in session.log()] == [1, 1, 2]
+        reopened = DurableSession.open(str(tmp_path), verify=True)
+        assert state_fingerprint(reopened.engine) == \
+            state_fingerprint(session.engine)
+
+    def test_failed_undo_journals_partial_progress(self):
+        engine = TransformationEngine(parse_program(SRC))
+        seen = []
+        engine.command_observers.append(seen.append)
+        rec = engine.apply(engine.find("ctp")[0])
+        # destroy ctp's post pattern with an edit: undo must fail...
+        EditSession(engine).modify_expr(
+            sid_of_label(engine.program, 2), ("expr", "l"), Const(7))
+        with pytest.raises(UndoError) as ei:
+            engine.undo(rec.stamp)
+        # ...and the raised error carries the (empty) cascade progress
+        assert ei.value.target == rec.stamp
+        assert ei.value.undone == []
+        failed = seen[-1]
+        assert failed.op == "undo" and failed.failed
+        assert failed.encode() == {"op": "undo", "stamp": rec.stamp,
+                                   "undone": [], "failed": True}
+
+    def test_work_sampling_rides_the_command(self, tmp_path):
+        session = DurableSession.create(str(tmp_path), SRC)
+        session.apply("cse", 0)
+        assert session.metrics()["last_work"] == session.last_work
+        assert "dataflow_runs" in session.last_work
+
+
+class TestBatch:
+    def test_batch_is_one_journal_record_and_one_fsync(self, tmp_path):
+        session = DurableSession.create(str(tmp_path), SRC,
+                                        snapshot_every=0, fsync_every=1)
+        sid = sid_of_label(session.engine.program, 2)
+        syncs_before = session.journal.syncs
+        result = session.batch([
+            EditCommand(kind="modify", sid=sid, path=("expr", "r"),
+                        expr=Const(k)) for k in range(16)])
+        assert result.ok and len(result.executed) == 16
+        assert session.journal.syncs == syncs_before + 1
+        assert session.seq == 1
+        doc = session.log()[0]
+        assert doc["op"] == "batch" and len(doc["commands"]) == 16
+        assert [c["stamp"] for c in doc["commands"]] == list(range(1, 17))
+        reopened = DurableSession.open(str(tmp_path), verify=True)
+        assert state_fingerprint(reopened.engine) == \
+            state_fingerprint(session.engine)
+
+    def test_failing_command_journals_at_its_position(self, tmp_path):
+        session = DurableSession.create(str(tmp_path), SRC,
+                                        snapshot_every=0)
+        sid = sid_of_label(session.engine.program, 2)
+        result = session.batch([
+            EditCommand(kind="modify", sid=sid, path=("expr", "r"),
+                        expr=Const(5)),
+            EditCommand(kind="delete", sid=99999),      # fails
+            EditCommand(kind="modify", sid=sid, path=("expr", "r"),
+                        expr=Const(6)),                 # never runs
+        ])
+        assert not result.ok and len(result.executed) == 2
+        doc = session.log()[0]
+        assert len(doc["commands"]) == 2
+        assert "failed" not in doc["commands"][0]
+        assert doc["commands"][1]["failed"] is True
+        assert doc["commands"][1]["stamp"] == 2  # consumed its stamp
+        # the failed record is deactivated, the first edit persists
+        assert session.engine.history.by_stamp(2).active is False
+        reopened = DurableSession.open(str(tmp_path), verify=True)
+        assert state_fingerprint(reopened.engine) == \
+            state_fingerprint(session.engine)
+        assert reopened.engine.history.by_stamp(2).active is False
+
+    def test_batch_of_verbs_via_engine(self):
+        engine = TransformationEngine(parse_program(SRC))
+        result = engine.execute_batch([ApplyCommand(name="cse", index=0),
+                                       ApplyCommand(name="ctp", index=0),
+                                       UndoCommand(stamp=1)])
+        assert result.ok
+        assert [r.stamp for r in engine.history.all_records()] == [1, 2]
+        assert engine.history.by_stamp(1).active is False
+
+    def test_empty_batch_journals_nothing_interesting(self, tmp_path):
+        session = DurableSession.create(str(tmp_path), SRC,
+                                        snapshot_every=0)
+        result = session.batch([])
+        assert result.ok and result.executed == []
+        # still one (empty) group record; replay is a no-op
+        reopened = DurableSession.open(str(tmp_path), verify=True)
+        assert reopened.seq == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_batch_boundaries_are_semantically_invisible(self, tmp_path,
+                                                         seed):
+        """Property: the same command sequence produces the same state
+        no matter how it is cut into batches, and every cut recovers
+        fingerprint-verified."""
+        rng = np.random.default_rng(seed)
+
+        def make_commands(program):
+            sid_a = sid_of_label(program, 2)
+            sid_b = sid_of_label(program, 3)
+            out = []
+            for k in range(12):
+                sid = sid_a if k % 2 else sid_b
+                out.append(EditCommand(kind="modify", sid=sid,
+                                       path=("expr", "r"),
+                                       expr=Const(int(rng.integers(1, 9)))))
+            return out
+
+        # baseline: every command journaled singly
+        base = DurableSession.create(str(tmp_path / "base"), SRC,
+                                     snapshot_every=0)
+        rng = np.random.default_rng(seed)  # same draw for both runs
+        for cmd in make_commands(base.engine.program):
+            base.execute(cmd)
+
+        # batched: same sequence, random group boundaries
+        batched = DurableSession.create(str(tmp_path / "bat"), SRC,
+                                        snapshot_every=0)
+        rng = np.random.default_rng(seed)
+        cmds = make_commands(batched.engine.program)
+        while cmds:
+            cut = int(rng.integers(1, len(cmds) + 1))
+            batched.batch(cmds[:cut])
+            cmds = cmds[cut:]
+
+        assert state_fingerprint(batched.engine) == \
+            state_fingerprint(base.engine)
+        reopened = DurableSession.open(str(tmp_path / "bat"), verify=True)
+        assert reopened.recovery.verified is True
+        assert state_fingerprint(reopened.engine) == \
+            state_fingerprint(batched.engine)
+
+    def test_server_batch_verb(self, tmp_path):
+        from repro.service.server import SessionServer
+        from repro.service.session import SessionManager
+
+        server = SessionServer(SessionManager(str(tmp_path / "root")))
+        prog = tmp_path / "p.loop"
+        prog.write_text(SRC)
+        assert server.handle_line(f"s init {prog}") == "created s"
+        out = server.handle_line("s batch apply cse ; apply ctp")
+        assert out == "batch: 2 command(s)"
+        assert server.handle_line("s undo 1") == "undone: [1]"
+        log = server.handle_line("s log")
+        assert '"op": "batch"' in log.replace('"op":"batch"',
+                                              '"op": "batch"')
+        # a failing member surfaces as an error response, but the
+        # executed prefix is durable
+        out = server.handle_line("s batch apply cse ; apply nosuch")
+        assert out.startswith("error: batch stopped after 1 command(s)")
+
+
+class TestV1JournalCompat:
+    """The checked-in v1-format fixture (written by the pre-command
+    session service) must recover fingerprint-verified through the
+    command decoder.  It covers every op kind: apply (ok + failed),
+    undo (ok + failed), undo_lifo, and all four edit kinds (+ a failed
+    edit)."""
+
+    @pytest.fixture()
+    def v1_dir(self, tmp_path):
+        work = str(tmp_path / "v1")
+        shutil.copytree(os.path.join(FIXTURES, "v1_session"), work)
+        return work
+
+    @pytest.fixture()
+    def expected(self):
+        with open(os.path.join(FIXTURES, "v1_expected.json")) as fh:
+            return json.load(fh)
+
+    def test_fixture_covers_all_op_kinds(self, expected, v1_dir):
+        from repro.service.journal import scan_journal
+
+        records, _, _ = scan_journal(os.path.join(v1_dir, "journal.jsonl"))
+        ops = [(r.cmd["op"], r.cmd.get("kind"), bool(r.cmd.get("failed")))
+               for r in records]
+        assert ("apply", None, True) in ops
+        assert ("undo", None, True) in ops
+        assert ("undo_lifo", None, False) in ops
+        for kind in ("add", "delete", "move", "modify"):
+            assert any(o == ("edit", kind, False) for o in ops)
+        assert any(o[0] == "edit" and o[2] for o in ops)
+        # v1 edits journaled WITHOUT stamps — the decode shim's reason
+        assert all("stamp" not in r.cmd for r in records
+                   if r.cmd["op"] == "edit")
+
+    def test_v1_journal_recovers_verified(self, v1_dir, expected):
+        result = recover(v1_dir, verify=True)
+        assert result.verified is True
+        assert result.seq == expected["seq"]
+        assert state_fingerprint(result.engine) == expected["fingerprint"]
+        assert result.engine.source() == expected["source"]
+        assert [(r.stamp, r.name, r.active)
+                for r in result.engine.history.all_records()] == \
+            [tuple(r) for r in expected["records"]]
+
+    def test_v1_session_continues_in_current_format(self, v1_dir):
+        session = DurableSession.open(v1_dir, verify=True)
+        session.apply("cse", 0)
+        # the continuation journals in current format (edit stamps etc.)
+        reopened = DurableSession.open(v1_dir, verify=True)
+        assert state_fingerprint(reopened.engine) == \
+            state_fingerprint(session.engine)
+
+    def test_tampered_v1_record_is_a_replay_error(self, v1_dir):
+        # flip a journaled success into nonsense: replay must refuse
+        jpath = os.path.join(v1_dir, "journal.jsonl")
+        lines = open(jpath).read().splitlines()
+        from repro.service.journal import format_record
+
+        doc = json.loads(lines[0])
+        doc["cmd"]["name"] = "dce"  # was a ctp apply
+        with open(jpath, "wb") as fh:
+            fh.write(format_record(doc["seq"], doc["cmd"]))
+            fh.write(("\n".join(lines[1:]) + "\n").encode())
+        with pytest.raises(ReplayError):
+            recover(v1_dir)
