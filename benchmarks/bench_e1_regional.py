@@ -21,12 +21,14 @@ import numpy as np
 import pytest
 
 from repro.analysis.incremental import FULL, REGIONAL
-from repro.bench.reporting import Table, banner, ms, ratio
+from repro.bench.reporting import BenchReport, banner, ms, ratio, scaled
 from repro.core.undo import UndoStrategy
 from repro.lang.interp import traces_equivalent
 from repro.workloads.scenarios import build_session
 
-SIZES = [8, 16, 32, 64]
+REPORT = BenchReport("bench_e1_regional")
+
+SIZES = scaled([8, 16, 32, 64])
 SEED = 7
 
 PAPER = UndoStrategy(use_heuristic=True, use_regional=True,
@@ -55,7 +57,7 @@ def test_e1_same_outcome_both_strategies():
 def test_e1_scaling_table():
     banner("E1 — regional undo vs whole-program re-analysis "
            "(undo the first of n transformations)")
-    t = Table(["n transforms", "regional checks", "global checks",
+    t = REPORT.table(["n transforms", "regional checks", "global checks",
                "region skips", "work saved"])
     rows = []
     for n in SIZES:
@@ -85,7 +87,7 @@ def undo_analysis_work(n: int, strategy: UndoStrategy):
 def test_e1_incremental_analysis_work():
     banner("E1b — analysis work during undo: "
            "incremental/regional vs full re-analysis")
-    t = Table(["n transforms", "paper config", "global baseline", "saved"])
+    t = REPORT.table(["n transforms", "paper config", "global baseline", "saved"])
     rows = []
     for n in (8, 16, 32, 64):
         inc = undo_analysis_work(n, PAPER)
@@ -126,7 +128,7 @@ def test_e1_measured_update_time():
     """
     banner("E1c — measured dependence-update time: "
            "regional strategy vs from-scratch strategy")
-    t = Table(["n transforms", "regional pairs", "full pairs",
+    t = REPORT.table(["n transforms", "regional pairs", "full pairs",
                "pairs saved", "regional time", "full time"])
     for n in SIZES:
         rp, ru, rs, _ = undo_update_timings(n, REGIONAL)

@@ -13,9 +13,11 @@ same transformations.
 
 import pytest
 
-from repro.bench.reporting import Table, banner, ratio
+from repro.bench.reporting import BenchReport, banner, ratio, scaled
 from repro.core.undo import UndoStrategy
 from repro.workloads.scenarios import build_session
+
+REPORT = BenchReport("bench_e2_heuristic")
 
 SEED = 11
 
@@ -51,10 +53,10 @@ def test_e2_same_outcomes():
 def test_e2_scaling_table():
     banner("E2 — Table 4 heuristic vs exhaustive safety re-checking "
            "(sum over undoing each of n targets)")
-    t = Table(["n transforms", "checks (heuristic)", "checks (exhaustive)",
+    t = REPORT.table(["n transforms", "checks (heuristic)", "checks (exhaustive)",
                "heuristic skips", "checks saved"])
     rows = []
-    for n in (8, 16, 32):
+    for n in scaled((8, 16, 32)):
         c_h, s_h, _ = sweep(n, HEURISTIC)
         c_e, _s_e, _ = sweep(n, EXHAUSTIVE)
         t.add(n, c_h, c_e, s_h, ratio(c_e, max(c_h, 1)))

@@ -15,13 +15,15 @@ original in both cases.
 
 import pytest
 
-from repro.bench.reporting import Table, banner, ratio
+from repro.bench.reporting import BenchReport, banner, ratio
 from repro.core.undo import UndoStrategy
 from repro.lang.interp import traces_equivalent
 from repro.workloads.generator import GeneratorConfig, generate_program
 from repro.workloads.scenarios import build_session
 
 import numpy as np
+
+REPORT = BenchReport("bench_e3_order")
 
 SEED = 5
 N = 16
@@ -61,7 +63,7 @@ def test_e3_both_orders_sound():
 def test_e3_sweep_table():
     banner("E3 — independent-order vs reverse-order (LIFO) undo "
            f"(n = {N} applied transformations)")
-    t = Table(["target index", "removed (independent)", "removed (LIFO)",
+    t = REPORT.table(["target index", "removed (independent)", "removed (LIFO)",
                "inverse actions (ind)", "inverse actions (LIFO)",
                "removals saved"])
     rows = []

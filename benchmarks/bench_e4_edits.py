@@ -11,12 +11,14 @@ transformation the edit did not genuinely break.
 
 import pytest
 
-from repro.bench.reporting import Table, banner, ratio
+from repro.bench.reporting import BenchReport, banner, ratio, scaled
 from repro.core.locations import Location
 from repro.edit.edits import EditSession
 from repro.edit.invalidate import find_unsafe, redo_all_baseline, remove_unsafe
 from repro.lang.ast_nodes import Assign, Const, VarRef
 from repro.workloads.scenarios import build_session
+
+REPORT = BenchReport("bench_e4_edits")
 
 SEED = 13
 
@@ -75,10 +77,10 @@ def test_e4_regional_vs_full_same_unsafe_set():
 
 def test_e4_sweep_table():
     banner("E4 — edit invalidation: incremental vs redo-everything")
-    t = Table(["n transforms", "checks (regional)", "checks (full scan)",
+    t = REPORT.table(["n transforms", "checks (regional)", "checks (full scan)",
                "unsafe", "survivors", "redo-all discards"])
     rows = []
-    for n in (8, 16, 32):
+    for n in scaled((8, 16, 32)):
         session, report = edited_session(n)
         engine = session.engine
         stats = find_unsafe(engine, report, use_regional=True)

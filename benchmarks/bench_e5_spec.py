@@ -15,7 +15,7 @@ generator two ways and measures its cost:
 
 import pytest
 
-from repro.bench.reporting import Table, banner, ratio
+from repro.bench.reporting import BenchReport, banner, ratio
 from repro.core.engine import TransformationEngine
 from repro.core.locations import Location
 from repro.edit.edits import EditSession
@@ -24,6 +24,8 @@ from repro.lang.builder import assign, var
 from repro.lang.parser import parse_program
 from repro.spec import CTP_SPEC, DCE_SPEC, LRV_SPEC, register_spec
 from repro.transforms.registry import REGISTRY
+
+REPORT = BenchReport("bench_e5_spec")
 
 SRC = "d = 99\nq = 1\nwrite q\n"
 
@@ -52,7 +54,7 @@ def cycle(name: str):
 
 def test_e5_parity_table():
     banner("E5 — spec-generated DCE vs hand-written DCE")
-    t = Table(["property", "hand-written", "spec-generated"])
+    t = REPORT.table(["property", "hand-written", "spec-generated"])
     e1 = spec_engine(SRC, DCE_SPEC)
     hand_opps = {o.params["sid"] for o in e1.find("dce")}
     spec_opps = {o.params["binding"]["S"] for o in e1.find("sdce")}

@@ -25,15 +25,17 @@ import time
 
 import pytest
 
-from repro.bench.reporting import Table, banner, ms, rate, ratio
+from repro.bench.reporting import BenchReport, banner, ms, rate, ratio, scaled
 from repro.lang.printer import format_program
 from repro.service.serde import state_fingerprint
 from repro.service.session import DurableSession
 from repro.workloads.generator import generate_program
 from tests.test_service_recovery import drive
 
+REPORT = BenchReport("bench_e6_recovery")
+
 SEED = 11
-HISTORY_SIZES = [4, 8, 16, 28]
+HISTORY_SIZES = scaled([4, 8, 16, 28])
 SNAPSHOT_EVERY = 8
 
 
@@ -65,7 +67,7 @@ def timed_reopen(sdir, expected_fp):
 
 def test_e6_reopen_latency_table(tmp_path):
     banner("E6 — reopen latency: snapshot + tail replay vs full replay")
-    t = Table(["commands", "no-snap reopen", "replayed",
+    t = REPORT.table(["commands", "no-snap reopen", "replayed",
                "snap reopen", "replayed ", "speedup"])
     rows = []
     for n in HISTORY_SIZES:
@@ -130,7 +132,7 @@ def test_e6_journal_overhead_table(tmp_path):
         return done, elapsed, syncs
 
     ops_b, t_bare = run_bare()
-    t = Table(["configuration", "commands", "elapsed", "throughput",
+    t = REPORT.table(["configuration", "commands", "elapsed", "throughput",
                "fsyncs", "overhead"])
     t.add("bare engine", ops_b, ms(t_bare), rate(ops_b, t_bare), 0, "1.00x")
     for fsync_every in (1, 8):
@@ -175,7 +177,7 @@ def test_e6_batch_throughput_table(tmp_path):
         return elapsed, syncs, fp
 
     t_single, syncs_single, fp_single = run("single", 1)
-    t = Table(["configuration", "commands", "records", "fsyncs",
+    t = REPORT.table(["configuration", "commands", "records", "fsyncs",
                "elapsed", "throughput", "speedup"])
     t.add("single-command", n_ops, n_ops, syncs_single, ms(t_single),
           rate(n_ops, t_single), "1.00x")

@@ -8,12 +8,14 @@ and benchmarks the representation construction.
 
 import pytest
 
-from repro.bench.reporting import banner
+from repro.bench.reporting import BenchReport, banner
 from repro.core.engine import TransformationEngine
 from repro.lang.ast_nodes import Const, Loop, VarRef
 from repro.lang.interp import traces_equivalent
 from repro.repr2 import TwoLevelRepresentation, build_adag, build_apdg
 from repro.workloads.kernels import figure1_program
+
+REPORT = BenchReport("bench_fig1_twolevel")
 
 
 def restructure(scale=10):
@@ -67,6 +69,8 @@ def test_two_level_view_renders_both_levels():
     view = TwoLevelRepresentation.of(engine)
     text = view.render()
     print(text)
+    REPORT.value("apdg_annotated_stmts", len(view.apdg.annotations))
+    REPORT.value("adag_ghosts", len(view.adag.ghosts))
     assert "APDG" in text and "ADAG" in text
     # the ADAG retains the original subexpression under md_1 (E + F)
     assert any(g.original.upper() == "E + F" for g in view.adag.ghosts)

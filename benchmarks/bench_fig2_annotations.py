@@ -9,12 +9,14 @@ later-than queries).
 
 import pytest
 
-from repro.bench.reporting import Table, banner
+from repro.bench.reporting import BenchReport, banner
 from repro.core.actions import ActionApplier
 from repro.core.locations import Location
 from repro.lang.ast_nodes import VarRef
 from repro.lang.builder import assign
 from repro.lang.parser import parse_program
+
+REPORT = BenchReport("bench_fig2_annotations")
 
 
 def annotate_everything():
@@ -44,7 +46,7 @@ def annotate_everything():
 def test_figure2_annotation_kinds():
     banner("Figure 2 — annotations based on primitive actions")
     ap, expected, s_b = annotate_everything()
-    t = Table(["sid", "annotations"])
+    t = REPORT.table(["sid", "annotations"])
     for sid, want in expected.items():
         shorts = [a.short() for a in ap.store.for_sid(sid)]
         t.add(f"S{sid}", ",".join(shorts))

@@ -15,11 +15,13 @@ import pytest
 
 from repro.analysis.depend import analyze_dependences
 from repro.analysis.summaries import build_summaries
-from repro.bench.reporting import Table, banner, ms, ratio
+from repro.bench.reporting import BenchReport, banner, ms, ratio, scaled
 from repro.workloads.kernels import figure3_program
 from repro.workloads.scenarios import build_session
 
-SIZES = [1, 2, 4, 8, 16, 32]
+REPORT = BenchReport("bench_fig3_summaries")
+
+SIZES = scaled([1, 2, 4, 8, 16, 32])
 
 
 def check_pair(p, summ, dgraph, exhaustive: bool):
@@ -42,7 +44,7 @@ def test_summary_equals_exhaustive_all_sizes():
 
 def test_figure3_visit_scaling():
     banner("Figure 3 — region-summary fusion check vs full node scan")
-    t = Table(["body stmts", "summary visits", "exhaustive visits",
+    t = REPORT.table(["body stmts", "summary visits", "exhaustive visits",
                "savings"])
     rows = []
     for n in SIZES:
@@ -81,7 +83,7 @@ def test_summaries_maintained_incrementally():
     build time via the new ``WorkCounters`` timers.
     """
     banner("Figure 3b — incremental summary maintenance across undos")
-    t = Table(["n transforms", "summary updates", "rebuilds",
+    t = REPORT.table(["n transforms", "summary updates", "rebuilds",
                "build time", "update time"])
     for n in (8, 16):
         session = build_session(7, n)

@@ -14,10 +14,12 @@ removes and benchmarked.
 
 import pytest
 
-from repro.bench.reporting import Table, banner
+from repro.bench.reporting import BenchReport, banner
 from repro.core.engine import TransformationEngine
 from repro.lang.ast_nodes import programs_equal
 from repro.workloads.kernels import figure1_program
+
+REPORT = BenchReport("bench_fig4_undo")
 
 
 def session():
@@ -44,7 +46,7 @@ EXPECTED_REMOVALS = {
 def test_section52_reversibility_status():
     banner("Figure 4 / §5.2 — immediate reversibility after cse,ctp,inx,icm")
     engine, recs = session()
-    t = Table(["transformation", "stamp", "immediately reversible",
+    t = REPORT.table(["transformation", "stamp", "immediately reversible",
                "blocking condition"])
     status = {}
     for name, rec in recs.items():

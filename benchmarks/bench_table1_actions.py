@@ -8,12 +8,14 @@ exactly — is asserted on every round.
 
 import pytest
 
-from repro.bench.reporting import Table, banner
+from repro.bench.reporting import BenchReport, banner
 from repro.core.actions import ActionApplier, HeaderSpec
 from repro.core.locations import Location
 from repro.lang.ast_nodes import Const, VarRef, programs_equal
 from repro.lang.builder import assign
 from repro.lang.parser import parse_program
+
+REPORT = BenchReport("bench_table1_actions")
 
 SRC = (
     "a = 1\n"
@@ -63,7 +65,7 @@ def roundtrip_all_actions():
 
 def test_table1_rendering():
     banner("Table 1 — actions and inverse actions")
-    t = Table(["Action", "Inverse Action"], "")
+    t = REPORT.table(["Action", "Inverse Action"], "")
     for action, inverse in TABLE1_ROWS:
         t.add(action, inverse)
     t.show()

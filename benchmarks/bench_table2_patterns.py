@@ -9,11 +9,13 @@ undo.
 
 import pytest
 
-from repro.bench.reporting import Table, banner
+from repro.bench.reporting import BenchReport, banner
 from repro.core.engine import TransformationEngine
 from repro.lang.ast_nodes import programs_equal
 from repro.lang.parser import parse_program
 from repro.transforms.registry import REGISTRY, TABLE4_ORDER
+
+REPORT = BenchReport("bench_table2_patterns")
 
 #: canonical snippet per transformation (every ``find`` hits exactly one
 #: obvious opportunity).
@@ -51,7 +53,7 @@ def record_validate_undo(name: str) -> None:
 
 def test_table2_rendering():
     banner("Table 2 — information to be stored")
-    t = Table(["Transformation", "Pre_pattern", "Primitive Actions",
+    t = REPORT.table(["Transformation", "Pre_pattern", "Primitive Actions",
                "Post_pattern"])
     for name in TABLE4_ORDER:
         row = REGISTRY[name].table2_row()

@@ -13,7 +13,7 @@ derivation §4.2 prescribes).  This benchmark
 
 import pytest
 
-from repro.bench.reporting import Table, banner
+from repro.bench.reporting import BenchReport, banner
 from repro.core.engine import TransformationEngine
 from repro.core.locations import Location
 from repro.edit.edits import EditSession
@@ -21,10 +21,12 @@ from repro.lang.builder import assign, var
 from repro.lang.parser import parse_program
 from repro.transforms.registry import REGISTRY, TABLE4_ORDER
 
+REPORT = BenchReport("bench_table3_conditions")
+
 
 def test_table3_rendering():
     banner("Table 3 — disabling conditions (derived rows marked)")
-    t = Table(["Transformation", "Safety-disabling", "Reversibility-disabling"])
+    t = REPORT.table(["Transformation", "Safety-disabling", "Reversibility-disabling"])
     for name in TABLE4_ORDER:
         row = REGISTRY[name].table3_row()
         t.add(name.upper(),

@@ -14,7 +14,7 @@ Three reproductions in one:
 
 import pytest
 
-from repro.bench.reporting import Table, banner
+from repro.bench.reporting import BenchReport, banner
 from repro.core.engine import TransformationEngine
 from repro.core.interactions import (
     EXPECTED_DEVIATIONS,
@@ -26,6 +26,8 @@ from repro.core.interactions import (
     render_table4,
 )
 from repro.lang.parser import parse_program
+
+REPORT = BenchReport("bench_table4_interactions")
 
 #: (row transformation, column transformation, snippet): performing the
 #: row on the snippet enables the column.  One probe per published "x"
@@ -69,6 +71,13 @@ def test_table4_rendering_and_deviation():
     print(f"\ndeviation from published rows: {dict(devs)!r}")
     print("expected (documented):         "
           f"{dict(EXPECTED_DEVIATIONS)!r}")
+    t = REPORT.table(["row", "enabled columns"],
+                     "Table 4 — implemented perform-create matrix")
+    m = matrix()
+    for row in TABLE4_ORDER:
+        t.add(row, " ".join(c for c in TABLE4_ORDER if m[row][c]))
+    REPORT.value("documented_deviations", len(devs))
+    REPORT.value("enable_probes", len(ENABLE_PROBES))
     assert devs == EXPECTED_DEVIATIONS
 
 

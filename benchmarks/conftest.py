@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite.
+
+Flushes every module's :class:`repro.bench.reporting.BenchReport` to
+``benchmarks/output/<bench>.json`` once the session ends, so a plain
+``pytest benchmarks/ -s`` (quick or full) always leaves the
+machine-readable reports behind for ``scripts/check_bench_json.py``.
+"""
+
+import pytest
+
+from repro.bench.reporting import write_all_reports
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _flush_bench_reports():
+    yield
+    write_all_reports()

@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Validate the machine-readable benchmark reports.
+
+Every benchmark module writes ``benchmarks/output/<bench>.json`` via
+:class:`repro.bench.reporting.BenchReport`; this script checks that each
+report is well-formed against the shared schema:
+
+* top level: ``bench`` (str, matches the file stem), ``quick`` (bool),
+  ``tables`` (list), ``values`` (object);
+* each table: ``title`` (str), ``columns`` (non-empty list of str),
+  ``rows`` (list of lists, every row exactly as wide as ``columns``,
+  cells JSON scalars);
+* at least one table or one value (an empty report means the module's
+  wiring silently broke).
+
+With ``--expect``, additionally require one report per
+``benchmarks/bench_*.py`` module — the mode the CI benchmarks job runs
+after a quick-mode sweep, so a module that stops reporting fails the
+build rather than quietly dropping out of the record.
+
+Exit status 0 when everything validates, 1 otherwise (with a list of
+the problems).  Run from the repository root:
+
+    python scripts/check_bench_json.py [--expect]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = ROOT / "benchmarks"
+OUT_DIR = BENCH_DIR / "output"
+
+SCALAR = (str, int, float, bool, type(None))
+
+
+def check_table(where: str, table: object, problems: list[str]) -> None:
+    if not isinstance(table, dict):
+        problems.append(f"{where}: table is not an object")
+        return
+    title = table.get("title")
+    if not isinstance(title, str):
+        problems.append(f"{where}: 'title' must be a string")
+    columns = table.get("columns")
+    if (not isinstance(columns, list) or not columns
+            or not all(isinstance(c, str) for c in columns)):
+        problems.append(f"{where}: 'columns' must be a non-empty "
+                        "list of strings")
+        return
+    rows = table.get("rows")
+    if not isinstance(rows, list):
+        problems.append(f"{where}: 'rows' must be a list")
+        return
+    for i, row in enumerate(rows):
+        if not isinstance(row, list) or len(row) != len(columns):
+            problems.append(f"{where}: row {i} is not {len(columns)} "
+                            "cells wide")
+            continue
+        for j, cell in enumerate(row):
+            if not isinstance(cell, SCALAR):
+                problems.append(f"{where}: row {i} cell {j} is not a "
+                                f"JSON scalar ({type(cell).__name__})")
+
+
+def check_report(path: Path, problems: list[str]) -> None:
+    where = path.name
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        problems.append(f"{where}: unreadable ({exc})")
+        return
+    if not isinstance(doc, dict):
+        problems.append(f"{where}: top level is not an object")
+        return
+    if doc.get("bench") != path.stem:
+        problems.append(f"{where}: 'bench' is {doc.get('bench')!r}, "
+                        f"expected {path.stem!r}")
+    if not isinstance(doc.get("quick"), bool):
+        problems.append(f"{where}: 'quick' must be a boolean")
+    tables = doc.get("tables")
+    if not isinstance(tables, list):
+        problems.append(f"{where}: 'tables' must be a list")
+        tables = []
+    values = doc.get("values")
+    if not isinstance(values, dict):
+        problems.append(f"{where}: 'values' must be an object")
+        values = {}
+    if not tables and not values:
+        problems.append(f"{where}: report is empty (no tables, "
+                        "no values)")
+    for k, table in enumerate(tables):
+        check_table(f"{where}: tables[{k}]", table, problems)
+    for key in values:
+        if not isinstance(key, str):
+            problems.append(f"{where}: values key {key!r} is not a string")
+
+
+def main(argv: list[str]) -> int:
+    expect = "--expect" in argv
+    problems: list[str] = []
+
+    reports = sorted(OUT_DIR.glob("bench_*.json"))
+    for path in reports:
+        check_report(path, problems)
+
+    if expect:
+        have = {p.stem for p in reports}
+        want = {p.stem for p in sorted(BENCH_DIR.glob("bench_*.py"))}
+        for missing in sorted(want - have):
+            problems.append(f"{missing}.json: missing (module wrote no "
+                            "report — BenchReport wiring broken?)")
+        for orphan in sorted(have - want):
+            problems.append(f"{orphan}.json: no matching benchmark module")
+    elif not reports:
+        problems.append(f"no reports found under {OUT_DIR} "
+                        "(run the benchmarks first)")
+
+    if problems:
+        print("benchmark JSON validation failed:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(f"ok: {len(reports)} benchmark report(s) validate")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

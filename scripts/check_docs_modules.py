@@ -22,6 +22,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
 DOCS = [ROOT / "docs" / "ARCHITECTURE.md",
+        ROOT / "docs" / "OBSERVABILITY.md",
         ROOT / "docs" / "PERSISTENCE.md"]
 
 NAME_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")

@@ -1,23 +1,57 @@
-"""Plain-text table rendering for the benchmark harness.
+"""Table rendering and machine-readable reports for the benchmarks.
 
 Each benchmark regenerates one of the paper's tables/figures and prints
 it with these helpers, so `pytest benchmarks/ --benchmark-only -s`
 produces a readable reproduction report; EXPERIMENTS.md records the same
 rows.
+
+Every benchmark module also owns one :class:`BenchReport` — its tables
+and named scalar results land in ``benchmarks/output/<bench>.json``
+(schema checked by ``scripts/check_bench_json.py``), so regressions are
+diffable by machines, not just eyeballs.  ``REPRO_BENCH_QUICK=1``
+switches the suite to smoke-test scale (:func:`quick`/:func:`scaled`) —
+the CI benchmarks job runs that mode on every push.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+#: truthy values of the quick-mode environment switch.
+QUICK_ENV = "REPRO_BENCH_QUICK"
+#: where :meth:`BenchReport.write` lands (overridable for tests).
+OUT_ENV = "REPRO_BENCH_OUT"
+DEFAULT_OUT_DIR = os.path.join("benchmarks", "output")
+
+
+def quick() -> bool:
+    """Whether the suite runs in quick (CI smoke) mode."""
+    return os.environ.get(QUICK_ENV, "") not in ("", "0")
+
+
+def scaled(sizes: Sequence[Any]) -> List[Any]:
+    """The benchmark's size ladder, truncated to its ends in quick mode.
+
+    Keeping the first *and* last rung means quick mode still exercises
+    the scaling path (not just the trivial size) while bounding CI time.
+    """
+    sizes = list(sizes)
+    if not quick() or len(sizes) <= 2:
+        return sizes
+    return [sizes[0], sizes[-1]]
 
 
 class Table:
-    """A simple fixed-width text table."""
+    """A simple fixed-width text table (raw cells kept for JSON export)."""
 
     def __init__(self, columns: Sequence[str], title: str = ""):
         self.title = title
         self.columns = list(columns)
         self.rows: List[List[str]] = []
+        #: the un-stringified cells, row-aligned with ``rows``.
+        self.raw_rows: List[List[Any]] = []
 
     def add(self, *cells) -> None:
         """Append one row (cells are stringified; floats compacted)."""
@@ -25,6 +59,35 @@ class Table:
         if len(row) != len(self.columns):
             raise ValueError("row width does not match columns")
         self.rows.append(row)
+        self.raw_rows.append(list(cells))
+
+    def to_doc(self) -> Dict[str, Any]:
+        """JSON-safe dict of the table (raw cells, stringified fallback).
+
+        Cells that are not JSON-native (numpy scalars, objects) fall
+        back to their rendered string so the report always serializes.
+        """
+        def cell(raw: Any, rendered: str) -> Any:
+            if isinstance(raw, bool) or raw is None:
+                return raw
+            if isinstance(raw, int):
+                return raw
+            if isinstance(raw, float):
+                return raw
+            if isinstance(raw, str):
+                return raw
+            try:  # numpy ints/floats and friends
+                import numbers
+                if isinstance(raw, numbers.Integral):
+                    return int(raw)
+                if isinstance(raw, numbers.Real):
+                    return float(raw)
+            except Exception:
+                pass
+            return rendered
+        return {"title": self.title, "columns": list(self.columns),
+                "rows": [[cell(r, s) for r, s in zip(raw, rendered)]
+                         for raw, rendered in zip(self.raw_rows, self.rows)]}
 
     def render(self) -> str:
         """The table as fixed-width text."""
@@ -49,6 +112,69 @@ class Table:
     def show(self) -> None:
         """Print the rendered table preceded by a blank line."""
         print("\n" + self.render())
+
+
+#: every BenchReport constructed in this process, in creation order —
+#: the benchmarks' conftest flushes them once at session end.
+_REPORTS: "List[BenchReport]" = []
+
+
+class BenchReport:
+    """One benchmark module's machine-readable result file.
+
+    Create one at module scope (``REPORT = BenchReport("bench_e1_…")``),
+    build tables through :meth:`table` so they are captured, record
+    headline scalars with :meth:`value`, and let the benchmarks'
+    conftest call :func:`write_all_reports` at session end.  The file is
+    only written when the report has content, so collecting a module
+    without running its table tests leaves no half-empty JSON behind.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.tables: List[Table] = []
+        self.values: Dict[str, Any] = {}
+        _REPORTS.append(self)
+
+    def table(self, columns: Sequence[str], title: str = "") -> Table:
+        """A new captured :class:`Table` (same API as the bare class)."""
+        t = Table(columns, title)
+        self.tables.append(t)
+        return t
+
+    def value(self, key: str, value: Any) -> None:
+        """Record one named scalar result (overhead %, speedup, ...)."""
+        self.values[key] = value
+
+    def to_doc(self) -> Dict[str, Any]:
+        """The report as one JSON-safe document (the file's contents)."""
+        return {"bench": self.name, "quick": quick(),
+                "tables": [t.to_doc() for t in self.tables],
+                "values": dict(self.values)}
+
+    def write(self, out_dir: Optional[str] = None) -> Optional[str]:
+        """Write ``<out_dir>/<name>.json``; returns the path (or None
+        when the report never accumulated content)."""
+        if not self.tables and not self.values:
+            return None
+        out_dir = out_dir if out_dir is not None else \
+            os.environ.get(OUT_ENV, DEFAULT_OUT_DIR)
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"{self.name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_doc(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+def write_all_reports(out_dir: Optional[str] = None) -> List[str]:
+    """Flush every report with content; returns the paths written."""
+    out = []
+    for report in _REPORTS:
+        path = report.write(out_dir)
+        if path:
+            out.append(path)
+    return out
 
 
 def banner(text: str) -> None:

@@ -264,7 +264,10 @@ usage: python -m repro <program file>            interactive session
            verbs: init <file> | apply <name> [k] | undo <stamp>
                   undo-lifo <stamp> | edit-del <sid> | log | show
                   batch <verb args ; verb args ...> | metrics
-                  snapshot | reopen [--verify]"""
+                  snapshot | reopen [--verify]
+       python -m repro trace <root> <name> [--tail N] [--check]
+           print a session's recorded spans (trace.jsonl); --check joins
+           them against the journal (exit 1 on any mismatch)"""
 
 
 def _main_serve(argv: List[str]) -> int:
@@ -317,6 +320,53 @@ def _main_session(argv: List[str]) -> int:
     return 1 if out.startswith("error:") else 0
 
 
+def _main_trace(argv: List[str]) -> int:
+    """``repro trace <root> <name> [--tail N] [--check]`` — span stream.
+
+    Reads the session's on-disk ``trace.jsonl`` (no live session or
+    lock needed — the stream is append-only), prints the spans as JSON
+    lines, and with ``--check`` joins them against the journal via
+    :func:`repro.obs.check.trace_roundtrip`.
+    """
+    import json
+    import os
+
+    from repro.obs.check import trace_path, trace_roundtrip
+    from repro.obs.trace import read_trace
+
+    tail: Optional[int] = None
+    check = False
+    pos: List[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--tail":
+            i += 1
+            if i >= len(argv):
+                print(USAGE)
+                return 2
+            tail = int(argv[i])
+        elif arg == "--check":
+            check = True
+        else:
+            pos.append(arg)
+        i += 1
+    if len(pos) != 2:
+        print(USAGE)
+        return 2
+    dirpath = os.path.join(pos[0], pos[1])
+    spans = read_trace(trace_path(dirpath))
+    if tail is not None and tail >= 0:
+        spans = spans[len(spans) - min(tail, len(spans)):]
+    for doc in spans:
+        print(json.dumps(doc, sort_keys=True))
+    if check:
+        report = trace_roundtrip(dirpath)
+        print(report.describe())
+        return 0 if report.ok else 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro``."""
     argv = argv if argv is not None else sys.argv[1:]
@@ -327,6 +377,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _main_serve(argv[1:])
     if argv[0] == "session":
         return _main_session(argv[1:])
+    if argv[0] == "trace":
+        return _main_trace(argv[1:])
     with open(argv[0]) as fh:
         source = fh.read()
     session = CliSession(source)

@@ -26,7 +26,10 @@ commands as a single journaled unit.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import logging
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.incremental import AnalysisCache, WorkCounters
 from repro.core.actions import ActionApplier
@@ -47,6 +50,8 @@ from repro.core.reverse_undo import ReverseUndoEngine, ReverseUndoReport
 from repro.core.undo import UndoEngine, UndoReport, UndoStrategy
 from repro.lang.ast_nodes import Program
 from repro.lang.printer import format_program
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import Tracer
 from repro.transforms.base import (
     CheckContext,
     Opportunity,
@@ -54,6 +59,9 @@ from repro.transforms.base import (
 )
 
 __all__ = ["ApplyError", "RegistryError", "TransformationEngine"]
+
+#: where isolated observer failures are logged (see ``_notify``).
+_log = logging.getLogger("repro.obs")
 
 
 class TransformationEngine:
@@ -64,7 +72,9 @@ class TransformationEngine:
                  extra_transformations: Optional[Sequence] = None,
                  *, history: Optional[History] = None,
                  store: Optional[AnnotationStore] = None,
-                 events: Optional[EventLog] = None):
+                 events: Optional[EventLog] = None,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[obs_metrics.MetricsRegistry] = None):
         from repro.transforms.registry import REGISTRY
 
         from repro.core.locations import make_sibling_orderer
@@ -89,6 +99,17 @@ class TransformationEngine:
         #: batch collection stack: while non-empty, notifications go to
         #: the innermost batch's group instead of the observers.
         self._batch_sinks: List[List[Command]] = []
+        #: span source; defaults to the shared zero-cost disabled tracer
+        #: (``Tracer.disabled``) so untraced engines pay ~nothing.
+        self.tracer = tracer if tracer is not None else Tracer.disabled
+        #: counter/histogram home; defaults to the process-wide registry.
+        self.metrics = metrics if metrics is not None \
+            else obs_metrics.REGISTRY
+        #: recent isolated observer failures, newest last — a raising
+        #: ``command_observers`` callback is logged and recorded here,
+        #: never allowed to corrupt the already-committed command.
+        self.observer_errors: "deque[Tuple[str, BaseException]]" = \
+            deque(maxlen=16)
         self.cache = AnalysisCache(program, events=self.applier.events)
         self.strategy = strategy if strategy is not None else UndoStrategy()
         self._undo_engine = UndoEngine(program, self.applier, self.history,
@@ -170,30 +191,42 @@ class TransformationEngine:
         an undo report for undos, ...); the analysis-work delta of the
         execution lands on ``command.work``.
         """
-        before = self.cache.counters.snapshot()
-        rec = command._begin(self)
-        try:
-            result = command._run(self, rec)
-        except command.failure_types as exc:
-            if rec is not None:
-                # roll the partial run back so the program stays sound;
-                # the record consumed a stamp — deactivate, don't erase
-                for act in reversed(rec.actions):
-                    self.applier.invert(act, rec.stamp)
-                self.history.deactivate(rec.stamp)
-            command.failed = True
-            command._note_failure(exc)
+        with self.tracer.span("command", op=command.op) as span:
+            started = time.perf_counter()
+            before = self.cache.counters.snapshot()
+            rec = command._begin(self)
+            try:
+                result = command._run(self, rec)
+            except command.failure_types as exc:
+                if rec is not None:
+                    # roll the partial run back so the program stays
+                    # sound; the record consumed a stamp — deactivate,
+                    # don't erase
+                    for act in reversed(rec.actions):
+                        self.applier.invert(act, rec.stamp)
+                    self.history.deactivate(rec.stamp)
+                command.failed = True
+                command._note_failure(exc)
+                command.work = WorkCounters.delta(
+                    before, self.cache.counters.snapshot())
+                span.tag(stamp=getattr(command, "stamp", None),
+                         status="failed",
+                         rolled_back=bool(rec is not None and rec.actions))
+                self._notify(command)
+                self._record_command(command,
+                                     time.perf_counter() - started,
+                                     "failed")
+                surfaced = command._surface(exc)
+                if surfaced is exc:
+                    raise
+                raise surfaced from exc
             command.work = WorkCounters.delta(
                 before, self.cache.counters.snapshot())
+            span.tag(stamp=getattr(command, "stamp", None), status="ok")
             self._notify(command)
-            surfaced = command._surface(exc)
-            if surfaced is exc:
-                raise
-            raise surfaced from exc
-        command.work = WorkCounters.delta(
-            before, self.cache.counters.snapshot())
-        self._notify(command)
-        return result
+            self._record_command(command, time.perf_counter() - started,
+                                 "ok")
+            return result
 
     def execute_batch(self, commands: Sequence[Command]) -> BatchResult:
         """Execute a group of commands as one journaled unit.
@@ -208,12 +241,58 @@ class TransformationEngine:
 
     def _notify(self, command: Command) -> None:
         """Hand one executed command to the journal observers (or the
-        enclosing batch's group, when one is collecting)."""
+        enclosing batch's group, when one is collecting).
+
+        Observer exceptions are **isolated and logged**, never
+        propagated: by the time observers run, the command has already
+        committed (or rolled back) and its order stamp is consumed, so
+        letting a broken callback unwind the stack would leave callers
+        believing a committed command failed — worse than the lost
+        notification.  Every failure is logged to the ``repro.obs``
+        logger, counted in ``repro_observer_errors_total``, and kept in
+        :attr:`observer_errors`; remaining observers still run.  An
+        observer that must stop the *session* on failure records the
+        error itself and refuses subsequent commands (see
+        ``DurableSession._on_command``'s poisoning protocol).
+        """
         if self._batch_sinks:
             self._batch_sinks[-1].append(command)
             return
         for observer in list(self.command_observers):
-            observer(command)
+            try:
+                observer(command)
+            except Exception as exc:
+                self.observer_errors.append((repr(observer), exc))
+                self.metrics.counter(
+                    "repro_observer_errors_total",
+                    "command_observers callbacks that raised "
+                    "(isolated and logged)").inc()
+                _log.warning("command observer %r raised for %s: %s",
+                             observer, command.describe_op(), exc,
+                             exc_info=True)
+
+    def _record_command(self, command: Command, seconds: float,
+                        status: str) -> None:
+        """Count one executed command into the metrics registry.
+
+        Batch sub-commands recurse through :meth:`execute`, so they are
+        counted individually under their own op labels; the enclosing
+        batch's analysis timers are skipped to avoid double-crediting
+        the same analysis seconds.
+        """
+        m = self.metrics
+        m.counter("repro_commands_total",
+                  "commands executed through TransformationEngine.execute",
+                  op=command.op, status=status).inc()
+        m.histogram("repro_command_seconds",
+                    "end-to-end latency of one executed command",
+                    op=command.op).observe(seconds)
+        if command.op != "batch":
+            for key, secs in (command.work.get("timers") or {}).items():
+                m.histogram("repro_analysis_seconds",
+                            "per-analysis wall-clock seconds "
+                            "(WorkCounters timers)",
+                            analysis=key).observe(secs)
 
     def _push_batch(self, sink: List[Command]) -> None:
         self._batch_sinks.append(sink)

@@ -1,0 +1,45 @@
+"""End-to-end observability: tracing spans, metrics, flight recorder.
+
+Three pieces, layered so the rest of the system never pays for what it
+does not use:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` producing nested spans with
+  an in-memory ring-buffer :class:`FlightRecorder` and JSONL export;
+  ``Tracer.disabled`` is the zero-cost off switch engines default to.
+* :mod:`repro.obs.metrics` — the process-wide :class:`MetricsRegistry`
+  of counters/gauges/fixed-bucket latency histograms, with
+  Prometheus-style text exposition and a JSON dump.
+* :mod:`repro.obs.check` — the journal ↔ trace round-trip verifier
+  behind ``python -m repro trace ROOT NAME --check``.
+
+See docs/OBSERVABILITY.md for the span model and the metric catalog.
+"""
+
+from repro.obs.check import RoundtripReport, trace_path, trace_roundtrip
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from repro.obs.trace import FlightRecorder, Span, Tracer, read_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "REGISTRY",
+    "RoundtripReport",
+    "Span",
+    "Tracer",
+    "read_trace",
+    "trace_path",
+    "trace_roundtrip",
+]

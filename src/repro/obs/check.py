@@ -1,0 +1,113 @@
+"""Journal ↔ flight-recorder round-trip verification.
+
+A durable session journals every committed command AND (via its span
+sink) streams every completed span to ``trace.jsonl`` in the session
+directory.  The two records describe the same execution, so they must
+join exactly: every journal record has **exactly one** top-level command
+span annotated with its sequence number, and where the command carries
+an order stamp (apply/undo/edit — a batch does not), the span's stamp
+tag matches it.
+
+:func:`trace_roundtrip` performs that join for one session directory;
+the CLI surfaces it as ``python -m repro trace ROOT NAME --check``.
+
+Two scoping notes, both deliberate:
+
+* the journal is truncated through the oldest retained snapshot, so the
+  check covers the current journal *tail* — the spans for truncated
+  records are still in ``trace.jsonl`` but no longer have a journal
+  side to join against;
+* recovery replay re-executes journaled commands, but those spans are
+  children of the ``recover`` span and are never annotated with a new
+  sequence number, so a reopened session does not double-count.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import read_trace
+
+#: spans streamed by a session's sink land here (next to the journal).
+TRACE_FILE = "trace.jsonl"
+
+
+def trace_path(dirpath: str) -> str:
+    """The span-stream file of one session directory."""
+    return os.path.join(dirpath, TRACE_FILE)
+
+
+@dataclass
+class RoundtripReport:
+    """Outcome of joining one session's journal against its trace."""
+
+    #: journal records examined (the current journal tail).
+    checked: int = 0
+    #: spans carrying a ``seq`` annotation (committed command spans).
+    command_spans: int = 0
+    #: human-readable mismatches; empty means the round-trip holds.
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def describe(self) -> str:
+        """One line per problem, or the all-clear summary."""
+        if self.ok:
+            return (f"ok: {self.checked} journaled command(s) round-trip "
+                    f"({self.command_spans} command span(s))")
+        return "\n".join(self.problems)
+
+
+def _cmd_stamp(cmd: Dict[str, Any]) -> Optional[int]:
+    """The order stamp a journaled command carries (None for batches)."""
+    stamp = cmd.get("stamp")
+    return stamp if isinstance(stamp, int) else None
+
+
+def trace_roundtrip(dirpath: str) -> RoundtripReport:
+    """Join a session's journal tail against its recorded spans."""
+    # imported here, not at module top: obs must stay importable without
+    # the service layer (the engine depends on obs, not vice versa)
+    from repro.service.journal import scan_journal
+    from repro.service.recovery import JOURNAL_FILE
+
+    records, _bytes, _torn = scan_journal(os.path.join(dirpath, JOURNAL_FILE))
+    spans = read_trace(trace_path(dirpath))
+
+    by_seq: Dict[int, List[Dict[str, Any]]] = {}
+    command_spans = 0
+    for span in spans:
+        seq = span.get("tags", {}).get("seq")
+        if isinstance(seq, int):
+            command_spans += 1
+            by_seq.setdefault(seq, []).append(span)
+
+    report = RoundtripReport(command_spans=command_spans)
+    for rec in records:
+        report.checked += 1
+        matches = by_seq.get(rec.seq, [])
+        if len(matches) != 1:
+            report.problems.append(
+                f"seq {rec.seq}: expected exactly one command span, "
+                f"found {len(matches)}")
+            continue
+        span = matches[0]
+        if span.get("parent") is not None:
+            report.problems.append(
+                f"seq {rec.seq}: command span {span.get('id')} is not "
+                f"top-level (parent {span.get('parent')})")
+        tags = span.get("tags", {})
+        if tags.get("op") != rec.cmd.get("op"):
+            report.problems.append(
+                f"seq {rec.seq}: span op {tags.get('op')!r} != journaled "
+                f"op {rec.cmd.get('op')!r}")
+        stamp = _cmd_stamp(rec.cmd)
+        if stamp is not None and tags.get("stamp") != stamp:
+            report.problems.append(
+                f"seq {rec.seq}: span stamp {tags.get('stamp')!r} != "
+                f"journaled order stamp {stamp}")
+    return report

@@ -1,0 +1,313 @@
+"""A process-wide registry of counters, gauges, and latency histograms.
+
+Where :mod:`repro.obs.trace` answers "what happened during *this*
+command", the metrics registry answers "what has this process done so
+far": commands executed per op and status, journal records/bytes/fsyncs,
+snapshot writes, session-lock wait and hold times, analysis seconds per
+pass.  Instruments are get-or-created by ``(name, labels)`` so call
+sites never coordinate:
+
+    REGISTRY.counter("repro_commands_total", op="apply", status="ok").inc()
+    REGISTRY.histogram("repro_command_seconds", op="apply").observe(dt)
+
+Two exposition formats:
+
+* :meth:`MetricsRegistry.render` — Prometheus-style text (``# HELP`` /
+  ``# TYPE`` headers, ``name{label="v"} value`` samples, cumulative
+  ``_bucket{le=...}`` histogram lines);
+* :meth:`MetricsRegistry.to_doc` — a JSON-safe dict (the server's
+  ``metrics`` verbs and the benchmark JSON reports).
+
+Histograms use fixed latency buckets (100µs .. 10s) so percentile
+estimates (:meth:`Histogram.quantile`, linear interpolation inside the
+winning bucket) cost O(#buckets) and no sample retention.  All
+instruments are thread-safe; the registry itself locks only
+get-or-create, never the hot increment path.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "MetricsError", "DEFAULT_BUCKETS", "REGISTRY"]
+
+#: fixed latency buckets in seconds (upper bounds; +Inf is implicit).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+class MetricsError(RuntimeError):
+    """Instrument re-registered under a different type or buckets."""
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise MetricsError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self.value += amount
+
+    def sample(self) -> Dict[str, Any]:
+        """JSON-safe snapshot: labels + current count."""
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (e.g. live sessions)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: Union[int, float]) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Move the value up by ``amount``."""
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        """Move the value down by ``amount``."""
+        self.inc(-amount)
+
+    def sample(self) -> Dict[str, Any]:
+        """JSON-safe snapshot: labels + current value."""
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket distribution with O(#buckets) percentile estimates."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count",
+                 "_lock")
+
+    def __init__(self, name: str, labels: LabelItems = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise MetricsError(f"histogram {name} needs at least one bucket")
+        # one count per finite bucket plus the +Inf overflow bucket
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation (seconds, bytes, whatever the name says)."""
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.sum += value
+            self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1), interpolated inside the bucket.
+
+        Returns 0.0 for an empty histogram.  Observations in the +Inf
+        overflow bucket are credited the largest finite bound — an
+        underestimate, which is the honest direction for a latency SLO.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"quantile {q} outside [0, 1]")
+        with self._lock:
+            total = self.count
+            counts = list(self.counts)
+        if total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0
+        for i, n in enumerate(counts):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                if i >= len(self.buckets):  # overflow bucket
+                    return self.buckets[-1]
+                lo = self.buckets[i - 1] if i > 0 else 0.0
+                hi = self.buckets[i]
+                frac = (target - cumulative) / n
+                return lo + (hi - lo) * frac
+            cumulative += n
+        return self.buckets[-1]
+
+    def sample(self) -> Dict[str, Any]:
+        """JSON-safe snapshot: per-bucket counts, sum/count, p50/p95."""
+        with self._lock:
+            counts = list(self.counts)
+            total, acc = self.count, self.sum
+        return {"labels": dict(self.labels),
+                "buckets": [list(pair) for pair in
+                            zip(self.buckets, counts[:-1])],
+                "overflow": counts[-1], "sum": acc, "count": total,
+                "p50": self.quantile(0.5), "p95": self.quantile(0.95)}
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in one process.
+
+    The module-level :data:`REGISTRY` is the process-wide default every
+    instrumented seam falls back to; tests and benchmarks pass their own
+    registry for isolation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelItems], Instrument] = {}
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+
+    @staticmethod
+    def _key(name: str, labels: Dict[str, Any]) -> Tuple[str, LabelItems]:
+        items = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        return name, items
+
+    def _get(self, cls, name: str, help: str, labels: Dict[str, Any],
+             **kwargs) -> Instrument:
+        key = self._key(name, labels)
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is None:
+                if self._kinds.get(name, cls.kind) != cls.kind:
+                    raise MetricsError(
+                        f"{name} already registered as "
+                        f"{self._kinds[name]}, not {cls.kind}")
+                inst = cls(name, key[1], **kwargs)
+                self._instruments[key] = inst
+                self._kinds[name] = cls.kind
+                if help:
+                    self._help[name] = help
+            elif not isinstance(inst, cls):
+                raise MetricsError(
+                    f"{name} already registered as {inst.kind}, "
+                    f"not {cls.kind}")
+        return inst
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        """The counter named ``name`` with exactly these labels."""
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        """The gauge named ``name`` with exactly these labels."""
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        """The histogram named ``name`` with exactly these labels."""
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    # -- exposition ----------------------------------------------------------
+
+    def _by_name(self) -> Dict[str, List[Instrument]]:
+        with self._lock:
+            out: Dict[str, List[Instrument]] = {}
+            for (name, _labels), inst in sorted(self._instruments.items()):
+                out.setdefault(name, []).append(inst)
+        return out
+
+    @staticmethod
+    def _label_str(labels: LabelItems, extra: str = "") -> str:
+        parts = [f'{k}="{v}"' for k, v in labels]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    def render(self) -> str:
+        """Prometheus-style text exposition of every instrument."""
+        lines: List[str] = []
+        for name, instruments in self._by_name().items():
+            help_text = self._help.get(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {instruments[0].kind}")
+            for inst in instruments:
+                if isinstance(inst, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(inst.buckets, inst.counts):
+                        cumulative += count
+                        le = 'le="' + str(bound) + '"'
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{self._label_str(inst.labels, le)}"
+                            f" {cumulative}")
+                    inf = 'le="+Inf"'
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{self._label_str(inst.labels, inf)}"
+                        f" {inst.count}")
+                    lines.append(f"{name}_sum"
+                                 f"{self._label_str(inst.labels)} {inst.sum}")
+                    lines.append(f"{name}_count"
+                                 f"{self._label_str(inst.labels)} "
+                                 f"{inst.count}")
+                else:
+                    lines.append(f"{name}{self._label_str(inst.labels)} "
+                                 f"{inst.value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_doc(self) -> Dict[str, Any]:
+        """JSON-safe dump: name -> {kind, help, samples: [...]}."""
+        out: Dict[str, Any] = {}
+        for name, instruments in self._by_name().items():
+            out[name] = {"kind": instruments[0].kind,
+                         "help": self._help.get(name, ""),
+                         "samples": [inst.sample() for inst in instruments]}
+        return out
+
+    def value(self, name: str, **labels: Any) -> Optional[float]:
+        """Convenience: a counter/gauge value (None when absent)."""
+        inst = self._instruments.get(self._key(name, labels))
+        if inst is None or isinstance(inst, Histogram):
+            return None
+        return inst.value
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge across every label combination."""
+        total = 0.0
+        with self._lock:
+            for (n, _labels), inst in self._instruments.items():
+                if n == name and not isinstance(inst, Histogram):
+                    total += inst.value
+        return total
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation)."""
+        with self._lock:
+            self._instruments.clear()
+            self._kinds.clear()
+            self._help.clear()
+
+
+#: the process-wide default registry instrumented seams fall back to.
+REGISTRY = MetricsRegistry()

@@ -29,8 +29,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import metrics as obs_metrics
 
 
 class JournalError(RuntimeError):
@@ -162,7 +165,8 @@ def rewrite_journal(path: str, records: List[JournalRecord]) -> None:
 class Journal:
     """Append handle over a journal file with batched fsync."""
 
-    def __init__(self, path: str, *, fsync_every: int = 8):
+    def __init__(self, path: str, *, fsync_every: int = 8,
+                 metrics: Optional[obs_metrics.MetricsRegistry] = None):
         if fsync_every < 1:
             raise ValueError("fsync_every must be >= 1")
         self.path = path
@@ -171,15 +175,25 @@ class Journal:
         self._unsynced = 0
         #: instrumentation for the recovery/throughput benchmarks.
         self.records_written = 0
+        self.bytes_written = 0
         self.syncs = 0
+        self.metrics = metrics if metrics is not None \
+            else obs_metrics.REGISTRY
 
     def append(self, seq: int, cmd: Dict[str, Any]) -> None:
         """Append one committed command; fsync per batch policy."""
         if self._fh is None:
             raise JournalError("journal is closed")
-        self._fh.write(format_record(seq, cmd))
+        line = format_record(seq, cmd)
+        self._fh.write(line)
         self._fh.flush()  # reaches the OS even if the process is killed
         self.records_written += 1
+        self.bytes_written += len(line)
+        m = self.metrics
+        m.counter("repro_journal_records_total",
+                  "journal records appended").inc()
+        m.counter("repro_journal_bytes_total",
+                  "journal bytes appended").inc(len(line))
         self._unsynced += 1
         if self._unsynced >= self.fsync_every:
             self.sync()
@@ -188,9 +202,15 @@ class Journal:
         """Force the batched records to stable storage."""
         if self._fh is None or self._unsynced == 0:
             return
+        started = time.perf_counter()
         os.fsync(self._fh.fileno())
         self.syncs += 1
         self._unsynced = 0
+        m = self.metrics
+        m.counter("repro_journal_fsyncs_total", "journal fsyncs issued").inc()
+        m.histogram("repro_journal_fsync_seconds",
+                    "time spent inside one journal fsync").observe(
+                        time.perf_counter() - started)
 
     def truncate_through(self, seq: int) -> None:
         """Drop every record with ``seq`` at or below the given one.

@@ -25,6 +25,7 @@ committed command sequence — never a torn or mixed state.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -34,6 +35,8 @@ from repro.core.commands import ReplayError, decode_command
 from repro.core.engine import TransformationEngine
 from repro.core.undo import UndoStrategy
 from repro.lang.parser import parse_program
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import Tracer
 from repro.service.journal import (
     JournalRecord,
     fsync_dir,
@@ -175,7 +178,9 @@ class RecoveryResult:
 
 
 def recover(dirpath: str, *, strategy: Optional[UndoStrategy] = None,
-            verify: bool = False) -> RecoveryResult:
+            verify: bool = False, tracer: Optional[Tracer] = None,
+            metrics: Optional[obs_metrics.MetricsRegistry] = None,
+            ) -> RecoveryResult:
     """Reconstruct a session's engine from its directory.
 
     ``verify=True`` additionally replays the *whole* command history
@@ -183,36 +188,61 @@ def recover(dirpath: str, *, strategy: Optional[UndoStrategy] = None,
     semantic fingerprints to match (raising :class:`RecoveryError`
     otherwise) — the recovered state must be indistinguishable from one
     that never crashed.
+
+    ``tracer``/``metrics`` land on the rebuilt engine, and the whole
+    reconstruction runs inside one ``recover`` span — the replayed
+    commands' spans become its *children* and carry no journal ``seq``
+    annotation, so the flight-recorder round-trip check never mistakes
+    a replay for a newly committed command.
     """
+    tracer = tracer if tracer is not None else Tracer.disabled
+    registry = metrics if metrics is not None else obs_metrics.REGISTRY
+    started = time.perf_counter()
     meta = read_meta(dirpath)
     if strategy is None:
         strategy = strategy_from_doc(meta["strategy"])
 
-    records, torn_bytes = repair_journal(os.path.join(dirpath, JOURNAL_FILE))
-    snap = SnapshotStore(os.path.join(dirpath, SNAPSHOT_DIR)).latest()
+    with tracer.span("recover") as span:
+        records, torn_bytes = repair_journal(
+            os.path.join(dirpath, JOURNAL_FILE))
+        snap = SnapshotStore(os.path.join(dirpath, SNAPSHOT_DIR),
+                             metrics=metrics).latest()
 
-    if snap is not None:
-        snap_seq, payload = snap
-        engine = engine_from_doc(payload["engine"], strategy=strategy)
-        base_commands: List[Dict[str, Any]] = list(payload["commands"])
-        tail = [r for r in records if r.seq > snap_seq]
-        stale = len(records) - len(tail)
-        seq = snap_seq
-    else:
-        snap_seq = None
-        engine = TransformationEngine(parse_program(meta["source"]),
-                                      strategy=strategy)
-        base_commands = []
-        tail = records
-        stale = 0
-        seq = 0
+        if snap is not None:
+            snap_seq, payload = snap
+            engine = engine_from_doc(payload["engine"], strategy=strategy)
+            base_commands: List[Dict[str, Any]] = list(payload["commands"])
+            tail = [r for r in records if r.seq > snap_seq]
+            stale = len(records) - len(tail)
+            seq = snap_seq
+        else:
+            snap_seq = None
+            engine = TransformationEngine(parse_program(meta["source"]),
+                                          strategy=strategy)
+            base_commands = []
+            tail = records
+            stale = 0
+            seq = 0
+        engine.tracer = tracer
+        engine.metrics = registry
 
-    for rec in tail:
-        if rec.seq != seq + 1:
-            raise RecoveryError(
-                f"journal gap: expected seq {seq + 1}, found {rec.seq}")
-        replay_command(engine, rec.cmd)
-        seq = rec.seq
+        for rec in tail:
+            if rec.seq != seq + 1:
+                raise RecoveryError(
+                    f"journal gap: expected seq {seq + 1}, found {rec.seq}")
+            replay_command(engine, rec.cmd)
+            seq = rec.seq
+        span.tag(replayed=len(tail), snapshot_seq=snap_seq,
+                 torn_bytes=torn_bytes)
+
+    registry.counter("repro_recoveries_total",
+                     "session recoveries performed").inc()
+    registry.counter("repro_recovery_replayed_total",
+                     "journal-tail commands replayed during recovery"
+                     ).inc(len(tail))
+    registry.histogram("repro_recovery_seconds",
+                       "end-to-end session recovery latency").observe(
+                           time.perf_counter() - started)
 
     commands = base_commands + [r.cmd for r in tail]
     result = RecoveryResult(engine=engine, commands=commands, seq=seq,

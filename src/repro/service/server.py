@@ -21,9 +21,11 @@ Verbs::
                            group and is journaled at its position
     <s> log                committed command history
     <s> metrics            persistence + analysis-work stats
+    <s> trace [n]          newest [n] flight-recorder spans (JSON lines)
     <s> snapshot           cut a snapshot now
     _ sessions             list sessions (no target session)
     _ stats                manager stats
+    _ metrics              aggregate persistence totals across sessions
 """
 
 from __future__ import annotations
@@ -76,6 +78,11 @@ class SessionServer:
             return " ".join(self.manager.list_sessions()) or "(none)"
         if verb == "stats":
             return json.dumps(self.manager.stats(), sort_keys=True)
+        if verb == "metrics" and name == "_":
+            # manager-level aggregate; "<s> metrics" below stays
+            # per-session
+            return json.dumps(self.manager.aggregate_metrics(),
+                              sort_keys=True)
         if verb == "init":
             with open(args[0]) as fh:
                 source = fh.read()
@@ -109,6 +116,11 @@ class SessionServer:
                     for cmd in session.log()) or "(empty log)"
             if verb == "metrics":
                 return json.dumps(session.metrics(), sort_keys=True)
+            if verb == "trace":
+                tail = int(args[0]) if args else None
+                spans = session.tracer.recorder.spans(tail)
+                return "\n".join(json.dumps(s.to_doc(), sort_keys=True)
+                                 for s in spans) or "(no spans)"
             if verb == "snapshot":
                 path = session.snapshot()
                 return f"snapshot: {path}" if path else "(nothing new)"

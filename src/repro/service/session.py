@@ -19,8 +19,10 @@ session, and least-recently-used idle sessions are evicted to disk
 
 from __future__ import annotations
 
+import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -35,6 +37,10 @@ from repro.edit.invalidate import InvalidationStats, remove_unsafe
 from repro.lang.ast_nodes import Expr, ExprPath, Stmt
 from repro.lang.parser import parse_program
 from repro.core.locations import Location
+from repro.obs import metrics as obs_metrics
+from repro.obs.check import trace_path
+from repro.obs.metrics import Histogram
+from repro.obs.trace import Span, Tracer
 from repro.service.journal import Journal
 from repro.service.recovery import (
     JOURNAL_FILE,
@@ -52,6 +58,12 @@ from repro.service.snapshot import SnapshotStore
 
 class SessionError(RuntimeError):
     """Session-level protocol violations (exists/missing/closed)."""
+
+
+def _session_tracer(dirpath: str) -> Tracer:
+    """An enabled per-session tracer tagged with the session name."""
+    name = os.path.basename(os.path.normpath(dirpath)) or dirpath
+    return Tracer(session=name)
 
 
 class DurableSession:
@@ -76,16 +88,36 @@ class DurableSession:
         #: how the state was reconstructed (None for a fresh create).
         self.recovery = recovery
         self.snapshot_every = int(meta.get("snapshot_every", 32))
-        self.snapshots = SnapshotStore(os.path.join(dirpath, SNAPSHOT_DIR))
+        self.snapshots = SnapshotStore(os.path.join(dirpath, SNAPSHOT_DIR),
+                                       metrics=engine.metrics)
         self.journal = Journal(os.path.join(dirpath, JOURNAL_FILE),
-                               fsync_every=int(meta.get("fsync_every", 8)))
+                               fsync_every=int(meta.get("fsync_every", 8)),
+                               metrics=engine.metrics)
         self._since_snapshot = 0
         self._pending_edits: List[EditReport] = []
         self._closed = False
+        #: the first journaling/snapshot failure, if any; once set, the
+        #: session is poisoned and refuses further commands (see
+        #: :meth:`_on_command`).
+        self.journal_error: Optional[BaseException] = None
         #: analysis-work delta of the most recent command
         #: (:meth:`WorkCounters.delta` of two snapshots — never resets
         #: the engine's live counters).
         self.last_work: Dict[str, Any] = {}
+        #: the engine's tracer (an enabled per-session instance wired by
+        #: ``create``/``open``); its flight recorder backs the server's
+        #: ``trace`` verb.
+        self.tracer = engine.tracer
+        #: per-session command-latency histogram, fed from completed
+        #: top-level command spans via the span sink; surfaces as the
+        #: p50/p95 figures in :meth:`metrics`.
+        self._latency = Histogram("command_seconds")
+        # stream every completed span to trace.jsonl (line-buffered so a
+        # killed process loses at most the current line; read back with
+        # repro.obs.trace.read_trace, which skips a torn tail)
+        self._trace_fh = open(trace_path(dirpath), "a", encoding="utf-8",
+                              buffering=1)
+        self.tracer.sinks.append(self._on_span)
         # attach AFTER recovery replay so recovered commands are not
         # journaled a second time
         engine.command_observers.append(self._on_command)
@@ -106,14 +138,16 @@ class DurableSession:
                 "snapshot_every": snapshot_every,
                 "fsync_every": fsync_every}
         write_meta(dirpath, meta)
-        engine = TransformationEngine(program, strategy=strategy)
+        engine = TransformationEngine(program, strategy=strategy,
+                                      tracer=_session_tracer(dirpath))
         return cls(dirpath, engine, meta, seq=0, commands=[])
 
     @classmethod
     def open(cls, dirpath: str, *, verify: bool = False,
              strategy: Optional[UndoStrategy] = None) -> "DurableSession":
         """Recover a session from disk (crash-safe reopen)."""
-        result = recover(dirpath, strategy=strategy, verify=verify)
+        result = recover(dirpath, strategy=strategy, verify=verify,
+                         tracer=_session_tracer(dirpath))
         return cls(dirpath, result.engine, result.meta, seq=result.seq,
                    commands=list(result.commands), recovery=result)
 
@@ -126,6 +160,14 @@ class DurableSession:
             self.engine.command_observers.remove(self._on_command)
         except ValueError:
             pass
+        try:
+            self.tracer.sinks.remove(self._on_span)
+        except ValueError:
+            pass
+        try:
+            self._trace_fh.close()
+        except OSError:
+            pass
         self.journal.close()
 
     def __enter__(self) -> "DurableSession":
@@ -136,6 +178,19 @@ class DurableSession:
 
     # -- journaling ----------------------------------------------------------
 
+    def _on_span(self, span: Span) -> None:
+        """Stream one completed span to ``trace.jsonl`` (the tracer sink).
+
+        Runs for *every* span the session tracer completes; top-level
+        command spans additionally feed the per-session latency
+        histogram behind :meth:`metrics`.  Sink exceptions are isolated
+        by the tracer (``Tracer.sink_errors``), so a full disk degrades
+        telemetry, never command execution.
+        """
+        self._trace_fh.write(json.dumps(span.to_doc(), sort_keys=True) + "\n")
+        if span.parent_id is None and span.name == "command":
+            self._latency.observe(span.duration)
+
     def _on_command(self, command: Command) -> None:
         """Journal one executed command (the engine-observer hook).
 
@@ -143,18 +198,36 @@ class DurableSession:
         alike, batches as one group — and this observer is the ONLY
         place commands become journal records: one ``encode()``, one
         append, one (amortized) fsync.  Also samples the command's
-        analysis-work delta into ``last_work`` for :meth:`metrics`.
+        analysis-work delta into ``last_work`` for :meth:`metrics`, and
+        annotates the still-open command span with the journal sequence
+        number — the join key :func:`repro.obs.check.trace_roundtrip`
+        relies on.
+
+        The engine isolates observer exceptions (a committed command
+        must not look failed), so a persistence failure cannot propagate
+        from here; instead it **poisons** the session — ``journal_error``
+        is set and every later command entry point refuses via
+        :meth:`_check_open` before an order stamp is consumed.  The
+        journal therefore never silently falls behind the engine by more
+        than the one command whose append failed.
         """
         if self._closed:
             raise SessionError("session is closed")
-        enc = command.encode()
-        self.seq += 1
-        self.journal.append(self.seq, enc)
-        self.commands.append(enc)
-        self.last_work = dict(command.work)
-        self._since_snapshot += 1
-        if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
-            self.snapshot()
+        try:
+            enc = command.encode()
+            self.seq += 1
+            self.tracer.annotate(seq=self.seq)
+            with self.tracer.span("journal.append"):
+                self.journal.append(self.seq, enc)
+            self.commands.append(enc)
+            self.last_work = dict(command.work)
+            self._since_snapshot += 1
+            if self.snapshot_every \
+                    and self._since_snapshot >= self.snapshot_every:
+                self.snapshot()
+        except BaseException as exc:
+            self.journal_error = exc
+            raise
 
     def snapshot(self) -> Optional[str]:
         """Cut a full-state snapshot now and truncate the journal.
@@ -172,14 +245,15 @@ class DurableSession:
         if self.seq == 0 or self.seq in self.snapshots.seqs():
             self._since_snapshot = 0
             return None
-        payload = {"journal_seq": self.seq,
-                   "engine": engine_to_doc(self.engine),
-                   "commands": list(self.commands)}
-        path = self.snapshots.write(self.seq, payload)
-        self.snapshots.prune(keep=2)
-        retained = self.snapshots.seqs()
-        if retained:
-            self.journal.truncate_through(retained[0])
+        with self.tracer.span("snapshot"):
+            payload = {"journal_seq": self.seq,
+                       "engine": engine_to_doc(self.engine),
+                       "commands": list(self.commands)}
+            path = self.snapshots.write(self.seq, payload)
+            self.snapshots.prune(keep=2)
+            retained = self.snapshots.seqs()
+            if retained:
+                self.journal.truncate_through(retained[0])
         self._since_snapshot = 0
         return path
 
@@ -189,10 +263,17 @@ class DurableSession:
         A command on a closed session would mutate the engine and then
         fail journaling (the observer raises), leaving state the journal
         does not describe — so every command entry point guards first,
-        while no stamp has been consumed.
+        while no stamp has been consumed.  The same guard enforces
+        poisoning: after a persistence failure the engine holds one
+        command the journal does not, and running more would widen the
+        divergence.
         """
         if self._closed:
             raise SessionError("session is closed")
+        if self.journal_error is not None:
+            raise SessionError(
+                "session poisoned by an earlier persistence failure: "
+                f"{self.journal_error!r}")
 
     # -- command API ---------------------------------------------------------
 
@@ -295,14 +376,26 @@ class DurableSession:
         return list(self.commands)
 
     def metrics(self) -> Dict[str, Any]:
-        """Persistence + analysis-work stats for this session."""
+        """Persistence + analysis-work + latency stats for this session.
+
+        The ``latency`` block is derived from completed top-level
+        command spans (see :meth:`_on_span`), so it covers every command
+        executed through this handle — including failed ones — at the
+        span sink's histogram resolution.
+        """
         return {"seq": self.seq,
                 "commands": len(self.commands),
                 "active": len(self.engine.history.active()),
                 "journal_records_written": self.journal.records_written,
+                "journal_bytes_written": self.journal.bytes_written,
                 "journal_syncs": self.journal.syncs,
                 "snapshots_written": self.snapshots.written,
                 "snapshots_on_disk": len(self.snapshots.seqs()),
+                "spans_recorded": self.tracer.recorder.completed,
+                "spans_dropped": self.tracer.recorder.dropped,
+                "latency": {"count": self._latency.count,
+                            "p50_ms": self._latency.quantile(0.5) * 1e3,
+                            "p95_ms": self._latency.quantile(0.95) * 1e3},
                 "last_work": dict(self.last_work)}
 
 
@@ -316,9 +409,16 @@ class SessionManager:
     one session do not block the others.
     """
 
+    #: :meth:`DurableSession.metrics` fields summed across sessions by
+    #: :meth:`aggregate_metrics` (live samples + retired totals).
+    _AGG_FIELDS = ("commands", "journal_records_written",
+                   "journal_bytes_written", "journal_syncs",
+                   "snapshots_written")
+
     def __init__(self, root: str, *, max_live: int = 8,
                  snapshot_every: int = 32, fsync_every: int = 8,
-                 strategy: Optional[UndoStrategy] = None):
+                 strategy: Optional[UndoStrategy] = None,
+                 metrics: Optional[obs_metrics.MetricsRegistry] = None):
         if max_live < 1:
             raise ValueError("max_live must be >= 1")
         self.root = root
@@ -326,12 +426,18 @@ class SessionManager:
         self.snapshot_every = snapshot_every
         self.fsync_every = fsync_every
         self.strategy = strategy
+        self.metrics_registry = metrics if metrics is not None \
+            else obs_metrics.REGISTRY
         self._lock = threading.Lock()
         #: name -> (session, per-session lock); LRU order, oldest first.
         self._live: "OrderedDict[str, Tuple[DurableSession, threading.RLock]]" \
             = OrderedDict()
         self.evictions = 0
         self.reopens = 0
+        #: final per-session counts absorbed when a session is evicted
+        #: or closed — aggregate totals stay monotonic across evictions
+        #: (a reopened session's live counters restart at zero).
+        self._retired: Dict[str, float] = {f: 0 for f in self._AGG_FIELDS}
 
     def path_for(self, name: str) -> str:
         """Directory of one named session (rejects path-escape names)."""
@@ -389,23 +495,49 @@ class SessionManager:
                 continue  # busy — not idle, not evictable
             try:
                 session.snapshot()
+                self._absorb_locked(session)
                 session.close()
                 del self._live[name]
                 self.evictions += 1
             finally:
                 lock.release()
 
+    def _absorb_locked(self, session: DurableSession) -> None:
+        """Fold a closing session's final counts into the retired totals."""
+        sample = session.metrics()
+        for field in self._AGG_FIELDS:
+            self._retired[field] += sample[field]
+
     @contextmanager
     def session(self, name: str) -> Iterator[DurableSession]:
-        """Exclusive access to one session for a block of commands."""
+        """Exclusive access to one session for a block of commands.
+
+        The per-session lock's acquire wait and hold time land in the
+        ``repro_session_lock_wait_seconds`` /
+        ``repro_session_lock_hold_seconds`` histograms — the two numbers
+        that distinguish "the engine is slow" from "the sessions are
+        contended".
+        """
         session, lock = self._entry(name)
-        with lock:
+        m = self.metrics_registry
+        waited = time.perf_counter()
+        lock.acquire()
+        acquired = time.perf_counter()
+        m.histogram("repro_session_lock_wait_seconds",
+                    "time spent waiting to acquire a session lock").observe(
+                        acquired - waited)
+        try:
             if session._closed:
                 # evicted between lookup and acquire — take the fresh one
                 with self.session(name) as fresh:
                     yield fresh
                     return
             yield session
+        finally:
+            lock.release()
+            m.histogram("repro_session_lock_hold_seconds",
+                        "time a session lock was held").observe(
+                            time.perf_counter() - acquired)
 
     # -- convenience command wrappers ---------------------------------------
 
@@ -454,11 +586,34 @@ class SessionManager:
                     "evictions": self.evictions,
                     "reopens": self.reopens}
 
+    def aggregate_metrics(self) -> Dict[str, Any]:
+        """Persistence totals across every session this manager served.
+
+        Live sessions are sampled in place; evicted/closed ones had
+        their final counts absorbed into the retired totals at close
+        time — so the totals are monotonic across evictions and scoped
+        to *this* manager, unlike the process-global registry (which
+        mixes every engine in the process).  Served by the line
+        protocol's manager-level ``_ metrics`` verb.
+        """
+        with self._lock:
+            totals = dict(self._retired)
+            for session, _lock in self._live.values():
+                sample = session.metrics()
+                for field in self._AGG_FIELDS:
+                    totals[field] += sample[field]
+            return {"totals": totals,
+                    "live": list(self._live),
+                    "on_disk": self.list_sessions(),
+                    "evictions": self.evictions,
+                    "reopens": self.reopens}
+
     def close_all(self) -> None:
         """Snapshot and close every live session (shutdown path)."""
         with self._lock:
             for name, (session, lock) in list(self._live.items()):
                 with lock:
                     session.snapshot()
+                    self._absorb_locked(session)
                     session.close()
                 del self._live[name]

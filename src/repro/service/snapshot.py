@@ -29,8 +29,10 @@ from __future__ import annotations
 import os
 import json
 import re
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.service.journal import fsync_dir
 from repro.service.serde import KIND_SNAPSHOT, SerdeError, unwrap, wrap
 
@@ -40,11 +42,14 @@ _SNAP_RE = re.compile(r"^snap-(\d{10})\.json$")
 class SnapshotStore:
     """Reads and writes a session's snapshot directory."""
 
-    def __init__(self, dirpath: str):
+    def __init__(self, dirpath: str,
+                 metrics: Optional[obs_metrics.MetricsRegistry] = None):
         self.dirpath = dirpath
         #: instrumentation for the recovery benchmarks.
         self.written = 0
         self.skipped_corrupt = 0
+        self.metrics = metrics if metrics is not None \
+            else obs_metrics.REGISTRY
 
     def path_for(self, seq: int) -> str:
         """File path of the snapshot covering journal ``seq``."""
@@ -63,6 +68,7 @@ class SnapshotStore:
 
     def write(self, seq: int, payload: Dict[str, Any]) -> str:
         """Durably write one snapshot; returns its path."""
+        started = time.perf_counter()
         os.makedirs(self.dirpath, exist_ok=True)
         path = self.path_for(seq)
         tmp = path + ".tmp"
@@ -73,6 +79,14 @@ class SnapshotStore:
         os.replace(tmp, path)
         fsync_dir(self.dirpath)
         self.written += 1
+        m = self.metrics
+        m.counter("repro_snapshots_total", "snapshots durably written").inc()
+        m.counter("repro_snapshot_bytes_total",
+                  "snapshot bytes durably written").inc(
+                      os.path.getsize(path))
+        m.histogram("repro_snapshot_write_seconds",
+                    "time to durably write one snapshot").observe(
+                        time.perf_counter() - started)
         return path
 
     def load(self, seq: int) -> Dict[str, Any]:
