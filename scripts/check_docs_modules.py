@@ -23,6 +23,7 @@ ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
 DOCS = [ROOT / "docs" / "ARCHITECTURE.md",
         ROOT / "docs" / "OBSERVABILITY.md",
+        ROOT / "docs" / "PAPER_MAP.md",
         ROOT / "docs" / "PERSISTENCE.md"]
 
 NAME_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")

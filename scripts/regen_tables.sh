@@ -1,21 +1,27 @@
 #!/bin/sh
 # Regenerate the paper tables/figures printed by the benchmark suite.
 #
-# By default writes benchmarks/output/tables_output.regen.txt (gitignored)
-# so a regeneration never silently rewrites the tracked reference copy;
-# pass --promote to overwrite benchmarks/output/tables_output.txt after
-# reviewing the diff.
+# By default writes benchmarks/output/tables_output.regen.txt and
+# BENCH_summary.regen.json (both gitignored) so a regeneration never
+# silently rewrites the tracked reference copies; pass --promote to
+# overwrite benchmarks/output/tables_output.txt and BENCH_summary.json
+# after reviewing the diffs.
 #
-#   scripts/regen_tables.sh             # fresh copy for comparison
-#   scripts/regen_tables.sh --promote   # update the tracked reference
+#   scripts/regen_tables.sh             # fresh copies for comparison
+#   scripts/regen_tables.sh --promote   # update the tracked references
 set -eu
 
 cd "$(dirname "$0")/.."
 out="benchmarks/output/tables_output.regen.txt"
-[ "${1:-}" = "--promote" ] && out="benchmarks/output/tables_output.txt"
+summary="BENCH_summary.regen.json"
+if [ "${1:-}" = "--promote" ]; then
+    out="benchmarks/output/tables_output.txt"
+    summary="BENCH_summary.json"
+fi
 
 mkdir -p benchmarks/output
 PYTHONPATH=src python -m pytest benchmarks/ -q -s --benchmark-disable \
     | grep -v -E '^(=|platform |rootdir|plugins|configfile|cachedir|collecting|[0-9]+ passed)' \
     > "$out"
 echo "wrote $out"
+python scripts/check_bench_json.py --expect --summary "$summary"

@@ -267,7 +267,13 @@ usage: python -m repro <program file>            interactive session
                   snapshot | reopen [--verify]
        python -m repro trace <root> <name> [--tail N] [--check]
            print a session's recorded spans (trace.jsonl); --check joins
-           them against the journal (exit 1 on any mismatch)"""
+           them against the journal (exit 1 on any mismatch)
+       python -m repro audit <root> <name> [--tail N] [--check]
+           print a session's audit log (audit.jsonl); --check joins it
+           against the journal (exit 1 on any mismatch)
+       python -m repro explain <root> <name> <stamp> [--json | --dot]
+           why <stamp> is (un)safe / (ir)reversible now, plus its audit
+           trail; --dot exports the provenance trees that mention it"""
 
 
 def _main_serve(argv: List[str]) -> int:
@@ -367,6 +373,85 @@ def _main_trace(argv: List[str]) -> int:
     return 0
 
 
+def _main_audit(argv: List[str]) -> int:
+    """``repro audit <root> <name> [--tail N] [--check]`` — audit log.
+
+    Like :func:`_main_trace`, reads the on-disk ``audit.jsonl`` without
+    opening the session; ``--check`` joins it against the journal via
+    :func:`repro.obs.check.audit_roundtrip` and exits 1 on any mismatch.
+    """
+    import json
+    import os
+
+    from repro.obs.check import audit_roundtrip
+    from repro.obs.provenance import audit_path, read_audit
+
+    tail: Optional[int] = None
+    check = False
+    pos: List[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--tail":
+            i += 1
+            if i >= len(argv):
+                print(USAGE)
+                return 2
+            tail = int(argv[i])
+        elif arg == "--check":
+            check = True
+        else:
+            pos.append(arg)
+        i += 1
+    if len(pos) != 2:
+        print(USAGE)
+        return 2
+    dirpath = os.path.join(pos[0], pos[1])
+    entries = read_audit(audit_path(dirpath))
+    if tail is not None and tail >= 0:
+        entries = entries[len(entries) - min(tail, len(entries)):]
+    for entry in entries:
+        print(json.dumps(entry, sort_keys=True))
+    if check:
+        report = audit_roundtrip(dirpath)
+        print(report.describe())
+        return 0 if report.ok else 1
+    return 0
+
+
+def _main_explain(argv: List[str]) -> int:
+    """``repro explain <root> <name> <stamp> [--json | --dot]``.
+
+    One-shot wrapper over the server's ``explain`` verb so the CLI and
+    the line protocol share one code path (live verdicts need the
+    recovered engine, so the session is opened like any other one-shot
+    command).
+    """
+    from repro.service.server import SessionServer
+    from repro.service.session import SessionManager
+
+    mode = ""
+    pos: List[str] = []
+    for arg in argv:
+        if arg == "--json":
+            mode = "json"
+        elif arg == "--dot":
+            mode = "dot"
+        else:
+            pos.append(arg)
+    if len(pos) != 3:
+        print(USAGE)
+        return 2
+    root, name, stamp = pos
+    manager = SessionManager(root)
+    server = SessionServer(manager)
+    out = server.handle_line(" ".join([name, "explain", stamp, mode]))
+    manager.close_all()
+    if out:
+        print(out)
+    return 1 if out.startswith("error:") else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro``."""
     argv = argv if argv is not None else sys.argv[1:]
@@ -379,6 +464,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _main_session(argv[1:])
     if argv[0] == "trace":
         return _main_trace(argv[1:])
+    if argv[0] == "audit":
+        return _main_audit(argv[1:])
+    if argv[0] == "explain":
+        return _main_explain(argv[1:])
     with open(argv[0]) as fh:
         source = fh.read()
     session = CliSession(source)

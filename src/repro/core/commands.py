@@ -160,6 +160,12 @@ class Command:
     #: analysis-work delta of the last execution; set by
     #: ``TransformationEngine.execute`` from two WorkCounters snapshots.
     work: Dict[str, Any] = {}
+    #: causal provenance tree (doc form) of the last execution; set by
+    #: the undo commands from the undo engines' reports.  Deliberately
+    #: NOT part of :meth:`encode` — the journal format must not change —
+    #: it rides into the *audit log* instead (see
+    #: :func:`repro.obs.provenance.audit_entry`).
+    provenance: Optional[Dict[str, Any]] = None
 
     # -- encoding ------------------------------------------------------------
 
@@ -410,6 +416,8 @@ class UndoCommand(Command):
     def _run(self, engine, rec):
         report = self._engine_call(engine)
         self.undone = list(report.undone)
+        if report.provenance is not None:
+            self.provenance = report.provenance.to_doc()
         return report
 
     def _note_failure(self, exc: BaseException) -> None:
@@ -417,6 +425,7 @@ class UndoCommand(Command):
         # surfaces them (core/undo.py) so the journal records them
         partial = getattr(exc, "undone", None)
         self.undone = list(partial) if partial is not None else None
+        self.provenance = getattr(exc, "provenance", None)
 
     # -- encoding ------------------------------------------------------------
 

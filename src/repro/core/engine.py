@@ -114,7 +114,7 @@ class TransformationEngine:
         self.strategy = strategy if strategy is not None else UndoStrategy()
         self._undo_engine = UndoEngine(program, self.applier, self.history,
                                        self.cache, self.registry,
-                                       self.strategy)
+                                       self.strategy, metrics=self.metrics)
         self._reverse_engine = ReverseUndoEngine(program, self.applier,
                                                  self.history, self.cache)
         if extra_transformations:
@@ -346,3 +346,28 @@ class TransformationEngine:
         rec = self.history.by_stamp(stamp)
         return self.registry[rec.name].check_reversibility(
             self.program, self.store, rec)
+
+    def explain(self, stamp: int) -> Optional[Dict]:
+        """Structured *current* verdicts about one recorded stamp.
+
+        Returns ``None`` for an unknown stamp.  For a live non-edit
+        record the document carries both check verdicts (doc form, see
+        :mod:`repro.obs.provenance`) naming the Table 3 condition, the
+        causing record, and the clobbered pattern element; inactive
+        records report only their state (their patterns are gone).  The
+        session layer joins this with the audit trail for the full
+        explanation.
+        """
+        from repro.obs.provenance import reversibility_verdict, safety_verdict
+
+        if not self.history.has_stamp(stamp):
+            return None
+        rec = self.history.by_stamp(stamp)
+        doc: Dict = {"stamp": stamp, "name": rec.name,
+                     "active": rec.active, "is_edit": rec.is_edit}
+        if rec.active and not rec.is_edit:
+            doc["safety"] = safety_verdict(
+                rec, self.check_safety(stamp)).to_doc()
+            doc["reversibility"] = reversibility_verdict(
+                rec, self.check_reversibility(stamp)).to_doc()
+        return doc

@@ -16,12 +16,13 @@ the independent-order engine's dependence cone.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.incremental import AnalysisCache
 from repro.core.actions import ActionApplier, ActionError
 from repro.core.history import History
 from repro.core.undo import UndoError
+from repro.obs.provenance import ProvenanceNode
 from repro.lang.ast_nodes import Program
 
 
@@ -35,6 +36,9 @@ class ReverseUndoReport:
     #: stamps that were undone only because they were in the way.
     collateral: List[int] = field(default_factory=list)
     actions_inverted: int = 0
+    #: flat causal chain: the target at the root, each peeled record a
+    #: child in peel order (LIFO needs no checks, so no check nodes).
+    provenance: Optional[ProvenanceNode] = None
 
 
 class ReverseUndoEngine:
@@ -80,6 +84,9 @@ class ReverseUndoEngine:
         """
         rec = self.history.by_stamp(stamp)
         report = ReverseUndoReport(target=stamp)
+        root = ProvenanceNode(kind="undo", stamp=stamp, name=rec.name,
+                              role="target")
+        report.provenance = root
         try:
             if not rec.active:
                 raise UndoError(f"t{stamp} is not active")
@@ -90,8 +97,15 @@ class ReverseUndoEngine:
                     self.history.by_stamp(undone).actions)
                 if undone != stamp:
                     report.collateral.append(undone)
+                    root.add(ProvenanceNode(
+                        kind="undo", stamp=undone,
+                        name=self.history.by_stamp(undone).name,
+                        role="collateral",
+                        detail=f"applied after t{stamp}; LIFO order peels "
+                               "it first"))
         except UndoError as exc:
             exc.target = stamp
             exc.undone = list(report.undone)
+            exc.provenance = root.to_doc()
             raise
         return report

@@ -44,6 +44,12 @@ from typing import Dict, List, Optional, Set
 
 from repro.analysis.incremental import AnalysisCache
 from repro.core.actions import ActionApplier, ActionError
+from repro.obs import metrics as obs_metrics
+from repro.obs.provenance import (
+    ProvenanceNode,
+    reversibility_verdict,
+    safety_verdict,
+)
 from repro.core.annotations import AnnotationStore
 from repro.core.history import History, TransformationRecord
 from repro.core.regions import (
@@ -75,6 +81,10 @@ class UndoError(RuntimeError):
     target: Optional[int] = None
     #: stamps the cascade committed before failing (``None`` = unrecorded).
     undone: Optional[List[int]] = None
+    #: partial provenance tree (doc form) of the failed cascade
+    #: (``None`` = unrecorded); journaled into the audit log so a failed
+    #: undo still explains how far it got and what stopped it.
+    provenance: Optional[Dict] = None
 
 
 @dataclass
@@ -99,6 +109,9 @@ class UndoReport:
     region_skips: int = 0
     #: primitive inverse actions performed.
     actions_inverted: int = 0
+    #: causal tree of the cascade: every re-check, Table 4 / region
+    #: skip, and forced undo, linked to the verdict that forced it.
+    provenance: Optional[ProvenanceNode] = None
 
     def work(self) -> int:
         """Total checks performed (the comparison metric for E1/E2)."""
@@ -123,7 +136,8 @@ class UndoEngine:
     def __init__(self, program: Program, applier: ActionApplier,
                  history: History, cache: AnalysisCache,
                  registry: Optional[Dict] = None,
-                 strategy: Optional[UndoStrategy] = None):
+                 strategy: Optional[UndoStrategy] = None,
+                 metrics: Optional[obs_metrics.MetricsRegistry] = None):
         from repro.transforms.registry import REGISTRY
 
         self.program = program
@@ -132,6 +146,7 @@ class UndoEngine:
         self.cache = cache
         self.registry = registry if registry is not None else REGISTRY
         self.strategy = strategy if strategy is not None else UndoStrategy()
+        self.metrics = metrics if metrics is not None else obs_metrics.REGISTRY
 
     @property
     def store(self) -> AnnotationStore:
@@ -149,23 +164,29 @@ class UndoEngine:
         """
         rec = self.history.by_stamp(stamp)
         report = UndoReport(target=stamp)
+        root = ProvenanceNode(kind="undo", stamp=stamp, name=rec.name,
+                              role="target")
+        report.provenance = root
         try:
             if not rec.active:
                 raise UndoError(f"t{stamp} ({rec.name}) is not active")
             if rec.is_edit:
                 raise UndoError(
                     "user edits are not undoable through the engine")
-            self._undo(rec, report, set())
+            self._undo(rec, report, set(), root)
         except UndoError as exc:
             exc.target = stamp
             exc.undone = list(report.undone)
+            # attach the partial tree: a failed undo still explains how
+            # far the cascade got and which verdict stopped it.
+            exc.provenance = root.to_doc()
             raise
         return report
 
     # -- Figure 4 --------------------------------------------------------------
 
     def _undo(self, rec: TransformationRecord, report: UndoReport,
-              in_progress: Set[int]) -> None:
+              in_progress: Set[int], node: ProvenanceNode) -> None:
         if not rec.active:
             return
         if rec.stamp in in_progress:
@@ -183,8 +204,19 @@ class UndoEngine:
                     f"reversibility of t{rec.stamp} did not converge")
             report.reversibility_checks += 1
             rr = transform.check_reversibility(self.program, self.store, rec)
+            verdict = reversibility_verdict(rec, rr,
+                                            triggered_by=report.target)
+            self.metrics.counter(
+                "repro_recheck_total",
+                "safety/reversibility re-checks during undo cascades",
+                check="reversibility",
+                outcome="ok" if rr.reversible else "violation").inc()
             if rr.reversible:
+                node.add(ProvenanceNode(kind="check", stamp=rec.stamp,
+                                        name=rec.name, verdict=verdict))
                 break
+            node.add(ProvenanceNode(kind="check", stamp=rec.stamp,
+                                    name=rec.name, verdict=verdict))
             violation = rr.violations[0]
             if violation.action_id is None:
                 raise UndoError(
@@ -205,7 +237,12 @@ class UndoEngine:
                     f"t{rec.stamp} blocked by its own/inactive action "
                     f"(t{t_j}): {violation.condition}")
             report.affecting.append(t_j)
-            self._undo(blocker, report, in_progress)
+            child = node.add(ProvenanceNode(
+                kind="undo", stamp=t_j, name=blocker.name, role="affecting",
+                verdict=verdict,
+                detail=f"its action {violation.action_id} blocks "
+                       f"t{rec.stamp}: {violation.condition}"))
+            self._undo(blocker, report, in_progress, child)
 
         # Generalized affecting condition: this record's inverse actions
         # will *remove* the statements its Add/Copy actions created.  Any
@@ -236,7 +273,12 @@ class UndoEngine:
             if blocker_rec is None:
                 break
             report.affecting.append(blocker_rec.stamp)
-            self._undo(blocker_rec, report, in_progress)
+            child = node.add(ProvenanceNode(
+                kind="undo", stamp=blocker_rec.stamp, name=blocker_rec.name,
+                role="affecting", reason="structural-dependent",
+                detail=f"references statements t{rec.stamp}'s inverse "
+                       "actions will remove"))
+            self._undo(blocker_rec, report, in_progress, child)
 
         # line 12: perform inverse actions (reverse application order)
         cursor = self.applier.events.cursor()
@@ -284,11 +326,29 @@ class UndoEngine:
                     t_k.name in TABLE4_ORDER and \
                     t_k.name not in self.registry[rec.name].enables:
                 report.heuristic_skips += 1
+                self.metrics.counter(
+                    "repro_recheck_skips_total",
+                    "candidates pruned before a safety re-check",
+                    reason="table4-heuristic").inc()
+                node.add(ProvenanceNode(
+                    kind="skip", stamp=t_k.stamp, name=t_k.name,
+                    reason="table4-heuristic",
+                    detail=f"Table 4: undoing {rec.name} cannot destroy "
+                           f"{t_k.name}'s safety ({rec.name} never "
+                           f"enables it)"))
                 continue
             # line 15/16: space coordinate
             if region is not None and not record_in_region(
                     self.program, self.cache, t_k, region, names):
                 report.region_skips += 1
+                self.metrics.counter(
+                    "repro_recheck_skips_total",
+                    "candidates pruned before a safety re-check",
+                    reason="outside-region").inc()
+                node.add(ProvenanceNode(
+                    kind="skip", stamp=t_k.stamp, name=t_k.name,
+                    reason="outside-region",
+                    detail="outside the inverse actions' affected region"))
                 continue
             # line 22: safety conditions given the inverse-action events
             from repro.transforms.base import CheckContext
@@ -297,9 +357,23 @@ class UndoEngine:
             ctx = CheckContext(program=self.program, cache=self.cache,
                                store=self.store, history=self.history)
             sr = self.registry[t_k.name].check_safety(ctx, t_k)
+            verdict = safety_verdict(t_k, sr, triggered_by=rec.stamp)
+            self.metrics.counter(
+                "repro_recheck_total",
+                "safety/reversibility re-checks during undo cascades",
+                check="safety",
+                outcome="ok" if sr.safe else "violation").inc()
+            node.add(ProvenanceNode(kind="check", stamp=t_k.stamp,
+                                    name=t_k.name, verdict=verdict))
             if not sr.safe:
                 report.affected.append(t_k.stamp)
-                self._undo(t_k, report, in_progress)
+                reason = sr.reasons[0] if sr.reasons else "unsafe"
+                child = node.add(ProvenanceNode(
+                    kind="undo", stamp=t_k.stamp, name=t_k.name,
+                    role="affected", verdict=verdict,
+                    detail=f"undoing t{rec.stamp} broke its safety: "
+                           f"{reason}"))
+                self._undo(t_k, report, in_progress, child)
 
         in_progress.discard(rec.stamp)
 

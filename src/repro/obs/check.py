@@ -111,3 +111,95 @@ def trace_roundtrip(dirpath: str) -> RoundtripReport:
                 f"seq {rec.seq}: span stamp {tags.get('stamp')!r} != "
                 f"journaled order stamp {stamp}")
     return report
+
+
+def audit_roundtrip(dirpath: str) -> RoundtripReport:
+    """Join a session's journal tail against its audit log.
+
+    The audit log (``audit.jsonl``, see :mod:`repro.obs.provenance`) is
+    appended once per journaled command, so the two must agree on the
+    journal tail: every journal record joins **exactly one** audit entry
+    with the same seq, op, order stamp, failure status, and — for undos
+    — the same undone set.  Audit seqs must be unique and strictly
+    increasing, which is precisely what recovery-replay double-logging
+    would break (replayed commands would re-append entries with already
+    -used seqs).  Entries for truncated journal records are tolerated,
+    like the trace check; entries with a seq *beyond* the journal tail
+    are not — they describe commands the journal never committed.
+
+    Reuses :class:`RoundtripReport`; ``command_spans`` counts audit
+    entries here.
+    """
+    # lazy import for the same layering reason as trace_roundtrip
+    from repro.obs.provenance import AUDIT_SCHEMA, audit_path, read_audit
+    from repro.service.journal import scan_journal
+    from repro.service.recovery import JOURNAL_FILE
+
+    records, _bytes, _torn = scan_journal(os.path.join(dirpath, JOURNAL_FILE))
+    entries = read_audit(audit_path(dirpath))
+
+    report = RoundtripReport(command_spans=len(entries))
+    by_seq: Dict[int, List[Dict[str, Any]]] = {}
+    last_seq = None
+    for entry in entries:
+        seq = entry.get("seq")
+        by_seq.setdefault(seq, []).append(entry)
+        if last_seq is not None and seq <= last_seq:
+            report.problems.append(
+                f"audit seq {seq} follows {last_seq}: entries must be "
+                "strictly increasing (recovery replay double-logging?)")
+        last_seq = seq
+        if entry.get("schema") != AUDIT_SCHEMA:
+            report.problems.append(
+                f"audit seq {seq}: unknown schema {entry.get('schema')!r}")
+
+    journal_seqs = {rec.seq for rec in records}
+    if records and last_seq is not None and last_seq > records[-1].seq:
+        report.problems.append(
+            f"audit seq {last_seq} is beyond the journal tail "
+            f"(last journaled seq {records[-1].seq})")
+    for rec in records:
+        report.checked += 1
+        matches = by_seq.get(rec.seq, [])
+        if len(matches) != 1:
+            report.problems.append(
+                f"seq {rec.seq}: expected exactly one audit entry, "
+                f"found {len(matches)}")
+            continue
+        entry = matches[0]
+        if entry.get("op") != rec.cmd.get("op"):
+            report.problems.append(
+                f"seq {rec.seq}: audit op {entry.get('op')!r} != journaled "
+                f"op {rec.cmd.get('op')!r}")
+        stamp = _cmd_stamp(rec.cmd)
+        if stamp is not None and entry.get("stamp") != stamp:
+            report.problems.append(
+                f"seq {rec.seq}: audit stamp {entry.get('stamp')!r} != "
+                f"journaled order stamp {stamp}")
+        failed = bool(rec.cmd.get("failed"))
+        if (entry.get("status") == "failed") != failed:
+            report.problems.append(
+                f"seq {rec.seq}: audit status {entry.get('status')!r} "
+                f"disagrees with journaled failed={failed}")
+        undone = rec.cmd.get("undone")
+        if undone is not None and entry.get("undone") != list(undone):
+            report.problems.append(
+                f"seq {rec.seq}: audit undone {entry.get('undone')!r} != "
+                f"journaled {undone}")
+        if rec.cmd.get("op") == "batch":
+            j_subs = rec.cmd.get("commands", [])
+            a_subs = entry.get("commands", [])
+            if len(j_subs) != len(a_subs):
+                report.problems.append(
+                    f"seq {rec.seq}: audit batch has {len(a_subs)} "
+                    f"sub-command(s), journal has {len(j_subs)}")
+    # every audit entry inside the journal window must have joined
+    if records:
+        first_seq = records[0].seq
+        for seq, group in by_seq.items():
+            if not isinstance(seq, int):
+                report.problems.append(f"audit entry with bad seq {seq!r}")
+            elif seq >= first_seq and seq not in journal_seqs:
+                report.problems.append(
+                    f"audit seq {seq} has no journal record")
+    return report

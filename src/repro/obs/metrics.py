@@ -237,8 +237,19 @@ class MetricsRegistry:
         return out
 
     @staticmethod
-    def _label_str(labels: LabelItems, extra: str = "") -> str:
-        parts = [f'{k}="{v}"' for k, v in labels]
+    def _escape_label(value: str) -> str:
+        """Prometheus label-value escaping: backslash, quote, newline."""
+        return (value.replace("\\", "\\\\").replace('"', '\\"')
+                .replace("\n", "\\n"))
+
+    @staticmethod
+    def _escape_help(text: str) -> str:
+        """Prometheus HELP escaping: backslash and newline only."""
+        return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+    @classmethod
+    def _label_str(cls, labels: LabelItems, extra: str = "") -> str:
+        parts = [f'{k}="{cls._escape_label(v)}"' for k, v in labels]
         if extra:
             parts.append(extra)
         return "{" + ",".join(parts) + "}" if parts else ""
@@ -249,7 +260,8 @@ class MetricsRegistry:
         for name, instruments in self._by_name().items():
             help_text = self._help.get(name)
             if help_text:
-                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# HELP {name} "
+                             f"{self._escape_help(help_text)}")
             lines.append(f"# TYPE {name} {instruments[0].kind}")
             for inst in instruments:
                 if isinstance(inst, Histogram):

@@ -22,6 +22,12 @@ Verbs::
     <s> log                committed command history
     <s> metrics            persistence + analysis-work stats
     <s> trace [n]          newest [n] flight-recorder spans (JSON lines)
+    <s> explain <stamp> [json|dot]
+                           why <stamp> is (un)safe / (ir)reversible now,
+                           plus its audit trail; ``dot`` exports the
+                           provenance trees that mention it
+    <s> audit [n|check]    newest [n] audit entries (JSON lines), or
+                           cross-check audit.jsonl against the journal
     <s> snapshot           cut a snapshot now
     _ sessions             list sessions (no target session)
     _ stats                manager stats
@@ -36,6 +42,15 @@ from typing import IO, List
 from repro.core.commands import CommandError, parse_batch, parse_verb
 from repro.core.undo import UndoError
 from repro.lang.parser import ParseError
+from repro.obs.check import audit_roundtrip
+from repro.obs.provenance import (
+    audit_path,
+    explain_doc,
+    provenance_to_dot,
+    read_audit,
+    render_explanation,
+    stamp_trees,
+)
 from repro.service.recovery import RecoveryError
 from repro.service.session import SessionError, SessionManager
 
@@ -121,6 +136,32 @@ class SessionServer:
                 spans = session.tracer.recorder.spans(tail)
                 return "\n".join(json.dumps(s.to_doc(), sort_keys=True)
                                  for s in spans) or "(no spans)"
+            if verb == "explain":
+                stamp = int(args[0])
+                mode = args[1] if len(args) > 1 else ""
+                entries = read_audit(audit_path(session.dirpath))
+                doc = explain_doc(session.engine.explain(stamp), entries,
+                                  stamp)
+                if mode == "json":
+                    return json.dumps(doc, sort_keys=True)
+                if mode == "dot":
+                    trees = stamp_trees(entries, stamp)
+                    if not trees:
+                        return "(no provenance recorded)"
+                    return provenance_to_dot(trees, title=f"t{stamp}")
+                return render_explanation(doc)
+            if verb == "audit":
+                if args and args[0] == "check":
+                    report = audit_roundtrip(session.dirpath)
+                    if report.ok:
+                        return report.describe()
+                    return "error: audit mismatch: " + "; ".join(
+                        report.problems)
+                entries = read_audit(audit_path(session.dirpath))
+                if args:
+                    entries = entries[-int(args[0]):]
+                return "\n".join(json.dumps(e, sort_keys=True)
+                                 for e in entries) or "(no audit entries)"
             if verb == "snapshot":
                 path = session.snapshot()
                 return f"snapshot: {path}" if path else "(nothing new)"

@@ -40,6 +40,7 @@ from repro.core.locations import Location
 from repro.obs import metrics as obs_metrics
 from repro.obs.check import trace_path
 from repro.obs.metrics import Histogram
+from repro.obs.provenance import audit_entry, audit_path
 from repro.obs.trace import Span, Tracer
 from repro.service.journal import Journal
 from repro.service.recovery import (
@@ -117,9 +118,19 @@ class DurableSession:
         # repro.obs.trace.read_trace, which skips a torn tail)
         self._trace_fh = open(trace_path(dirpath), "a", encoding="utf-8",
                               buffering=1)
+        # the append-only audit log: one schema-versioned entry per
+        # journaled command, carrying the provenance tree (same torn-line
+        # discipline as the trace stream; cross-checked against the
+        # journal by repro.obs.check.audit_roundtrip)
+        self._audit_fh = open(audit_path(dirpath), "a", encoding="utf-8",
+                              buffering=1)
+        #: audit entries written by this handle (mirrors journal appends).
+        self.audit_entries = 0
         self.tracer.sinks.append(self._on_span)
         # attach AFTER recovery replay so recovered commands are not
-        # journaled a second time
+        # journaled a second time — this covers the audit log too: a
+        # reopen replays through the engine with no observer attached,
+        # so audit.jsonl gains no duplicate entries
         engine.command_observers.append(self._on_command)
 
     # -- lifecycle -----------------------------------------------------------
@@ -166,6 +177,10 @@ class DurableSession:
             pass
         try:
             self._trace_fh.close()
+        except OSError:
+            pass
+        try:
+            self._audit_fh.close()
         except OSError:
             pass
         self.journal.close()
@@ -220,6 +235,14 @@ class DurableSession:
             with self.tracer.span("journal.append"):
                 self.journal.append(self.seq, enc)
             self.commands.append(enc)
+            # audit AFTER the journal append so an audit entry never
+            # describes a command the journal lost; a failure here
+            # poisons the session exactly like a journal failure (the
+            # audit trail is evidence — it must not silently fall behind)
+            self._audit_fh.write(
+                json.dumps(audit_entry(command, self.seq), sort_keys=True)
+                + "\n")
+            self.audit_entries += 1
             self.last_work = dict(command.work)
             self._since_snapshot += 1
             if self.snapshot_every \
@@ -393,6 +416,7 @@ class DurableSession:
                 "snapshots_on_disk": len(self.snapshots.seqs()),
                 "spans_recorded": self.tracer.recorder.completed,
                 "spans_dropped": self.tracer.recorder.dropped,
+                "audit_entries": self.audit_entries,
                 "latency": {"count": self._latency.count,
                             "p50_ms": self._latency.quantile(0.5) * 1e3,
                             "p95_ms": self._latency.quantile(0.95) * 1e3},

@@ -235,7 +235,10 @@ class SpecTransformation(Transformation):
         # by an active later transformation is benign.
         for var, sid in binding.items():
             if not program.has_node(sid):
-                return SafetyResult.broken(f"pattern variable {var} vanished")
+                return SafetyResult.broken(Violation(
+                    f"pattern variable {var} vanished",
+                    code=f"{self.name}.safety.pattern-var-vanished",
+                    witness={"var": var, "sid": sid}))
         # build the pre-image: restore deleted subjects (DCE-style probe)
         # and roll back this record's own modifications.
         deleted = [(piece[1], piece[2]) for piece in
@@ -263,7 +266,10 @@ class SpecTransformation(Transformation):
                                and ctx.subtree_touched_by_active(sid, t))
                            for sid in binding.values()):
                         continue
-                    return SafetyResult.broken(pred.negation)
+                    return SafetyResult.broken(Violation(
+                        pred.negation,
+                        code=f"{self.name}.safety.precondition",
+                        witness={"predicate": pred.negation}))
             # value-carrying patterns: the parameters recorded at apply
             # time must still be derivable from the pre-image (e.g. the
             # propagated constant must still be the value the definition
@@ -280,9 +286,11 @@ class SpecTransformation(Transformation):
                            for sid in binding.values()):
                         pass  # an active transformation's doing: benign
                     else:
-                        return SafetyResult.broken(
+                        return SafetyResult.broken(Violation(
                             "the recorded replacement is no longer "
-                            "derivable from the pattern")
+                            "derivable from the pattern",
+                            code=f"{self.name}.safety.underivable",
+                            witness={"path": list(derived["path"])}))
         finally:
             self._redo_swaps(program, swaps)
             for sid in restored:
@@ -303,7 +311,11 @@ class SpecTransformation(Transformation):
                     return ReversibilityResult.blocked(v)
                 if loc.resolve(program) is None:
                     return ReversibilityResult.blocked(Violation(
-                        f"original location of S{sid} is unresolvable"))
+                        f"original location of S{sid} is unresolvable",
+                        code=f"{self.name}.reversibility."
+                             "location-unresolvable",
+                        witness={"sid": sid,
+                                 "container": list(loc.container)}))
             elif kind == "moved":
                 _k, sid, loc = piece
                 v = stmt_deleted_after(program, store, sid, t)
@@ -330,7 +342,9 @@ class SpecTransformation(Transformation):
                         and exprs_equal(loop.upper, new_header.upper)
                         and exprs_equal(loop.step, new_header.step)):
                     return ReversibilityResult.blocked(Violation(
-                        f"header of S{sid} diverged from the post pattern"))
+                        f"header of S{sid} diverged from the post pattern",
+                        code=f"{self.name}.reversibility.header-diverged",
+                        witness={"sid": sid}))
             elif kind == "modified":
                 _k, sid, path, new = piece
                 v = stmt_deleted_after(program, store, sid, t)

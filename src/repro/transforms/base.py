@@ -52,6 +52,31 @@ class Opportunity:
         return f"{self.name}({self.description})"
 
 
+@dataclass(frozen=True)
+class Violation:
+    """One disabling condition (Table 3), with its causing action.
+
+    ``action_id`` identifies the primitive action that created the
+    condition (line 8 of the algorithm); it is ``None`` only for
+    conditions caused by something outside the recorded history, which
+    the engine reports as an unrecoverable :class:`UndoError`.
+
+    ``code`` is a stable machine-readable identifier of the condition
+    (``"<transform>.<check>.<slug>"`` for per-transformation conditions,
+    ``"post.<slug>"`` for the shared post-pattern predicates below);
+    ``witness`` names the clobbered pattern element or annotation that
+    evidenced the condition.  Both feed the provenance layer
+    (:mod:`repro.obs.provenance`); ``condition`` remains the
+    human-readable message everything else renders.
+    """
+
+    condition: str
+    action_id: Optional[int] = None
+    stamp: Optional[int] = None
+    code: str = ""
+    witness: Optional[Dict] = None
+
+
 @dataclass
 class SafetyResult:
     """Outcome of a safety re-check."""
@@ -59,29 +84,27 @@ class SafetyResult:
     safe: bool
     #: human-readable disabling conditions found (empty when safe).
     reasons: List[str] = field(default_factory=list)
+    #: structured form of the same conditions (parallel to ``reasons``
+    #: where the check provides them; may be shorter for legacy sites).
+    violations: List[Violation] = field(default_factory=list)
 
     @staticmethod
     def ok() -> "SafetyResult":
         return SafetyResult(True)
 
     @staticmethod
-    def broken(*reasons: str) -> "SafetyResult":
-        return SafetyResult(False, list(reasons))
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One reversibility-disabling condition, with its causing action.
-
-    ``action_id`` identifies the primitive action that created the
-    condition (line 8 of the algorithm); it is ``None`` only for
-    conditions caused by something outside the recorded history, which
-    the engine reports as an unrecoverable :class:`UndoError`.
-    """
-
-    condition: str
-    action_id: Optional[int] = None
-    stamp: Optional[int] = None
+    def broken(*reasons) -> "SafetyResult":
+        """Unsafe, for the given reasons (strings or :class:`Violation`)."""
+        texts: List[str] = []
+        violations: List[Violation] = []
+        for r in reasons:
+            if isinstance(r, Violation):
+                texts.append(r.condition)
+                violations.append(r)
+            else:
+                texts.append(str(r))
+                violations.append(Violation(str(r)))
+        return SafetyResult(False, texts, violations)
 
 
 @dataclass
@@ -284,12 +307,16 @@ def stmt_deleted_after(program: Program, store: AnnotationStore,
             if ann.kind == "del" and ann.stamp > stamp:
                 return Violation(
                     f"statement S{sid} was deleted (context S{cur})",
-                    action_id=ann.action_id, stamp=ann.stamp)
+                    action_id=ann.action_id, stamp=ann.stamp,
+                    code="post.context-deleted",
+                    witness={"sid": sid, "context_sid": cur,
+                             "annotation": "del"})
         parent = program.parent_of(cur)
         if parent is None or parent[0] == 0:
             break
         cur = parent[0]
-    return Violation(f"statement S{sid} is detached by an unknown action")
+    return Violation(f"statement S{sid} is detached by an unknown action",
+                     code="post.detached-unknown", witness={"sid": sid})
 
 
 def container_context_violation(program: Program, store: AnnotationStore,
@@ -315,7 +342,10 @@ def container_context_violation(program: Program, store: AnnotationStore,
                 if ann.kind == "cps" and ann.stamp > stamp:
                     return Violation(
                         f"context S{node_sid} of the location was copied",
-                        action_id=ann.action_id, stamp=ann.stamp)
+                        action_id=ann.action_id, stamp=ann.stamp,
+                        code="post.context-copied",
+                        witness={"context_sid": node_sid,
+                                 "annotation": "cps"})
     # members of the container copied after stamp also duplicate the context
     if program.container_alive(loc.container):
         for member in program.container_list(loc.container):
@@ -324,7 +354,10 @@ def container_context_violation(program: Program, store: AnnotationStore,
                     return Violation(
                         f"contents of the location's container were copied "
                         f"(S{member.sid})",
-                        action_id=ann.action_id, stamp=ann.stamp)
+                        action_id=ann.action_id, stamp=ann.stamp,
+                        code="post.context-copied",
+                        witness={"member_sid": member.sid,
+                                 "annotation": "cps"})
     return None
 
 
@@ -335,7 +368,9 @@ def moved_after(program: Program, store: AnnotationStore,
     if anns:
         a = min(anns, key=lambda x: x.stamp)
         return Violation(f"statement S{sid} was moved after t{stamp}",
-                         action_id=a.action_id, stamp=a.stamp)
+                         action_id=a.action_id, stamp=a.stamp,
+                         code="post.moved",
+                         witness={"sid": sid, "annotation": "mv"})
     return None
 
 
@@ -347,7 +382,8 @@ def modified_after(program: Program, store: AnnotationStore, sid: int,
         a = min(anns, key=lambda x: x.stamp)
         return Violation(
             f"expression S{sid}:{'.'.join(path)} was modified after t{stamp}",
-            action_id=a.action_id, stamp=a.stamp)
+            action_id=a.action_id, stamp=a.stamp, code="post.modified",
+            witness={"sid": sid, "path": list(path), "annotation": "md"})
     return None
 
 
@@ -361,7 +397,8 @@ def subtree_touched_after(program: Program, store: AnnotationStore,
         a = min(anns, key=lambda x: x.stamp)
         return Violation(
             f"subtree of S{sid} was changed after t{stamp} ({a.short()})",
-            action_id=a.action_id, stamp=a.stamp)
+            action_id=a.action_id, stamp=a.stamp, code="post.subtree-changed",
+            witness={"sid": sid, "annotation": a.kind})
     return None
 
 
@@ -386,7 +423,8 @@ def inserted_into_after(program: Program, store: AnnotationStore,
             a = min(anns, key=lambda x: x.stamp)
             return Violation(
                 f"statement S{member.sid} entered the container after t{stamp}",
-                action_id=a.action_id, stamp=a.stamp)
+                action_id=a.action_id, stamp=a.stamp, code="post.intruder",
+                witness={"sid": member.sid, "annotation": a.kind})
         # a statement present with no annotation entered via an edit or
         # was always there; the caller decides whether presence alone is
         # a violation.

@@ -96,11 +96,16 @@ class ConstantFolding(Transformation):
             current = expr_at(program.node(sid), path)
         except KeyError:
             return ReversibilityResult.blocked(Violation(
-                f"folded path {path} no longer exists on S{sid}"))
+                f"folded path {path} no longer exists on S{sid}",
+                code="cfo.reversibility.path-gone",
+                witness={"sid": sid, "path": list(path)}))
         if not exprs_equal(current, post["expr"]):
             return ReversibilityResult.blocked(Violation(
                 f"expression at S{sid}:{'.'.join(path)} diverged from the "
-                "post pattern"))
+                "post pattern",
+                code="cfo.reversibility.expr-diverged",
+                witness={"sid": sid, "path": list(path),
+                         "pattern": "Stmt S_j: exp(pos) = const"}))
         return ReversibilityResult.ok()
 
     def table2_row(self) -> Dict[str, str]:

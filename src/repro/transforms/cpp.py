@@ -123,8 +123,11 @@ class CopyPropagation(Transformation):
         if not program.is_attached(def_sid):
             if ctx.deleted_by_active(def_sid, t):
                 return SafetyResult.ok()  # e.g. the dead copy was DCE'd
-            return SafetyResult.broken(
-                f"copy definition S{def_sid} no longer exists")
+            return SafetyResult.broken(Violation(
+                f"copy definition S{def_sid} no longer exists",
+                code="cpp.safety.def-deleted",
+                witness={"def_sid": def_sid,
+                         "pattern": "Stmt S_i: x = y"}))
         stmt = program.node(def_sid)
         if not (isinstance(stmt, Assign) and isinstance(stmt.target, VarRef)
                 and stmt.target.name == pre["var"]
@@ -132,8 +135,11 @@ class CopyPropagation(Transformation):
                 and stmt.expr.name == pre["src"]):
             if ctx.attributed_to_active(def_sid, t, ("md",)):
                 return SafetyResult.ok()  # e.g. CTP rewrote the copy's RHS
-            return SafetyResult.broken(
-                f"S{def_sid} is no longer the copy {pre['var']} = {pre['src']}")
+            return SafetyResult.broken(Violation(
+                f"S{def_sid} is no longer the copy {pre['var']} = {pre['src']}",
+                code="cpp.safety.def-changed",
+                witness={"def_sid": def_sid, "var": pre["var"],
+                         "src": pre["src"]}))
         df = cache.dataflow()
         defs = {d for d in df.reach_in.get(use_sid, frozenset())
                 if d[1] == pre["var"]}
@@ -141,12 +147,18 @@ class CopyPropagation(Transformation):
         extras = [d for d in defs - {key}
                   if not ctx.attributed_to_active(d[0], t, ("cp", "add", "mv"))]
         if extras:
-            return SafetyResult.broken(
+            return SafetyResult.broken(Violation(
                 f"S{extras[0][0]} also defines {pre['var']} reaching "
-                f"S{use_sid}")
+                f"S{use_sid}",
+                code="cpp.safety.competing-def",
+                witness={"def_sid": extras[0][0], "use_sid": use_sid,
+                         "var": pre["var"]}))
         if key not in defs and not ctx.attributed_to_active(def_sid, t, ("mv",)):
-            return SafetyResult.broken(
-                f"S{def_sid} no longer reaches S{use_sid}")
+            return SafetyResult.broken(Violation(
+                f"S{def_sid} no longer reaches S{use_sid}",
+                code="cpp.safety.def-unreaching",
+                witness={"def_sid": def_sid, "use_sid": use_sid,
+                         "var": pre["var"]}))
         src = pre["src"]
         at_def = {d for d in df.reach_in.get(def_sid, frozenset()) if d[1] == src}
         at_use = {d for d in df.reach_in.get(use_sid, frozenset()) if d[1] == src}
@@ -155,8 +167,11 @@ class CopyPropagation(Transformation):
                        if not ctx.attributed_to_active(d[0], t,
                                                        ("cp", "add", "mv"))]
         if unexplained:
-            return SafetyResult.broken(
-                f"{src} may be redefined between S{def_sid} and S{use_sid}")
+            return SafetyResult.broken(Violation(
+                f"{src} may be redefined between S{def_sid} and S{use_sid}",
+                code="cpp.safety.source-redefined",
+                witness={"def_sid": def_sid, "use_sid": use_sid,
+                         "source": src}))
         return SafetyResult.ok()
 
     def check_reversibility(self, program: Program, store: AnnotationStore,
@@ -173,11 +188,16 @@ class CopyPropagation(Transformation):
             current = expr_at(program.node(sid), path)
         except KeyError:
             return ReversibilityResult.blocked(Violation(
-                f"operand path {path} no longer exists on S{sid}"))
+                f"operand path {path} no longer exists on S{sid}",
+                code="cpp.reversibility.path-gone",
+                witness={"sid": sid, "path": list(path)}))
         if not exprs_equal(current, post["expr"]):
             return ReversibilityResult.blocked(Violation(
                 f"operand at S{sid}:{'.'.join(path)} no longer matches the "
-                "post pattern"))
+                "post pattern",
+                code="cpp.reversibility.operand-mismatch",
+                witness={"sid": sid, "path": list(path),
+                         "pattern": "Stmt S_j: opr(pos) = y"}))
         return ReversibilityResult.ok()
 
     def table2_row(self) -> Dict[str, str]:

@@ -131,44 +131,60 @@ class CommonSubexpressionElimination(Transformation):
         if not program.is_attached(def_sid):
             if ctx.deleted_by_active(def_sid, t):
                 return SafetyResult.ok()
-            return SafetyResult.broken(
-                f"producer S{def_sid} of the common subexpression is gone")
+            return SafetyResult.broken(Violation(
+                f"producer S{def_sid} of the common subexpression is gone",
+                code="cse.safety.producer-deleted",
+                witness={"def_sid": def_sid,
+                         "pattern": "Stmt S_i: A = B op C"}))
         stmt = program.node(def_sid)
         if not (isinstance(stmt, Assign) and isinstance(stmt.target, VarRef)
                 and stmt.target.name == a_name
                 and expr_key(stmt.expr) == key):
             if ctx.attributed_to_active(def_sid, t, ("md",)):
                 return SafetyResult.ok()  # e.g. CTP/CFO rewrote the producer
-            return SafetyResult.broken(
-                f"S{def_sid} no longer computes the subexpression into {a_name}")
+            return SafetyResult.broken(Violation(
+                f"S{def_sid} no longer computes the subexpression into {a_name}",
+                code="cse.safety.producer-changed",
+                witness={"def_sid": def_sid, "var": a_name}))
         cfg = cache.cfg()
         if not cfg.dominates(def_sid, use_sid):
             if ctx.attributed_to_active(def_sid, t, ("mv",)) or \
                     ctx.attributed_to_active(use_sid, t, ("mv",)):
                 return SafetyResult.ok()  # relocated by an active transform
-            return SafetyResult.broken(
-                f"S{def_sid} no longer dominates S{use_sid}")
+            return SafetyResult.broken(Violation(
+                f"S{def_sid} no longer dominates S{use_sid}",
+                code="cse.safety.dominance-lost",
+                witness={"def_sid": def_sid, "use_sid": use_sid}))
         df = cache.dataflow()
         defs_a = _reach_of(df, use_sid, a_name)
         akey = (def_sid, a_name)
         extras = [d for d in defs_a - {akey}
                   if not ctx.attributed_to_active(d[0], t, ("cp", "add", "mv"))]
         if extras:
-            return SafetyResult.broken(
-                f"S{extras[0][0]} also defines {a_name} reaching S{use_sid}")
+            return SafetyResult.broken(Violation(
+                f"S{extras[0][0]} also defines {a_name} reaching S{use_sid}",
+                code="cse.safety.competing-def",
+                witness={"def_sid": extras[0][0], "use_sid": use_sid,
+                         "var": a_name}))
         if akey not in defs_a and not ctx.attributed_to_active(def_sid, t,
                                                                ("mv",)):
-            return SafetyResult.broken(
-                f"{a_name} from S{def_sid} no longer reaches S{use_sid}")
+            return SafetyResult.broken(Violation(
+                f"{a_name} from S{def_sid} no longer reaches S{use_sid}",
+                code="cse.safety.def-unreaching",
+                witness={"def_sid": def_sid, "use_sid": use_sid,
+                         "var": a_name}))
         for opn in _operand_names(key):
             diff = _reach_of(df, def_sid, opn) ^ _reach_of(df, use_sid, opn)
             unexplained = [d for d in diff
                            if not ctx.attributed_to_active(
                                d[0], t, ("cp", "add", "mv"))]
             if unexplained:
-                return SafetyResult.broken(
+                return SafetyResult.broken(Violation(
                     f"operand {opn} may be redefined between "
-                    f"S{def_sid} and S{use_sid}")
+                    f"S{def_sid} and S{use_sid}",
+                    code="cse.safety.operand-redefined",
+                    witness={"def_sid": def_sid, "use_sid": use_sid,
+                             "operand": opn}))
         return SafetyResult.ok()
 
     def check_reversibility(self, program: Program, store: AnnotationStore,
@@ -185,7 +201,9 @@ class CommonSubexpressionElimination(Transformation):
         if not exprs_equal(current, post["expr"]):
             return ReversibilityResult.blocked(Violation(
                 f"right-hand side of S{sid} no longer matches the post "
-                "pattern"))
+                "pattern",
+                code="cse.reversibility.rhs-mismatch",
+                witness={"sid": sid, "pattern": "Stmt S_j: D = A"}))
         return ReversibilityResult.ok()
 
     def table2_row(self) -> Dict[str, str]:

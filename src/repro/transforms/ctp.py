@@ -133,8 +133,11 @@ class ConstantPropagation(Transformation):
             # definition; only undos/edits deleting it break safety.
             if ctx.deleted_by_active(def_sid, t):
                 return SafetyResult.ok()
-            return SafetyResult.broken(
-                f"constant definition S{def_sid} no longer exists")
+            return SafetyResult.broken(Violation(
+                f"constant definition S{def_sid} no longer exists",
+                code="ctp.safety.def-deleted",
+                witness={"def_sid": def_sid,
+                         "pattern": "Stmt S_i: type(opr_2) == const"}))
         stmt = program.node(def_sid)
         if not (isinstance(stmt, Assign) and isinstance(stmt.target, VarRef)
                 and stmt.target.name == pre["var"]
@@ -142,8 +145,11 @@ class ConstantPropagation(Transformation):
                 and stmt.expr.value == pre["value"]):
             if ctx.attributed_to_active(def_sid, t, ("md",)):
                 return SafetyResult.ok()
-            return SafetyResult.broken(
-                f"S{def_sid} no longer assigns {pre['value']} to {pre['var']}")
+            return SafetyResult.broken(Violation(
+                f"S{def_sid} no longer assigns {pre['value']} to {pre['var']}",
+                code="ctp.safety.def-changed",
+                witness={"def_sid": def_sid, "var": pre["var"],
+                         "value": pre["value"]}))
         df = cache.dataflow()
         defs = {d for d in df.reach_in.get(use_sid, frozenset())
                 if d[1] == pre["var"]}
@@ -151,12 +157,18 @@ class ConstantPropagation(Transformation):
         extras = [d for d in defs - {key}
                   if not ctx.attributed_to_active(d[0], t, ("cp", "add", "mv"))]
         if extras:
-            return SafetyResult.broken(
+            return SafetyResult.broken(Violation(
                 f"S{extras[0][0]} also defines {pre['var']} reaching "
-                f"S{use_sid}")
+                f"S{use_sid}",
+                code="ctp.safety.competing-def",
+                witness={"def_sid": extras[0][0], "use_sid": use_sid,
+                         "var": pre["var"]}))
         if key not in defs and not ctx.attributed_to_active(def_sid, t, ("mv",)):
-            return SafetyResult.broken(
-                f"S{def_sid} no longer reaches S{use_sid}")
+            return SafetyResult.broken(Violation(
+                f"S{def_sid} no longer reaches S{use_sid}",
+                code="ctp.safety.def-unreaching",
+                witness={"def_sid": def_sid, "use_sid": use_sid,
+                         "var": pre["var"]}))
         return SafetyResult.ok()
 
     def check_reversibility(self, program: Program, store: AnnotationStore,
@@ -173,11 +185,16 @@ class ConstantPropagation(Transformation):
             current = expr_at(program.node(sid), path)
         except KeyError:
             return ReversibilityResult.blocked(Violation(
-                f"operand path {path} no longer exists on S{sid}"))
+                f"operand path {path} no longer exists on S{sid}",
+                code="ctp.reversibility.path-gone",
+                witness={"sid": sid, "path": list(path)}))
         if not exprs_equal(current, post["expr"]):
             return ReversibilityResult.blocked(Violation(
                 f"operand at S{sid}:{'.'.join(path)} no longer matches the "
-                "post pattern"))
+                "post pattern",
+                code="ctp.reversibility.operand-mismatch",
+                witness={"sid": sid, "path": list(path),
+                         "pattern": "Stmt S_j: opr(pos) = S_i.opr_2"}))
         return ReversibilityResult.ok()
 
     def table2_row(self) -> Dict[str, str]:

@@ -103,8 +103,9 @@ class DeadCodeElimination(Transformation):
         loc: Location = record.post_pattern["orig_loc"]
         target: str = record.post_pattern["target"]
         if program.is_attached(sid):
-            return SafetyResult.broken(
-                f"deleted statement S{sid} is unexpectedly attached")
+            return SafetyResult.broken(Violation(
+                f"deleted statement S{sid} is unexpectedly attached",
+                code="dce.safety.reattached", witness={"sid": sid}))
         resolved = loc.resolve(program)
         if resolved is None:
             # the context is gone entirely; the deleted code has no
@@ -120,9 +121,12 @@ class DeadCodeElimination(Transformation):
                 program.detach(sid)
         if dead:
             return SafetyResult.ok()
-        return SafetyResult.broken(
+        return SafetyResult.broken(Violation(
             f"a use of {target.lstrip('@')} now reaches the deleted "
-            f"statement S{sid}")
+            f"statement S{sid}",
+            code="dce.safety.use-reaches",
+            witness={"sid": sid, "target": target.lstrip("@"),
+                     "pattern": "∃ S_l ∋ (S_i δ S_l)"}))
 
     # -- reversibility ---------------------------------------------------------------------
 
@@ -134,7 +138,9 @@ class DeadCodeElimination(Transformation):
             return ReversibilityResult.blocked(v)
         if loc.resolve(program) is None:
             return ReversibilityResult.blocked(Violation(
-                "original location is unresolvable"))
+                "original location is unresolvable",
+                code="dce.reversibility.location-unresolvable",
+                witness={"container": list(loc.container)}))
         return ReversibilityResult.ok()
 
     # -- documentation ------------------------------------------------------------------------

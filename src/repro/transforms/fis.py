@@ -159,17 +159,24 @@ class LoopFission(Transformation):
             if not program.is_attached(sid):
                 if ctx.deleted_by_active(sid, t):
                     return SafetyResult.ok()
-                return SafetyResult.broken(
-                    f"split loop S{sid} no longer exists")
+                return SafetyResult.broken(Violation(
+                    f"split loop S{sid} no longer exists",
+                    code="fis.safety.loop-deleted", witness={"sid": sid}))
         first = program.node(first_sid)
         second = program.node(second_sid)
         if not isinstance(first, Loop) or not isinstance(second, Loop):
-            return SafetyResult.broken("pattern statements changed kind")
+            return SafetyResult.broken(Violation(
+                "pattern statements changed kind",
+                code="fis.safety.kind-changed",
+                witness={"first_sid": first_sid, "second_sid": second_sid}))
         if not first.header_equal(second):
             if ctx.attributed_to_active(first_sid, t, ("md",)) or \
                     ctx.attributed_to_active(second_sid, t, ("md",)):
                 return SafetyResult.ok()
-            return SafetyResult.broken("the split halves' headers diverged")
+            return SafetyResult.broken(Violation(
+                "the split halves' headers diverged",
+                code="fis.safety.header-diverged",
+                witness={"first_sid": first_sid, "second_sid": second_sid}))
         # the halves must still be separable in this order
         merged = list(first.body) + list(second.body)
         pseudo = _pseudo(first, merged)
@@ -177,8 +184,10 @@ class LoopFission(Transformation):
             if ctx.subtree_touched_by_active(first_sid, t) or \
                     ctx.subtree_touched_by_active(second_sid, t):
                 return SafetyResult.ok()
-            return SafetyResult.broken(
-                "a dependence now couples the split halves")
+            return SafetyResult.broken(Violation(
+                "a dependence now couples the split halves",
+                code="fis.safety.dependence-couples",
+                witness={"first_sid": first_sid, "second_sid": second_sid}))
         return SafetyResult.ok()
 
     def check_reversibility(self, program: Program, store: AnnotationStore,
@@ -204,9 +213,13 @@ class LoopFission(Transformation):
                 a = min(anns, key=lambda x: x.stamp)
                 return ReversibilityResult.blocked(Violation(
                     f"S{member.sid} entered the split-off loop",
-                    action_id=a.action_id, stamp=a.stamp))
+                    action_id=a.action_id, stamp=a.stamp,
+                    code="fis.reversibility.intruder",
+                    witness={"sid": member.sid, "annotation": a.kind}))
             return ReversibilityResult.blocked(Violation(
-                f"S{member.sid} entered the split-off loop via an edit"))
+                f"S{member.sid} entered the split-off loop via an edit",
+                code="fis.reversibility.edit-intruder",
+                witness={"sid": member.sid}))
         from repro.transforms.base import moved_after
 
         body_sids = {m.sid for m in second.body}
@@ -224,10 +237,14 @@ class LoopFission(Transformation):
                     a = min(anns, key=lambda x: x.stamp)
                     return ReversibilityResult.blocked(Violation(
                         f"moved statement S{sid} left the split-off loop",
-                        action_id=a.action_id, stamp=a.stamp))
+                        action_id=a.action_id, stamp=a.stamp,
+                        code="fis.reversibility.member-left",
+                        witness={"sid": sid, "annotation": a.kind}))
                 return ReversibilityResult.blocked(Violation(
                     f"moved statement S{sid} is no longer in the "
-                    "split-off loop"))
+                    "split-off loop",
+                    code="fis.reversibility.member-missing",
+                    witness={"sid": sid}))
         return ReversibilityResult.ok()
 
     def table2_row(self) -> Dict[str, str]:

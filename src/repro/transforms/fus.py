@@ -107,7 +107,10 @@ class LoopFusion(Transformation):
             return SafetyResult.ok()  # fused loop gone entirely
         loop = program.node(loop_sid)
         if not isinstance(loop, Loop):
-            return SafetyResult.broken("fused statement is no longer a loop")
+            return SafetyResult.broken(Violation(
+                "fused statement is no longer a loop",
+                code="fus.safety.kind-changed",
+                witness={"loop_sid": loop_sid}))
         moved = [sid for sid in post["moved"]
                  if program.is_attached(sid)
                  and program.parent_of(sid) == (loop_sid, "body")]
@@ -129,9 +132,11 @@ class LoopFusion(Transformation):
             if ctx.attributed_to_active(src, t, ("md", "mv", "add", "cp")) or \
                     ctx.attributed_to_active(dst, t, ("md", "mv", "add", "cp")):
                 continue
-            return SafetyResult.broken(
+            return SafetyResult.broken(Violation(
                 f"dependence on {arr} (S{src} → S{dst}) now prevents the "
-                "applied fusion")
+                "applied fusion",
+                code="fus.safety.fusion-preventing",
+                witness={"src_sid": src, "dst_sid": dst, "array": arr}))
         return SafetyResult.ok()
 
     def check_reversibility(self, program: Program, store: AnnotationStore,
@@ -143,7 +148,10 @@ class LoopFusion(Transformation):
 
             v = stmt_deleted_after(program, store, loop_sid, record.stamp)
             return ReversibilityResult.blocked(
-                v if v is not None else Violation("fused loop is detached"))
+                v if v is not None else Violation(
+                    "fused loop is detached",
+                    code="fus.reversibility.loop-detached",
+                    witness={"loop_sid": loop_sid}))
         loop = program.node(loop_sid)
         v = modified_after(program, store, loop_sid, HEADER_PATH, record.stamp)
         if v is not None:
@@ -163,10 +171,14 @@ class LoopFusion(Transformation):
                 a = min(anns, key=lambda x: x.stamp)
                 return ReversibilityResult.blocked(Violation(
                     f"S{member.sid} entered the fused loop after t{record.stamp}",
-                    action_id=a.action_id, stamp=a.stamp))
+                    action_id=a.action_id, stamp=a.stamp,
+                    code="fus.reversibility.intruder",
+                    witness={"sid": member.sid, "annotation": a.kind}))
             return ReversibilityResult.blocked(Violation(
                 f"S{member.sid} entered the fused loop with no recorded "
-                "action (user edit)"))
+                "action (user edit)",
+                code="fus.reversibility.edit-intruder",
+                witness={"sid": member.sid}))
         # the moved statements must still be present AND untouched by
         # later moves — even a later move that round-tripped back into
         # place means a later transformation's bookkeeping references the
@@ -187,9 +199,13 @@ class LoopFusion(Transformation):
                     a = min(anns, key=lambda x: x.stamp)
                     return ReversibilityResult.blocked(Violation(
                         f"moved statement S{sid} left the fused loop",
-                        action_id=a.action_id, stamp=a.stamp))
+                        action_id=a.action_id, stamp=a.stamp,
+                        code="fus.reversibility.member-left",
+                        witness={"sid": sid, "annotation": a.kind}))
                 return ReversibilityResult.blocked(Violation(
-                    f"moved statement S{sid} is no longer in the fused loop"))
+                    f"moved statement S{sid} is no longer in the fused loop",
+                    code="fus.reversibility.member-missing",
+                    witness={"sid": sid}))
         # the original location of the deleted second loop must resolve
         deleted = post["deleted"]
         del_act = next(a for a in record.actions if a.sid == deleted)

@@ -145,11 +145,17 @@ class InvariantCodeMotion(Transformation):
         if not program.is_attached(loop_sid):
             if ctx.deleted_by_active(loop_sid, t):
                 return SafetyResult.ok()  # e.g. an emptied loop was removed
-            return SafetyResult.broken(f"loop S{loop_sid} no longer exists")
+            return SafetyResult.broken(Violation(
+                f"loop S{loop_sid} no longer exists",
+                code="icm.safety.loop-deleted",
+                witness={"loop_sid": loop_sid, "pattern": "Loop L_1"}))
         stmt = program.node(sid)
         loop = program.node(loop_sid)
         if not isinstance(stmt, Assign) or not isinstance(loop, Loop):
-            return SafetyResult.broken("pattern statements changed kind")
+            return SafetyResult.broken(Violation(
+                "pattern statements changed kind",
+                code="icm.safety.kind-changed",
+                witness={"sid": sid, "loop_sid": loop_sid}))
         if not _hoistable(program, loop, stmt):
             # code legally rearranged by active later transformations
             # (e.g. FUS merged another body into the loop) composes to a
@@ -157,8 +163,10 @@ class InvariantCodeMotion(Transformation):
             if ctx.subtree_touched_by_active(loop_sid, t) or \
                     ctx.attributed_to_active(sid, t, ("md", "mv")):
                 return SafetyResult.ok()
-            return SafetyResult.broken(
-                f"S{sid} is no longer invariant in loop S{loop_sid}")
+            return SafetyResult.broken(Violation(
+                f"S{sid} is no longer invariant in loop S{loop_sid}",
+                code="icm.safety.not-invariant",
+                witness={"sid": sid, "loop_sid": loop_sid}))
         # nothing between the hoisted statement and the loop may touch the
         # target (it would observe the hoisted value)
         parent = program.parent_of(sid)
@@ -177,9 +185,12 @@ class InvariantCodeMotion(Transformation):
                     if ctx.attributed_to_active(between.sid, t,
                                                 ("mv", "add", "cp")):
                         continue
-                    return SafetyResult.broken(
+                    return SafetyResult.broken(Violation(
                         f"S{between.sid} between the hoisted statement and "
-                        "the loop references the hoisted target")
+                        "the loop references the hoisted target",
+                        code="icm.safety.target-observed",
+                        witness={"sid": between.sid, "hoisted_sid": sid,
+                                 "loop_sid": loop_sid}))
         return SafetyResult.ok()
 
     def check_reversibility(self, program: Program, store: AnnotationStore,
@@ -198,7 +209,9 @@ class InvariantCodeMotion(Transformation):
             return ReversibilityResult.blocked(v)
         if loc.resolve(program) is None:
             return ReversibilityResult.blocked(Violation(
-                "original location inside the loop is unresolvable"))
+                "original location inside the loop is unresolvable",
+                code="icm.reversibility.location-unresolvable",
+                witness={"container": list(loc.container)}))
         return ReversibilityResult.ok()
 
     def table2_row(self) -> Dict[str, str]:

@@ -124,32 +124,44 @@ class LoopInterchanging(Transformation):
             if not program.is_attached(sid):
                 if ctx.deleted_by_active(sid, t):
                     return SafetyResult.ok()
-                return SafetyResult.broken(
-                    f"interchanged loop S{sid} no longer exists")
+                return SafetyResult.broken(Violation(
+                    f"interchanged loop S{sid} no longer exists",
+                    code="inx.safety.loop-deleted",
+                    witness={"sid": sid,
+                             "pattern": "Tight Loops (L_1, L_2)"}))
         outer = program.node(outer_sid)
         inner = program.node(inner_sid)
         if not isinstance(outer, Loop) or not isinstance(inner, Loop):
-            return SafetyResult.broken("pattern statements changed kind")
+            return SafetyResult.broken(Violation(
+                "pattern statements changed kind",
+                code="inx.safety.kind-changed",
+                witness={"outer_sid": outer_sid, "inner_sid": inner_sid}))
         if outer_sid not in [a for a in program.ancestors(inner_sid)]:
             if ctx.attributed_to_active(inner_sid, t, ("mv",)):
                 return SafetyResult.ok()
-            return SafetyResult.broken(
-                f"loop S{inner_sid} is no longer nested in S{outer_sid}")
+            return SafetyResult.broken(Violation(
+                f"loop S{inner_sid} is no longer nested in S{outer_sid}",
+                code="inx.safety.nest-broken",
+                witness={"outer_sid": outer_sid, "inner_sid": inner_sid}))
         if not _rectangular(outer, inner):
             if ctx.attributed_to_active(outer_sid, t, ("md",)) or \
                     ctx.attributed_to_active(inner_sid, t, ("md",)):
                 return SafetyResult.ok()
-            return SafetyResult.broken(
+            return SafetyResult.broken(Violation(
                 "the nest is no longer rectangular — the applied header "
-                "swap changes the iteration space")
+                "swap changes the iteration space",
+                code="inx.safety.non-rectangular",
+                witness={"outer_sid": outer_sid, "inner_sid": inner_sid}))
         graph = cache.dependences()
         if not interchange_legal(graph, outer, inner):
             # statements placed in the nest by active later transformations
             # were legality-checked by those transformations themselves.
             if ctx.subtree_touched_by_active(outer_sid, t):
                 return SafetyResult.ok()
-            return SafetyResult.broken(
-                "a dependence now forbids the applied interchange")
+            return SafetyResult.broken(Violation(
+                "a dependence now forbids the applied interchange",
+                code="inx.safety.dependence-forbids",
+                witness={"outer_sid": outer_sid, "inner_sid": inner_sid}))
         return SafetyResult.ok()
 
     def check_reversibility(self, program: Program, store: AnnotationStore,
@@ -177,13 +189,21 @@ class LoopInterchanging(Transformation):
                     a = min(anns, key=lambda x: x.stamp)
                     return ReversibilityResult.blocked(Violation(
                         f"S{m.sid} sits between the interchanged loops",
-                        action_id=a.action_id, stamp=a.stamp))
+                        action_id=a.action_id, stamp=a.stamp,
+                        code="inx.reversibility.intruder",
+                        witness={"sid": m.sid, "annotation": a.kind,
+                                 "pattern": "Tight Loops (L_2, L_1)"}))
             return ReversibilityResult.blocked(Violation(
-                "the loops are no longer tightly nested"))
+                "the loops are no longer tightly nested",
+                code="inx.reversibility.nest-broken",
+                witness={"outer_sid": outer_sid, "inner_sid": inner_sid,
+                         "pattern": "Tight Loops (L_2, L_1)"}))
         if not _headers_match(outer, post["outer_header"]) or \
                 not _headers_match(inner, post["inner_header"]):
             return ReversibilityResult.blocked(Violation(
-                "loop headers diverged from the post pattern"))
+                "loop headers diverged from the post pattern",
+                code="inx.reversibility.header-diverged",
+                witness={"outer_sid": outer_sid, "inner_sid": inner_sid}))
         return ReversibilityResult.ok()
 
     def table2_row(self) -> Dict[str, str]:

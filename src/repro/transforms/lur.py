@@ -134,25 +134,36 @@ class LoopUnrolling(Transformation):
             return SafetyResult.ok()
         loop = program.node(loop_sid)
         if not isinstance(loop, Loop):
-            return SafetyResult.broken("unrolled statement is no longer a loop")
+            return SafetyResult.broken(Violation(
+                "unrolled statement is no longer a loop",
+                code="lur.safety.kind-changed",
+                witness={"loop_sid": loop_sid}))
         header_rewritten = ctx.attributed_to_active(loop_sid, t, ("md",))
         if not (isinstance(loop.lower, Const) and isinstance(loop.upper, Const)
                 and isinstance(loop.step, Const)):
             if header_rewritten:
                 return SafetyResult.ok()  # e.g. INX swapped the headers
-            return SafetyResult.broken("loop bounds are no longer constant")
+            return SafetyResult.broken(Violation(
+                "loop bounds are no longer constant",
+                code="lur.safety.non-constant-bounds",
+                witness={"loop_sid": loop_sid}))
         orig_step = post["orig_step"]
         if loop.step.value != 2 * orig_step:
             if header_rewritten:
                 return SafetyResult.ok()
-            return SafetyResult.broken("loop step diverged from 2x original")
+            return SafetyResult.broken(Violation(
+                "loop step diverged from 2x original",
+                code="lur.safety.step-diverged",
+                witness={"loop_sid": loop_sid, "orig_step": orig_step}))
         trip = (loop.upper.value - loop.lower.value) // orig_step + 1
         if trip < 2 or trip % 2 != 0:
             if header_rewritten:
                 return SafetyResult.ok()
-            return SafetyResult.broken(
+            return SafetyResult.broken(Violation(
                 "original trip count is no longer even — the unrolled loop "
-                "would drop iterations")
+                "would drop iterations",
+                code="lur.safety.odd-trip-count",
+                witness={"loop_sid": loop_sid, "trip": trip}))
         return SafetyResult.ok()
 
     def check_reversibility(self, program: Program, store: AnnotationStore,
@@ -171,7 +182,9 @@ class LoopUnrolling(Transformation):
                 return ReversibilityResult.blocked(v)
             if program.parent_of(csid) != (loop_sid, "body"):
                 return ReversibilityResult.blocked(Violation(
-                    f"unrolled copy S{csid} left the loop body"))
+                    f"unrolled copy S{csid} left the loop body",
+                    code="lur.reversibility.clone-left",
+                    witness={"sid": csid, "loop_sid": loop_sid}))
             # later transformations inside a copy must be undone before
             # the copy can be deleted.
             v = subtree_touched_after(program, store, csid, record.stamp)

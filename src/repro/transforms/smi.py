@@ -118,11 +118,17 @@ class StripMining(Transformation):
         if not program.is_attached(inner_sid):
             if ctx.deleted_by_active(inner_sid, t):
                 return SafetyResult.ok()
-            return SafetyResult.broken("the strip-mined loop vanished")
+            return SafetyResult.broken(Violation(
+                "the strip-mined loop vanished",
+                code="smi.safety.loop-deleted",
+                witness={"inner_sid": inner_sid}))
         outer = program.node(outer_sid)
         inner = program.node(inner_sid)
         if not isinstance(outer, Loop) or not isinstance(inner, Loop):
-            return SafetyResult.broken("pattern statements changed kind")
+            return SafetyResult.broken(Violation(
+                "pattern statements changed kind",
+                code="smi.safety.kind-changed",
+                witness={"outer_sid": outer_sid, "inner_sid": inner_sid}))
         header_rewritten = (ctx.attributed_to_active(outer_sid, t, ("md",))
                             or ctx.attributed_to_active(inner_sid, t, ("md",)))
         if not (isinstance(outer.lower, Const) and isinstance(outer.upper, Const)
@@ -130,20 +136,28 @@ class StripMining(Transformation):
                 and outer.step.value == strip):
             if header_rewritten:
                 return SafetyResult.ok()
-            return SafetyResult.broken("outer strip header was altered")
+            return SafetyResult.broken(Violation(
+                "outer strip header was altered",
+                code="smi.safety.header-altered",
+                witness={"outer_sid": outer_sid, "strip": strip}))
         trip = outer.upper.value - outer.lower.value + 1
         if trip % strip != 0:
             if header_rewritten:
                 return SafetyResult.ok()
-            return SafetyResult.broken(
+            return SafetyResult.broken(Violation(
                 "trip count is no longer divisible by the strip size — the "
-                "last strip would overrun the original bounds")
+                "last strip would overrun the original bounds",
+                code="smi.safety.indivisible-trip",
+                witness={"outer_sid": outer_sid, "trip": trip,
+                         "strip": strip}))
         # the fresh index must still be private to the pair
         pair_sids = {s.sid for s in subtree_stmts(outer)}
         if var_referenced(program, post["outer_var"], exclude_sids=pair_sids):
-            return SafetyResult.broken(
+            return SafetyResult.broken(Violation(
                 f"outer index {post['outer_var']} is referenced outside "
-                "the strip nest")
+                "the strip nest",
+                code="smi.safety.index-escaped",
+                witness={"outer_var": post["outer_var"]}))
         return SafetyResult.ok()
 
     def check_reversibility(self, program: Program, store: AnnotationStore,
@@ -168,9 +182,13 @@ class StripMining(Transformation):
                     a = min(anns, key=lambda x: x.stamp)
                     return ReversibilityResult.blocked(Violation(
                         f"S{m.sid} entered the strip nest",
-                        action_id=a.action_id, stamp=a.stamp))
+                        action_id=a.action_id, stamp=a.stamp,
+                        code="smi.reversibility.intruder",
+                        witness={"sid": m.sid, "annotation": a.kind}))
             return ReversibilityResult.blocked(Violation(
-                "the strip nest is no longer tight"))
+                "the strip nest is no longer tight",
+                code="smi.reversibility.nest-broken",
+                witness={"outer_sid": outer_sid, "inner_sid": inner_sid}))
         return ReversibilityResult.ok()
 
     def table2_row(self) -> Dict[str, str]:

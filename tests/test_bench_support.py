@@ -99,3 +99,50 @@ class TestWorkCounters:
         assert wc.dependence_pairs == 0
         assert wc.control_tree_updates == 0
         assert wc.timers == {}
+
+
+class TestBenchSummary:
+    """scripts/check_bench_json.py --summary aggregation."""
+
+    def load_script(self):
+        import importlib.util
+        import pathlib
+
+        path = (pathlib.Path(__file__).resolve().parent.parent
+                / "scripts" / "check_bench_json.py")
+        spec = importlib.util.spec_from_file_location("check_bench_json",
+                                                      path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def test_build_summary_shape(self, tmp_path):
+        import json
+
+        mod = self.load_script()
+        report = {"bench": "bench_x", "quick": True,
+                  "tables": [{"title": "Table A", "columns": ["c"],
+                              "rows": [[1]]}],
+                  "values": {"speedup": 2.0}}
+        path = tmp_path / "bench_x.json"
+        path.write_text(json.dumps(report), encoding="utf-8")
+        doc = mod.build_summary([path])
+        assert doc["schema"] == mod.SUMMARY_SCHEMA
+        assert doc["benches"]["bench_x"] == {
+            "quick": True, "values": {"speedup": 2.0},
+            "tables": ["Table A"]}
+
+    def test_tracked_summary_matches_reports(self):
+        """BENCH_summary.json at the repo root is the checked-in copy."""
+        import json
+        import pathlib
+
+        mod = self.load_script()
+        root = pathlib.Path(__file__).resolve().parent.parent
+        tracked = root / "BENCH_summary.json"
+        reports = sorted(mod.OUT_DIR.glob("bench_*.json"))
+        if not tracked.is_file() or not reports:
+            pytest.skip("no tracked summary / no reports on this checkout")
+        doc = json.loads(tracked.read_text(encoding="utf-8"))
+        assert doc["schema"] == mod.SUMMARY_SCHEMA
+        assert set(doc["benches"]) == {p.stem for p in reports}

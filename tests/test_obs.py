@@ -287,3 +287,73 @@ class TestRegistry:
         reg.reset()
         assert reg.value("repro_n") is None
         assert reg.render() == ""
+
+
+class TestExpositionEdgeCases:
+    """The Prometheus text format's sharp corners."""
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_q_total", cond='says "no"').inc()
+        reg.counter("repro_b_total", path="a\\b").inc()
+        reg.counter("repro_n_total", msg="two\nlines").inc()
+        text = reg.render()
+        assert 'cond="says \\"no\\""' in text
+        assert 'path="a\\\\b"' in text
+        assert 'msg="two\\nlines"' in text
+        # one sample per line even with an embedded newline in the value
+        samples = [ln for ln in text.splitlines()
+                   if not ln.startswith("#")]
+        assert len(samples) == 3
+
+    def test_help_text_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_h_total", "first\nsecond \\ third").inc()
+        text = reg.render()
+        assert "# HELP repro_h_total first\\nsecond \\\\ third" in text
+        assert text.count("# HELP") == 1
+
+    def test_escaping_leaves_doc_form_raw(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_q_total", cond='a"b\nc').inc()
+        doc = json.loads(json.dumps(reg.to_doc()))
+        assert doc["repro_q_total"]["samples"][0]["labels"]["cond"] == \
+            'a"b\nc'
+
+    def test_empty_histogram_renders_zero_buckets(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_idle_seconds", "never observed",
+                      buckets=(0.1, 1.0))
+        text = reg.render()
+        assert 'repro_idle_seconds_bucket{le="0.1"} 0' in text
+        assert 'repro_idle_seconds_bucket{le="+Inf"} 0' in text
+        assert "repro_idle_seconds_sum 0.0" in text
+        assert "repro_idle_seconds_count 0" in text
+        sample = reg.histogram("repro_idle_seconds",
+                               buckets=(0.1, 1.0)).sample()
+        assert sample["count"] == 0 and sample["p50"] == 0.0
+
+    def test_label_set_ordering_is_stable(self):
+        """Key order at the call site must not change identity or text."""
+        reg = MetricsRegistry()
+        a = reg.counter("repro_s_total", op="apply", status="ok")
+        b = reg.counter("repro_s_total", status="ok", op="apply")
+        assert a is b
+        a.inc()
+        text = reg.render()
+        assert 'repro_s_total{op="apply",status="ok"} 1.0' in text
+        doc = reg.to_doc()
+        assert doc["repro_s_total"]["samples"][0]["labels"] == \
+            {"op": "apply", "status": "ok"}
+
+    def test_samples_sorted_across_label_sets(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_m_total", op="undo").inc()
+        reg.counter("repro_m_total", op="apply").inc()
+        lines = [ln for ln in reg.render().splitlines()
+                 if ln.startswith("repro_m_total{")]
+        assert lines == sorted(lines)
+        # to_doc walks the same sorted order
+        ops = [s["labels"]["op"]
+               for s in reg.to_doc()["repro_m_total"]["samples"]]
+        assert ops == ["apply", "undo"]
