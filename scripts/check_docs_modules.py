@@ -24,7 +24,8 @@ SRC = ROOT / "src"
 DOCS = [ROOT / "docs" / "ARCHITECTURE.md",
         ROOT / "docs" / "OBSERVABILITY.md",
         ROOT / "docs" / "PAPER_MAP.md",
-        ROOT / "docs" / "PERSISTENCE.md"]
+        ROOT / "docs" / "PERSISTENCE.md",
+        ROOT / "docs" / "SCALING.md"]
 
 NAME_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 

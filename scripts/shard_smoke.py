@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the sharded TCP service — the CI shard job.
+
+Spawns the real thing (``python -m repro serve ROOT --port 0 --shards
+2`` as a subprocess), reads the bound port from its ``listening on``
+line, then drives a scripted conversation over a real socket: init,
+apply/undo, a batch, an audit round-trip check, the merged ``_``
+verbs, and finally a clean ``_ shutdown`` — asserting the server
+process exits 0.  Run from the repository root:
+
+    PYTHONPATH=src python scripts/shard_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service.netserver import LineClient  # noqa: E402
+
+SRC = "c = 1\nx = c + 2\nd = e + f\nwrite x\nwrite d\n"
+
+STAMP_RE = re.compile(r"t(\d+)")
+
+
+def expect(label: str, got: str, want_prefix: str) -> str:
+    if not got.startswith(want_prefix):
+        raise SystemExit(f"FAIL {label}: expected {want_prefix!r}..., "
+                         f"got {got!r}")
+    print(f"ok: {label}: {got.splitlines()[0]}")
+    return got
+
+
+def main() -> int:
+    root = tempfile.mkdtemp(prefix="shard_smoke_")
+    prog = os.path.join(root, "prog.loop")
+    with open(prog, "w") as fh:
+        fh.write(SRC)
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", root,
+         "--port", "0", "--shards", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONPATH": "src"})
+    try:
+        banner = server.stdout.readline().strip()
+        m = re.match(r"listening on ([\d.]+):(\d+)$", banner)
+        if not m:
+            raise SystemExit(f"FAIL startup: unexpected banner {banner!r}")
+        host, port = m.group(1), int(m.group(2))
+        print(f"ok: startup: {banner}")
+
+        with LineClient(host, port) as client:
+            for name in ("alpha", "bravo", "charlie"):
+                expect(f"init {name}",
+                       client.request(f"{name} init {prog}"),
+                       f"created {name}")
+            out = expect("apply", client.request("alpha apply ctp 0"),
+                         "applied")
+            stamp = int(STAMP_RE.search(out).group(1))
+            expect("undo", client.request(f"alpha undo {stamp}"), "undone")
+            expect("batch",
+                   client.request("bravo batch apply ctp 0 ; apply dce 0"),
+                   "batch: 2 command(s)")
+            expect("audit check", client.request("bravo audit check"),
+                   "ok:")
+            expect("error format", client.request("charlie undo 999"),
+                   "error: ")
+
+            sessions = client.request("_ sessions").split()
+            assert {"alpha", "bravo", "charlie"} <= set(sessions), sessions
+            print(f"ok: _ sessions: {' '.join(sessions)}")
+            shards = json.loads(client.request("_ shards"))
+            assert shards["shards"] == 2, shards
+            assert all(w["alive"] for w in shards["workers"]), shards
+            print(f"ok: _ shards: 2 workers alive")
+            merged = json.loads(client.request("_ metrics"))
+            assert merged["shards"] == 2, merged
+            # apply + undo + batch = three top-level commands journaled
+            assert merged["totals"]["commands"] >= 3, merged
+            print(f"ok: _ metrics: {merged['totals']['commands']} "
+                  f"commands across 2 shards")
+
+            expect("shutdown", client.request("_ shutdown"),
+                   "shutting down")
+            client.close(quit=False)
+
+        code = server.wait(timeout=30)
+        if code != 0:
+            raise SystemExit(f"FAIL shutdown: server exited {code}")
+        print("ok: clean exit 0")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,5 +1,12 @@
-"""``python -m repro`` — the interactive transformation session."""
+"""``python -m repro`` — the interactive transformation session.
+
+The ``__main__`` guard is load-bearing: the sharded service spawns
+worker processes with the ``spawn`` start method, which re-imports the
+parent's main module in each child — an unguarded ``main()`` here would
+re-run the CLI inside every shard worker.
+"""
 
 from repro.cli import main
 
-raise SystemExit(main())
+if __name__ == "__main__":
+    raise SystemExit(main())

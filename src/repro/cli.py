@@ -259,7 +259,11 @@ class CliSession:
 
 USAGE = """\
 usage: python -m repro <program file>            interactive session
-       python -m repro serve <root>              line-protocol server on stdio
+       python -m repro serve <root> [--shards N] [--port P] [--host H]
+           line-protocol server: on stdio by default, on TCP with
+           --port (0 picks a free port, printed as 'listening on ...');
+           --shards N routes sessions across N worker processes by
+           hashing the session name (see docs/SCALING.md)
        python -m repro session <root> <name> <verb> [args...]
            verbs: init <file> | apply <name> [k] | undo <stamp>
                   undo-lifo <stamp> | edit-del <sid> | log | show
@@ -277,15 +281,61 @@ usage: python -m repro <program file>            interactive session
 
 
 def _main_serve(argv: List[str]) -> int:
-    """``repro serve <root>`` — the durable multi-session server."""
-    from repro.service.server import SessionServer
+    """``repro serve <root> [--shards N] [--port P] [--host H]``.
+
+    Stdio by default (the PR 2 behaviour, unchanged); ``--port`` starts
+    the TCP front-end instead and prints ``listening on <host>:<port>``
+    once it is accepting — with ``--port 0`` that line is how callers
+    learn the bound port.  ``--shards N`` (either transport) routes
+    sessions across N worker processes by name hash.
+    """
+    from repro.service.server import SessionServer, serve_stream
     from repro.service.session import SessionManager
 
-    if len(argv) != 1:
+    host, port, shards = "127.0.0.1", None, 0
+    pos: List[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg in ("--port", "--host", "--shards"):
+            i += 1
+            if i >= len(argv):
+                print(USAGE)
+                return 2
+            if arg == "--port":
+                port = int(argv[i])
+            elif arg == "--host":
+                host = argv[i]
+            else:
+                shards = int(argv[i])
+        else:
+            pos.append(arg)
+        i += 1
+    if len(pos) != 1 or shards < 0:
         print(USAGE)
         return 2
-    server = SessionServer(SessionManager(argv[0]))
-    server.serve(sys.stdin, sys.stdout)
+
+    if shards:
+        from repro.service.shard import ShardRouter
+        front = ShardRouter(pos[0], shards)
+    else:
+        front = SessionServer(SessionManager(pos[0]))
+    if port is None:
+        try:
+            serve_stream(front, sys.stdin, sys.stdout)
+        finally:
+            front.close()
+        return 0
+    from repro.service.netserver import NetServer
+    server = NetServer(front, host=host, port=port)
+    bound_host, bound_port = server.address
+    print(f"listening on {bound_host}:{bound_port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
     return 0
 
 

@@ -32,7 +32,8 @@ from bisect import bisect_left
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "MetricsError", "DEFAULT_BUCKETS", "REGISTRY"]
+           "MetricsError", "DEFAULT_BUCKETS", "REGISTRY",
+           "merge_histogram_docs", "merge_aggregate_metrics"]
 
 #: fixed latency buckets in seconds (upper bounds; +Inf is implicit).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -319,6 +320,67 @@ class MetricsRegistry:
             self._instruments.clear()
             self._kinds.clear()
             self._help.clear()
+
+
+# -- cross-shard merging ------------------------------------------------------
+#
+# The sharded front-end (repro.service.shard) aggregates metrics that
+# were sampled in *separate worker processes*, so the merge operates on
+# the JSON-safe sample documents the wire carries, never on live
+# instrument objects.
+
+def merge_histogram_docs(docs: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Bucket-wise merge of :meth:`Histogram.sample` documents.
+
+    Every document must use the same bucket bounds (they all come from
+    the same instrument definition on each shard); counts, overflow,
+    sum, and count add bucket-wise, and p50/p95 are re-estimated from
+    the merged counts — quantiles of shards cannot be averaged, but
+    their bucket counts can be summed exactly.
+    """
+    if not docs:
+        raise MetricsError("cannot merge zero histogram documents")
+    bounds = [pair[0] for pair in docs[0]["buckets"]]
+    merged = Histogram("merged", buckets=bounds)
+    for doc in docs:
+        if [pair[0] for pair in doc["buckets"]] != bounds:
+            raise MetricsError("histogram bucket bounds differ across "
+                               "shards; refusing a lossy merge")
+        for i, (_bound, count) in enumerate(doc["buckets"]):
+            merged.counts[i] += count
+        merged.counts[-1] += doc["overflow"]
+        merged.sum += doc["sum"]
+        merged.count += doc["count"]
+    return merged.sample()
+
+
+def merge_aggregate_metrics(
+        docs: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-shard ``SessionManager.aggregate_metrics()`` documents.
+
+    Scalar ``totals`` fields and the eviction/reopen counts are summed,
+    the live/on-disk session lists are concatenated (a session lives on
+    exactly one shard, so the union is disjoint), and the per-shard
+    command-latency histograms are merged bucket-wise via
+    :func:`merge_histogram_docs`.  Served by the sharded router's
+    ``_ metrics`` verb.
+    """
+    totals: Dict[str, float] = {}
+    for doc in docs:
+        for field, value in doc.get("totals", {}).items():
+            totals[field] = totals.get(field, 0) + value
+    merged: Dict[str, Any] = {
+        "totals": totals,
+        "live": sorted(n for d in docs for n in d.get("live", [])),
+        "on_disk": sorted(n for d in docs for n in d.get("on_disk", [])),
+        "evictions": sum(d.get("evictions", 0) for d in docs),
+        "reopens": sum(d.get("reopens", 0) for d in docs),
+        "shards": len(docs),
+    }
+    latencies = [d["latency"] for d in docs if d.get("latency")]
+    if latencies:
+        merged["latency"] = merge_histogram_docs(latencies)
+    return merged
 
 
 #: the process-wide default registry instrumented seams fall back to.

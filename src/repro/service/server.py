@@ -32,6 +32,12 @@ Verbs::
     _ sessions             list sessions (no target session)
     _ stats                manager stats
     _ metrics              aggregate persistence totals across sessions
+
+Every failure reply is one line of the form ``error: <kind>: <detail>``
+(see :func:`error_reply`); ``<kind>`` comes from a fixed vocabulary so
+clients parse failures by tag, never by exception text.  The sharded
+front-end (:mod:`repro.service.shard`) speaks the same protocol and the
+same error format, adding the ``shard`` kind for routing failures.
 """
 
 from __future__ import annotations
@@ -58,6 +64,57 @@ from repro.service.session import SessionError, SessionManager
 #: from the wire to ``engine.execute``).
 COMMAND_VERBS = ("apply", "undo", "undo-lifo", "edit-del")
 
+#: every failure reply starts with this token.
+ERROR_PREFIX = "error:"
+
+#: exception class -> the stable machine-parseable error kind clients
+#: switch on (first path component of the reply).  Order matters:
+#: subclasses must precede their bases.
+ERROR_KINDS = (
+    (SessionError, "session"),
+    (UndoError, "undo"),
+    (CommandError, "command"),
+    (ParseError, "parse"),
+    (RecoveryError, "recovery"),
+    (OSError, "io"),
+)
+
+
+def error_reply(kind: str, detail: str) -> str:
+    """The one failure-reply format: ``error: <kind>: <detail>``.
+
+    ``kind`` is a stable lowercase tag from a fixed vocabulary
+    (``session``, ``undo``, ``command``, ``parse``, ``recovery``,
+    ``io``, ``bad-request``, ``unknown-verb``, ``batch``,
+    ``audit-mismatch``, ``shard``, ``internal``) so clients can parse
+    failures without matching on free-form exception text.  Pinned by
+    the protocol tests — changing the shape is a wire-format change.
+    """
+    return f"{ERROR_PREFIX} {kind}: {detail}"
+
+
+def serve_stream(front, in_stream: IO[str], out_stream: IO[str]) -> int:
+    """Serve line requests from a stream until EOF or ``quit``.
+
+    ``front`` is anything with a ``handle_line`` method — the in-process
+    :class:`SessionServer` or the sharded router — so the stdio loop and
+    the TCP connection handler share one framing implementation: one
+    request line in, the response's lines out, a lone ``.`` terminator.
+    Returns the number of requests handled; closing ``front`` is the
+    caller's job.
+    """
+    handled = 0
+    for line in in_stream:
+        if line.strip() in ("quit", "exit"):
+            break
+        out = front.handle_line(line)
+        for chunk in out.splitlines() or [""]:
+            out_stream.write(chunk + "\n")
+        out_stream.write(".\n")
+        out_stream.flush()
+        handled += 1
+    return handled
+
 
 class SessionServer:
     """Parses request lines and dispatches them onto a manager."""
@@ -76,10 +133,11 @@ class SessionServer:
                 RecoveryError, OSError) as exc:
             # OSError covers ``init`` naming an unreadable file — one bad
             # request must not take down every other session's server
-            out = f"error: {exc}"
+            kind = next(k for cls, k in ERROR_KINDS if isinstance(exc, cls))
+            out = error_reply(kind, str(exc))
         except (KeyError, IndexError, ValueError) as exc:
-            out = f"error: bad request ({exc})"
-        if out.startswith("error:"):
+            out = error_reply("bad-request", str(exc) or repr(exc))
+        if out.startswith(ERROR_PREFIX):
             self.errors += 1
         return out
 
@@ -87,7 +145,8 @@ class SessionServer:
         if not parts:
             return ""
         if len(parts) < 2:
-            return "error: expected '<session> <verb> [args...]'"
+            return error_reply("bad-request",
+                               "expected '<session> <verb> [args...]'")
         name, verb, args = parts[0], parts[1], parts[2:]
         if verb == "sessions":
             return " ".join(self.manager.list_sessions()) or "(none)"
@@ -121,9 +180,9 @@ class SessionServer:
                 cmd = parse_batch(args)
                 result = session.execute(cmd)
                 if result.error is not None:
-                    return (f"error: batch stopped after "
-                            f"{len(result.executed)} command(s): "
-                            f"{result.error}")
+                    return error_reply(
+                        "batch", f"stopped after {len(result.executed)} "
+                        f"command(s): {result.error}")
                 return cmd.describe()
             if verb == "log":
                 return "\n".join(
@@ -155,8 +214,8 @@ class SessionServer:
                     report = audit_roundtrip(session.dirpath)
                     if report.ok:
                         return report.describe()
-                    return "error: audit mismatch: " + "; ".join(
-                        report.problems)
+                    return error_reply("audit-mismatch",
+                                       "; ".join(report.problems))
                 entries = read_audit(audit_path(session.dirpath))
                 if args:
                     entries = entries[-int(args[0]):]
@@ -165,19 +224,14 @@ class SessionServer:
             if verb == "snapshot":
                 path = session.snapshot()
                 return f"snapshot: {path}" if path else "(nothing new)"
-        return f"error: unknown verb {verb!r}"
+        return error_reply("unknown-verb", repr(verb))
+
+    def close(self) -> None:
+        """Shutdown hook: snapshot and close every live session."""
+        self.manager.close_all()
 
     def serve(self, in_stream: IO[str], out_stream: IO[str]) -> int:
         """Serve requests until EOF; returns requests handled."""
-        handled = 0
-        for line in in_stream:
-            if line.strip() in ("quit", "exit"):
-                break
-            out = self.handle_line(line)
-            for chunk in out.splitlines() or [""]:
-                out_stream.write(chunk + "\n")
-            out_stream.write(".\n")
-            out_stream.flush()
-            handled += 1
-        self.manager.close_all()
+        handled = serve_stream(self, in_stream, out_stream)
+        self.close()
         return handled

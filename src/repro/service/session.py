@@ -462,6 +462,9 @@ class SessionManager:
         #: or closed — aggregate totals stay monotonic across evictions
         #: (a reopened session's live counters restart at zero).
         self._retired: Dict[str, float] = {f: 0 for f in self._AGG_FIELDS}
+        #: bucket-wise merged command-latency sample of retired sessions
+        #: (same monotonicity story as ``_retired``).
+        self._retired_latency: Optional[Dict[str, Any]] = None
 
     def path_for(self, name: str) -> str:
         """Directory of one named session (rejects path-escape names)."""
@@ -531,6 +534,10 @@ class SessionManager:
         sample = session.metrics()
         for field in self._AGG_FIELDS:
             self._retired[field] += sample[field]
+        latency = session._latency.sample()
+        if latency["count"]:
+            docs = [d for d in (self._retired_latency, latency) if d]
+            self._retired_latency = obs_metrics.merge_histogram_docs(docs)
 
     @contextmanager
     def session(self, name: str) -> Iterator[DurableSession]:
@@ -622,15 +629,23 @@ class SessionManager:
         """
         with self._lock:
             totals = dict(self._retired)
+            latencies = [self._retired_latency] if self._retired_latency \
+                else []
             for session, _lock in self._live.values():
                 sample = session.metrics()
                 for field in self._AGG_FIELDS:
                     totals[field] += sample[field]
-            return {"totals": totals,
-                    "live": list(self._live),
-                    "on_disk": self.list_sessions(),
-                    "evictions": self.evictions,
-                    "reopens": self.reopens}
+                live_latency = session._latency.sample()
+                if live_latency["count"]:
+                    latencies.append(live_latency)
+            out: Dict[str, Any] = {"totals": totals,
+                                   "live": list(self._live),
+                                   "on_disk": self.list_sessions(),
+                                   "evictions": self.evictions,
+                                   "reopens": self.reopens}
+            if latencies:
+                out["latency"] = obs_metrics.merge_histogram_docs(latencies)
+            return out
 
     def close_all(self) -> None:
         """Snapshot and close every live session (shutdown path)."""

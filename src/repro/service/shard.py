@@ -1,0 +1,357 @@
+"""Sharded session workers behind one routing front-end.
+
+``SessionServer`` serves every session from one process; this module
+scales it out while keeping the paper's invariant sacred: all commands
+of one session execute in their causal order, while sessions that share
+nothing run freely in parallel (Hoey & Ulidowski's reversing-concurrent-
+programs discipline, mapped onto processes).  The design:
+
+* **Shard by session name.**  :func:`shard_index` hashes the name with
+  CRC-32 (stable across processes and runs — never the seeded builtin
+  ``hash``), so every request for a session lands on the same shard and
+  a session's journal, snapshots, trace, and audit files live entirely
+  inside that shard's root (``<root>/shard-NN/<session>``).  All of the
+  durability, recovery, and provenance guarantees are therefore exactly
+  the per-session guarantees of :class:`~repro.service.session.
+  DurableSession` — sharding adds no new crash states.
+* **One worker process per shard.**  :func:`worker_main` runs a plain
+  :class:`~repro.service.server.SessionServer` over a duplex pipe, one
+  request at a time — the per-shard serialization that preserves
+  per-session order without any cross-process locking.
+* **A router in the front-end process.**  :class:`ShardRouter` speaks
+  the same line protocol as ``SessionServer``: it forwards each request
+  to its shard and streams the response back, fanning ``_ sessions`` /
+  ``_ stats`` / ``_ metrics`` out to every shard and merging the
+  answers (scalar totals summed, latency histograms merged bucket-wise
+  by :func:`repro.obs.metrics.merge_aggregate_metrics`).
+* **Worker death is detected, reported, and repaired.**  A request to a
+  dead worker gets a clear ``error: shard: ...`` reply (never a hang);
+  the router restarts the worker, and the shard's sessions recover on
+  next touch by the ordinary journal-replay path — nothing acknowledged
+  before the crash is lost, and the command that died mid-flight is
+  either journaled (it happened) or not (it didn't), exactly the
+  torn-process contract recovery already honours.
+
+Workers are spawned with the ``spawn`` start method: restarts happen
+from serving threads, where forking a threaded process would be unsafe,
+and spawn keeps the workers free of inherited locks.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import zlib
+from multiprocessing.connection import Connection, wait as _pipe_wait
+from threading import Lock
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import merge_aggregate_metrics
+from repro.service.server import ERROR_PREFIX, error_reply
+
+#: shard roots under the service root (two digits keeps ls sorted).
+SHARD_DIR_FMT = "shard-{:02d}"
+
+#: manager-level verbs the router fans out to every shard (plus its own
+#: ``shards`` verb, answered without a round trip).
+AGGREGATE_VERBS = ("sessions", "stats", "metrics")
+
+
+class ShardError(RuntimeError):
+    """A shard worker died or could not serve a request."""
+
+
+def shard_index(name: str, nshards: int) -> int:
+    """The shard a session name routes to — stable across processes.
+
+    CRC-32 rather than ``hash()``: the builtin is randomized per process
+    (PYTHONHASHSEED), and the shard assignment must equal the on-disk
+    layout written by every previous run.
+    """
+    if nshards < 1:
+        raise ValueError("nshards must be >= 1")
+    return zlib.crc32(name.encode("utf-8")) % nshards
+
+
+def shard_root(root: str, index: int) -> str:
+    """The session root directory of one shard."""
+    return os.path.join(root, SHARD_DIR_FMT.format(index))
+
+
+def worker_main(conn: Connection, root: str,
+                manager_kwargs: Optional[Dict[str, Any]] = None) -> None:
+    """One shard worker: serve pipe requests until told to stop.
+
+    Runs in a child process.  Requests are ``("req", id, line)`` tuples
+    answered with ``(id, response)``; a ``("stop", id)`` message (or a
+    closed pipe) drains the manager and exits.  ``handle_line`` never
+    raises by contract, but a defect must kill neither the worker nor
+    the protocol framing, so the last-resort catch answers with an
+    ``internal`` error instead of dying with a request in flight.
+    """
+    # imported here so a spawned worker pays its import cost itself
+    from repro.service.server import SessionServer
+    from repro.service.session import SessionManager
+
+    manager = SessionManager(root, **(manager_kwargs or {}))
+    server = SessionServer(manager)
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if not isinstance(msg, tuple) or msg[0] == "stop":
+                if isinstance(msg, tuple):
+                    conn.send((msg[1], "stopping"))
+                break
+            _kind, rid, line = msg
+            try:
+                out = server.handle_line(line)
+            except BaseException as exc:  # noqa: BLE001 - framing guard
+                out = error_reply("internal", repr(exc))
+            conn.send((rid, out))
+    finally:
+        manager.close_all()
+
+
+class ShardWorker:
+    """Front-end handle on one shard's worker process.
+
+    Owns the pipe, the process, and the per-shard lock that serializes
+    request/response pairs on the wire — which is also what preserves
+    per-session command order: one shard, one outstanding request.
+    """
+
+    def __init__(self, index: int, root: str,
+                 manager_kwargs: Optional[Dict[str, Any]] = None):
+        self.index = index
+        self.root = shard_root(root, index)
+        self.manager_kwargs = dict(manager_kwargs or {})
+        self.lock = Lock()
+        self.restarts = 0
+        self.requests = 0
+        self._ctx = multiprocessing.get_context("spawn")
+        self._rid = 0
+        self.conn: Optional[Connection] = None
+        self.process = None
+
+    def start(self) -> None:
+        """Spawn (or re-spawn) the worker process for this shard."""
+        parent, child = self._ctx.Pipe()
+        self.process = self._ctx.Process(
+            target=worker_main, args=(child, self.root, self.manager_kwargs),
+            name=f"repro-shard-{self.index}", daemon=True)
+        self.process.start()
+        child.close()  # the worker holds its own copy
+        self.conn = parent
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process is currently running."""
+        return self.process is not None and self.process.is_alive()
+
+    def request(self, line: str) -> str:
+        """One request/response round trip (caller holds ``self.lock``).
+
+        Raises :class:`ShardError` when the worker dies before
+        answering — the wait watches the reply pipe *and* the process
+        sentinel in one select, so a crashed worker surfaces as a
+        prompt error, never a hang, without polling.
+        """
+        if self.conn is None or self.process is None:
+            raise ShardError(f"shard {self.index} worker is not running")
+        self._rid += 1
+        self.requests += 1
+        try:
+            self.conn.send(("req", self._rid, line))
+            while self.conn not in _pipe_wait(
+                    [self.conn, self.process.sentinel]):
+                # sentinel fired first: the worker exited.  The pipe may
+                # still hold a final reply (exit right after answering),
+                # so only a drained pipe is a death mid-request.
+                if not self.conn.poll(0):
+                    raise ShardError(
+                        f"shard {self.index} worker died mid-request")
+            rid, out = self.conn.recv()
+        except ShardError:
+            raise
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise ShardError(
+                f"shard {self.index} worker died mid-request "
+                f"({type(exc).__name__})") from exc
+        if rid != self._rid:
+            raise ShardError(
+                f"shard {self.index} answered request {rid}, "
+                f"expected {self._rid}")
+        return out
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain and terminate the worker (idempotent)."""
+        if self.process is None:
+            return
+        try:
+            if self.conn is not None and self.process.is_alive():
+                self._rid += 1
+                self.conn.send(("stop", self._rid))
+                self.conn.poll(timeout)  # "stopping" ack, best-effort
+        except (EOFError, OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        if self.conn is not None:
+            self.conn.close()
+        self.conn = None
+        self.process = None
+
+
+class ShardRouter:
+    """The line-protocol front-end over N shard worker processes.
+
+    Drop-in for :class:`~repro.service.server.SessionServer` wherever a
+    ``handle_line`` object is expected (the stdio loop, the TCP server,
+    the tests): per-session requests forward to the session's shard,
+    manager-level ``_`` verbs aggregate across every shard, and the
+    extra ``_ shards`` verb reports worker liveness without a round
+    trip.  ``manager_kwargs`` are forwarded to every shard's
+    :class:`~repro.service.session.SessionManager` (``max_live``,
+    ``snapshot_every``, ``fsync_every``) and must stay identical across
+    restarts, so they are fixed at construction.
+    """
+
+    def __init__(self, root: str, nshards: int, *,
+                 manager_kwargs: Optional[Dict[str, Any]] = None,
+                 auto_restart: bool = True):
+        if nshards < 1:
+            raise ValueError("nshards must be >= 1")
+        self.root = root
+        self.nshards = nshards
+        self.auto_restart = auto_restart
+        self.requests = 0
+        self.errors = 0
+        self.workers: List[ShardWorker] = [
+            ShardWorker(k, root, manager_kwargs) for k in range(nshards)]
+        for worker in self.workers:
+            worker.start()
+        self._closed = False
+
+    # -- request path --------------------------------------------------------
+
+    def handle_line(self, line: str) -> str:
+        """Serve one request; never raises for a malformed request."""
+        self.requests += 1
+        parts = line.strip().split()
+        if not parts:
+            return ""
+        if len(parts) < 2:
+            out = error_reply("bad-request",
+                              "expected '<session> <verb> [args...]'")
+        elif parts[0] == "_" and parts[1] == "shards":
+            out = json.dumps(self.shard_status(), sort_keys=True)
+        elif parts[0] == "_" and parts[1] in AGGREGATE_VERBS:
+            out = self._aggregate(parts[1])
+        else:
+            worker = self.workers[shard_index(parts[0], self.nshards)]
+            out = self._request(worker, line)
+        if out.startswith(ERROR_PREFIX):
+            self.errors += 1
+        return out
+
+    def _request(self, worker: ShardWorker, line: str) -> str:
+        """Forward one line to one shard, repairing a dead worker.
+
+        The in-flight client gets an explicit error — its command may or
+        may not have committed, and only the journal knows, so the reply
+        says exactly that.  The restarted worker recovers the shard's
+        sessions lazily through the ordinary replay path on next touch.
+        """
+        with worker.lock:
+            try:
+                return worker.request(line)
+            except ShardError as exc:
+                restarted = ""
+                if self.auto_restart and not self._closed:
+                    worker.stop()
+                    worker.start()
+                    worker.restarts += 1
+                    restarted = ("; worker restarted, sessions recover "
+                                 "from their journals on next use")
+                return error_reply(
+                    "shard", f"{exc} — the request may or may not have "
+                    f"committed (check the session log){restarted}")
+
+    # -- aggregation ---------------------------------------------------------
+
+    def _fanout(self, line: str) -> Tuple[List[str], List[str]]:
+        """One request to every shard: (answers, error replies)."""
+        answers, failures = [], []
+        for worker in self.workers:
+            out = self._request(worker, line)
+            (failures if out.startswith(ERROR_PREFIX) else answers).append(
+                out)
+        return answers, failures
+
+    def _aggregate(self, verb: str) -> str:
+        """Fan one ``_`` verb out to every shard and merge the answers.
+
+        A shard that fails to answer fails the whole aggregate loudly —
+        a silently partial total would read as "traffic dropped", which
+        is worse than an error.
+        """
+        answers, failures = self._fanout(f"_ {verb}")
+        if failures:
+            return failures[0]
+        if verb == "sessions":
+            names = sorted(
+                name for out in answers if out != "(none)"
+                for name in out.split())
+            return " ".join(names) or "(none)"
+        docs = [json.loads(out) for out in answers]
+        if verb == "metrics":
+            return json.dumps(merge_aggregate_metrics(docs), sort_keys=True)
+        # stats: summed counters, concatenated session lists, and the
+        # untouched per-shard documents for drill-down
+        merged = {
+            "shards": self.nshards,
+            "live": sorted(n for d in docs for n in d["live"]),
+            "on_disk": sorted(n for d in docs for n in d["on_disk"]),
+            "evictions": sum(d["evictions"] for d in docs),
+            "reopens": sum(d["reopens"] for d in docs),
+            "per_shard": docs,
+        }
+        return json.dumps(merged, sort_keys=True)
+
+    def shard_metrics(self) -> List[Dict[str, Any]]:
+        """Per-shard ``aggregate_metrics`` documents (test/ops surface)."""
+        answers, failures = self._fanout("_ metrics")
+        if failures:
+            raise ShardError(failures[0])
+        return [json.loads(out) for out in answers]
+
+    def shard_status(self) -> Dict[str, Any]:
+        """Router-local worker liveness (the ``_ shards`` verb)."""
+        return {"shards": self.nshards,
+                "workers": [{"shard": w.index,
+                             "pid": w.process.pid if w.process else None,
+                             "alive": w.alive,
+                             "restarts": w.restarts,
+                             "requests": w.requests}
+                            for w in self.workers]}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker (each drains its manager before exiting)."""
+        self._closed = True
+        for worker in self.workers:
+            with worker.lock:
+                worker.stop()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -347,7 +347,7 @@ class TestBatch:
         # a failing member surfaces as an error response, but the
         # executed prefix is durable
         out = server.handle_line("s batch apply cse ; apply nosuch")
-        assert out.startswith("error: batch stopped after 1 command(s)")
+        assert out.startswith("error: batch: stopped after 1 command(s)")
 
 
 class TestV1JournalCompat:
