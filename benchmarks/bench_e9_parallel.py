@@ -1,0 +1,130 @@
+"""E9 — reversible parallelization: undo-cascade and equivalence cost.
+
+Two costs specific to the parallel extension are measured end-to-end:
+
+1. **Undo-cascade cost vs. thread count.**  A PRV → PAR pair turns the
+   seed loop into a ``doall`` whose iterations are the tasks (thread
+   count = trip count).  Undoing the *enabler* (PRV) in independent
+   order must cascade through PAR — collapsing the private copies
+   reintroduces the carried scalar dependences, so the extension's
+   always-run safety re-check (extensions are never skipped by the
+   Table 4 heuristic) rolls the ``doall`` back too.  The benchmark
+   asserts the cascade (both stamps undone, program restored) and
+   times it as the trip count grows: the cascade cost is dominated by
+   re-analysis, not by the number of tasks the loop would spawn.
+
+2. **Schedule-quantified equivalence cost vs. schedule count.**
+   ``equivalent_under_schedules`` replays both programs once per
+   sampled schedule, so its cost is linear in the schedule count and
+   in the work per run (trip count).  The acceptance doubles as a
+   correctness pin: the safe parallelization is equivalent under every
+   sampled schedule, while a racy one (PAR forced onto a loop with a
+   carried array dependence, bypassing the legality check) is detected
+   as non-equivalent.
+"""
+
+import time
+
+from repro.bench.reporting import BenchReport, banner, quick, scaled
+from repro.core.engine import TransformationEngine
+from repro.lang.ast_nodes import programs_equal
+from repro.lang.parser import parse_program
+from repro.par import equivalent_under_schedules
+from repro.transforms.base import Opportunity
+
+REPORT = BenchReport("bench_e9_parallel")
+
+#: doall trip counts (one task per iteration).
+TRIPS = scaled([4, 16, 64])
+#: schedule-suite sizes for the equivalence sweep.
+SCHEDULES = [2, 6] if quick() else [2, 6, 12]
+REPEATS = 2 if quick() else 5
+
+
+def seq_src(trip: int) -> str:
+    return (f"do i = 1, {trip}\n"
+            "  t = A(i) + 1\n"
+            "  B(i) = t * 2\n"
+            "enddo\n"
+            "write B(2)\n")
+
+
+def racy_src(trip: int) -> str:
+    """A loop whose carried array dependence makes PAR illegal."""
+    return (f"do i = 2, {trip}\n"
+            "  A(i) = A(i - 1) + 1\n"
+            "enddo\n"
+            f"write A({trip})\n")
+
+
+def parallelize(src: str):
+    """(engine, prv stamp, par stamp) for the PRV → PAR pipeline."""
+    engine = TransformationEngine(parse_program(src))
+    rec_prv = engine.apply(engine.find("prv")[0])
+    rec_par = engine.apply(engine.find("par")[0])
+    return engine, rec_prv.stamp, rec_par.stamp
+
+
+def timed(fn, *args):
+    """(best seconds over REPEATS, last result)."""
+    best, result = float("inf"), None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_e9_undo_cascade_vs_threads():
+    banner("E9 — PRV→PAR undo cascade cost vs. thread count")
+    t = REPORT.table(["trip (tasks)", "undo-cascade ms", "stamps undone"],
+                     "E9 — independent-order undo of PRV through PAR")
+    for trip in TRIPS:
+        src = seq_src(trip)
+
+        def cascade():
+            engine, s_prv, _s_par = parallelize(src)
+            return engine, engine.undo(s_prv)
+
+        secs, (engine, report) = timed(cascade)
+        # the cascade: undoing the enabler rolled the doall back too
+        assert len(report.undone) == 2, report.undone
+        assert programs_equal(engine.program, parse_program(src))
+        t.add(trip, round(secs * 1e3, 3), len(report.undone))
+        REPORT.value(f"undo_cascade_ms_trip{trip}", round(secs * 1e3, 3))
+    t.show()
+
+
+def test_e9_equivalence_vs_schedules():
+    banner("E9 — schedule-quantified equivalence cost")
+    t = REPORT.table(["trip (tasks)", "schedules", "check ms", "equivalent"],
+                     "E9 — equivalent_under_schedules cost")
+    for trip in TRIPS:
+        src = seq_src(trip)
+        orig = parse_program(src)
+        engine, _s_prv, _s_par = parallelize(src)
+        for n in SCHEDULES:
+            secs, eq = timed(
+                lambda: equivalent_under_schedules(orig, engine.program,
+                                                   n_schedules=n))
+            assert eq, f"safe parallelization not equivalent at n={n}"
+            t.add(trip, n, round(secs * 1e3, 3), eq)
+            REPORT.value(f"equiv_ms_trip{trip}_sched{n}",
+                         round(secs * 1e3, 3))
+    t.show()
+
+
+def test_e9_racy_parallelization_detected():
+    """Forcing PAR past its legality check is caught by the schedules."""
+    trip = TRIPS[0]
+    src = racy_src(trip)
+    orig = parse_program(src)
+    engine = TransformationEngine(parse_program(src))
+    loop = next(s for s in engine.program.walk()
+                if type(s).__name__ == "Loop")
+    assert not engine.find("par"), "carried dependence should disable PAR"
+    # bypass find(): force the illegal parallelization (check=False path)
+    engine.apply(Opportunity("par", {"loop": loop.sid}, "forced"))
+    eq = equivalent_under_schedules(orig, engine.program, n_schedules=6)
+    REPORT.value("racy_par_detected", not eq)
+    assert not eq, "racy doall escaped the schedule sweep"

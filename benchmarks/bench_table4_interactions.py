@@ -49,6 +49,19 @@ ENABLE_PROBES = [
     ("icm", "icm",
      "g = 2\ndo i = 1, 4\n  t = g * 3\n  u = t + g\n  A(i) = B(i) + u\n"
      "enddo\nwrite A(2)\n"),
+    # DCE enables PAR: deleting the dead scalar def removes the carried
+    # output dependence that blocked parallelization
+    ("dce", "par",
+     "do i = 1, 4\n  t = A(i)\n  B(i) = C(i) + 1\nenddo\nwrite B(2)\n"),
+    # ICM enables PAR: hoisting the invariant removes the in-loop scalar
+    # definition and its carried dependences
+    ("icm", "par",
+     "g = 2\ndo i = 1, 4\n  t = g * 3\n  A(i) = B(i) + t\nenddo\n"
+     "write A(2)\n"),
+    # PRV enables PAR: privatizing the temporary removes the carried
+    # scalar anti/output dependences
+    ("prv", "par",
+     "do i = 1, 4\n  t = A(i) + 1\n  B(i) = t * 2\nenddo\nwrite B(2)\n"),
 ]
 
 
@@ -79,6 +92,20 @@ def test_table4_rendering_and_deviation():
     REPORT.value("documented_deviations", len(devs))
     REPORT.value("enable_probes", len(ENABLE_PROBES))
     assert devs == EXPECTED_DEVIATIONS
+
+
+def test_extension_rows_registered():
+    """PAR and PRV ride the same registry/matrix machinery as the ten."""
+    from repro.core.interactions import extended_matrix, render_extended_table4
+    from repro.transforms.registry import EXTENSION_ORDER, REGISTRY
+
+    assert EXTENSION_ORDER == ("prv", "par")
+    for name in EXTENSION_ORDER:
+        assert name in REGISTRY
+        assert not REGISTRY[name].enables_published  # derived rows
+    m = extended_matrix()
+    assert m["prv"]["par"] and m["dce"]["par"] and m["icm"]["par"]
+    print(render_extended_table4())
 
 
 def test_published_entries_structure():

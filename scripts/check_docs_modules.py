@@ -24,6 +24,7 @@ SRC = ROOT / "src"
 DOCS = [ROOT / "docs" / "ARCHITECTURE.md",
         ROOT / "docs" / "OBSERVABILITY.md",
         ROOT / "docs" / "PAPER_MAP.md",
+        ROOT / "docs" / "PARALLEL.md",
         ROOT / "docs" / "PERSISTENCE.md",
         ROOT / "docs" / "SCALING.md"]
 

@@ -26,6 +26,16 @@ from repro.service.netserver import LineClient  # noqa: E402
 
 SRC = "c = 1\nx = c + 2\nd = e + f\nwrite x\nwrite d\n"
 
+#: a parallel program: one declared doall plus a loop PAR can transform
+PAR_SRC = ("doall i = 1, 4\n"
+           "  C(i) = D(i) * 2\n"
+           "enddoall\n"
+           "do i = 1, 8\n"
+           "  A(i) = B(i) + 1\n"
+           "enddo\n"
+           "write A(3)\n"
+           "write C(2)\n")
+
 STAMP_RE = re.compile(r"t(\d+)")
 
 
@@ -72,6 +82,25 @@ def main() -> int:
                    "ok:")
             expect("error format", client.request("charlie undo 999"),
                    "error: ")
+
+            # a parallel-program session: doall source over the wire,
+            # PAR applied, the undo explained, audit round-trip intact
+            par_prog = os.path.join(root, "par.loop")
+            with open(par_prog, "w") as fh:
+                fh.write(PAR_SRC)
+            expect("init delta (doall program)",
+                   client.request(f"delta init {par_prog}"),
+                   "created delta")
+            out = expect("apply par", client.request("delta apply par 0"),
+                         "applied")
+            par_stamp = int(STAMP_RE.search(out).group(1))
+            expect("undo par", client.request(f"delta undo {par_stamp}"),
+                   "undone")
+            explained = client.request(f"delta explain {par_stamp}")
+            assert "par" in explained and "undo" in explained, explained
+            print(f"ok: explain: {explained.splitlines()[0]}")
+            expect("audit check (delta)",
+                   client.request("delta audit check"), "ok:")
 
             sessions = client.request("_ sessions").split()
             assert {"alpha", "bravo", "charlie"} <= set(sessions), sessions

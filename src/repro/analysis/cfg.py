@@ -22,6 +22,7 @@ from repro.lang.ast_nodes import (
     Assign,
     IfStmt,
     Loop,
+    ParSections,
     Program,
     ReadStmt,
     Stmt,
@@ -175,6 +176,18 @@ def build_cfg(program: Program) -> CFG:
                 body_end = build_list(s.body, header.bid)
                 cfg.add_edge(body_end, header.bid)  # back edge
                 current = header.bid  # fall-through leaves via the header
+            elif isinstance(s, ParSections):
+                # canonical sequential schedule: sections wired in source
+                # order (interleavings are the scheduled interpreter's job)
+                header = cfg.new_block("par")
+                cfg.place(header, s.sid)
+                cfg.add_edge(current, header.bid)
+                cur = header.bid
+                for sec in s.sections:
+                    cur = build_list(sec, cur)
+                join = cfg.new_block("block")
+                cfg.add_edge(cur, join.bid)
+                current = join.bid
             elif isinstance(s, IfStmt):
                 cond = cfg.new_block("cond")
                 cfg.place(cond, s.sid)

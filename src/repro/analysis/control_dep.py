@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.lang.ast_nodes import IfStmt, Loop, Program, Stmt
+from repro.lang.ast_nodes import IfStmt, Loop, ParSections, Program, Stmt
 
 #: Region id of the whole-program region.
 ROOT_REGION = 0
@@ -25,7 +25,8 @@ class RegionNode:
     """One region node of the control-dependence tree."""
 
     rid: int
-    #: ``"root"``, ``"loop_body"``, ``"then"``, ``"else"``.
+    #: ``"root"``, ``"loop_body"``, ``"then"``, ``"else"``, or ``"secN"``
+    #: (one region per parallel section).
     kind: str
     #: sid of the predicate statement owning the region (-1 for root).
     owner_sid: int
@@ -140,6 +141,10 @@ def build_control_dep_tree(program: Program) -> ControlDepTree:
             if isinstance(s, Loop):
                 body = tree.new_region("loop_body", s.sid, rid)
                 build(s.body, body.rid)
+            elif isinstance(s, ParSections):
+                for i, sec in enumerate(s.sections):
+                    sec_r = tree.new_region(f"sec{i}", s.sid, rid)
+                    build(sec, sec_r.rid)
             elif isinstance(s, IfStmt):
                 then_r = tree.new_region("then", s.sid, rid)
                 build(s.then_body, then_r.rid)
@@ -155,6 +160,11 @@ def build_control_dep_tree(program: Program) -> ControlDepTree:
 _SLOT_KIND = {"body": "loop_body", "then": "then", "else": "else"}
 
 
+def _slot_kind(slot: str) -> str:
+    """Region kind for a container slot (``secN`` slots map to themselves)."""
+    return _SLOT_KIND.get(slot, slot)
+
+
 def region_of_container(tree: ControlDepTree, program: Program,
                         container: Tuple[int, str]) -> int:
     """Map a statement-container reference to the region holding its code."""
@@ -162,7 +172,7 @@ def region_of_container(tree: ControlDepTree, program: Program,
     if sid == 0:
         return ROOT_REGION
     # the region owned by this predicate with the matching slot
-    rid = tree.by_owner.get((sid, _SLOT_KIND[slot]))
+    rid = tree.by_owner.get((sid, _slot_kind(slot)))
     if rid is not None:
         return rid
     # container exists but holds no region (e.g. empty else): fall back to
@@ -182,7 +192,7 @@ def ensure_container_region(tree: ControlDepTree, program: Program,
     sid, slot = container
     if sid == 0:
         return ROOT_REGION
-    kind = _SLOT_KIND[slot]
+    kind = _slot_kind(slot)
     rid = tree.by_owner.get((sid, kind))
     if rid is not None:
         return rid
@@ -217,7 +227,7 @@ def update_control_tree(tree: ControlDepTree, program: Program,
             region = tree.regions.get(rid)
             if region is not None and sid in region.members:
                 region.members.remove(sid)
-        for kind in ("loop_body", "then", "else"):
+        for kind in _owned_kinds(tree, sid):
             owned = tree.by_owner.get((sid, kind))
             if owned is not None:
                 tree.drop_region(owned)
@@ -241,7 +251,7 @@ def update_control_tree(tree: ControlDepTree, program: Program,
         region.members = [c.sid for c in siblings
                           if tree.region_of.get(c.sid) == rid]
         # regions this statement owns follow it to its new parent region
-        for kind in ("loop_body", "then", "else"):
+        for kind in _owned_kinds(tree, s.sid):
             owned = tree.by_owner.get((s.sid, kind))
             if owned is None:
                 continue
@@ -253,6 +263,11 @@ def update_control_tree(tree: ControlDepTree, program: Program,
                 owned_region.parent = rid
                 tree.regions[rid].children.append(owned)
     return tree
+
+
+def _owned_kinds(tree: ControlDepTree, sid: int) -> List[str]:
+    """Region kinds owned by ``sid`` (``loop_body``/``then``/``else``/``secN``)."""
+    return [kind for (owner, kind) in tree.by_owner if owner == sid]
 
 
 def tree_signature(tree: ControlDepTree):

@@ -32,6 +32,8 @@ from repro.lang.ast_nodes import (
     Expr,
     IfStmt,
     Loop,
+    ParLoop,
+    ParSections,
     Program,
     ReadStmt,
     Stmt,
@@ -71,6 +73,28 @@ class Dependence:
             if d != EQ:
                 return i + 1
         return None
+
+
+@dataclass(frozen=True)
+class ParViolation:
+    """A dependence contradicting a declared-parallel region.
+
+    Inside a ``doall`` body iterations are declared independent, and
+    ``parbegin`` sections are declared independent of each other: a
+    dependence carried at the DOALL's level, or crossing two distinct
+    sections, is not an ordering edge the transformations must preserve —
+    it is evidence the parallel annotation is wrong.  The raw dependence
+    stays in :attr:`DependenceGraph.deps` (the incremental engine splices
+    edge lists and must agree with the from-scratch analysis statement by
+    statement); this classification is a derived view.
+    """
+
+    dep: Dependence
+    #: sid of the ``ParLoop`` or ``ParSections`` whose independence the
+    #: dependence contradicts.
+    region_sid: int
+    #: ``"loop-carried"`` or ``"cross-section"``.
+    reason: str
 
 
 # ---------------------------------------------------------------------------
@@ -312,17 +336,61 @@ class DependenceGraph:
         return [d for d in self.deps if d.src in srcs and d.dst in dsts]
 
     def carried_by(self, loop_sid: int) -> List[Dependence]:
-        """Dependences carried at the level of the given loop."""
+        """Dependences that may be carried at the level of the given loop.
+
+        A dependence can be carried at position ``k`` of its direction
+        vector only when the direction there is not ``=`` and every
+        outer direction admits ``=`` (an outer ``<`` already orders the
+        iterations, and an outer ``=`` that is exact keeps the pair in
+        the same iteration of this loop).  ``*`` entries are treated as
+        "may be ``=``", so an inner-carried dependence under a ``*``
+        still counts, but a vector that is exactly ``=`` at this level
+        never does — e.g. ``('=', '*')`` is carried by the inner loop
+        alone, not by the outer one.
+        """
         out = []
         for d in self.deps:
             loops = self._common_loops(d.src, d.dst)
-            lvl = d.level()
-            if lvl is not None and lvl <= len(loops) and loops[lvl - 1].sid == loop_sid:
-                out.append(d)
-            elif any(x == ANY for x in d.directions) and any(
-                    l.sid == loop_sid for l in loops):
-                out.append(d)
+            for k, l in enumerate(loops):
+                if l.sid != loop_sid:
+                    continue
+                if (k < len(d.directions)
+                        and d.directions[k] != EQ
+                        and all(x in (EQ, ANY) for x in d.directions[:k])):
+                    out.append(d)
+                break
         return out
+
+    def par_violations(self) -> List[ParViolation]:
+        """Dependences contradicting declared-parallel regions.
+
+        For every ``doall`` loop, the dependences carried at its level;
+        for every ``parbegin`` block, the dependences crossing two
+        distinct sections.  An empty result means every parallel
+        annotation in the program is consistent with the dependence
+        analysis (the static analogue of a race-free run).
+        """
+        out: List[ParViolation] = []
+        for s in self.program.walk():
+            if isinstance(s, ParLoop):
+                for d in self.carried_by(s.sid):
+                    out.append(ParViolation(d, s.sid, "loop-carried"))
+            elif isinstance(s, ParSections):
+                sec_of: Dict[int, int] = {}
+                for k, slot in enumerate(s.body_slots()):
+                    for child in s.get_body(slot):
+                        for node in _subtree(child):
+                            sec_of[node.sid] = k
+                for d in self.deps:
+                    ka = sec_of.get(d.src)
+                    kb = sec_of.get(d.dst)
+                    if ka is not None and kb is not None and ka != kb:
+                        out.append(ParViolation(d, s.sid, "cross-section"))
+        return out
+
+    def par_violations_at(self, region_sid: int) -> List[ParViolation]:
+        """The :meth:`par_violations` entries of one parallel region."""
+        return [v for v in self.par_violations() if v.region_sid == region_sid]
 
     def _common_loops(self, a: int, b: int) -> List[Loop]:
         la = self.program.enclosing_loops(a)

@@ -21,6 +21,8 @@ from repro.lang.ast_nodes import (
     Expr,
     IfStmt,
     Loop,
+    ParLoop,
+    ParSections,
     Program,
     ReadStmt,
     Stmt,
@@ -33,7 +35,9 @@ from repro.lang.builder import (
     assign,
     binop,
     const,
+    doall,
     loop,
+    parsections,
     prog,
     var,
 )
@@ -49,6 +53,8 @@ __all__ = [
     "Expr",
     "IfStmt",
     "Loop",
+    "ParLoop",
+    "ParSections",
     "Program",
     "ReadStmt",
     "Stmt",
@@ -59,7 +65,9 @@ __all__ = [
     "assign",
     "binop",
     "const",
+    "doall",
     "loop",
+    "parsections",
     "prog",
     "var",
     "ExecutionResult",

@@ -342,6 +342,73 @@ class Loop(Stmt):
                 and exprs_equal(self.upper, other.upper) and exprs_equal(self.step, other.step))
 
 
+class ParLoop(Loop):
+    """A ``doall var = lower, upper[, step]`` parallel loop.
+
+    Iterations are declared independent: the scheduled interpreter
+    (:mod:`repro.par.interp`) runs one task per iteration under an
+    explicit schedule, and the dependence analysis classifies any
+    loop-carried pair at this level as a *violation* rather than an
+    ordering edge (:meth:`repro.analysis.depend.DependenceGraph.par_violations`).
+    Under the sequential interpreter a DOALL runs in iteration order —
+    its canonical schedule — so a race-free DOALL is trace-equivalent to
+    the sequential loop it was parallelized from.
+
+    ``ParLoop`` subclasses :class:`Loop` deliberately: enclosing-loop
+    chains, direction vectors, header specs and the CFG all treat it as
+    a counted loop.  Exact-type checks (``type(s) is Loop``) keep the
+    sequential loop transformations from matching it where that matters.
+    """
+
+    __slots__ = ()
+
+    def clone_shallow(self) -> "ParLoop":
+        return ParLoop(self.var, self.lower.clone(), self.upper.clone(),
+                       self.step.clone(), [])
+
+
+class ParSections(Stmt):
+    """``parbegin`` … ``parend``: a fixed set of parallel sections.
+
+    Each section is a statement list; sections are declared independent
+    of each other (the scheduled interpreter runs one task per section).
+    Body slots are ``sec0`` … ``sec<n-1>`` so the container model, the
+    validator and snapshots handle sections like any other nested body.
+    """
+
+    __slots__ = ("sections",)
+
+    def __init__(self, sections: Optional[List[List["Stmt"]]] = None):
+        super().__init__()
+        self.sections: List[List[Stmt]] = \
+            sections if sections is not None else []
+
+    def expr_slots(self) -> Sequence[Tuple[str, Expr]]:
+        return []
+
+    def set_expr_slot(self, slot: str, e: Expr) -> None:
+        raise KeyError(slot)
+
+    def body_slots(self) -> Sequence[str]:
+        return tuple(f"sec{i}" for i in range(len(self.sections)))
+
+    def get_body(self, slot: str) -> List["Stmt"]:
+        """The statement list behind body slot ``slot``."""
+        if slot.startswith("sec"):
+            try:
+                idx = int(slot[3:])
+            except ValueError:
+                raise KeyError(slot) from None
+            if 0 <= idx < len(self.sections):
+                return self.sections[idx]
+        raise KeyError(slot)
+
+    def clone_shallow(self) -> "ParSections":
+        # the clone must keep the section count: copy machinery iterates
+        # the original's body slots and fills the clone's lists
+        return ParSections([[] for _ in self.sections])
+
+
 class IfStmt(Stmt):
     """``if (cond) then ... [else ...] endif``."""
 
@@ -758,6 +825,11 @@ def stmts_equal(a: Stmt, b: Stmt) -> bool:
         return (a.var == b.var and exprs_equal(a.lower, b.lower)
                 and exprs_equal(a.upper, b.upper) and exprs_equal(a.step, b.step)
                 and bodies_equal(a.body, b.body))
+    if isinstance(a, ParSections):
+        assert isinstance(b, ParSections)
+        return (len(a.sections) == len(b.sections)
+                and all(bodies_equal(x, y)
+                        for x, y in zip(a.sections, b.sections)))
     if isinstance(a, IfStmt):
         assert isinstance(b, IfStmt)
         return (exprs_equal(a.cond, b.cond) and bodies_equal(a.then_body, b.then_body)
@@ -822,6 +894,9 @@ def stmt_defuse(stmt: Stmt) -> DefUse:
         u = expr_vars(stmt.lower) | expr_vars(stmt.upper) | expr_vars(stmt.step)
         a = expr_arrays(stmt.lower) | expr_arrays(stmt.upper) | expr_arrays(stmt.step)
         return DefUse(frozenset([stmt.var]), frozenset(u), frozenset(), frozenset(a))
+    if isinstance(stmt, ParSections):
+        # no header expressions; sections are separate statements
+        return DefUse(frozenset(), frozenset(), frozenset(), frozenset())
     if isinstance(stmt, IfStmt):
         return DefUse(frozenset(), frozenset(expr_vars(stmt.cond)),
                       frozenset(), frozenset(expr_arrays(stmt.cond)))

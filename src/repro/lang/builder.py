@@ -19,6 +19,8 @@ from repro.lang.ast_nodes import (
     Expr,
     IfStmt,
     Loop,
+    ParLoop,
+    ParSections,
     Program,
     ReadStmt,
     Stmt,
@@ -92,6 +94,18 @@ def loop(index: str, lower: Exprish, upper: Exprish,
     """A counted ``do`` loop."""
     return Loop(index, _expr(lower), _expr(upper),
                 _expr(step) if step is not None else None, list(body))
+
+
+def doall(index: str, lower: Exprish, upper: Exprish,
+          body: Sequence[Stmt], step: Optional[Exprish] = None) -> ParLoop:
+    """A ``doall`` parallel loop."""
+    return ParLoop(index, _expr(lower), _expr(upper),
+                   _expr(step) if step is not None else None, list(body))
+
+
+def parsections(*sections: Sequence[Stmt]) -> ParSections:
+    """A ``parbegin`` … ``parend`` block, one argument per section."""
+    return ParSections([list(sec) for sec in sections])
 
 
 def if_(cond: Exprish, then_body: Sequence[Stmt],

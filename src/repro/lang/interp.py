@@ -41,6 +41,7 @@ from repro.lang.ast_nodes import (
     Expr,
     IfStmt,
     Loop,
+    ParSections,
     Program,
     ReadStmt,
     Stmt,
@@ -233,6 +234,13 @@ class Interpreter:
                     self.exec_stmt(c)
                 v = v + step
             self.scalars[s.var] = v
+            return
+        if isinstance(s, ParSections):
+            # canonical sequential schedule: sections run in source order
+            # (the scheduled interpreter in repro.par explores the rest)
+            for sec in s.sections:
+                for c in sec:
+                    self.exec_stmt(c)
             return
         if isinstance(s, IfStmt):
             branch = s.then_body if self.eval(s.cond) else s.else_body

@@ -13,6 +13,8 @@ from typing import Iterator, List
 KEYWORDS = frozenset({
     "do", "enddo", "if", "then", "else", "endif", "read", "write",
     "and", "or", "not",
+    # parallel constructs (docs/PARALLEL.md)
+    "doall", "enddoall", "parbegin", "parend", "section",
 })
 
 #: Multi-character operators, longest first so the scanner is greedy.

@@ -3,9 +3,11 @@
 Grammar (newline-terminated statements)::
 
     program   := stmt*
-    stmt      := assign | doloop | ifstmt | readstmt | writestmt
+    stmt      := assign | doloop | doall | parsec | ifstmt | readstmt | writestmt
     assign    := ref '=' expr NL
     doloop    := 'do' IDENT '=' expr ',' expr (',' expr)? NL stmt* 'enddo' NL
+    doall     := 'doall' IDENT '=' expr ',' expr (',' expr)? NL stmt* 'enddoall' NL
+    parsec    := 'parbegin' NL stmt* ('section' NL stmt*)* 'parend' NL
     ifstmt    := 'if' '(' expr ')' 'then' NL stmt* ('else' NL stmt*)? 'endif' NL
     readstmt  := 'read' ref NL
     writestmt := 'write' expr NL
@@ -29,6 +31,8 @@ from repro.lang.ast_nodes import (
     Expr,
     IfStmt,
     Loop,
+    ParLoop,
+    ParSections,
     Program,
     ReadStmt,
     Stmt,
@@ -155,6 +159,10 @@ class _Parser:
     def parse_stmt(self) -> Stmt:
         if self.at("kw", "do"):
             return self.parse_do()
+        if self.at("kw", "doall"):
+            return self.parse_doall()
+        if self.at("kw", "parbegin"):
+            return self.parse_parsections()
         if self.at("kw", "if"):
             return self.parse_if()
         if self.at("kw", "read"):
@@ -193,6 +201,35 @@ class _Parser:
         self.expect("kw", "enddo")
         self.end_of_stmt()
         return Loop(var, lower, upper, step, body)
+
+    def parse_doall(self) -> ParLoop:
+        self.expect("kw", "doall")
+        var = self.expect("ident").text
+        self.expect("op", "=")
+        lower = self.parse_expr()
+        self.expect("op", ",")
+        upper = self.parse_expr()
+        step: Optional[Expr] = None
+        if self.at("op", ","):
+            self.next()
+            step = self.parse_expr()
+        self.end_of_stmt()
+        body = self.parse_block(("enddoall",))
+        self.expect("kw", "enddoall")
+        self.end_of_stmt()
+        return ParLoop(var, lower, upper, step, body)
+
+    def parse_parsections(self) -> ParSections:
+        self.expect("kw", "parbegin")
+        self.end_of_stmt()
+        sections = [self.parse_block(("section", "parend"))]
+        while self.at("kw", "section"):
+            self.next()
+            self.end_of_stmt()
+            sections.append(self.parse_block(("section", "parend")))
+        self.expect("kw", "parend")
+        self.end_of_stmt()
+        return ParSections(sections)
 
     def parse_if(self) -> IfStmt:
         self.expect("kw", "if")

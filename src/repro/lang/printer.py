@@ -18,6 +18,8 @@ from repro.lang.ast_nodes import (
     Expr,
     IfStmt,
     Loop,
+    ParLoop,
+    ParSections,
     Program,
     ReadStmt,
     Stmt,
@@ -85,6 +87,28 @@ def _stmt_lines(s: Stmt, indent: int, show_labels: bool) -> List[str]:
     pre = _prefix(s, show_labels)
     if isinstance(s, Assign):
         return [f"{pre}{pad}{format_expr(s.target)} = {format_expr(s.expr)}"]
+    # ParLoop subclasses Loop: its branch must come first or a DOALL
+    # would silently print as a sequential ``do``
+    if isinstance(s, ParLoop):
+        hdr = f"{pre}{pad}doall {s.var} = {format_expr(s.lower)}, {format_expr(s.upper)}"
+        if not (isinstance(s.step, Const) and s.step.value == 1):
+            hdr += f", {format_expr(s.step)}"
+        lines = [hdr]
+        for c in s.body:
+            lines.extend(_stmt_lines(c, indent + 1, show_labels))
+        tail_pre = "     " if show_labels else ""
+        lines.append(f"{tail_pre}{pad}enddoall")
+        return lines
+    if isinstance(s, ParSections):
+        tail_pre = "     " if show_labels else ""
+        lines = [f"{pre}{pad}parbegin"]
+        for i, sec in enumerate(s.sections):
+            if i:
+                lines.append(f"{tail_pre}{pad}section")
+            for c in sec:
+                lines.extend(_stmt_lines(c, indent + 1, show_labels))
+        lines.append(f"{tail_pre}{pad}parend")
+        return lines
     if isinstance(s, Loop):
         hdr = f"{pre}{pad}do {s.var} = {format_expr(s.lower)}, {format_expr(s.upper)}"
         if not (isinstance(s.step, Const) and s.step.value == 1):

@@ -27,6 +27,8 @@ from repro.lang.ast_nodes import (
     Expr,
     IfStmt,
     Loop,
+    ParLoop,
+    ParSections,
     Program,
     ReadStmt,
     Stmt,
@@ -83,7 +85,8 @@ def parallel_loops(program: Program,
     if graph is None:
         graph = analyze_dependences(program)
     return [s.sid for s in program.walk()
-            if isinstance(s, Loop) and loop_parallelizable(graph, s)]
+            if isinstance(s, Loop)
+            and (isinstance(s, ParLoop) or loop_parallelizable(graph, s))]
 
 
 def estimate_cost(program: Program, processors: int = 8,
@@ -115,6 +118,13 @@ def estimate_cost(program: Program, processors: int = 8,
                 tfac = max(n / processors, 1.0) if is_doall else n
                 walk(s.body, trip_product * n, time_product * tfac,
                      in_parallel or is_doall)
+            elif isinstance(s, ParSections):
+                # sections run concurrently: work adds up, time is the
+                # per-section share (uniform split across processors)
+                nsec = max(len(s.sections), 1)
+                tfac = max(nsec / processors, 1.0) / nsec
+                for sec in s.sections:
+                    walk(sec, trip_product, time_product * tfac, True)
             elif isinstance(s, IfStmt):
                 walk(s.then_body, trip_product * 0.5, time_product * 0.5,
                      in_parallel)

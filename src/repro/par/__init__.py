@@ -1,0 +1,56 @@
+"""Scheduled-interleaving execution for parallel programs.
+
+The sequential interpreter gives ``doall`` loops and ``parbegin``
+sections their *canonical* schedule (source order).  This package makes
+the other schedules explicit: :mod:`repro.par.sched` defines
+deterministic schedulers (round-robin, seeded random, and boundary
+serializations), and :mod:`repro.par.interp` runs a parallel program
+under one of them — one task per ``doall`` iteration or ``parbegin``
+section — detecting write-write and read-write races on shared scalars
+and array elements and recording the per-statement interleaving trace.
+
+``equivalent_under_schedules`` is the schedule-quantified form of
+:func:`repro.lang.interp.traces_equivalent`: two programs are equivalent
+only when their observable traces agree under *every* sampled schedule,
+which is what distinguishes a racy parallelization from a safe one
+(cf. Mansky et al., "Specifying and Executing Optimizations for
+Parallel Programs").
+"""
+
+from repro.par.interp import (
+    ParExecutionResult,
+    ParInterpreter,
+    Race,
+    RaceError,
+    ScheduleLimitExceeded,
+    SchedulesExhausted,
+    equivalent_under_schedules,
+    run_parallel,
+)
+from repro.par.sched import (
+    BoundaryScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SerialScheduler,
+    make_scheduler,
+    schedule_suite,
+)
+
+__all__ = [
+    "ParExecutionResult",
+    "ParInterpreter",
+    "Race",
+    "RaceError",
+    "ScheduleLimitExceeded",
+    "SchedulesExhausted",
+    "equivalent_under_schedules",
+    "run_parallel",
+    "BoundaryScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SerialScheduler",
+    "make_scheduler",
+    "schedule_suite",
+]

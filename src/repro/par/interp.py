@@ -1,0 +1,445 @@
+"""Interleaving interpreter for parallel programs.
+
+Executes a program top-to-bottom like the sequential interpreter, but a
+``doall`` loop forks one *task* per iteration and a ``parbegin`` block
+one task per section; the region then advances one atomic statement at a
+time, with the :class:`~repro.par.sched.Scheduler` choosing which task
+runs at every step, until all tasks complete (fork-join).
+
+Semantics:
+
+* **Private indices** — a task's ``doall`` index, and any loop index a
+  task assigns while iterating a nested loop, live in a task-private
+  overlay: iteration mechanics never race (this mirrors the dependence
+  analysis, which excludes a header's definition of its own variable).
+* **Shared everything else** — scalars and array elements are shared;
+  every read/write of shared state inside a region is logged per task.
+* **Races** — after each region joins, any location touched by two or
+  more tasks with at least one write is reported as a ``ww`` or ``rw``
+  :class:`Race`.  Detection is schedule-independent: the access sets,
+  not the observed ordering, decide.  I/O statements inside tasks are
+  treated as writes to a single shared stream location, so concurrent
+  I/O always races (the paper's §4.2 rule that I/O must not reorder).
+* **Nested parallelism** — a parallel construct nested inside a task
+  body runs sequentially within that task (its index still private).
+* **Budget** — ``max_steps`` caps one run, i.e. one schedule; the
+  distinct :class:`ScheduleLimitExceeded` lets a sweep skip a starved
+  schedule, and :class:`SchedulesExhausted` surfaces the case where no
+  schedule finished at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    Expr,
+    IfStmt,
+    Loop,
+    ParLoop,
+    ParSections,
+    Program,
+    ReadStmt,
+    Stmt,
+    VarRef,
+    WriteStmt,
+)
+from repro.lang.interp import (
+    DEFAULT_EXTENT,
+    DEFAULT_MAX_STEPS,
+    ExecutionLimitExceeded,
+    ExecutionResult,
+    Interpreter,
+    Number,
+)
+from repro.par.sched import Scheduler, make_scheduler, schedule_suite
+
+#: shared-location key: ``("s", name)``, ``("a", name, index)``, ``("io",)``.
+SharedLoc = Tuple
+
+
+class ScheduleLimitExceeded(ExecutionLimitExceeded):
+    """One schedule exceeded its per-schedule statement budget."""
+
+
+class SchedulesExhausted(RuntimeError):
+    """Every sampled schedule exceeded the budget — no verdict possible."""
+
+
+@dataclass(frozen=True)
+class Race:
+    """One detected race on a shared location within a parallel region."""
+
+    #: ``"ww"`` (two writers) or ``"rw"`` (readers against one writer).
+    kind: str
+    #: the shared location (see :data:`SharedLoc`).
+    location: SharedLoc
+    #: region-local ids of the tasks involved.
+    tasks: Tuple[int, ...]
+    #: witness statement sids, one per involved task.
+    sids: Tuple[int, ...]
+
+    def describe(self) -> str:
+        """Human-readable one-liner naming the location, kind and tasks."""
+        if self.location[0] == "s":
+            what = f"scalar {self.location[1]}"
+        elif self.location[0] == "a":
+            what = f"{self.location[1]}({', '.join(map(str, self.location[2]))})"
+        else:
+            what = "the I/O stream"
+        return (f"{self.kind} race on {what} between tasks "
+                f"{list(self.tasks)} (S{', S'.join(map(str, self.sids))})")
+
+
+class RaceError(RuntimeError):
+    """Raised in ``on_race='raise'`` mode when a region joins with races."""
+
+    def __init__(self, races: Sequence[Race]):
+        super().__init__("; ".join(r.describe() for r in races))
+        self.races = list(races)
+
+
+@dataclass
+class ParExecutionResult(ExecutionResult):
+    """Outcome of one scheduled run."""
+
+    #: races detected across all parallel regions of the run.
+    races: List[Race] = field(default_factory=list)
+    #: per-statement interleaving trace: ``(region, task, sid)``; the
+    #: sequential main thread is region 0, task 0.
+    interleaving: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: scheduler kind that drove the run.
+    schedule: str = ""
+
+
+class _Task:
+    __slots__ = ("tid", "gen", "overlay")
+
+    def __init__(self, tid, gen, overlay):
+        self.tid = tid
+        self.gen = gen
+        self.overlay = overlay
+
+
+class ParInterpreter(Interpreter):
+    """Executes a program under an explicit schedule."""
+
+    def __init__(self, program: Program,
+                 scheduler: Union[Scheduler, str] = "round-robin", *,
+                 seed: int = 0, extent: int = DEFAULT_EXTENT,
+                 max_steps: int = DEFAULT_MAX_STEPS,
+                 inputs: Optional[Sequence[Number]] = None,
+                 on_race: str = "record"):
+        super().__init__(program, seed=seed, extent=extent,
+                         max_steps=max_steps, inputs=inputs)
+        if isinstance(scheduler, str):
+            scheduler = make_scheduler(scheduler)
+        self.scheduler = scheduler
+        if on_race not in ("record", "raise"):
+            raise ValueError(f"on_race must be 'record' or 'raise', "
+                             f"not {on_race!r}")
+        self.on_race = on_race
+        self.races: List[Race] = []
+        self.interleaving: List[Tuple[int, int, int]] = []
+        self._region_seq = 0
+        self._cur_tid: Optional[int] = None
+        self._cur_sid: int = -1
+        self._active_overlay: Optional[Dict[str, Number]] = None
+        #: location → task id → access kinds seen ({"r","w"} subsets)
+        self._region_acc: Optional[Dict[SharedLoc, Dict[int, Set[str]]]] = None
+        #: (location, task) → first witness sid
+        self._region_wit: Dict[Tuple[SharedLoc, int], int] = {}
+
+    # -- budget ---------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise ScheduleLimitExceeded(
+                f"schedule exceeded {self.max_steps} statements")
+
+    # -- shared-access recording ----------------------------------------------
+
+    def _note(self, kind: str, loc: SharedLoc) -> None:
+        if self._region_acc is None or self._cur_tid is None:
+            return
+        by_task = self._region_acc.setdefault(loc, {})
+        by_task.setdefault(self._cur_tid, set()).add(kind)
+        self._region_wit.setdefault((loc, self._cur_tid), self._cur_sid)
+
+    def eval(self, e: Expr) -> Number:
+        if isinstance(e, VarRef):
+            ov = self._active_overlay
+            if ov is not None and e.name in ov:
+                return ov[e.name]
+            self._note("r", ("s", e.name))
+            return self.get_scalar(e.name)
+        if isinstance(e, ArrayRef):
+            a = self._array(e.name, len(e.subscripts))
+            idx = self._index([self.eval(s) for s in e.subscripts], a)
+            self._note("r", ("a", e.name, idx))
+            return float(a[idx])
+        return super().eval(e)
+
+    def _store(self, target: Expr, value: Number) -> None:
+        if isinstance(target, VarRef):
+            ov = self._active_overlay
+            if ov is not None and target.name in ov:
+                ov[target.name] = value
+                return
+            self._note("w", ("s", target.name))
+            self.scalars[target.name] = value
+            return
+        if isinstance(target, ArrayRef):
+            a = self._array(target.name, len(target.subscripts))
+            idx = self._index([self.eval(s) for s in target.subscripts], a)
+            self._note("w", ("a", target.name, idx))
+            a[idx] = value
+            return
+        super()._store(target, value)
+
+    def _exec_atomic(self, s: Stmt) -> None:
+        """One atomic statement, with I/O counted as a shared-stream write."""
+        self._cur_sid = s.sid
+        if isinstance(s, (ReadStmt, WriteStmt)):
+            self._note("w", ("io",))
+        Interpreter.exec_stmt(self, s)
+
+    # -- task generators ------------------------------------------------------
+
+    def _task_gen(self, stmts: Sequence[Stmt], overlay: Dict[str, Number]):
+        for s in stmts:
+            yield from self._steps(s, overlay)
+
+    def _steps(self, s: Stmt, overlay: Dict[str, Number]):
+        """Yield once per atomic step while executing ``s`` in a task."""
+        if isinstance(s, (Assign, ReadStmt, WriteStmt)):
+            self._exec_atomic(s)
+            yield s.sid
+            return
+        if isinstance(s, Loop):
+            # covers ParLoop too: nested parallel loops run sequentially
+            # within their task, the index private either way
+            self._cur_sid = s.sid
+            lower = self.eval(s.lower)
+            upper = self.eval(s.upper)
+            step = self.eval(s.step)
+            if step == 0:
+                raise ExecutionLimitExceeded("zero loop step")
+            self._tick()
+            yield s.sid
+            v = lower
+            while (step > 0 and v <= upper) or (step < 0 and v >= upper):
+                overlay[s.var] = v
+                for c in s.body:
+                    yield from self._steps(c, overlay)
+                v = v + step
+            overlay[s.var] = v
+            return
+        if isinstance(s, ParSections):
+            self._tick()
+            yield s.sid
+            for sec in s.sections:
+                for c in sec:
+                    yield from self._steps(c, overlay)
+            return
+        if isinstance(s, IfStmt):
+            self._cur_sid = s.sid
+            branch = s.then_body if self.eval(s.cond) else s.else_body
+            self._tick()
+            yield s.sid
+            for c in branch:
+                yield from self._steps(c, overlay)
+            return
+        raise TypeError(f"unknown statement node: {s!r}")
+
+    # -- regions --------------------------------------------------------------
+
+    def _run_region(self, tasks: List[_Task]) -> None:
+        self._region_seq += 1
+        region = self._region_seq
+        self._region_acc = {}
+        self._region_wit = {}
+        runnable = list(tasks)
+        step = 0
+        try:
+            while runnable:
+                tids = [t.tid for t in runnable]
+                tid = self.scheduler.pick(tids, step)
+                if tid not in tids:  # pragma: no cover - scheduler bug guard
+                    raise ValueError(
+                        f"scheduler picked non-runnable task {tid}")
+                task = next(t for t in runnable if t.tid == tid)
+                self._cur_tid = task.tid
+                self._active_overlay = task.overlay
+                try:
+                    sid = next(task.gen)
+                except StopIteration:
+                    runnable.remove(task)
+                else:
+                    self.interleaving.append((region, task.tid, sid))
+                finally:
+                    self._cur_tid = None
+                    self._active_overlay = None
+                step += 1
+        finally:
+            acc, self._region_acc = self._region_acc, None
+            wit, self._region_wit = self._region_wit, {}
+            new_races = self._finalize_races(acc, wit)
+            self.races.extend(new_races)
+        if new_races and self.on_race == "raise":
+            raise RaceError(new_races)
+
+    @staticmethod
+    def _finalize_races(acc, wit) -> List[Race]:
+        races: List[Race] = []
+        for loc in sorted(acc, key=repr):
+            by_task = acc[loc]
+            if len(by_task) < 2:
+                continue
+            writers = [t for t, kinds in by_task.items() if "w" in kinds]
+            if not writers:
+                continue
+            kind = "ww" if len(writers) >= 2 else "rw"
+            tasks = tuple(sorted(by_task))
+            races.append(Race(kind=kind, location=loc, tasks=tasks,
+                              sids=tuple(wit[(loc, t)] for t in tasks)))
+        return races
+
+    def _run_parloop(self, s: ParLoop) -> None:
+        self._cur_sid = s.sid
+        lower = self.eval(s.lower)
+        upper = self.eval(s.upper)
+        step = self.eval(s.step)
+        if step == 0:
+            raise ExecutionLimitExceeded("zero loop step")
+        self._tick()
+        self.interleaving.append((0, 0, s.sid))
+        tasks: List[_Task] = []
+        v = lower
+        while (step > 0 and v <= upper) or (step < 0 and v >= upper):
+            overlay = {s.var: v}
+            tasks.append(_Task(len(tasks),
+                               self._task_gen(s.body, overlay), overlay))
+            v = v + step
+        self._run_region(tasks)
+        # canonical final index value, matching the sequential loop
+        self.scalars[s.var] = v
+
+    def _run_parsections(self, s: ParSections) -> None:
+        self._tick()
+        self.interleaving.append((0, 0, s.sid))
+        tasks = []
+        for k, sec in enumerate(s.sections):
+            overlay: Dict[str, Number] = {}
+            tasks.append(_Task(k, self._task_gen(sec, overlay), overlay))
+        self._run_region(tasks)
+
+    # -- top-level walk -------------------------------------------------------
+
+    def _exec_top(self, s: Stmt) -> None:
+        if isinstance(s, ParLoop):
+            self._run_parloop(s)
+            return
+        if isinstance(s, ParSections):
+            self._run_parsections(s)
+            return
+        if isinstance(s, Loop):
+            self._cur_sid = s.sid
+            lower = self.eval(s.lower)
+            upper = self.eval(s.upper)
+            step = self.eval(s.step)
+            if step == 0:
+                raise ExecutionLimitExceeded("zero loop step")
+            self._tick()
+            self.interleaving.append((0, 0, s.sid))
+            v = lower
+            while (step > 0 and v <= upper) or (step < 0 and v >= upper):
+                self.scalars[s.var] = v
+                for c in s.body:
+                    self._exec_top(c)
+                v = v + step
+            self.scalars[s.var] = v
+            return
+        if isinstance(s, IfStmt):
+            self._cur_sid = s.sid
+            branch = s.then_body if self.eval(s.cond) else s.else_body
+            self._tick()
+            self.interleaving.append((0, 0, s.sid))
+            for c in branch:
+                self._exec_top(c)
+            return
+        self._exec_atomic(s)
+        self.interleaving.append((0, 0, s.sid))
+
+    def run(self) -> ParExecutionResult:
+        """Execute the whole program under the schedule."""
+        for s in self.program.body:
+            self._exec_top(s)
+        return ParExecutionResult(
+            output=list(self.output),
+            scalars=dict(self.scalars),
+            arrays={k: v.copy() for k, v in self.arrays.items()},
+            steps=self.steps,
+            races=list(self.races),
+            interleaving=list(self.interleaving),
+            schedule=self.scheduler.kind,
+        )
+
+
+def run_parallel(p: Program, scheduler: Union[Scheduler, str] = "round-robin",
+                 *, seed: int = 0, extent: int = DEFAULT_EXTENT,
+                 max_steps: int = DEFAULT_MAX_STEPS,
+                 inputs: Optional[Sequence[Number]] = None,
+                 on_race: str = "record") -> ParExecutionResult:
+    """Run ``p`` once under ``scheduler`` with a fresh seeded environment."""
+    return ParInterpreter(p, scheduler, seed=seed, extent=extent,
+                          max_steps=max_steps, inputs=inputs,
+                          on_race=on_race).run()
+
+
+def equivalent_under_schedules(p1: Program, p2: Program, *,
+                               n_schedules: int = 6, seed: int = 0,
+                               extent: int = DEFAULT_EXTENT,
+                               max_steps: int = DEFAULT_MAX_STEPS) -> bool:
+    """Schedule-quantified observable equivalence.
+
+    Runs both programs under each of ``n_schedules`` sampled schedules
+    (same scheduler spec and environment seed on both sides) and compares
+    output traces.  ``True`` only when every compared schedule agreed —
+    the schedule-quantified analogue of
+    :func:`repro.lang.interp.traces_equivalent`.
+
+    A schedule where *both* runs blow the per-schedule budget is skipped;
+    a one-sided overrun is inequivalence.  If every schedule was skipped
+    the sweep has no evidence either way and raises
+    :class:`SchedulesExhausted` rather than guessing.
+    """
+    compared = 0
+    for i, (kind, sseed) in enumerate(schedule_suite(n_schedules, seed)):
+        env_seed = seed + 1009 * i
+        try:
+            r1 = run_parallel(p1, make_scheduler(kind, sseed), seed=env_seed,
+                              extent=extent, max_steps=max_steps)
+        except ExecutionLimitExceeded:
+            try:
+                run_parallel(p2, make_scheduler(kind, sseed), seed=env_seed,
+                             extent=extent, max_steps=max_steps)
+            except ExecutionLimitExceeded:
+                continue  # both starved under this schedule: no verdict
+            return False
+        try:
+            r2 = run_parallel(p2, make_scheduler(kind, sseed), seed=env_seed,
+                              extent=extent, max_steps=max_steps)
+        except ExecutionLimitExceeded:
+            return False
+        compared += 1
+        if not r1.trace_equal(r2):
+            return False
+    if compared == 0:
+        raise SchedulesExhausted(
+            f"all {n_schedules} schedules exceeded {max_steps} steps")
+    return True

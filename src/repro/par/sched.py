@@ -1,0 +1,147 @@
+"""Explicit schedules for the interleaving interpreter.
+
+A *schedule* decides, at every step of a parallel region, which runnable
+task advances by one atomic statement.  All schedulers here are
+deterministic functions of their construction parameters, so running the
+original and the transformed program under the same spec replays the
+same interleaving decisions — the precondition for schedule-quantified
+equivalence checking.
+
+The suite deliberately mixes three families:
+
+* **serializations** (``serial-forward`` / ``serial-reverse``) — the
+  boundary schedules; a loop-carried dependence shows up as a trace
+  difference under the reverse serialization even when every finer
+  interleaving happens to agree,
+* **round-robin** — maximal interleaving at statement granularity,
+* **seeded random** — everything in between.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+
+class Scheduler:
+    """Picks the next task to advance.  Subclasses are deterministic."""
+
+    #: short name used in traces and error messages.
+    kind: str = "abstract"
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        """Return one element of ``runnable`` (non-empty)."""
+        raise NotImplementedError
+
+    def fork(self) -> "Scheduler":
+        """A fresh scheduler replaying the same decisions from step 0."""
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through the runnable tasks, starting at ``offset``."""
+
+    kind = "round-robin"
+
+    def __init__(self, offset: int = 0):
+        self.offset = offset
+        self._count = 0
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        choice = runnable[(self._count + self.offset) % len(runnable)]
+        self._count += 1
+        return choice
+
+    def fork(self) -> "RoundRobinScheduler":
+        return RoundRobinScheduler(self.offset)
+
+
+class RandomScheduler(Scheduler):
+    """Uniform seeded choice among the runnable tasks."""
+
+    kind = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        return self._rng.choice(list(runnable))
+
+    def fork(self) -> "RandomScheduler":
+        return RandomScheduler(self.seed)
+
+
+class SerialScheduler(Scheduler):
+    """Run each task to completion before starting the next.
+
+    ``reverse=False`` reproduces the canonical (source-order) schedule;
+    ``reverse=True`` is the boundary serialization that exposes
+    loop-carried dependences: the last iteration runs first.
+    """
+
+    kind = "serial"
+
+    def __init__(self, reverse: bool = False):
+        self.reverse = reverse
+        self.kind = "serial-reverse" if reverse else "serial-forward"
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        return max(runnable) if self.reverse else min(runnable)
+
+    def fork(self) -> "SerialScheduler":
+        return SerialScheduler(self.reverse)
+
+
+class BoundaryScheduler(Scheduler):
+    """Alternate between the first and the last runnable task.
+
+    Interleaves the boundary iterations as tightly as possible — the
+    adversarial pattern for off-by-one sharing at region edges.
+    """
+
+    kind = "boundary"
+
+    def __init__(self, start_high: bool = False):
+        self.start_high = start_high
+        self._count = 1 if start_high else 0
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        choice = max(runnable) if self._count % 2 else min(runnable)
+        self._count += 1
+        return choice
+
+    def fork(self) -> "BoundaryScheduler":
+        return BoundaryScheduler(self.start_high)
+
+
+def make_scheduler(kind: str, seed: int = 0) -> Scheduler:
+    """Instantiate a scheduler from a ``(kind, seed)`` spec."""
+    if kind == "round-robin":
+        return RoundRobinScheduler(seed)
+    if kind == "random":
+        return RandomScheduler(seed)
+    if kind == "serial-forward":
+        return SerialScheduler(reverse=False)
+    if kind == "serial-reverse":
+        return SerialScheduler(reverse=True)
+    if kind == "boundary":
+        return BoundaryScheduler(start_high=bool(seed % 2))
+    raise ValueError(f"unknown scheduler kind {kind!r}")
+
+
+def schedule_suite(n_schedules: int, seed: int = 0) -> List[Tuple[str, int]]:
+    """``(kind, seed)`` specs for an equivalence sweep.
+
+    The first four slots are the fixed adversarial/boundary schedules;
+    further slots are seeded random schedules.  Pass each spec to
+    :func:`make_scheduler` once per program run.
+    """
+    fixed = [("serial-forward", 0), ("serial-reverse", 0),
+             ("round-robin", 0), ("boundary", 0)]
+    suite = fixed[:max(n_schedules, 0)]
+    k = 0
+    while len(suite) < n_schedules:
+        suite.append(("random", seed + 7919 * k))
+        k += 1
+    return suite

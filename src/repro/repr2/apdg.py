@@ -17,7 +17,17 @@ from repro.analysis.depend import analyze_dependences
 from repro.analysis.pdg import PDG, build_pdg
 from repro.analysis.summaries import RegionSummaries, build_summaries
 from repro.core.annotations import AnnotationStore
-from repro.lang.ast_nodes import Assign, IfStmt, Loop, Program, ReadStmt, Stmt, WriteStmt
+from repro.lang.ast_nodes import (
+    Assign,
+    IfStmt,
+    Loop,
+    ParLoop,
+    ParSections,
+    Program,
+    ReadStmt,
+    Stmt,
+    WriteStmt,
+)
 from repro.lang.printer import format_expr
 
 
@@ -44,8 +54,12 @@ def build_apdg(program: Program, store: AnnotationStore) -> APDG:
 def _stmt_head(s: Stmt) -> str:
     if isinstance(s, Assign):
         return f"{format_expr(s.target)} = {format_expr(s.expr)}"
+    if isinstance(s, ParLoop):
+        return f"doall {s.var} = {format_expr(s.lower)}, {format_expr(s.upper)}"
     if isinstance(s, Loop):
         return f"do {s.var} = {format_expr(s.lower)}, {format_expr(s.upper)}"
+    if isinstance(s, ParSections):
+        return f"parbegin ({len(s.sections)} sections)"
     if isinstance(s, IfStmt):
         return f"if ({format_expr(s.cond)})"
     if isinstance(s, ReadStmt):

@@ -46,6 +46,8 @@ from repro.lang.ast_nodes import (
     Expr,
     IfStmt,
     Loop,
+    ParLoop,
+    ParSections,
     Program,
     ReadStmt,
     Stmt,
@@ -153,10 +155,19 @@ def stmt_to_doc(s: Stmt) -> Dict[str, Any]:
     if isinstance(s, Assign):
         base.update(t="assign", target=expr_to_doc(s.target),
                     expr=expr_to_doc(s.expr))
+    elif isinstance(s, ParLoop):
+        # before Loop: a DOALL must not be flattened into a ``loop`` doc
+        base.update(t="parloop", var=s.var, lower=expr_to_doc(s.lower),
+                    upper=expr_to_doc(s.upper), step=expr_to_doc(s.step),
+                    body=[stmt_to_doc(c) for c in s.body])
     elif isinstance(s, Loop):
         base.update(t="loop", var=s.var, lower=expr_to_doc(s.lower),
                     upper=expr_to_doc(s.upper), step=expr_to_doc(s.step),
                     body=[stmt_to_doc(c) for c in s.body])
+    elif isinstance(s, ParSections):
+        base.update(t="parsec",
+                    sections=[[stmt_to_doc(c) for c in sec]
+                              for sec in s.sections])
     elif isinstance(s, IfStmt):
         base.update(t="if", cond=expr_to_doc(s.cond),
                     then=[stmt_to_doc(c) for c in s.then_body],
@@ -179,6 +190,13 @@ def stmt_from_doc(doc: Dict[str, Any]) -> Stmt:
         s = Loop(doc["var"], expr_from_doc(doc["lower"]),
                  expr_from_doc(doc["upper"]), expr_from_doc(doc["step"]),
                  [stmt_from_doc(c) for c in doc["body"]])
+    elif t == "parloop":
+        s = ParLoop(doc["var"], expr_from_doc(doc["lower"]),
+                    expr_from_doc(doc["upper"]), expr_from_doc(doc["step"]),
+                    [stmt_from_doc(c) for c in doc["body"]])
+    elif t == "parsec":
+        s = ParSections([[stmt_from_doc(c) for c in sec]
+                         for sec in doc["sections"]])
     elif t == "if":
         s = IfStmt(expr_from_doc(doc["cond"]),
                    [stmt_from_doc(c) for c in doc["then"]],

@@ -44,8 +44,12 @@ class DeadCodeElimination(Transformation):
 
     name = "dce"
     full_name = "Dead Code Elimination"
-    # Table 4, row DCE (published).
-    enables = frozenset({"dce", "cse", "cpp", "icm", "fus", "inx"})
+    # Table 4, row DCE (published), extended with the parallel columns:
+    # deleting a dead in-loop definition can remove a carried scalar
+    # dependence (enabling PAR) and can make a remaining scalar
+    # write-before-read (enabling PRV).
+    enables = frozenset({"dce", "cse", "cpp", "icm", "fus", "inx",
+                         "par", "prv"})
     enables_published = True
 
     # -- find -----------------------------------------------------------------

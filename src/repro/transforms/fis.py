@@ -117,7 +117,7 @@ class LoopFission(Transformation):
     def find(self, program: Program, cache: AnalysisCache) -> List[Opportunity]:
         out: List[Opportunity] = []
         for s in program.walk():
-            if not isinstance(s, Loop) or len(s.body) < 2:
+            if type(s) is not Loop or len(s.body) < 2:  # sequential only
                 continue
             for boundary in range(1, len(s.body)):
                 if _split_legal(program, s, boundary):

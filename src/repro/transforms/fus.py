@@ -62,8 +62,8 @@ class LoopFusion(Transformation):
                 containers.append((s.sid, slot, s.get_body(slot)))
         for _csid, _slot, lst in containers:
             for a, b in zip(lst, lst[1:]):
-                if not (isinstance(a, Loop) and isinstance(b, Loop)):
-                    continue
+                if not (type(a) is Loop and type(b) is Loop):
+                    continue  # sequential loops only (not DOALL)
                 if not a.header_equal(b):
                     continue
                 if contains_io(a) and contains_io(b):

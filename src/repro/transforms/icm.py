@@ -110,14 +110,16 @@ class InvariantCodeMotion(Transformation):
 
     name = "icm"
     full_name = "Invariant Code Motion"
-    # Table 4, row ICM (published).
-    enables = frozenset({"cse", "icm", "fus", "inx"})
+    # Table 4, row ICM (published), extended with the parallel column:
+    # hoisting an invariant scalar definition out of a loop removes the
+    # carried scalar dependence it caused, enabling PAR.
+    enables = frozenset({"cse", "icm", "fus", "inx", "par"})
     enables_published = True
 
     def find(self, program: Program, cache: AnalysisCache) -> List[Opportunity]:
         out: List[Opportunity] = []
         for s in program.walk():
-            if not isinstance(s, Loop):
+            if type(s) is not Loop:  # sequential loops only (not DOALL)
                 continue
             for member in s.body:
                 if isinstance(member, Assign) and _hoistable(program, s, member):

@@ -84,7 +84,7 @@ class LoopInterchanging(Transformation):
         graph = cache.dependences()
         out: List[Opportunity] = []
         for s in program.walk():
-            if not isinstance(s, Loop):
+            if type(s) is not Loop:  # sequential loops only (not DOALL)
                 continue
             inner = tight_nest(program, s)
             if inner is None or inner.var == s.var:

@@ -90,7 +90,7 @@ class LoopUnrolling(Transformation):
     def find(self, program: Program, cache: AnalysisCache) -> List[Opportunity]:
         out: List[Opportunity] = []
         for s in program.walk():
-            if isinstance(s, Loop) and _unrollable(s):
+            if type(s) is Loop and _unrollable(s):  # sequential only
                 out.append(Opportunity(
                     self.name, {"loop": s.sid},
                     f"unroll S{s.sid} ({s.var}) by 2"))

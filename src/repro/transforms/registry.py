@@ -1,4 +1,12 @@
-"""Registry of the ten transformations, keyed by their Table 4 codes."""
+"""Registry of the transformations, keyed by their Table 4 codes.
+
+The ten of the paper's Table 4 come first; ``par`` and ``prv`` are
+extension transformations (parallelization and its enabler) registered
+through the same protocol.  ``TABLE4_ORDER`` deliberately stays the
+published ten — the reverse-destroy heuristic of :mod:`repro.core.undo`
+only ever *skips* re-checks for Table 4 transformations, so extensions
+are always safety-rechecked after an undo.
+"""
 
 from __future__ import annotations
 
@@ -14,11 +22,16 @@ from repro.transforms.fus import LoopFusion
 from repro.transforms.icm import InvariantCodeMotion
 from repro.transforms.inx import LoopInterchanging
 from repro.transforms.lur import LoopUnrolling
+from repro.transforms.par import LoopParallelization
+from repro.transforms.prv import ScalarPrivatization
 from repro.transforms.smi import StripMining
 
-#: Table 4 column/row order.
+#: Table 4 column/row order (the published ten; extensions excluded).
 TABLE4_ORDER = ("dce", "cse", "ctp", "cpp", "cfo", "icm", "lur", "smi",
                 "fus", "inx")
+
+#: Extension transformations, in registry order after the ten.
+EXTENSION_ORDER = ("prv", "par")
 
 REGISTRY: Dict[str, Transformation] = {
     t.name: t for t in (
@@ -32,6 +45,8 @@ REGISTRY: Dict[str, Transformation] = {
         StripMining(),
         LoopFusion(),
         LoopInterchanging(),
+        ScalarPrivatization(),
+        LoopParallelization(),
     )
 }
 
@@ -42,5 +57,5 @@ def get_transformation(name: str) -> Transformation:
 
 
 def all_names() -> List[str]:
-    """All transformation codes, in Table 4 order."""
-    return list(TABLE4_ORDER)
+    """All transformation codes: Table 4 order, then extensions."""
+    return list(TABLE4_ORDER) + list(EXTENSION_ORDER)

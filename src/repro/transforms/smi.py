@@ -70,7 +70,7 @@ class StripMining(Transformation):
     def find(self, program: Program, cache: AnalysisCache) -> List[Opportunity]:
         out: List[Opportunity] = []
         for s in program.walk():
-            if not isinstance(s, Loop):
+            if type(s) is not Loop:  # sequential loops only (not DOALL)
                 continue
             if not (isinstance(s.step, Const) and s.step.value == 1):
                 continue

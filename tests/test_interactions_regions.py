@@ -62,7 +62,19 @@ class TestMatrix:
 
     def test_enables_only_known_codes(self):
         for t in REGISTRY.values():
-            assert t.enables <= set(TABLE4_ORDER)
+            assert t.enables <= set(all_names())
+
+    def test_extended_matrix_covers_extensions(self):
+        from repro.core.interactions import extended_matrix, render_extended_table4
+
+        m = extended_matrix()
+        assert set(m) == set(all_names())
+        assert m["prv"]["par"] and m["prv"]["inx"]
+        assert m["dce"]["par"] and m["dce"]["prv"]
+        assert m["icm"]["par"]
+        assert not any(m["par"].values())  # PAR enables nothing
+        text = render_extended_table4()
+        assert "PAR" in text and "PRV" in text
 
 
 class TestRegions:

@@ -15,6 +15,8 @@ from repro.lang.ast_nodes import (
     Const,
     IfStmt,
     Loop,
+    ParLoop,
+    ParSections,
     ReadStmt,
     UnaryOp,
     VarRef,
@@ -69,6 +71,14 @@ def stmts(depth=1):
                   st.sampled_from(["i", "j", "k"]),
                   st.integers(1, 3), st.integers(1, 5), body),
         st.builds(lambda c, t: IfStmt(c, t, []), exprs(1), body),
+        # parallel constructs ride the same grammar: doall loops and
+        # parbegin/section/parend blocks with 2-3 sections
+        st.builds(lambda v, lo, hi, b: ParLoop(v, Const(lo), Const(hi),
+                                               None, b),
+                  st.sampled_from(["i", "j", "k"]),
+                  st.integers(1, 3), st.integers(1, 5), body),
+        st.builds(ParSections,
+                  st.lists(body, min_size=2, max_size=3)),
     )
 
 
@@ -105,3 +115,19 @@ def test_snapshot_equals_original(p):
     snap = p.snapshot()
     assert programs_equal(p, snap)
     validate_program(snap)
+
+
+parallel_programs = programs.filter(
+    lambda p: any(isinstance(s, (ParLoop, ParSections)) for s in p.walk()))
+
+
+@given(parallel_programs)
+@settings(max_examples=40, deadline=None)
+def test_parallel_print_parse_idempotent(p):
+    """parse(print(p)) prints identically, with parallel kinds intact."""
+    text = format_program(p)
+    p2 = parse_program(text)
+    assert programs_equal(p, p2)
+    assert format_program(p2) == text
+    for a, b in zip(p.walk(), p2.walk()):
+        assert type(a) is type(b)  # ParLoop never decays to Loop

@@ -1,0 +1,188 @@
+"""Scheduled-interleaving interpreter: schedules, races, budgets.
+
+Pins the execution model of :mod:`repro.par`: the canonical schedule
+matches the sequential interpreter, racy programs are detected both
+dynamically (access-set races) and observationally (schedule-quantified
+trace divergence), races never fire on disjoint per-task footprints,
+and the per-schedule budget surfaces as the distinct
+:class:`ScheduleLimitExceeded` / :class:`SchedulesExhausted` errors.
+"""
+
+import pytest
+
+from repro.lang.interp import ExecutionLimitExceeded, run_program
+from repro.lang.parser import parse_program
+from repro.par import (
+    RaceError,
+    ScheduleLimitExceeded,
+    SchedulesExhausted,
+    equivalent_under_schedules,
+    make_scheduler,
+    run_parallel,
+    schedule_suite,
+)
+
+SAFE_DOALL = """doall i = 1, 6
+  A(i) = B(i) + 1
+enddoall
+write A(2)
+write A(6)
+"""
+
+RACY_DOALL = """doall i = 2, 6
+  A(i) = A(i - 1) + 1
+enddoall
+write A(6)
+"""
+
+WW_DOALL = """doall i = 1, 4
+  s = i
+enddoall
+write s
+"""
+
+
+class TestSchedulers:
+    def test_suite_leads_with_boundary_schedules(self):
+        suite = schedule_suite(6, seed=0)
+        kinds = [k for k, _ in suite]
+        assert kinds[:4] == ["serial-forward", "serial-reverse",
+                             "round-robin", "boundary"]
+        assert kinds[4:] == ["random", "random"]
+        assert len(set(suite)) == 6  # distinct seeds for the random fill
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("fair-coin")
+
+    def test_fork_replays_decisions(self):
+        s = make_scheduler("random", seed=9)
+        picks = [s.pick([0, 1, 2, 3], i) for i in range(8)]
+        f = make_scheduler("random", seed=9).fork()
+        assert [f.pick([0, 1, 2, 3], i) for i in range(8)] == picks
+
+
+class TestScheduledRuns:
+    def test_canonical_schedule_matches_sequential(self):
+        p = parse_program(SAFE_DOALL)
+        r_seq = run_program(p, seed=5)
+        r_par = run_parallel(p, "serial-forward", seed=5)
+        assert r_par.trace_equal(r_seq)
+        assert r_par.races == []
+        assert r_par.schedule == "serial-forward"
+
+    def test_safe_doall_invariant_under_all_schedules(self):
+        p = parse_program(SAFE_DOALL)
+        results = [run_parallel(p, make_scheduler(k, s), seed=5)
+                   for k, s in schedule_suite(6, seed=0)]
+        assert all(r.trace_equal(results[0]) for r in results)
+        assert all(r.races == [] for r in results)
+
+    def test_interleaving_trace_recorded(self):
+        p = parse_program(SAFE_DOALL)
+        r = run_parallel(p, "round-robin", seed=5)
+        region_ids = {reg for reg, _t, _s in r.interleaving}
+        task_ids = {t for reg, t, _s in r.interleaving if reg != 0}
+        assert region_ids == {0, 1}  # main thread + one doall region
+        assert task_ids == {0, 1, 2, 3, 4, 5}  # one task per iteration
+
+    def test_racy_doall_diverges_under_reverse_serialization(self):
+        p = parse_program(RACY_DOALL)
+        fwd = run_parallel(p, "serial-forward", seed=1)
+        rev = run_parallel(p, "serial-reverse", seed=1)
+        assert not fwd.trace_equal(rev)
+
+
+class TestRaceDetection:
+    def test_ww_race_true_positive(self):
+        r = run_parallel(parse_program(WW_DOALL), "round-robin")
+        wws = [x for x in r.races if x.kind == "ww"]
+        assert wws, r.races
+        assert wws[0].location == ("s", "s")
+        assert len(wws[0].tasks) == 4
+        assert "ww race on scalar s" in wws[0].describe()
+
+    def test_rw_race_on_carried_array_dependence(self):
+        r = run_parallel(parse_program(RACY_DOALL), "round-robin")
+        locs = {x.location for x in r.races}
+        assert any(loc[0] == "a" and loc[1] == "A" for loc in locs)
+
+    def test_no_race_on_disjoint_elements(self):
+        """False-positive guard: distinct A(i) cells never race."""
+        src = ("doall i = 1, 6\n"
+               "  A(i) = A(i) * 2\n"
+               "enddoall\n"
+               "write A(3)\n")
+        for kind, seed in schedule_suite(6, seed=0):
+            r = run_parallel(parse_program(src), make_scheduler(kind, seed))
+            assert r.races == [], (kind, r.races)
+
+    def test_no_race_on_private_indices(self):
+        """Nested loop indices live in the task overlay, not shared state."""
+        src = ("doall i = 1, 4\n"
+               "  do j = 1, 3\n"
+               "    A(i, j) = j\n"
+               "  enddo\n"
+               "enddoall\n")
+        r = run_parallel(parse_program(src), "round-robin")
+        assert r.races == []
+
+    def test_concurrent_io_races(self):
+        src = "parbegin\n  write 1\nsection\n  write 2\nparend\n"
+        r = run_parallel(parse_program(src), "round-robin")
+        assert any(x.location == ("io",) for x in r.races)
+
+    def test_on_race_raise(self):
+        with pytest.raises(RaceError) as err:
+            run_parallel(parse_program(WW_DOALL), "round-robin",
+                         on_race="raise")
+        assert err.value.races
+
+    def test_on_race_validated(self):
+        with pytest.raises(ValueError):
+            run_parallel(parse_program(WW_DOALL), on_race="ignore")
+
+
+class TestBudget:
+    BIG = "doall i = 1, 40\n  A(i) = B(i) + 1\nenddoall\n"
+
+    def test_per_schedule_budget_distinct_error(self):
+        with pytest.raises(ScheduleLimitExceeded):
+            run_parallel(parse_program(self.BIG), "round-robin", max_steps=10)
+        # a starved schedule is still an execution-limit overrun to callers
+        assert issubclass(ScheduleLimitExceeded, ExecutionLimitExceeded)
+
+    def test_exhausted_schedules_raise(self):
+        p1 = parse_program(self.BIG)
+        p2 = parse_program(self.BIG)
+        with pytest.raises(SchedulesExhausted):
+            equivalent_under_schedules(p1, p2, n_schedules=4, max_steps=10)
+
+    def test_one_sided_overrun_is_inequivalence(self):
+        small = parse_program("write 1\n")
+        big = parse_program(self.BIG + "write 1\n")
+        assert not equivalent_under_schedules(small, big, n_schedules=4,
+                                              max_steps=10)
+        assert not equivalent_under_schedules(big, small, n_schedules=4,
+                                              max_steps=10)
+
+
+class TestEquivalence:
+    def test_safe_parallelization_equivalent(self):
+        seq = parse_program(SAFE_DOALL.replace("doall", "do")
+                            .replace("enddoall", "enddo"))
+        par = parse_program(SAFE_DOALL)
+        assert equivalent_under_schedules(seq, par, n_schedules=8)
+
+    def test_racy_parallelization_not_equivalent(self):
+        seq = parse_program(RACY_DOALL.replace("doall", "do")
+                            .replace("enddoall", "enddo"))
+        par = parse_program(RACY_DOALL)
+        assert not equivalent_under_schedules(seq, par, n_schedules=8)
+
+    def test_parsections_safe_and_racy(self):
+        safe = ("parbegin\n  A(1) = 1\nsection\n  B(1) = 2\nparend\n"
+                "write A(1) + B(1)\n")
+        p = parse_program(safe)
+        assert equivalent_under_schedules(p, p, n_schedules=4)
+        assert run_parallel(p, "round-robin").races == []

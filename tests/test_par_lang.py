@@ -1,0 +1,196 @@
+"""Language-layer tests for the parallel constructs.
+
+``doall``/``enddoall`` loops and ``parbegin``/``section``/``parend``
+blocks must ride every representation the sequential constructs do:
+parser, printer (byte-for-byte round-trips), builder, serde, validator,
+CFG, control-dependence tree, cost model, and the dependence analysis'
+parallel-consistency view.
+"""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.control_dep import build_control_dep_tree
+from repro.analysis.depend import analyze_dependences
+from repro.lang.ast_nodes import (
+    Loop,
+    ParLoop,
+    ParSections,
+    programs_equal,
+    stmt_defuse,
+)
+from repro.lang.builder import (
+    arr,
+    assign,
+    const,
+    doall,
+    parsections,
+    prog,
+    var,
+    write,
+)
+from repro.lang.interp import run_program
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.printer import format_program
+from repro.lang.validate import validate_program
+from repro.service.serde import program_from_doc, program_to_doc
+
+DOALL_SRC = """doall i = 1, 8
+  A(i) = B(i) + 1
+enddoall
+write A(3)
+"""
+
+PARSEC_SRC = """parbegin
+  x = 1
+  A(1) = x
+section
+  y = 2
+  B(1) = y
+parend
+write A(1) + B(1)
+"""
+
+
+class TestParsePrint:
+    def test_doall_round_trip_is_byte_identical(self):
+        p = parse_program(DOALL_SRC)
+        assert format_program(p) == DOALL_SRC
+        assert programs_equal(p, parse_program(format_program(p)))
+
+    def test_parsections_round_trip_is_byte_identical(self):
+        p = parse_program(PARSEC_SRC)
+        assert format_program(p) == PARSEC_SRC
+        assert programs_equal(p, parse_program(format_program(p)))
+
+    def test_doall_with_step_and_nesting(self):
+        src = ("doall i = 1, 9, 2\n"
+               "  do j = 1, 3\n"
+               "    A(i, j) = j\n"
+               "  enddo\n"
+               "enddoall\n")
+        p = parse_program(src)
+        assert format_program(p) == src
+        outer = p.body[0]
+        assert isinstance(outer, ParLoop)
+        assert isinstance(outer.body[0], Loop)
+        assert not isinstance(outer.body[0], ParLoop)
+
+    def test_sequential_programs_unchanged(self):
+        src = "do i = 1, 4\n  A(i) = i\nenddo\nwrite A(2)\n"
+        assert format_program(parse_program(src)) == src
+
+    def test_doall_requires_enddoall(self):
+        with pytest.raises(ParseError):
+            parse_program("doall i = 1, 4\n  A(i) = i\nenddo\n")
+
+    def test_parbegin_requires_parend(self):
+        with pytest.raises(ParseError):
+            parse_program("parbegin\n  x = 1\nsection\n  y = 2\n")
+
+    def test_keywords_not_identifiers(self):
+        with pytest.raises(ParseError):
+            parse_program("doall = 1\n")
+
+
+class TestAstAndBuilder:
+    def test_parloop_is_a_loop(self):
+        p = parse_program(DOALL_SRC)
+        s = p.body[0]
+        assert isinstance(s, ParLoop) and isinstance(s, Loop)
+        clone = s.clone_shallow()
+        assert isinstance(clone, ParLoop)
+        assert clone.header_equal(s)
+
+    def test_builder_constructs_match_parser(self):
+        built = prog(
+            doall("i", const(1), const(8),
+                  [assign(arr("A", var("i")), var("i"))]),
+            write(arr("A", const(3))),
+        )
+        src = "doall i = 1, 8\n  A(i) = i\nenddoall\nwrite A(3)\n"
+        assert programs_equal(built, parse_program(src))
+
+    def test_parsections_slots(self):
+        p = parse_program(PARSEC_SRC)
+        s = p.body[0]
+        assert isinstance(s, ParSections)
+        assert s.body_slots() == ("sec0", "sec1")
+        assert [c.sid for c in s.get_body("sec0")] != []
+        assert s.expr_slots() == []
+        du = stmt_defuse(s)
+        assert not du.defs and not du.uses
+        clone = s.clone_shallow()
+        assert len(clone.sections) == 2 and all(
+            not sec for sec in clone.sections)
+
+    def test_builder_parsections(self):
+        built = prog(
+            parsections([assign(var("x"), const(1))],
+                        [assign(var("y"), const(2))]),
+            write(var("x")),
+        )
+        validate_program(built)
+        assert isinstance(built.body[0], ParSections)
+
+
+class TestSerde:
+    def test_doall_survives_serde(self):
+        p = parse_program(DOALL_SRC)
+        q = program_from_doc(program_to_doc(p))
+        assert isinstance(q.body[0], ParLoop)  # not flattened to Loop
+        assert programs_equal(p, q)
+        assert format_program(q) == DOALL_SRC
+
+    def test_parsections_survive_serde(self):
+        p = parse_program(PARSEC_SRC)
+        q = program_from_doc(program_to_doc(p))
+        assert isinstance(q.body[0], ParSections)
+        assert programs_equal(p, q)
+
+
+class TestAnalyses:
+    def test_validator_and_interp_canonical(self):
+        p = parse_program(DOALL_SRC)
+        validate_program(p)
+        seq = parse_program(DOALL_SRC.replace("doall", "do")
+                            .replace("enddoall", "enddo"))
+        r1, r2 = run_program(p, seed=3), run_program(seq, seed=3)
+        assert r1.trace_equal(r2)  # canonical schedule == source order
+
+    def test_cfg_has_par_header(self):
+        p = parse_program(PARSEC_SRC)
+        cfg = build_cfg(p)
+        kinds = {b.kind for b in cfg.blocks.values()}
+        assert "par" in kinds
+
+    def test_control_dep_tree_has_section_regions(self):
+        p = parse_program(PARSEC_SRC)
+        tree = build_control_dep_tree(p)
+        kinds = {r.kind for r in tree.regions.values()}
+        assert {"sec0", "sec1"} <= kinds
+
+    def test_par_violations_empty_for_safe_doall(self):
+        g = analyze_dependences(parse_program(DOALL_SRC))
+        assert g.par_violations() == []
+
+    def test_par_violations_report_carried_dependence(self):
+        src = ("doall i = 2, 8\n"
+               "  A(i) = A(i - 1) + 1\n"
+               "enddoall\n")
+        p = parse_program(src)
+        g = analyze_dependences(p)
+        vs = g.par_violations()
+        assert vs and all(v.reason == "loop-carried" for v in vs)
+        assert g.par_violations_at(p.body[0].sid) == vs
+
+    def test_par_violations_report_cross_section(self):
+        src = ("parbegin\n"
+               "  A(1) = 1\n"
+               "section\n"
+               "  x = A(1)\n"
+               "parend\n"
+               "write x\n")
+        p = parse_program(src)
+        vs = analyze_dependences(p).par_violations()
+        assert vs and vs[0].reason == "cross-section"

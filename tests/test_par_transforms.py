@@ -1,0 +1,261 @@
+"""PAR/PRV semantic preservation and independent-order undo.
+
+The parallelization transforms must compose with the paper's machinery
+unchanged: Table 2 patterns as primitive actions, Table 3 disabling
+conditions with structured codes, Table 4 rows driving the cascade, and
+Figure 4's independent-order UNDO peeling affecting transformations —
+now with parallel programs on both sides of every check.  Semantic
+preservation is checked twice per scenario: the sequential
+``traces_equivalent`` (canonical schedule) and the schedule-quantified
+``equivalent_under_schedules``.
+"""
+
+import pytest
+
+from tests.helpers import assert_apply_undo_roundtrip, make_engine
+from repro.lang.ast_nodes import Loop, ParLoop, programs_equal
+from repro.lang.parser import parse_program
+from repro.par import equivalent_under_schedules
+from repro.service.serde import checksum, stmt_to_doc
+from repro.transforms.base import Opportunity
+from repro.transforms.registry import REGISTRY
+
+PRV_SRC = """do i = 1, 8
+  t = A(i) + 1
+  B(i) = t * 2
+enddo
+write B(3)
+"""
+
+PAR_SRC = """do i = 1, 8
+  A(i) = B(i) + 1
+enddo
+write A(3)
+"""
+
+NESTED_SRC = """do i = 1, 4
+  do j = 1, 3
+    A(i, j) = B(i, j) + 1
+  enddo
+  do j = 1, 3
+    C(i, j) = A(i, j) * 2
+  enddo
+enddo
+write C(2, 2)
+"""
+
+
+def body_fingerprint(p):
+    """Digest of the attached program tree (sids included)."""
+    return checksum([stmt_to_doc(s) for s in p.body])
+
+
+class TestFindAndApply:
+    def test_par_simple_roundtrip(self):
+        assert_apply_undo_roundtrip(PAR_SRC, "par")
+
+    def test_prv_simple_roundtrip(self):
+        assert_apply_undo_roundtrip(PRV_SRC, "prv")
+
+    def test_par_produces_doall(self):
+        engine, p, _ = make_engine(PAR_SRC)
+        engine.apply(engine.find("par")[0])
+        assert isinstance(p.body[0], ParLoop)
+        assert "doall i = 1, 8" in engine.source()
+
+    def test_par_disabled_by_carried_dependence(self):
+        engine, _, _ = make_engine(
+            "do i = 2, 8\n  A(i) = A(i - 1) + 1\nenddo\nwrite A(8)\n")
+        assert engine.find("par") == []
+
+    def test_par_disabled_by_io(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 4\n  A(i) = i\n  write A(i)\nenddo\n")
+        assert engine.find("par") == []
+
+    def test_par_skips_existing_doall(self):
+        engine, _, _ = make_engine(
+            "doall i = 1, 4\n  A(i) = i\nenddoall\nwrite A(2)\n")
+        assert engine.find("par") == []
+
+    def test_prv_requires_write_before_read(self):
+        engine, _, _ = make_engine(
+            "t = 0\ndo i = 1, 8\n  t = t + A(i)\nenddo\nwrite t\n")
+        assert engine.find("prv") == []
+
+    def test_prv_requires_dead_outside(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 8\n  t = A(i) + 1\n  B(i) = t * 2\nenddo\nwrite t\n")
+        assert engine.find("prv") == []
+
+    def test_prv_skips_occurrences_under_nested_control(self):
+        engine, _, _ = make_engine(
+            "do i = 1, 8\n  t = A(i)\n  do j = 1, 2\n    B(i, j) = t\n"
+            "  enddo\nenddo\nwrite B(2, 1)\n")
+        assert engine.find("prv") == []
+
+    def test_prv_rewrites_every_occurrence(self):
+        engine, p, orig = make_engine(PRV_SRC)
+        engine.apply(engine.find("prv")[0])
+        src = engine.source()
+        assert "t_prv(i) = A(i) + 1" in src
+        assert "B(i) = t_prv(i) * 2" in src
+        from repro.lang.interp import traces_equivalent
+        assert traces_equivalent(orig, p)
+
+
+class TestEnablingChain:
+    def test_prv_enables_par(self):
+        engine, p, orig = make_engine(PRV_SRC)
+        assert engine.find("par") == []  # carried scalar deps block PAR
+        rec_prv = engine.apply(engine.find("prv")[0])
+        opps = engine.find("par")
+        assert opps, "PRV failed to enable PAR"
+        engine.apply(opps[0])
+        assert isinstance(p.body[0], ParLoop)
+        assert equivalent_under_schedules(orig, p, n_schedules=6)
+        assert REGISTRY["prv"].enables >= {"par", "inx"}
+        assert rec_prv.name == "prv"
+
+    def test_undo_enabler_first_cascades_through_par(self):
+        """Independent order: undoing PRV rolls the doall back too."""
+        engine, p, orig = make_engine(PRV_SRC)
+        fp0 = body_fingerprint(p)
+        rec_prv = engine.apply(engine.find("prv")[0])
+        rec_par = engine.apply(engine.find("par")[0])
+        report = engine.undo(rec_prv.stamp)
+        assert set(report.undone) == {rec_prv.stamp, rec_par.stamp}
+        assert programs_equal(orig, p)
+        assert body_fingerprint(p) == fp0
+        assert len(engine.store) == 0
+        assert equivalent_under_schedules(orig, p, n_schedules=6)
+
+    def test_undo_par_alone_leaves_prv(self):
+        engine, p, orig = make_engine(PRV_SRC)
+        rec_prv = engine.apply(engine.find("prv")[0])
+        rec_par = engine.apply(engine.find("par")[0])
+        report = engine.undo(rec_par.stamp)
+        assert list(report.undone) == [rec_par.stamp]
+        assert isinstance(p.body[0], Loop)
+        assert not isinstance(p.body[0], ParLoop)
+        assert "t_prv(i)" in engine.source()  # PRV still applied
+        engine.undo(rec_prv.stamp)
+        assert programs_equal(orig, p)
+
+    def test_undo_orders_agree_on_final_state(self):
+        e1, p1, orig = make_engine(PRV_SRC)
+        s1 = e1.apply(e1.find("prv")[0]).stamp
+        e1.apply(e1.find("par")[0])
+        e1.undo(s1)
+
+        e2, p2, _ = make_engine(PRV_SRC)
+        s2p = e2.apply(e2.find("prv")[0]).stamp
+        s2q = e2.apply(e2.find("par")[0]).stamp
+        e2.undo(s2q)
+        e2.undo(s2p)
+
+        assert body_fingerprint(p1) == body_fingerprint(p2)
+        assert programs_equal(p1, orig) and programs_equal(p2, orig)
+
+
+class TestForcedCascade:
+    def test_fus_inside_doall_forces_structural_cascade(self):
+        """Undoing PAR peels a later FUS applied inside the doall body."""
+        engine, p, orig = make_engine(NESTED_SRC)
+        fp0 = body_fingerprint(p)
+        outer = p.body[0]
+        rec_par = engine.apply_first("par", loop=outer.sid)
+        rec_fus = engine.apply(engine.find("fus")[0])
+        assert equivalent_under_schedules(orig, p, n_schedules=6)
+
+        # explain: PAR's post pattern is blocked, naming FUS as the cause
+        doc = engine.explain(rec_par.stamp)
+        assert not doc["reversibility"]["ok"]
+        v = doc["reversibility"]["violations"][0]
+        assert v["code"] == "par.reversibility.member-left"
+        assert v["cause_stamp"] == rec_fus.stamp
+
+        report = engine.undo(rec_par.stamp)
+        assert set(report.undone) == {rec_par.stamp, rec_fus.stamp}
+        assert rec_fus.stamp in report.affecting
+
+        # the provenance tree renders the affecting chain
+        text = report.provenance.describe()
+        assert "undo t%d (par, target)" % rec_par.stamp in text
+        assert "undo t%d (fus, affecting)" % rec_fus.stamp in text
+        assert "par.reversibility.member-left" in text
+
+        assert programs_equal(orig, p)
+        assert body_fingerprint(p) == fp0
+        assert len(engine.store) == 0
+        assert equivalent_under_schedules(orig, p, n_schedules=6)
+
+    def test_icm_inside_doall_is_par_intruder(self):
+        """A statement hoisted into the doall body blocks PAR's undo."""
+        src = ("do i = 1, 4\n"
+               "  do j = 1, 3\n"
+               "    T(i) = B(i) * 2\n"
+               "  enddo\n"
+               "  A(i) = T(i) + 1\n"
+               "enddo\n"
+               "write A(2)\n")
+        engine, p, orig = make_engine(src)
+        outer = p.body[0]
+        rec_par = engine.apply_first("par", loop=outer.sid)
+        # hoist T(i) = B(i) * 2 out of the inner loop: it lands in the
+        # doall body, a member PAR never moved there
+        rec_icm = engine.apply(engine.find("icm")[0])
+        res = engine.check_reversibility(rec_par.stamp)
+        assert not res.reversible
+        assert res.violations[0].code == "par.reversibility.intruder"
+        report = engine.undo(rec_par.stamp)
+        assert set(report.undone) == {rec_par.stamp, rec_icm.stamp}
+        assert programs_equal(orig, p)
+
+
+class TestSafetyAndRaciness:
+    def test_forced_par_is_unsafe_and_observably_racy(self):
+        """PAR applied with checks bypassed: static verdict + schedules."""
+        src = "do i = 2, 8\n  A(i) = A(i - 1) + 1\nenddo\nwrite A(8)\n"
+        engine, p, orig = make_engine(src)
+        loop = p.body[0]
+        assert engine.find("par") == []
+        rec = engine.apply(Opportunity("par", {"loop": loop.sid}, "forced"))
+        res = engine.check_safety(rec.stamp)
+        assert not res.safe
+        assert res.violations[0].code == "par.safety.carried-dependence"
+        assert not equivalent_under_schedules(orig, p, n_schedules=6)
+        # the safe sibling: same machinery, legal loop, equivalent
+        e2, p2, o2 = make_engine(PAR_SRC)
+        rec2 = e2.apply(e2.find("par")[0])
+        assert e2.check_safety(rec2.stamp).safe
+        assert equivalent_under_schedules(o2, p2, n_schedules=6)
+
+    def test_prv_safety_escape_detected(self):
+        engine, p, _ = make_engine(PRV_SRC)
+        rec = engine.apply(engine.find("prv")[0])
+        assert engine.check_safety(rec.stamp).safe
+        # an edit adding an outside reader of t breaks PRV's pre pattern
+        from repro.core.commands import EditCommand
+        from repro.core.locations import Location
+
+        reader = parse_program("write t\n").body[0].clone_shallow()
+        engine.execute(EditCommand(kind="add", stmt=reader,
+                                   loc=Location.at(p, (0, "body"),
+                                                   len(p.body))))
+        res = engine.check_safety(rec.stamp)
+        assert not res.safe
+        assert res.violations[0].code == "prv.safety.escapes"
+
+
+class TestDocumentationRows:
+    def test_table2_rows(self):
+        for name in ("par", "prv"):
+            row = REGISTRY[name].table2_row()
+            assert row["pre_pattern"] and row["primitive_actions"]
+            assert row["post_pattern"]
+
+    def test_table3_rows(self):
+        for name in ("par", "prv"):
+            row = REGISTRY[name].table3_row()
+            assert row["safety"] and row["reversibility"]
