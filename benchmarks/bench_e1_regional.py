@@ -58,7 +58,8 @@ def test_e1_scaling_table():
     banner("E1 — regional undo vs whole-program re-analysis "
            "(undo the first of n transformations)")
     t = REPORT.table(["n transforms", "regional checks", "global checks",
-               "region skips", "work saved"])
+               "region skips", "work saved"],
+                     title="E1 — undo-time safety checks, regional vs global")
     rows = []
     for n in SIZES:
         _s1, r1 = run_undo(n, PAPER)
@@ -67,6 +68,9 @@ def test_e1_scaling_table():
               ratio(r2.work(), max(r1.work(), 1)))
         rows.append((n, r1.work(), r2.work(), r1.region_skips))
     t.show()
+    REPORT.value("undo_work_saved_at_max",
+                 round(rows[-1][2] / max(rows[-1][1], 1), 2))
+    REPORT.value("region_skips_at_max", rows[-1][3])
     # shape: global work grows with n; regional work stays bounded
     assert rows[-1][2] > rows[0][2]
     assert rows[-1][1] <= rows[0][1] * 4
@@ -87,7 +91,8 @@ def undo_analysis_work(n: int, strategy: UndoStrategy):
 def test_e1_incremental_analysis_work():
     banner("E1b — analysis work during undo: "
            "incremental/regional vs full re-analysis")
-    t = REPORT.table(["n transforms", "paper config", "global baseline", "saved"])
+    t = REPORT.table(["n transforms", "paper config", "global baseline", "saved"],
+                     title="E1b — analysis work during one undo")
     rows = []
     for n in (8, 16, 32, 64):
         inc = undo_analysis_work(n, PAPER)
@@ -95,6 +100,8 @@ def test_e1_incremental_analysis_work():
         t.add(n, inc, full, ratio(full, max(inc, 1)))
         rows.append((inc, full))
     t.show()
+    REPORT.value("analysis_work_saved_at_max",
+                 round(rows[-1][1] / max(rows[-1][0], 1), 2))
     # never more work, and clearly less at scale
     assert all(inc <= full for inc, full in rows)
     assert rows[-1][0] < rows[-1][1]
@@ -129,7 +136,9 @@ def test_e1_measured_update_time():
     banner("E1c — measured dependence-update time: "
            "regional strategy vs from-scratch strategy")
     t = REPORT.table(["n transforms", "regional pairs", "full pairs",
-               "pairs saved", "regional time", "full time"])
+               "pairs saved", "regional time", "full time"],
+                     title="E1c — dependence-update cost, regional vs full")
+    pairs_saved = 0.0
     for n in SIZES:
         rp, ru, rs, _ = undo_update_timings(n, REGIONAL)
         fp, fu, fs, _scratch = undo_update_timings(n, FULL)
@@ -137,7 +146,9 @@ def test_e1_measured_update_time():
         assert ru >= 1 and fu >= 1
         # the regional path must examine strictly fewer pairs per update
         assert rp / ru < fp / fu
+        pairs_saved = fp / max(rp, 1)
     t.show()
+    REPORT.value("update_pairs_saved_at_max", round(pairs_saved, 2))
 
 
 @pytest.mark.benchmark(group="e1")

@@ -65,7 +65,8 @@ def test_e3_sweep_table():
            f"(n = {N} applied transformations)")
     t = REPORT.table(["target index", "removed (independent)", "removed (LIFO)",
                "inverse actions (ind)", "inverse actions (LIFO)",
-               "removals saved"])
+               "removals saved"],
+                     title="E3 — independent-order vs LIFO undo cost")
     rows = []
     for idx in DEPTHS:
         _s1, rem_i, act_i = independent(idx)
@@ -73,6 +74,8 @@ def test_e3_sweep_table():
         t.add(idx, rem_i, rem_l, act_i, act_l, ratio(rem_l, max(rem_i, 1)))
         rows.append((idx, rem_i, rem_l))
     t.show()
+    REPORT.value("lifo_removed_at_earliest", rows[0][2])
+    REPORT.value("independent_removed_at_earliest", rows[0][1])
     for _idx, rem_i, rem_l in rows:
         assert rem_i <= rem_l
     # LIFO cost grows as the target moves earlier; the independent cone

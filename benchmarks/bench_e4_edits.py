@@ -78,7 +78,8 @@ def test_e4_regional_vs_full_same_unsafe_set():
 def test_e4_sweep_table():
     banner("E4 — edit invalidation: incremental vs redo-everything")
     t = REPORT.table(["n transforms", "checks (regional)", "checks (full scan)",
-               "unsafe", "survivors", "redo-all discards"])
+               "unsafe", "survivors", "redo-all discards"],
+                     title="E4 — edit invalidation, incremental vs redo-all")
     rows = []
     for n in scaled((8, 16, 32)):
         session, report = edited_session(n)
@@ -100,6 +101,9 @@ def test_e4_sweep_table():
         assert survivors > 0
     # regional checking stays well below the full scan at scale
     assert rows[-1][1] < rows[-1][2]
+    REPORT.value("edit_checks_saved_at_max",
+                 round(rows[-1][2] / max(rows[-1][1], 1), 2))
+    REPORT.value("survivors_at_max", rows[-1][3])
 
 
 @pytest.mark.benchmark(group="e4")

@@ -54,7 +54,8 @@ def cycle(name: str):
 
 def test_e5_parity_table():
     banner("E5 — spec-generated DCE vs hand-written DCE")
-    t = REPORT.table(["property", "hand-written", "spec-generated"])
+    t = REPORT.table(["property", "hand-written", "spec-generated"],
+                     title="E5 — spec-generated vs hand-written DCE parity")
     e1 = spec_engine(SRC, DCE_SPEC)
     hand_opps = {o.params["sid"] for o in e1.find("dce")}
     spec_opps = {o.params["binding"]["S"] for o in e1.find("sdce")}
@@ -66,6 +67,8 @@ def test_e5_parity_table():
     t.show()
     assert hand_opps == spec_opps
     assert (hb, ha) == (sb, sa) == (True, False)
+    REPORT.value("spec_parity_opportunities", len(spec_opps))
+    REPORT.value("spec_parity_exact", hand_opps == spec_opps)
 
 
 def test_e5_ctp_parity_two_variable_pattern():

@@ -68,7 +68,8 @@ def timed_reopen(sdir, expected_fp):
 def test_e6_reopen_latency_table(tmp_path):
     banner("E6 — reopen latency: snapshot + tail replay vs full replay")
     t = REPORT.table(["commands", "no-snap reopen", "replayed",
-               "snap reopen", "replayed ", "speedup"])
+               "snap reopen", "replayed ", "speedup"],
+                     title="E6 — reopen latency, snapshot+tail vs full replay")
     rows = []
     for n in HISTORY_SIZES:
         plain_dir, seq_p, fp_p = build_history(
@@ -81,6 +82,8 @@ def test_e6_reopen_latency_table(tmp_path):
               ratio(t_plain, t_snap))
         rows.append((seq_p, rep_plain, rep_snap))
     t.show()
+    REPORT.value("replayed_no_snapshot_at_max", rows[-1][1])
+    REPORT.value("replayed_with_snapshots_at_max", rows[-1][2])
     for seq_p, rep_plain, rep_snap in rows:
         # no snapshot → the whole history replays
         assert rep_plain == seq_p
@@ -133,14 +136,18 @@ def test_e6_journal_overhead_table(tmp_path):
 
     ops_b, t_bare = run_bare()
     t = REPORT.table(["configuration", "commands", "elapsed", "throughput",
-               "fsyncs", "overhead"])
+               "fsyncs", "overhead"],
+                     title="E6 — journal overhead vs bare-engine throughput")
     t.add("bare engine", ops_b, ms(t_bare), rate(ops_b, t_bare), 0, "1.00x")
+    overhead = 1.0
     for fsync_every in (1, 8):
         ops_d, t_dur, syncs = run_durable(fsync_every)
         assert ops_d == ops_b
         t.add(f"journaled (fsync_every={fsync_every})", ops_d, ms(t_dur),
               rate(ops_d, t_dur), syncs, ratio(t_dur, t_bare))
+        overhead = t_dur / t_bare
     t.show()
+    REPORT.value("journal_overhead_fsync8", round(overhead, 2))
 
 
 def test_e6_batch_throughput_table(tmp_path):
@@ -178,7 +185,8 @@ def test_e6_batch_throughput_table(tmp_path):
 
     t_single, syncs_single, fp_single = run("single", 1)
     t = REPORT.table(["configuration", "commands", "records", "fsyncs",
-               "elapsed", "throughput", "speedup"])
+               "elapsed", "throughput", "speedup"],
+                     title="E6 — batched vs single-command throughput")
     t.add("single-command", n_ops, n_ops, syncs_single, ms(t_single),
           rate(n_ops, t_single), "1.00x")
     speedups = {}
@@ -195,6 +203,7 @@ def test_e6_batch_throughput_table(tmp_path):
     assert syncs_single == n_ops
     # the acceptance bar: batch-16 clears 2x single-command throughput
     assert speedups[16] >= 2.0
+    REPORT.value("batch16_speedup", round(speedups[16], 2))
 
 
 def test_e6_recovery_correctness_spot_check(tmp_path):

@@ -46,7 +46,8 @@ def annotate_everything():
 def test_figure2_annotation_kinds():
     banner("Figure 2 — annotations based on primitive actions")
     ap, expected, s_b = annotate_everything()
-    t = REPORT.table(["sid", "annotations"])
+    t = REPORT.table(["sid", "annotations"],
+                     title="Figure 2 — per-statement action annotations")
     for sid, want in expected.items():
         shorts = [a.short() for a in ap.store.for_sid(sid)]
         t.add(f"S{sid}", ",".join(shorts))
@@ -55,6 +56,8 @@ def test_figure2_annotation_kinds():
     t.add(f"S{s_b}", ",".join(shorts_b))
     t.show()
     assert set(shorts_b) == {"cps_4", "md_5"}
+    REPORT.value("annotated_statements", len(expected))
+    REPORT.value("annotations_total", len(ap.store))
 
 
 def test_annotations_keyed_by_order_stamp():

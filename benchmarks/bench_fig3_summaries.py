@@ -45,7 +45,8 @@ def test_summary_equals_exhaustive_all_sizes():
 def test_figure3_visit_scaling():
     banner("Figure 3 — region-summary fusion check vs full node scan")
     t = REPORT.table(["body stmts", "summary visits", "exhaustive visits",
-               "savings"])
+               "savings"],
+                     title="Figure 3 — fusion check, summaries vs full scan")
     rows = []
     for n in SIZES:
         p = figure3_program(body_stmts=n)
@@ -64,6 +65,8 @@ def test_figure3_visit_scaling():
     assert rows[-1][2] > 4 * rows[0][2]
     assert rows[-1][1] <= 3 * rows[0][1]
     assert rows[-1][1] < rows[-1][2]
+    REPORT.value("summary_visits_saved_at_max",
+                 round(rows[-1][2] / max(rows[-1][1], 1), 2))
 
 
 def test_inter_region_dependence_summarised_on_lcr():
@@ -84,7 +87,9 @@ def test_summaries_maintained_incrementally():
     """
     banner("Figure 3b — incremental summary maintenance across undos")
     t = REPORT.table(["n transforms", "summary updates", "rebuilds",
-               "build time", "update time"])
+               "build time", "update time"],
+                     title="Figure 3b — incremental summary maintenance")
+    updates = 0
     for n in (8, 16):
         session = build_session(7, n)
         engine = session.engine
@@ -98,7 +103,10 @@ def test_summaries_maintained_incrementally():
         t.add(n, snap["summary_updates"], 0,
               ms(snap["timers"].get("summaries_build", 0.0)),
               ms(snap["timers"].get("summaries_update", 0.0)))
+        updates = snap["summary_updates"]
     t.show()
+    REPORT.value("summary_updates_at_max", updates)
+    REPORT.value("summary_rebuilds_at_max", 0)
 
 
 @pytest.mark.benchmark(group="fig3")

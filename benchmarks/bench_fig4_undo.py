@@ -47,7 +47,8 @@ def test_section52_reversibility_status():
     banner("Figure 4 / §5.2 — immediate reversibility after cse,ctp,inx,icm")
     engine, recs = session()
     t = REPORT.table(["transformation", "stamp", "immediately reversible",
-               "blocking condition"])
+               "blocking condition"],
+                     title="Figure 4 — immediate reversibility per transform")
     status = {}
     for name, rec in recs.items():
         rr = engine.check_reversibility(rec.stamp)
@@ -56,6 +57,9 @@ def test_section52_reversibility_status():
               "-" if rr.reversible else rr.violations[0].condition)
     t.show()
     assert status == {"cse": True, "ctp": True, "icm": True, "inx": False}
+    REPORT.value("immediately_reversible", sum(status.values()))
+    REPORT.value("blocked_by_interaction",
+                 sum(1 for ok in status.values() if not ok))
 
 
 @pytest.mark.parametrize("target", sorted(EXPECTED_REMOVALS))

@@ -65,11 +65,14 @@ def roundtrip_all_actions():
 
 def test_table1_rendering():
     banner("Table 1 — actions and inverse actions")
-    t = REPORT.table(["Action", "Inverse Action"], "")
+    t = REPORT.table(["Action", "Inverse Action"],
+                     title="Table 1 — actions and inverse actions")
     for action, inverse in TABLE1_ROWS:
         t.add(action, inverse)
     t.show()
     assert roundtrip_all_actions() == 6
+    REPORT.value("action_pairs", len(TABLE1_ROWS))
+    REPORT.value("roundtripped_actions", 6)
 
 
 @pytest.mark.benchmark(group="table1")

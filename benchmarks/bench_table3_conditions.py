@@ -26,13 +26,19 @@ REPORT = BenchReport("bench_table3_conditions")
 
 def test_table3_rendering():
     banner("Table 3 — disabling conditions (derived rows marked)")
-    t = REPORT.table(["Transformation", "Safety-disabling", "Reversibility-disabling"])
+    t = REPORT.table(["Transformation", "Safety-disabling", "Reversibility-disabling"],
+                     title="Table 3 — disabling conditions")
+    n_safety = n_rev = 0
     for name in TABLE4_ORDER:
         row = REGISTRY[name].table3_row()
+        n_safety += len(row["safety"])
+        n_rev += len(row["reversibility"])
         t.add(name.upper(),
               " / ".join(row["safety"]) or "(none: context-free)",
               " / ".join(row["reversibility"]))
     t.show()
+    REPORT.value("safety_conditions", n_safety)
+    REPORT.value("reversibility_conditions", n_rev)
     dce = REGISTRY["dce"].table3_row()
     assert any("uses value computed by S_i" in c for c in dce["safety"])
     assert any("Copy context" in c for c in dce["reversibility"])

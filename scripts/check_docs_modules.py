@@ -25,6 +25,7 @@ DOCS = [ROOT / "docs" / "ARCHITECTURE.md",
         ROOT / "docs" / "OBSERVABILITY.md",
         ROOT / "docs" / "PAPER_MAP.md",
         ROOT / "docs" / "PARALLEL.md",
+        ROOT / "docs" / "PERFORMANCE.md",
         ROOT / "docs" / "PERSISTENCE.md",
         ROOT / "docs" / "SCALING.md"]
 

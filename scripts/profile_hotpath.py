@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Profile the durable-session hot path: a scripted 200-command session.
+
+Drives a :class:`~repro.service.session.DurableSession` in a temporary
+directory through a deterministic mix of applies, undos, edits, and
+periodic snapshots under cProfile, then prints the top 20 functions by
+cumulative time.  This is the workload the compact core (content-hashed
+fingerprints, bitset dataflow, indexed dependence queries, delta
+snapshots) optimizes — when a linear scan sneaks back onto the command
+path, it surfaces here first.
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/profile_hotpath.py [N_COMMANDS]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import tempfile
+
+from repro.lang.ast_nodes import Assign, Const
+from repro.lang.printer import format_program
+from repro.service.session import DurableSession
+from repro.workloads.generator import GeneratorConfig, generate_program
+from repro.workloads.scenarios import apply_greedy
+
+SEED = 23
+TOP = 20
+
+
+def drive(session: DurableSession, n_commands: int) -> int:
+    """Mixed command stream: ~2/3 applies, interleaved undos and edits."""
+    done = 0
+    stamps = []
+    edit_k = 0
+    while done < n_commands:
+        applied = apply_greedy(session.engine, 2, seed=SEED + done)
+        stamps.extend(applied)
+        done += len(applied)
+        if stamps and done % 6 < 2:
+            stamp = stamps.pop(0)
+            if session.engine.history.by_stamp(stamp).active:
+                session.undo(stamp)
+                done += 1
+        if done % 10 < 2:
+            sid = next((s.sid for s in session.engine.program.walk()
+                        if isinstance(s, Assign)), None)
+            if sid is not None:
+                edit_k += 1
+                session.edit_modify(sid, ("expr",), Const(edit_k))
+                done += 1
+        if not applied:  # opportunity pool exhausted: edits only from here
+            break
+    return done
+
+
+def main() -> int:
+    n_commands = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    src = format_program(generate_program(SEED, GeneratorConfig(blocks=24)))
+    with tempfile.TemporaryDirectory() as tmp:
+        session = DurableSession.create(
+            tmp + "/prof", src, snapshot_every=16, snapshot_full_every=4)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        done = drive(session, n_commands)
+        profiler.disable()
+        session.close()
+    print(f"profiled {done} commands "
+          f"(applies/undos/edits + periodic delta snapshots)\n")
+    stats = pstats.Stats(profiler)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(TOP)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -117,8 +117,22 @@ def _expr_operand_names(key: Tuple) -> Set[str]:
     return out
 
 
+def iter_bits(bits: int):
+    """Indices of the set bits of ``bits``, ascending."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits &= bits - 1
+
+
 def analyze_dataflow(program: Program, cfg: Optional[CFG] = None) -> DataflowResult:
-    """Run all three analyses and build the chains."""
+    """Run all three analyses and build the chains.
+
+    The fixpoints run on int bitsets — one bit per definition, name, or
+    expression key, so a block transfer is a few machine-word bitwise
+    operations instead of Python set churn — and the facts cross the
+    :class:`DataflowResult` boundary as frozensets, exactly as before.
+    """
     if cfg is None:
         cfg = build_cfg(program)
     visited = 0
@@ -126,35 +140,44 @@ def analyze_dataflow(program: Program, cfg: Optional[CFG] = None) -> DataflowRes
     # ---- collect per-statement local facts, in block order -----------------
     stmt_defs: Dict[int, Set[str]] = {}
     stmt_uses: Dict[int, Set[str]] = {}
-    all_defs_of: Dict[str, Set[Definition]] = {}
     order_sids = cfg.statements()
     for sid in order_sids:
         s = program.node(sid)
         d, u = _stmt_facts(s)
         stmt_defs[sid] = d
         stmt_uses[sid] = u
-        for name in d:
-            all_defs_of.setdefault(name, set()).add((sid, name))
+
+    # ---- bit universe: one bit per definition ------------------------------
+    def_list: List[Definition] = []
+    def_bit: Dict[Definition, int] = {}
+    name_mask: Dict[str, int] = {}  # name -> bits of every def of it
+    for sid in order_sids:
+        for name in stmt_defs[sid]:
+            dfn = (sid, name)
+            bit = 1 << len(def_list)
+            def_bit[dfn] = bit
+            def_list.append(dfn)
+            name_mask[name] = name_mask.get(name, 0) | bit
 
     # ---- reaching definitions (forward, union) ------------------------------
-    gen: Dict[int, Set[Definition]] = {}
-    kill: Dict[int, Set[Definition]] = {}
+    gen: Dict[int, int] = {}
+    kill: Dict[int, int] = {}
     for bid, block in cfg.blocks.items():
-        g: Set[Definition] = set()
-        k: Set[Definition] = set()
+        g = 0
+        k = 0
         for sid in block.stmts:
             for name in stmt_defs[sid]:
                 if not name.startswith("@"):
                     # a scalar def kills all other defs of the name
-                    defs = all_defs_of.get(name, set())
-                    k |= defs
-                    g = {d for d in g if d[1] != name}
-                g.add((sid, name))
+                    mask = name_mask[name]
+                    k |= mask
+                    g &= ~mask
+                g |= def_bit[(sid, name)]
         gen[bid] = g
-        kill[bid] = k - g
+        kill[bid] = k & ~g
 
-    rd_in: Dict[int, Set[Definition]] = {b: set() for b in cfg.blocks}
-    rd_out: Dict[int, Set[Definition]] = {b: set(gen[b]) for b in cfg.blocks}
+    rd_in: Dict[int, int] = {b: 0 for b in cfg.blocks}
+    rd_out: Dict[int, int] = {b: gen[b] for b in cfg.blocks}
     work = cfg.rpo()
     changed = True
     while changed:
@@ -162,54 +185,73 @@ def analyze_dataflow(program: Program, cfg: Optional[CFG] = None) -> DataflowRes
         for bid in work:
             visited += 1
             block = cfg.blocks[bid]
-            new_in: Set[Definition] = set()
+            new_in = 0
             for p in block.preds:
                 new_in |= rd_out[p]
-            new_out = gen[bid] | (new_in - kill[bid])
+            new_out = gen[bid] | (new_in & ~kill[bid])
             if new_in != rd_in[bid] or new_out != rd_out[bid]:
                 rd_in[bid] = new_in
                 rd_out[bid] = new_out
                 changed = True
 
     # statement-level reach-in by walking each block
+    reach_bits: Dict[int, int] = {}
     reach_in: Dict[int, FrozenSet[Definition]] = {}
     for bid, block in cfg.blocks.items():
-        cur = set(rd_in[bid])
+        cur = rd_in[bid]
         for sid in block.stmts:
             visited += 1
-            reach_in[sid] = frozenset(cur)
+            reach_bits[sid] = cur
+            reach_in[sid] = frozenset(def_list[i] for i in iter_bits(cur))
             for name in stmt_defs[sid]:
                 if not name.startswith("@"):
-                    cur = {d for d in cur if d[1] != name}
-                cur.add((sid, name))
+                    cur &= ~name_mask[name]
+                cur |= def_bit[(sid, name)]
 
     # ---- chains ------------------------------------------------------------------
     du: Dict[Definition, Set[int]] = {}
     ud: Dict[Tuple[int, str], Set[int]] = {}
     for sid in order_sids:
         for name in stmt_uses[sid]:
-            reaching = {d for d in reach_in[sid] if d[1] == name}
-            if reaching:
+            bits = reach_bits[sid] & name_mask.get(name, 0)
+            if bits:
+                reaching = [def_list[i] for i in iter_bits(bits)]
                 ud[(sid, name)] = {d[0] for d in reaching}
-            for d in reaching:
-                du.setdefault(d, set()).add(sid)
+                for d in reaching:
+                    du.setdefault(d, set()).add(sid)
 
-    # ---- liveness (backward, union) --------------------------------------------
-    use_b: Dict[int, Set[str]] = {}
-    def_b: Dict[int, Set[str]] = {}
+    # ---- liveness (backward, union): one bit per name ----------------------------
+    names: List[str] = sorted(
+        {n for sid in order_sids
+         for n in stmt_defs[sid] | stmt_uses[sid]})
+    nbit = {n: 1 << i for i, n in enumerate(names)}
+    scalar_mask = 0
+    for n in names:
+        if not n.startswith("@"):
+            scalar_mask |= nbit[n]
+
+    def _names_bits(ns: Set[str]) -> int:
+        acc = 0
+        for n in ns:
+            acc |= nbit[n]
+        return acc
+
+    defs_bits = {sid: _names_bits(stmt_defs[sid]) for sid in order_sids}
+    uses_bits = {sid: _names_bits(stmt_uses[sid]) for sid in order_sids}
+
+    use_b: Dict[int, int] = {}
+    def_b: Dict[int, int] = {}
     for bid, block in cfg.blocks.items():
-        u: Set[str] = set()
-        d: Set[str] = set()
+        u = 0
+        d = 0
         for sid in block.stmts:
-            u |= (stmt_uses[sid] - d)
-            for name in stmt_defs[sid]:
-                if not name.startswith("@"):
-                    d.add(name)
+            u |= uses_bits[sid] & ~d
+            d |= defs_bits[sid] & scalar_mask
         use_b[bid] = u
         def_b[bid] = d
 
-    lv_in: Dict[int, Set[str]] = {b: set() for b in cfg.blocks}
-    lv_out: Dict[int, Set[str]] = {b: set() for b in cfg.blocks}
+    lv_in: Dict[int, int] = {b: 0 for b in cfg.blocks}
+    lv_out: Dict[int, int] = {b: 0 for b in cfg.blocks}
     changed = True
     rev = list(reversed(cfg.rpo()))
     while changed:
@@ -217,10 +259,10 @@ def analyze_dataflow(program: Program, cfg: Optional[CFG] = None) -> DataflowRes
         for bid in rev:
             visited += 1
             block = cfg.blocks[bid]
-            new_out: Set[str] = set()
+            new_out = 0
             for s in block.succs:
                 new_out |= lv_in[s]
-            new_in = use_b[bid] | (new_out - def_b[bid])
+            new_in = use_b[bid] | (new_out & ~def_b[bid])
             if new_in != lv_in[bid] or new_out != lv_out[bid]:
                 lv_in[bid] = new_in
                 lv_out[bid] = new_out
@@ -228,41 +270,52 @@ def analyze_dataflow(program: Program, cfg: Optional[CFG] = None) -> DataflowRes
 
     live_out: Dict[int, FrozenSet[str]] = {}
     for bid, block in cfg.blocks.items():
-        cur = set(lv_out[bid])
+        cur = lv_out[bid]
         for sid in reversed(block.stmts):
             visited += 1
-            live_out[sid] = frozenset(cur)
-            for name in stmt_defs[sid]:
-                if not name.startswith("@"):
-                    cur.discard(name)
-            cur |= stmt_uses[sid]
+            live_out[sid] = frozenset(names[i] for i in iter_bits(cur))
+            cur &= ~(defs_bits[sid] & scalar_mask)
+            cur |= uses_bits[sid]
 
-    # ---- available expressions (forward, intersection) ---------------------------
-    all_keys: Set[Tuple] = set()
+    # ---- available expressions (forward, intersection): one bit per key ----------
+    key_list: List[Tuple] = []
+    key_bit: Dict[Tuple, int] = {}
     stmt_eval: Dict[int, Optional[Tuple]] = {}
     for sid in order_sids:
         s = program.node(sid)
         key = expr_key(s.expr) if isinstance(s, Assign) else None
         stmt_eval[sid] = key
-        if key is not None:
-            all_keys.add(key)
+        if key is not None and key not in key_bit:
+            key_bit[key] = 1 << len(key_list)
+            key_list.append(key)
+    all_mask = (1 << len(key_list)) - 1
 
-    def block_transfer(bid: int, avail: Set[Tuple]) -> Set[Tuple]:
-        cur = set(avail)
+    # which keys a scalar (re)definition of each name kills
+    op_kill: Dict[str, int] = {}
+    for key, bit in key_bit.items():
+        for n in _expr_operand_names(key):
+            op_kill[n] = op_kill.get(n, 0) | bit
+    stmt_key_kill: Dict[int, int] = {}
+    for sid in order_sids:
+        k = 0
+        for n in stmt_defs[sid]:
+            if not n.startswith("@"):
+                k |= op_kill.get(n, 0)
+        stmt_key_kill[sid] = k
+
+    def block_transfer(bid: int, avail: int) -> int:
+        cur = avail
         for sid in cfg.blocks[bid].stmts:
             key = stmt_eval[sid]
-            defs = stmt_defs[sid]
             if key is not None:
-                cur.add(key)
+                cur |= key_bit[key]
             # kill expressions whose operands this statement (re)defines
-            scalar_defs = {n for n in defs if not n.startswith("@")}
-            if scalar_defs:
-                cur = {k for k in cur if not (_expr_operand_names(k) & scalar_defs)}
+            cur &= ~stmt_key_kill[sid]
         return cur
 
-    av_in: Dict[int, Set[Tuple]] = {b: set(all_keys) for b in cfg.blocks}
-    av_in[cfg.entry] = set()
-    av_out: Dict[int, Set[Tuple]] = {b: block_transfer(b, av_in[b]) for b in cfg.blocks}
+    av_in: Dict[int, int] = {b: all_mask for b in cfg.blocks}
+    av_in[cfg.entry] = 0
+    av_out: Dict[int, int] = {b: block_transfer(b, av_in[b]) for b in cfg.blocks}
     changed = True
     while changed:
         changed = False
@@ -270,11 +323,11 @@ def analyze_dataflow(program: Program, cfg: Optional[CFG] = None) -> DataflowRes
             visited += 1
             block = cfg.blocks[bid]
             if block.preds:
-                new_in = set(all_keys)
+                new_in = all_mask
                 for p in block.preds:
                     new_in &= av_out[p]
             else:
-                new_in = set()
+                new_in = 0
             new_out = block_transfer(bid, new_in)
             if new_in != av_in[bid] or new_out != av_out[bid]:
                 av_in[bid] = new_in
@@ -283,16 +336,14 @@ def analyze_dataflow(program: Program, cfg: Optional[CFG] = None) -> DataflowRes
 
     avail_in: Dict[int, FrozenSet[Tuple]] = {}
     for bid, block in cfg.blocks.items():
-        cur = set(av_in[bid])
+        cur = av_in[bid]
         for sid in block.stmts:
             visited += 1
-            avail_in[sid] = frozenset(cur)
+            avail_in[sid] = frozenset(key_list[i] for i in iter_bits(cur))
             key = stmt_eval[sid]
             if key is not None:
-                cur.add(key)
-            scalar_defs = {n for n in stmt_defs[sid] if not n.startswith("@")}
-            if scalar_defs:
-                cur = {k for k in cur if not (_expr_operand_names(k) & scalar_defs)}
+                cur |= key_bit[key]
+            cur &= ~stmt_key_kill[sid]
 
     return DataflowResult(
         cfg=cfg,

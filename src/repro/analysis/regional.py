@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.dataflow import iter_bits
 from repro.analysis.depend import (
     IO,
     Dependence,
@@ -49,6 +50,11 @@ from repro.analysis.depend import (
 )
 from repro.core.events import Event
 from repro.lang.ast_nodes import ArrayRef, Loop, Program, Stmt, stmt_defuse
+
+
+def bitset_to_sids(bits: int) -> List[int]:
+    """Decode a sid bitset (bit ``i`` set ⇔ sid ``i`` present), ascending."""
+    return list(iter_bits(bits))
 
 
 def subtree_sids(program: Program, sid: int) -> Set[int]:
@@ -105,15 +111,18 @@ class DefUseIndex:
 
     ``scalar_defs[name]`` / ``scalar_uses[name]`` hold the sids defining
     / using the scalar; ``arrays[name]`` the sids referencing the array.
-    :meth:`refresh` keeps the maps consistent as statements are touched,
-    so the index never has to be rebuilt after the first construction.
+    All three map to int *bitsets* — bit ``i`` set means sid ``i`` is in
+    the set (decode with :func:`bitset_to_sids`) — so candidate queries
+    union word-at-a-time instead of element-at-a-time.  :meth:`refresh`
+    keeps the maps consistent as statements are touched, so the index
+    never has to be rebuilt after the first construction.
     """
 
     def __init__(self) -> None:
         self.facts: Dict[int, StmtFacts] = {}
-        self.scalar_defs: Dict[str, Set[int]] = {}
-        self.scalar_uses: Dict[str, Set[int]] = {}
-        self.arrays: Dict[str, Set[int]] = {}
+        self.scalar_defs: Dict[str, int] = {}
+        self.scalar_uses: Dict[str, int] = {}
+        self.arrays: Dict[str, int] = {}
 
     @classmethod
     def build(cls, program: Program) -> "DefUseIndex":
@@ -129,24 +138,26 @@ class DefUseIndex:
         du = stmt_defuse(stmt)
         facts = StmtFacts(stmt.sid, du, stmt_array_refs(stmt))
         self.facts[stmt.sid] = facts
+        bit = 1 << stmt.sid
         for name in du.defs:
-            self.scalar_defs.setdefault(name, set()).add(stmt.sid)
+            self.scalar_defs[name] = self.scalar_defs.get(name, 0) | bit
         for name in du.uses:
-            self.scalar_uses.setdefault(name, set()).add(stmt.sid)
+            self.scalar_uses[name] = self.scalar_uses.get(name, 0) | bit
         for name, _ref, _w in facts.refs:
-            self.arrays.setdefault(name, set()).add(stmt.sid)
+            self.arrays[name] = self.arrays.get(name, 0) | bit
 
     def discard(self, sid: int) -> None:
         """Remove one statement from every map (no-op when absent)."""
         facts = self.facts.pop(sid, None)
         if facts is None:
             return
+        mask = ~(1 << sid)
         for name in facts.du.defs:
-            self.scalar_defs.get(name, set()).discard(sid)
+            self.scalar_defs[name] = self.scalar_defs.get(name, 0) & mask
         for name in facts.du.uses:
-            self.scalar_uses.get(name, set()).discard(sid)
+            self.scalar_uses[name] = self.scalar_uses.get(name, 0) & mask
         for name, _ref, _w in facts.refs:
-            self.arrays.get(name, set()).discard(sid)
+            self.arrays[name] = self.arrays.get(name, 0) & mask
 
     def refresh(self, program: Program, sids: Iterable[int]) -> None:
         """Re-derive the facts of ``sids`` from the current program.
@@ -160,31 +171,31 @@ class DefUseIndex:
 
     # -- candidate queries -----------------------------------------------------
 
-    def scalar_candidates(self, sid: int) -> Set[int]:
-        """Statements that could share a scalar dependence with ``sid``.
+    def scalar_candidates(self, sid: int) -> int:
+        """Bitset of statements that could share a scalar dependence.
 
         A pair generates a dependence only when a def meets a def or a
         use on the same name, so use-use overlap is never a candidate.
         """
         facts = self.facts.get(sid)
         if facts is None:
-            return set()
-        out: Set[int] = set()
+            return 0
+        out = 0
         for name in facts.du.defs:
-            out |= self.scalar_defs.get(name, set())
-            out |= self.scalar_uses.get(name, set())
+            out |= self.scalar_defs.get(name, 0)
+            out |= self.scalar_uses.get(name, 0)
         for name in facts.du.uses:
-            out |= self.scalar_defs.get(name, set())
+            out |= self.scalar_defs.get(name, 0)
         return out
 
-    def array_candidates(self, sid: int) -> Set[int]:
-        """Statements referencing an array that ``sid`` references."""
+    def array_candidates(self, sid: int) -> int:
+        """Bitset of statements referencing an array ``sid`` references."""
         facts = self.facts.get(sid)
         if facts is None:
-            return set()
-        out: Set[int] = set()
+            return 0
+        out = 0
         for name, _ref, _w in facts.refs:
-            out |= self.arrays.get(name, set())
+            out |= self.arrays.get(name, 0)
         return out
 
 
@@ -223,6 +234,9 @@ def analyze_dependences_region(program: Program, touched: Set[int],
     stmts = list(program.walk())
     pos = {s.sid: i for i, s in enumerate(stmts)}
     live = set(pos)
+    live_bits = 0
+    for sid in live:
+        live_bits |= 1 << sid
     touched_live = [sid for sid in touched if sid in live]
     touched_live.sort(key=pos.__getitem__)
 
@@ -249,11 +263,9 @@ def analyze_dependences_region(program: Program, touched: Set[int],
     # ---- scalar pairs: touched × index candidates ---------------------------
     done: Set[Tuple[int, int]] = set()
     for t in touched_live:
-        cands = index.scalar_candidates(t)
-        cands.add(t)  # the self pair (loop-carried self dependences)
-        for c in cands:
-            if c not in live:
-                continue
+        # the self pair (loop-carried self dependences) rides along
+        cands = (index.scalar_candidates(t) | (1 << t)) & live_bits
+        for c in iter_bits(cands):
             a, b = (t, c) if pos[t] <= pos[c] else (c, t)
             if (a, b) in done:
                 continue
@@ -268,9 +280,7 @@ def analyze_dependences_region(program: Program, touched: Set[int],
     done_refs: Set[Tuple[int, int, int, int]] = set()
     for t in touched_live:
         for ia, (na_, ra, wa) in enumerate(index.facts[t].refs):
-            for c in index.array_candidates(t):
-                if c not in live:
-                    continue
+            for c in iter_bits(index.array_candidates(t) & live_bits):
                 for ib, (nb_, rb, wb) in enumerate(index.facts[c].refs):
                     if na_ != nb_ or not (wa or wb):
                         continue

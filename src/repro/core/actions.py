@@ -90,6 +90,7 @@ class HeaderSpec:
         loop.lower = self.lower.clone()
         loop.upper = self.upper.clone()
         loop.step = self.step.clone()
+        loop._h = None  # the loop's cached content hash covers its header
 
 
 #: Expression path marking a loop-header modification.
@@ -160,6 +161,15 @@ class ActionApplier:
         #: :func:`repro.core.locations.make_sibling_orderer`), used when
         #: inverse actions restore statements into contested positions.
         self.orderer = None
+        #: optional callback ``note(stamp)`` invoked whenever an action
+        #: mutates the record with that stamp (forward apply appends an
+        #: action; invert strips annotations).  The incremental
+        #: fingerprint uses it to re-digest only dirty history records.
+        self.note = None
+
+    def _note(self, stamp: int) -> None:
+        if self.note is not None:
+            self.note(stamp)
 
     # -- instrumentation / persistence hooks ---------------------------------
 
@@ -208,6 +218,7 @@ class ActionApplier:
                            from_loc=origin)
         self._annotate(rec, "del", sid)
         self._emit(rec, EventKind.STMT_REMOVED, sid, (origin.container,))
+        self._note(stamp)
         self.applied_count += 1
         return rec
 
@@ -223,6 +234,7 @@ class ActionApplier:
                            to_loc=loc)
         self._annotate(rec, "add", stmt.sid)
         self._emit(rec, EventKind.STMT_INSERTED, stmt.sid, (ref,))
+        self._note(stamp)
         self.applied_count += 1
         return rec
 
@@ -245,6 +257,7 @@ class ActionApplier:
                            from_loc=origin, to_loc=loc)
         self._annotate(rec, "mv", sid)
         self._emit(rec, EventKind.STMT_MOVED, sid, (origin.container, ref))
+        self._note(stamp)
         self.applied_count += 1
         return rec
 
@@ -263,6 +276,7 @@ class ActionApplier:
         self._annotate(rec, "cp", clone.sid)
         self._annotate(rec, "cps", src_sid)
         self._emit(rec, EventKind.STMT_INSERTED, clone.sid, (ref,))
+        self._note(stamp)
         self.applied_count += 1
         return rec
 
@@ -271,7 +285,7 @@ class ActionApplier:
         """``Modify (exp(a), new_exp)`` — replace an expression subtree."""
         stmt = self.program.node(sid)
         old = replace_expr(stmt, path, new_expr.clone())
-        self.program.touch()
+        self.program.touch(sid)
         rec = ActionRecord(self._new_id(), stamp, ActionKind.MODIFY, sid,
                            path=path, old_expr=old.clone(),
                            new_expr=new_expr.clone())
@@ -281,6 +295,7 @@ class ActionApplier:
         if parent is not None:
             containers = (parent,)
         self._emit(rec, EventKind.EXPR_MODIFIED, sid, containers)
+        self._note(stamp)
         self.applied_count += 1
         return rec
 
@@ -295,7 +310,7 @@ class ActionApplier:
             raise ActionError(f"statement {loop_sid} is not a loop")
         old = HeaderSpec.of(loop)
         new_header.install(loop)
-        self.program.touch()
+        self.program.touch(loop_sid)
         rec = ActionRecord(self._new_id(), stamp, ActionKind.MODIFY, loop_sid,
                            path=HEADER_PATH, old_header=old,
                            new_header=new_header)
@@ -305,6 +320,7 @@ class ActionApplier:
         if parent is not None:
             containers = (parent, (loop_sid, "body"))
         self._emit(rec, EventKind.HEADER_MODIFIED, loop_sid, containers)
+        self._note(stamp)
         self.applied_count += 1
         return rec
 
@@ -335,6 +351,7 @@ class ActionApplier:
             except (KeyError, ValueError):  # already gone: tolerated
                 pass
         rec.annotations.clear()
+        self._note(rec.stamp)
         self.inverted_count += 1
 
     def _invert_delete(self, rec: ActionRecord, undo_stamp: int) -> None:
@@ -404,7 +421,7 @@ class ActionApplier:
                     f"loop {rec.sid} header diverged from the post pattern; "
                     "affecting transformations were not undone first")
             rec.old_header.install(stmt)
-            self.program.touch()
+            self.program.touch(rec.sid)
             containers = ()
             parent = self.program.parent_of(rec.sid)
             if parent is not None:
@@ -425,7 +442,7 @@ class ActionApplier:
                 f"expression at {rec.sid}:{rec.path} diverged from the post "
                 "pattern; affecting transformations were not undone first")
         replace_expr(stmt, rec.path, rec.old_expr.clone())
-        self.program.touch()
+        self.program.touch(rec.sid)
         containers = ()
         parent = self.program.parent_of(rec.sid)
         if parent is not None:

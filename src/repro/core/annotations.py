@@ -29,6 +29,7 @@ and the AST stays clean.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -58,12 +59,41 @@ class Annotation:
         return f"{self.kind}_{self.stamp}"
 
 
+_DIGEST_MOD = 1 << 256
+
+
+def _ann_key(ann: Annotation) -> str:
+    """Deterministic text encoding of one annotation (digest preimage)."""
+    return f"{ann.kind}|{ann.stamp}|{ann.action_id}|{ann.sid}|{ann.path!r}"
+
+
+def _ann_hash(ann: Annotation) -> int:
+    return int.from_bytes(
+        hashlib.sha256(_ann_key(ann).encode("utf-8")).digest(), "big")
+
+
 class AnnotationStore:
-    """Side table of annotations, indexed by sid and by stamp."""
+    """Side table of annotations, indexed by sid and by stamp.
+
+    The store maintains a *commutative* multiset digest — the sum of
+    per-annotation hashes mod 2^256 — updated in :meth:`add` and
+    :meth:`remove`, the two mutation chokepoints.  Removal order does not
+    matter, which matches the store's semantics (annotations are a set
+    keyed by content).  It also keeps an append-only ``oplog`` of
+    ``("add"|"remove", annotation)`` entries so delta snapshots can ship
+    only the tail since the last full snapshot.
+    """
 
     def __init__(self) -> None:
         self._by_sid: Dict[int, List[Annotation]] = {}
         self._by_stamp: Dict[int, List[Annotation]] = {}
+        self._digest_acc = 0
+        self.oplog: List[Tuple[str, Annotation]] = []
+
+    @property
+    def digest(self) -> str:
+        """Commutative content digest of the current annotation multiset."""
+        return f"{self._digest_acc:064x}"
 
     # -- mutation ------------------------------------------------------------
 
@@ -71,6 +101,8 @@ class AnnotationStore:
         """Insert an annotation into both indices; returns it."""
         self._by_sid.setdefault(ann.sid, []).append(ann)
         self._by_stamp.setdefault(ann.stamp, []).append(ann)
+        self._digest_acc = (self._digest_acc + _ann_hash(ann)) % _DIGEST_MOD
+        self.oplog.append(("add", ann))
         return ann
 
     def remove(self, ann: Annotation) -> None:
@@ -81,6 +113,8 @@ class AnnotationStore:
         self._by_stamp[ann.stamp].remove(ann)
         if not self._by_stamp[ann.stamp]:
             del self._by_stamp[ann.stamp]
+        self._digest_acc = (self._digest_acc - _ann_hash(ann)) % _DIGEST_MOD
+        self.oplog.append(("remove", ann))
 
     def remove_action(self, sid: int, action_id: int) -> None:
         """Remove every annotation a given action left on ``sid``."""

@@ -89,6 +89,9 @@ class TransformationEngine:
         self.applier = ActionApplier(program, store=store, events=events)
         self.history = history if history is not None else History()
         self.applier.orderer = make_sibling_orderer(self.history)
+        # dirty-record tracking for the incremental fingerprint: any
+        # action that mutates a record's content marks its stamp.
+        self.applier.note = self.history.note_mutation
         #: journal hook point: callables invoked with the executed
         #: :class:`~repro.core.commands.Command` after every top-level
         #: command — including *failed* ones that consumed an order

@@ -11,6 +11,7 @@ program, which is precisely the paper's space-coordinate optimisation.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Tuple
 
@@ -56,15 +57,39 @@ class Event:
     inverse: bool = False
 
 
+def _event_key(event: Event) -> str:
+    """Deterministic text encoding of one event (digest preimage)."""
+    return (f"{event.kind.value}|{event.sid}|{event.containers!r}|"
+            f"{event.stamp}|{event.action_id}|{int(event.inverse)}")
+
+
+#: Digest of the empty event log.
+EMPTY_LOG_DIGEST = hashlib.sha256(b"eventlog").hexdigest()
+
+
 class EventLog:
-    """Accumulates events; consumers drain slices by cursor."""
+    """Accumulates events; consumers drain slices by cursor.
+
+    The log is append-only, so it maintains a *chained* running digest:
+    ``digest_{i+1} = sha256(digest_i || key(event_i))``.  The incremental
+    fingerprint reads :attr:`digest` in O(1) instead of re-serializing
+    the whole log.
+    """
 
     def __init__(self) -> None:
         self._events: List[Event] = []
+        self._digest = EMPTY_LOG_DIGEST
+
+    @property
+    def digest(self) -> str:
+        """Running chained digest over every event emitted so far."""
+        return self._digest
 
     def emit(self, event: Event) -> None:
         """Append an event to the log."""
         self._events.append(event)
+        self._digest = hashlib.sha256(
+            (self._digest + _event_key(event)).encode("utf-8")).hexdigest()
 
     def cursor(self) -> int:
         """Current end-of-log position, for later :meth:`since` calls."""

@@ -57,6 +57,16 @@ class History:
         self._records: List[TransformationRecord] = []
         self._by_stamp: Dict[int, TransformationRecord] = {}
         self._next_stamp = 1
+        #: append-only journal of stamps whose record content changed
+        #: (created, deactivated, or mutated through the action applier).
+        #: Incremental consumers — the fingerprint maintainer, delta
+        #: snapshots — keep a cursor into this list and re-digest only
+        #: the records named after it.
+        self.mutations: List[int] = []
+
+    def note_mutation(self, stamp: int) -> None:
+        """Record that the record with ``stamp`` changed content."""
+        self.mutations.append(stamp)
 
     @classmethod
     def restore(cls, records: Iterable[TransformationRecord]) -> "History":
@@ -84,6 +94,7 @@ class History:
         self._next_stamp += 1
         self._records.append(rec)
         self._by_stamp[rec.stamp] = rec
+        self.mutations.append(rec.stamp)
         return rec
 
     def by_stamp(self, stamp: int) -> TransformationRecord:
@@ -114,6 +125,7 @@ class History:
     def deactivate(self, stamp: int) -> None:
         """Mark the record with ``stamp`` as undone."""
         self._by_stamp[stamp].active = False
+        self.mutations.append(stamp)
 
     def stamp_of_action(self, action_id: int) -> Optional[int]:
         """Map a primitive-action id back to its transformation's stamp.

@@ -24,6 +24,7 @@ and parent map stay consistent; the primitive actions in
 
 from __future__ import annotations
 
+import hashlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
@@ -46,9 +47,15 @@ class Expr:
     :func:`exprs_equal` and are duplicated with :meth:`clone`.  They carry
     no identity of their own; the owning statement plus a path addresses
     any subtree (see :func:`expr_at`).
+
+    Every node carries a memoized structural content hash in ``_h``
+    (computed lazily by :func:`expr_hash`).  Mutators — only
+    :func:`replace_expr` mutates expression structure — clear ``_h``
+    along the spine of the mutation; everything off the spine keeps its
+    cached digest.
     """
 
-    __slots__ = ()
+    __slots__ = ("_h",)
 
     def clone(self) -> "Expr":
         """Return a deep copy of this expression subtree."""
@@ -65,10 +72,11 @@ class Const(Expr):
     __slots__ = ("value",)
 
     def __init__(self, value: Union[int, float]):
+        self._h: Optional[str] = None
         self.value = value
 
     def clone(self) -> "Const":
-        return Const(self.value)
+        return intern_const(self.value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Const({self.value!r})"
@@ -80,10 +88,11 @@ class VarRef(Expr):
     __slots__ = ("name",)
 
     def __init__(self, name: str):
+        self._h: Optional[str] = None
         self.name = name
 
     def clone(self) -> "VarRef":
-        return VarRef(self.name)
+        return intern_var(self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"VarRef({self.name!r})"
@@ -95,6 +104,7 @@ class ArrayRef(Expr):
     __slots__ = ("name", "subscripts")
 
     def __init__(self, name: str, subscripts: Sequence[Expr]):
+        self._h: Optional[str] = None
         self.name = name
         self.subscripts: List[Expr] = list(subscripts)
 
@@ -116,6 +126,7 @@ class BinOp(Expr):
     def __init__(self, op: str, left: Expr, right: Expr):
         if op not in BINARY_OPS:
             raise ValueError(f"unknown binary operator: {op!r}")
+        self._h: Optional[str] = None
         self.op = op
         self.left = left
         self.right = right
@@ -138,6 +149,7 @@ class UnaryOp(Expr):
     def __init__(self, op: str, operand: Expr):
         if op not in UNARY_OPS:
             raise ValueError(f"unknown unary operator: {op!r}")
+        self._h: Optional[str] = None
         self.op = op
         self.operand = operand
 
@@ -149,6 +161,118 @@ class UnaryOp(Expr):
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"UnaryOp({self.op!r}, {self.operand!r})"
+
+
+# ---------------------------------------------------------------------------
+# Leaf interning
+# ---------------------------------------------------------------------------
+#
+# Leaves are immutable after construction (the only structural mutator,
+# ``replace_expr``, rewrites *parent* links, never ``Const.value`` or
+# ``VarRef.name``), so identical leaves can share one object.  Cloning a
+# subtree after CPP/CSE then shares every literal and variable reference
+# instead of reallocating them, and each shared leaf memoizes its content
+# hash exactly once.  Interior nodes (``BinOp``/``UnaryOp``/``ArrayRef``)
+# are mutated in place by ``replace_expr`` and must never be shared.
+
+#: Bound on each intern table; programs hold a small vocabulary of
+#: literals/names, but a runaway workload must not leak memory.
+_INTERN_MAX = 4096
+
+_CONST_INTERN: Dict[Tuple[str, Union[int, float]], Const] = {}
+_VAR_INTERN: Dict[str, VarRef] = {}
+
+
+def intern_const(value: Union[int, float]) -> Const:
+    """A shared :class:`Const` for ``value`` (type-distinguishing key)."""
+    key = (type(value).__name__, value)
+    e = _CONST_INTERN.get(key)
+    if e is None:
+        e = Const(value)
+        if len(_CONST_INTERN) < _INTERN_MAX:
+            _CONST_INTERN[key] = e
+    return e
+
+
+def intern_var(name: str) -> VarRef:
+    """A shared :class:`VarRef` for ``name``."""
+    e = _VAR_INTERN.get(name)
+    if e is None:
+        e = VarRef(name)
+        if len(_VAR_INTERN) < _INTERN_MAX:
+            _VAR_INTERN[name] = e
+    return e
+
+
+def intern_leaf(e: Expr) -> Expr:
+    """Return the interned equivalent of ``e`` when it is a leaf."""
+    if type(e) is Const:
+        return intern_const(e.value)
+    if type(e) is VarRef:
+        return intern_var(e.name)
+    return e
+
+
+def intern_stats() -> Dict[str, int]:
+    """Current sizes of the leaf intern tables (for benchmarks)."""
+    return {"consts": len(_CONST_INTERN), "vars": len(_VAR_INTERN)}
+
+
+# ---------------------------------------------------------------------------
+# Structural content hashes
+# ---------------------------------------------------------------------------
+
+#: Field separator for hash preimages; cannot occur in operator names,
+#: identifiers, or ``repr`` of numeric literals.
+_HSEP = "\x1f"
+
+
+def _hash_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _expr_hash(e: Expr, cache: bool) -> str:
+    if cache:
+        h = e._h
+        if h is not None:
+            return h
+    if isinstance(e, Const):
+        h = _hash_text(f"C{_HSEP}{type(e.value).__name__}{_HSEP}{e.value!r}")
+    elif isinstance(e, VarRef):
+        h = _hash_text(f"V{_HSEP}{e.name}")
+    elif isinstance(e, ArrayRef):
+        subs = _HSEP.join(_expr_hash(s, cache) for s in e.subscripts)
+        h = _hash_text(f"A{_HSEP}{e.name}{_HSEP}{subs}")
+    elif isinstance(e, BinOp):
+        h = _hash_text(f"B{_HSEP}{e.op}{_HSEP}{_expr_hash(e.left, cache)}"
+                       f"{_HSEP}{_expr_hash(e.right, cache)}")
+    elif isinstance(e, UnaryOp):
+        h = _hash_text(f"U{_HSEP}{e.op}{_HSEP}{_expr_hash(e.operand, cache)}")
+    else:
+        raise TypeError(f"unknown expression node: {e!r}")
+    if cache:
+        e._h = h
+    return h
+
+
+def expr_hash(e: Expr) -> str:
+    """Memoized structural sha256 of an expression subtree.
+
+    The preimage distinguishes node types and literal types (``1`` vs
+    ``1.0`` vs ``True``), so two expressions hash equal iff
+    :func:`exprs_equal` holds.
+    """
+    return _expr_hash(e, True)
+
+
+def expr_hash_fresh(e: Expr) -> str:
+    """Like :func:`expr_hash` but ignores (and never writes) the memo.
+
+    Used by the from-scratch fingerprint to *verify* the invalidation
+    discipline: if a cached hash went stale, the fresh and memoized
+    digests diverge.
+    """
+    return _expr_hash(e, False)
 
 
 def exprs_equal(a: Optional[Expr], b: Optional[Expr]) -> bool:
@@ -237,11 +361,15 @@ class Stmt:
         statements of the paper's Figure 1.
     """
 
-    __slots__ = ("sid", "label")
+    __slots__ = ("sid", "label", "_h")
 
     def __init__(self) -> None:
         self.sid: int = -1
         self.label: Optional[int] = None
+        #: memoized subtree content hash (see :func:`stmt_hash`); cleared
+        #: along the mutation spine by ``replace_expr`` and the
+        #: :class:`Program` mutators.
+        self._h: Optional[str] = None
 
     # -- expression slots ---------------------------------------------------
 
@@ -529,18 +657,53 @@ def expr_at(stmt: Stmt, path: ExprPath) -> Expr:
     return node
 
 
+def _clear_expr_spine(stmt: Stmt, path: ExprPath) -> None:
+    """Drop cached hashes along ``path`` (exclusive of the final node).
+
+    After a replacement at ``path`` every ancestor of the replaced node —
+    the slot root down to the direct parent — holds a stale digest; the
+    replaced subtree itself and everything off the spine stay valid.
+    """
+    stmt._h = None
+    try:
+        node: Optional[Expr] = None
+        for name, e in stmt.expr_slots():
+            if name == path[0]:
+                node = e
+                break
+        for edge in path[1:-1] if node is not None else ():
+            node._h = None
+            nxt = None
+            for name, child in node.children():
+                if name == edge:
+                    nxt = child
+                    break
+            if nxt is None:
+                return
+            node = nxt
+        if node is not None:
+            node._h = None
+    except Exception:  # pragma: no cover - invalidation must never raise
+        pass
+
+
 def replace_expr(stmt: Stmt, path: ExprPath, new: Expr) -> Expr:
     """Replace the subtree at ``path`` with ``new``; return the old subtree.
 
     This is the structural workhorse of the ``Modify`` primitive action.
+    Cached content hashes are cleared along the spine of the mutation;
+    callers remain responsible for ``Program.touch(sid)`` so *ancestor
+    statements* get invalidated too.
     """
     if not path:
         raise ValueError("empty expression path")
     if len(path) == 1:
         old = expr_at(stmt, path)
         stmt.set_expr_slot(path[0], new)
+        stmt._h = None
         return old
     parent = expr_at(stmt, path[:-1])
+    _clear_expr_spine(stmt, path)
     edge = path[-1]
     if isinstance(parent, BinOp):
         if edge == "l":
@@ -563,6 +726,44 @@ def replace_expr(stmt: Stmt, path: ExprPath, new: Expr) -> Expr:
             parent.subscripts[k] = new
             return old
     raise KeyError(f"cannot replace child {edge!r} of {type(parent).__name__}")
+
+
+def _stmt_hash(stmt: Stmt, cache: bool) -> str:
+    if cache:
+        h = stmt._h
+        if h is not None:
+            return h
+    parts = [type(stmt).__name__, str(stmt.sid), repr(stmt.label)]
+    if isinstance(stmt, Loop):
+        parts.append(stmt.var)
+    for name, e in stmt.expr_slots():
+        parts.append(name)
+        parts.append(_expr_hash(e, cache))
+    for slot in stmt.body_slots():
+        parts.append(slot)
+        for child in stmt.get_body(slot):
+            parts.append(_stmt_hash(child, cache))
+    h = _hash_text(_HSEP.join(parts))
+    if cache:
+        stmt._h = h
+    return h
+
+
+def stmt_hash(stmt: Stmt) -> str:
+    """Memoized Merkle-style subtree hash of one statement.
+
+    Covers the statement type, sid, label, loop index variable, every
+    expression slot and every nested statement, so the digest of a root
+    statement commits to its entire subtree.  Recomputing after an edit
+    only re-hashes the spine: untouched children return their memoized
+    digests.
+    """
+    return _stmt_hash(stmt, True)
+
+
+def stmt_hash_fresh(stmt: Stmt) -> str:
+    """:func:`stmt_hash` without reading or writing any memoized hash."""
+    return _stmt_hash(stmt, False)
 
 
 # ---------------------------------------------------------------------------
@@ -636,6 +837,7 @@ class Program:
         if stmt.sid != -1 and stmt.sid in self._infos and self._infos[stmt.sid].stmt is stmt:
             return stmt.sid
         stmt.sid = self._next_sid
+        stmt._h = None  # the subtree hash commits to the sid
         self._next_sid += 1
         self._infos[stmt.sid] = StmtInfo(stmt=stmt)
         for slot in stmt.body_slots():
@@ -711,6 +913,7 @@ class Program:
         lst.insert(index, stmt)
         info.parent = ref
         self._mark_attached(stmt, True)
+        self._invalidate_spine(ref[0])
         self._bump_version()
 
     def detach(self, sid: int) -> Stmt:
@@ -722,6 +925,7 @@ class Program:
         assert ref is not None
         lst = self.container_list(ref)
         lst.remove(info.stmt)
+        self._invalidate_spine(ref[0])
         info.parent = None
         self._mark_attached(info.stmt, False)
         # a detached statement keeps no parent, but its children keep
@@ -735,8 +939,34 @@ class Program:
         stmt = self.detach(sid)
         self.insert(ref, index, stmt)
 
-    def touch(self) -> None:
-        """Record a non-structural (expression) mutation."""
+    def _invalidate_spine(self, sid: int) -> None:
+        """Clear cached subtree hashes from ``sid`` up to the root."""
+        while sid != ROOT_SID:
+            info = self._infos.get(sid)
+            if info is None:
+                return
+            info.stmt._h = None
+            ref = info.parent
+            if ref is None:
+                return
+            sid = ref[0]
+
+    def touch(self, sid: Optional[int] = None) -> None:
+        """Record a non-structural (expression) mutation.
+
+        With ``sid``, only the mutated statement's spine loses its cached
+        content hashes; without one (legacy callers that batch several
+        in-place swaps), every cached statement hash is dropped.
+        """
+        if sid is None:
+            for info in self._infos.values():
+                info.stmt._h = None
+        else:
+            info = self._infos.get(sid)
+            if info is not None:
+                info.stmt._h = None
+                if info.parent is not None:
+                    self._invalidate_spine(info.parent[0])
         self._bump_version()
 
     # -- traversal ---------------------------------------------------------------

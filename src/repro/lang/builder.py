@@ -27,6 +27,8 @@ from repro.lang.ast_nodes import (
     UnaryOp,
     VarRef,
     WriteStmt,
+    intern_const,
+    intern_var,
 )
 
 Exprish = Union[Expr, int, float, str]
@@ -37,20 +39,20 @@ def _expr(x: Exprish) -> Expr:
     if isinstance(x, Expr):
         return x
     if isinstance(x, (int, float)):
-        return Const(x)
+        return intern_const(x)
     if isinstance(x, str):
-        return VarRef(x)
+        return intern_var(x)
     raise TypeError(f"cannot coerce {x!r} to an expression")
 
 
 def const(v: Union[int, float]) -> Const:
-    """A numeric literal."""
-    return Const(v)
+    """A numeric literal (interned: equal literals share one node)."""
+    return intern_const(v)
 
 
 def var(name: str) -> VarRef:
-    """A scalar variable reference."""
-    return VarRef(name)
+    """A scalar variable reference (interned)."""
+    return intern_var(name)
 
 
 def arr(name: str, *subscripts: Exprish) -> ArrayRef:
@@ -85,7 +87,7 @@ def neg(a: Exprish) -> UnaryOp:
 
 def assign(target: Union[VarRef, ArrayRef, str], expr: Exprish) -> Assign:
     """An assignment statement; a string target becomes a scalar."""
-    t = VarRef(target) if isinstance(target, str) else target
+    t = intern_var(target) if isinstance(target, str) else target
     return Assign(t, _expr(expr))
 
 
@@ -116,7 +118,7 @@ def if_(cond: Exprish, then_body: Sequence[Stmt],
 
 def read(target: Union[VarRef, ArrayRef, str]) -> ReadStmt:
     """A ``read`` statement."""
-    t = VarRef(target) if isinstance(target, str) else target
+    t = intern_var(target) if isinstance(target, str) else target
     return ReadStmt(t)
 
 
@@ -137,5 +139,13 @@ def prog(*stmts: Stmt) -> Program:
 
 def relabel(p: Program) -> None:
     """Assign 1-based source-order labels to all attached statements."""
+    changed = False
     for i, s in enumerate(p.walk(), start=1):
-        s.label = i
+        if s.label != i:
+            s.label = i
+            changed = True
+    if changed:
+        # subtree hashes commit to labels, and every ancestor of a
+        # relabelled statement holds a stale digest — drop them all
+        for s in p.walk():
+            s._h = None

@@ -265,6 +265,115 @@ def program_from_doc(doc: Dict[str, Any]) -> Program:
 
 
 # ---------------------------------------------------------------------------
+# Flat per-sid row form of a program (delta snapshots)
+# ---------------------------------------------------------------------------
+#
+# A *row* is one statement's own content — tag, label, expression slots —
+# with nested statements referenced by sid instead of inlined.  A program
+# in row form is ``{"rows": {str(sid): row}, "roots": [...],
+# "detached": [...], "next_sid", "version", "version_hwm"}``.  Delta
+# snapshots ship only the changed rows plus the (small) root/detached
+# lists; resolution merges rows into the base's row table and
+# re-materializes the nested program document.  Sids are never retired
+# from a program, so a delta never needs row deletions.
+
+
+def stmt_to_row(s: Stmt) -> Dict[str, Any]:
+    """Encode one statement as a flat row (children by sid)."""
+    base: Dict[str, Any] = {"sid": s.sid, "label": s.label}
+    if isinstance(s, Assign):
+        base.update(t="assign", target=expr_to_doc(s.target),
+                    expr=expr_to_doc(s.expr))
+    elif isinstance(s, ParLoop):
+        base.update(t="parloop", var=s.var, lower=expr_to_doc(s.lower),
+                    upper=expr_to_doc(s.upper), step=expr_to_doc(s.step),
+                    body=[c.sid for c in s.body])
+    elif isinstance(s, Loop):
+        base.update(t="loop", var=s.var, lower=expr_to_doc(s.lower),
+                    upper=expr_to_doc(s.upper), step=expr_to_doc(s.step),
+                    body=[c.sid for c in s.body])
+    elif isinstance(s, ParSections):
+        base.update(t="parsec",
+                    sections=[[c.sid for c in sec] for sec in s.sections])
+    elif isinstance(s, IfStmt):
+        base.update(t="if", cond=expr_to_doc(s.cond),
+                    then=[c.sid for c in s.then_body],
+                    orelse=[c.sid for c in s.else_body])
+    elif isinstance(s, ReadStmt):
+        base.update(t="read", target=expr_to_doc(s.target))
+    elif isinstance(s, WriteStmt):
+        base.update(t="write", expr=expr_to_doc(s.expr))
+    else:
+        raise SerdeError(f"unknown statement node {type(s).__name__}")
+    return base
+
+
+def _stmt_doc_to_rows(doc: Dict[str, Any], rows: Dict[str, Any]) -> None:
+    row = dict(doc)
+    t = doc.get("t")
+    if t in ("loop", "parloop"):
+        row["body"] = [c["sid"] for c in doc["body"]]
+        for c in doc["body"]:
+            _stmt_doc_to_rows(c, rows)
+    elif t == "if":
+        row["then"] = [c["sid"] for c in doc["then"]]
+        row["orelse"] = [c["sid"] for c in doc["orelse"]]
+        for c in doc["then"]:
+            _stmt_doc_to_rows(c, rows)
+        for c in doc["orelse"]:
+            _stmt_doc_to_rows(c, rows)
+    elif t == "parsec":
+        row["sections"] = [[c["sid"] for c in sec] for sec in doc["sections"]]
+        for sec in doc["sections"]:
+            for c in sec:
+                _stmt_doc_to_rows(c, rows)
+    rows[str(doc["sid"])] = row
+
+
+def program_doc_to_rows(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Flatten a nested program document into row form."""
+    rows: Dict[str, Any] = {}
+    for sdoc in doc["body"]:
+        _stmt_doc_to_rows(sdoc, rows)
+    for sdoc in doc["detached"]:
+        _stmt_doc_to_rows(sdoc, rows)
+    return {"rows": rows,
+            "roots": [s["sid"] for s in doc["body"]],
+            "detached": [s["sid"] for s in doc["detached"]],
+            "next_sid": doc["next_sid"], "version": doc["version"],
+            "version_hwm": doc["version_hwm"]}
+
+
+def _row_to_stmt_doc(rows: Dict[str, Any], sid: int) -> Dict[str, Any]:
+    try:
+        row = rows[str(sid)]
+    except KeyError:
+        raise SerdeError(f"delta snapshot references unknown sid {sid}") \
+            from None
+    doc = dict(row)
+    t = row.get("t")
+    if t in ("loop", "parloop"):
+        doc["body"] = [_row_to_stmt_doc(rows, c) for c in row["body"]]
+    elif t == "if":
+        doc["then"] = [_row_to_stmt_doc(rows, c) for c in row["then"]]
+        doc["orelse"] = [_row_to_stmt_doc(rows, c) for c in row["orelse"]]
+    elif t == "parsec":
+        doc["sections"] = [[_row_to_stmt_doc(rows, c) for c in sec]
+                           for sec in row["sections"]]
+    return doc
+
+
+def rows_to_program_doc(rowsdoc: Dict[str, Any]) -> Dict[str, Any]:
+    """Re-materialize a nested program document from row form."""
+    rows = rowsdoc["rows"]
+    return {"body": [_row_to_stmt_doc(rows, sid) for sid in rowsdoc["roots"]],
+            "detached": [_row_to_stmt_doc(rows, sid)
+                         for sid in rowsdoc["detached"]],
+            "next_sid": rowsdoc["next_sid"], "version": rowsdoc["version"],
+            "version_hwm": rowsdoc["version_hwm"]}
+
+
+# ---------------------------------------------------------------------------
 # Generic value codec (pre/post patterns, opportunity params)
 # ---------------------------------------------------------------------------
 
@@ -282,9 +391,14 @@ def value_to_doc(v: Any) -> Any:
     if isinstance(v, (set, frozenset)):
         # encoded elements can be dicts (tuples, Exprs) or mixed scalar
         # types, which Python cannot compare — order by the canonical
-        # JSON rendering instead, which totally orders any encoded value
+        # JSON rendering instead, which totally orders any encoded value.
+        # Decorate-sort-undecorate: render each element exactly once
+        # instead of re-serializing per comparison.
         try:
-            docs = sorted((value_to_doc(x) for x in v), key=canonical_dumps)
+            decorated = [(canonical_dumps(d), d)
+                         for d in (value_to_doc(x) for x in v)]
+            decorated.sort(key=lambda pair: pair[0])
+            docs = [d for _, d in decorated]
         except (TypeError, ValueError) as exc:
             raise SerdeError(f"cannot canonically order set: {exc}") from exc
         return {"$": "set", "v": docs}
@@ -519,6 +633,94 @@ def engine_from_doc(doc: Dict[str, Any], strategy=None):
     return engine
 
 
+# ---------------------------------------------------------------------------
+# Delta snapshots
+# ---------------------------------------------------------------------------
+#
+# A delta snapshot payload carries only what changed since its base full
+# snapshot:
+#
+# ``delta_of``          journal seq of the base full snapshot;
+# ``program``           row form with only the *changed* rows, plus the
+#                       (small) roots/detached lists and counters;
+# ``history``           dirty records keyed by str(stamp);
+# ``annotations_ops``   tail of the store's append-only oplog, as
+#                       ``["add"|"remove", annotation_doc]`` pairs;
+# ``events_tail``       events emitted since the base
+#                       (``events_base`` = base event count, a sanity
+#                       check against resolving over the wrong base);
+# ``commands_tail``     commands since the base (``commands_base``
+#                       likewise);
+# ``applier``           full applier counters (tiny — always shipped).
+#
+# Resolution is purely at the document level: no engine is constructed.
+
+
+def resolve_snapshot_delta(base: Dict[str, Any],
+                           delta: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge a delta snapshot payload over its base full payload.
+
+    Returns a payload in full-snapshot form (``journal_seq``,
+    ``engine``, ``commands``).  Raises :class:`SerdeError` when the
+    delta's recorded base extents do not match the base payload — the
+    symptom of a delta resolved against the wrong full snapshot.
+    """
+    try:
+        base_engine = base["engine"]
+        base_commands = base["commands"]
+        dprog = delta["program"]
+        dhist = delta["history"]
+        dops = delta["annotations_ops"]
+    except (KeyError, TypeError) as exc:
+        raise SerdeError(f"malformed snapshot payload: {exc}") from exc
+
+    # Program: merge changed rows into the base's row table.
+    rowsdoc = program_doc_to_rows(base_engine["program"])
+    rowsdoc["rows"].update(dprog["rows"])
+    for key in ("roots", "detached", "next_sid", "version", "version_hwm"):
+        rowsdoc[key] = dprog[key]
+    program_doc = rows_to_program_doc(rowsdoc)
+
+    # History: replace dirty records by stamp, append new ones.
+    records = {r["stamp"]: r for r in base_engine["history"]["records"]}
+    for stamp_key, rdoc in dhist.items():
+        records[int(stamp_key)] = rdoc
+    history_doc = {"records": [records[s] for s in sorted(records)]}
+
+    # Annotations: replay the oplog tail over the base's live list.
+    anns = list(base_engine["annotations"])
+    for op, adoc in dops:
+        if op == "add":
+            anns.append(adoc)
+        elif op == "remove":
+            try:
+                anns.remove(adoc)
+            except ValueError:
+                raise SerdeError(
+                    "delta snapshot removes an annotation absent from "
+                    "its base") from None
+        else:
+            raise SerdeError(f"unknown annotation op {op!r}")
+
+    # Events / commands: append-only tails with extent checks.
+    if len(base_engine["events"]) != delta["events_base"]:
+        raise SerdeError(
+            f"delta snapshot expects a base with {delta['events_base']} "
+            f"events, found {len(base_engine['events'])}")
+    events_doc = list(base_engine["events"]) + list(delta["events_tail"])
+    if len(base_commands) != delta["commands_base"]:
+        raise SerdeError(
+            f"delta snapshot expects a base with {delta['commands_base']} "
+            f"commands, found {len(base_commands)}")
+    commands = list(base_commands) + list(delta["commands_tail"])
+
+    engine_doc = {"program": program_doc, "history": history_doc,
+                  "annotations": anns, "events": events_doc,
+                  "applier": delta["applier"]}
+    return {"journal_seq": delta["journal_seq"], "engine": engine_doc,
+            "commands": commands}
+
+
 def state_fingerprint(engine) -> str:
     """A digest of the engine's *semantic* state, for recovery checks.
 
@@ -527,11 +729,14 @@ def state_fingerprint(engine) -> str:
     internals — program version counters, work counters — are excluded:
     they depend on how many read-only queries ran, which the journal
     deliberately does not record.
+
+    Since the compact-core refactor this is the *from-scratch* variant
+    of the component-digest fingerprint (see
+    :mod:`repro.service.fingerprint`): it recomputes every statement
+    hash and component digest without reading any memo, so comparing it
+    against a live :class:`~repro.service.fingerprint.FingerprintMaintainer`
+    value checks the whole invalidation discipline.
     """
-    doc = engine_to_doc(engine)
-    doc["program"].pop("version", None)
-    doc["program"].pop("version_hwm", None)
-    doc["annotations"] = sorted(
-        doc["annotations"],
-        key=lambda a: (a["sid"], a["stamp"], a["action_id"], a["kind"]))
-    return checksum(doc)
+    from repro.service.fingerprint import scratch_fingerprint
+
+    return scratch_fingerprint(engine)

@@ -4,9 +4,14 @@
 persistence stack: every committed logical command — apply, undo,
 reverse-undo, edit, including *failed* ones that consumed an order stamp
 — is appended to a write-ahead journal before control returns to the
-caller, and a full-state snapshot is taken every ``snapshot_every``
-commands (after which the journal is truncated to the tail).  Killing
-the process at any instant and calling :meth:`DurableSession.open`
+caller, and a snapshot is taken every ``snapshot_every`` commands (after
+which the journal is truncated to the tail).  Every
+``snapshot_full_every``-th snapshot serializes the whole engine; the
+ones between are *deltas* against the last full snapshot — only the
+statements touched by events since then, the dirty history records, and
+the annotation/event/command tails — so steady-state snapshot cost is
+O(commands since the last full), not O(program + history).  Killing the
+process at any instant and calling :meth:`DurableSession.open`
 reconstructs the exact engine state via
 :func:`repro.service.recovery.recover`.
 
@@ -34,7 +39,7 @@ from repro.core.reverse_undo import ReverseUndoReport
 from repro.core.undo import UndoReport, UndoStrategy
 from repro.edit.edits import EditReport
 from repro.edit.invalidate import InvalidationStats, remove_unsafe
-from repro.lang.ast_nodes import Expr, ExprPath, Stmt
+from repro.lang.ast_nodes import ROOT_SID, Expr, ExprPath, Stmt
 from repro.lang.parser import parse_program
 from repro.core.locations import Location
 from repro.obs import metrics as obs_metrics
@@ -53,12 +58,27 @@ from repro.service.recovery import (
     strategy_to_doc,
     write_meta,
 )
-from repro.service.serde import engine_to_doc
+from repro.service.serde import (
+    annotation_to_doc,
+    engine_to_doc,
+    event_to_doc,
+    record_to_doc,
+    stmt_to_row,
+)
 from repro.service.snapshot import SnapshotStore
 
 
 class SessionError(RuntimeError):
     """Session-level protocol violations (exists/missing/closed)."""
+
+
+def _subtree_sids(stmt: Stmt) -> List[int]:
+    """Sids of ``stmt`` and every statement nested under it."""
+    out = [stmt.sid]
+    for slot in stmt.body_slots():
+        for child in stmt.get_body(slot):
+            out.extend(_subtree_sids(child))
+    return out
 
 
 def _session_tracer(dirpath: str) -> Tracer:
@@ -89,12 +109,23 @@ class DurableSession:
         #: how the state was reconstructed (None for a fresh create).
         self.recovery = recovery
         self.snapshot_every = int(meta.get("snapshot_every", 32))
+        #: every Nth snapshot is full; the ones between are deltas
+        #: against the last full (1 disables delta snapshots).
+        self.snapshot_full_every = int(meta.get("snapshot_full_every", 4))
         self.snapshots = SnapshotStore(os.path.join(dirpath, SNAPSHOT_DIR),
                                        metrics=engine.metrics)
         self.journal = Journal(os.path.join(dirpath, JOURNAL_FILE),
                                fsync_every=int(meta.get("fsync_every", 8)),
                                metrics=engine.metrics)
         self._since_snapshot = 0
+        # delta-snapshot state: the seq of the last full snapshot this
+        # handle wrote, how many deltas followed it, and the engine-side
+        # cursors (event/oplog/mutation/command extents) captured when it
+        # was cut.  None after open/create, so the first snapshot of any
+        # handle is always full — deltas never cross a process boundary.
+        self._last_full_seq: Optional[int] = None
+        self._deltas_since_full = 0
+        self._full_cursors: Optional[Dict[str, int]] = None
         self._pending_edits: List[EditReport] = []
         self._closed = False
         #: the first journaling/snapshot failure, if any; once set, the
@@ -139,6 +170,7 @@ class DurableSession:
     def create(cls, dirpath: str, source: str, *,
                strategy: Optional[UndoStrategy] = None,
                snapshot_every: int = 32,
+               snapshot_full_every: int = 4,
                fsync_every: int = 8) -> "DurableSession":
         """Initialise a new session directory around ``source``."""
         if os.path.exists(meta_path(dirpath)):
@@ -147,6 +179,7 @@ class DurableSession:
         strategy = strategy if strategy is not None else UndoStrategy()
         meta = {"source": source, "strategy": strategy_to_doc(strategy),
                 "snapshot_every": snapshot_every,
+                "snapshot_full_every": snapshot_full_every,
                 "fsync_every": fsync_every}
         write_meta(dirpath, meta)
         engine = TransformationEngine(program, strategy=strategy,
@@ -253,32 +286,120 @@ class DurableSession:
             raise
 
     def snapshot(self) -> Optional[str]:
-        """Cut a full-state snapshot now and truncate the journal.
+        """Cut a snapshot (full or delta) now and truncate the journal.
 
         Returns the snapshot path, or ``None`` when there is nothing new
-        to snapshot.  The ordering is load-bearing: the snapshot is
-        durably written *before* the journal loses any records, and the
-        journal is truncated only through the *oldest* snapshot retained
-        after pruning — so every snapshot still on disk has its tail in
-        the journal, and :meth:`SnapshotStore.latest` falling back from
-        a corrupt newest snapshot can always replay forward from the
-        older one.  A crash between any two steps merely leaves extra
-        journal records that replay-by-seq skips.
+        to snapshot.  A delta is written when a full snapshot from this
+        handle is still on disk and fewer than ``snapshot_full_every - 1``
+        deltas followed it; otherwise a full snapshot is cut and the
+        delta cursors reset.  The ordering is load-bearing: the snapshot
+        is durably written *before* the journal loses any records, and
+        the journal is truncated only through the *oldest* snapshot
+        retained after pruning (which keeps every retained delta's base
+        full, so the base always has the smallest retained seq) — so
+        every snapshot still on disk has its tail in the journal, and
+        :meth:`SnapshotStore.latest` falling back from a corrupt newest
+        snapshot can always replay forward from the older one.  A crash
+        between any two steps merely leaves extra journal records that
+        replay-by-seq skips.
         """
         if self.seq == 0 or self.seq in self.snapshots.seqs():
             self._since_snapshot = 0
             return None
+        on_disk = self.snapshots.seqs()
+        as_delta = (self.snapshot_full_every > 1
+                    and self._last_full_seq is not None
+                    and self._full_cursors is not None
+                    and self._last_full_seq in on_disk
+                    and self._deltas_since_full < self.snapshot_full_every - 1)
         with self.tracer.span("snapshot"):
-            payload = {"journal_seq": self.seq,
-                       "engine": engine_to_doc(self.engine),
-                       "commands": list(self.commands)}
-            path = self.snapshots.write(self.seq, payload)
+            if as_delta:
+                path = self.snapshots.write(self.seq, self._delta_payload(),
+                                            base=self._last_full_seq)
+                self._deltas_since_full += 1
+            else:
+                payload = {"journal_seq": self.seq,
+                           "engine": engine_to_doc(self.engine),
+                           "commands": list(self.commands)}
+                path = self.snapshots.write(self.seq, payload)
+                self._mark_full()
             self.snapshots.prune(keep=2)
             retained = self.snapshots.seqs()
             if retained:
                 self.journal.truncate_through(retained[0])
         self._since_snapshot = 0
         return path
+
+    def _mark_full(self) -> None:
+        """Record a just-written full snapshot and capture delta cursors.
+
+        The cursors are the current extents of the engine's append-only
+        logs (events, annotation oplog, history mutation journal) and of
+        the command history; the next delta ships only what lies beyond
+        them.
+        """
+        self._last_full_seq = self.seq
+        self._deltas_since_full = 0
+        self._full_cursors = {"events": len(self.engine.events),
+                              "anns": len(self.engine.store.oplog),
+                              "hist": len(self.engine.history.mutations),
+                              "cmds": len(self.commands)}
+
+    def _delta_payload(self) -> Dict[str, Any]:
+        """Build a delta payload against the last full snapshot.
+
+        Changed statements are found from the event log: every event
+        since the full snapshot contributes the subtree of its subject
+        statement (still registered — sids are never retired) plus the
+        owners of its touched containers, whose child lists changed.
+        Labels and expressions only change through evented actions, so
+        the union is exact, and recovery's fingerprint verification
+        would catch any gap.
+        """
+        engine = self.engine
+        program = engine.program
+        cursors = self._full_cursors
+        assert cursors is not None
+        tail = engine.events.since(cursors["events"])
+        changed: set = set()
+        for event in tail:
+            info = program._infos.get(event.sid)
+            if info is not None:
+                changed.update(_subtree_sids(info.stmt))
+            for container in event.containers:
+                owner = container[0]
+                if owner != ROOT_SID and owner in program._infos:
+                    changed.add(owner)
+        rows = {str(sid): stmt_to_row(program._infos[sid].stmt)
+                for sid in sorted(changed)}
+        detached = [sid for sid in sorted(program._infos)
+                    if not program._infos[sid].attached
+                    and program._infos[sid].parent is None]
+        dirty_stamps = set(engine.history.mutations[cursors["hist"]:])
+        history = {str(stamp): record_to_doc(engine.history.by_stamp(stamp))
+                   for stamp in dirty_stamps}
+        ops = [[op, annotation_to_doc(ann)]
+               for op, ann in engine.store.oplog[cursors["anns"]:]]
+        applier = engine.applier
+        return {
+            "journal_seq": self.seq,
+            "delta_of": self._last_full_seq,
+            "program": {"rows": rows,
+                        "roots": [s.sid for s in program.body],
+                        "detached": detached,
+                        "next_sid": program._next_sid,
+                        "version": program.version,
+                        "version_hwm": program._version_hwm},
+            "history": history,
+            "annotations_ops": ops,
+            "events_tail": [event_to_doc(e) for e in tail],
+            "events_base": cursors["events"],
+            "commands_tail": list(self.commands[cursors["cmds"]:]),
+            "commands_base": cursors["cmds"],
+            "applier": {"next_action_id": applier.next_action_id,
+                        "applied": applier.applied_count,
+                        "inverted": applier.inverted_count},
+        }
 
     def _check_open(self) -> None:
         """Refuse commands on a closed session *before* they run.
@@ -440,7 +561,8 @@ class SessionManager:
                    "snapshots_written")
 
     def __init__(self, root: str, *, max_live: int = 8,
-                 snapshot_every: int = 32, fsync_every: int = 8,
+                 snapshot_every: int = 32, snapshot_full_every: int = 4,
+                 fsync_every: int = 8,
                  strategy: Optional[UndoStrategy] = None,
                  metrics: Optional[obs_metrics.MetricsRegistry] = None):
         if max_live < 1:
@@ -448,6 +570,7 @@ class SessionManager:
         self.root = root
         self.max_live = max_live
         self.snapshot_every = snapshot_every
+        self.snapshot_full_every = snapshot_full_every
         self.fsync_every = fsync_every
         self.strategy = strategy
         self.metrics_registry = metrics if metrics is not None \
@@ -482,6 +605,7 @@ class SessionManager:
             session = DurableSession.create(
                 self.path_for(name), source, strategy=self.strategy,
                 snapshot_every=self.snapshot_every,
+                snapshot_full_every=self.snapshot_full_every,
                 fsync_every=self.fsync_every)
             self._live[name] = (session, threading.RLock())
             self._evict_idle_locked(keep=name)

@@ -1,12 +1,13 @@
-"""Atomic full-state snapshots with corruption-tolerant loading.
+"""Atomic snapshots (full and delta) with corruption-tolerant loading.
 
 A snapshot bounds reopen latency: instead of replaying the whole
 command history through the engine, recovery deserializes the latest
 snapshot and replays only the journal tail written after it.
 
-Each snapshot is one JSON file ``snap-<seq>.json`` in the session's
-``snapshots/`` directory, where ``seq`` is the journal sequence number
-of the last command the snapshot covers.  The payload carries:
+A **full** snapshot is one JSON file ``snap-<seq>.json`` in the
+session's ``snapshots/`` directory, where ``seq`` is the journal
+sequence number of the last command the snapshot covers.  The payload
+carries:
 
 ``journal_seq``
     commands at or below this seq are inside the snapshot;
@@ -18,10 +19,19 @@ of the last command the snapshot covers.  The payload carries:
     kept so recovery can *verify* the restored state against a
     from-scratch replay even after the journal was truncated.
 
+A **delta** snapshot is ``snap-<seq>-d<base>.json``: only what changed
+since the full snapshot at ``base`` — the flat program rows of touched
+statements, the dirty history records, the annotation-oplog tail, the
+event-log tail, and the command tail (see
+:func:`repro.service.serde.resolve_snapshot_delta`).  :meth:`latest`
+resolves a delta against its base transparently, so consumers always
+receive a full payload.  Sessions fall back to a periodic full snapshot
+so delta chains stay one link long.
+
 Writes are crash-safe (temp file + fsync + ``os.replace``), and
 :meth:`SnapshotStore.latest` skips snapshots whose envelope checksum
-does not verify, falling back to older ones — a half-written snapshot
-degrades reopen latency, never correctness.
+does not verify — or whose base does not — falling back to older ones:
+a half-written snapshot degrades reopen latency, never correctness.
 """
 
 from __future__ import annotations
@@ -34,9 +44,15 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import metrics as obs_metrics
 from repro.service.journal import fsync_dir
-from repro.service.serde import KIND_SNAPSHOT, SerdeError, unwrap, wrap
+from repro.service.serde import (
+    KIND_SNAPSHOT,
+    SerdeError,
+    resolve_snapshot_delta,
+    unwrap,
+    wrap,
+)
 
-_SNAP_RE = re.compile(r"^snap-(\d{10})\.json$")
+_SNAP_RE = re.compile(r"^snap-(\d{10})(?:-d(\d{10}))?\.json$")
 
 
 class SnapshotStore:
@@ -51,26 +67,50 @@ class SnapshotStore:
         self.metrics = metrics if metrics is not None \
             else obs_metrics.REGISTRY
 
-    def path_for(self, seq: int) -> str:
-        """File path of the snapshot covering journal ``seq``."""
+    def path_for(self, seq: int, base: Optional[int] = None) -> str:
+        """File path of the snapshot covering journal ``seq``.
+
+        With ``base`` the delta filename is formed directly; without it,
+        an existing file for ``seq`` (full or delta) is preferred so
+        callers can address any on-disk snapshot by seq alone.
+        """
+        if base is not None:
+            return os.path.join(self.dirpath,
+                                f"snap-{seq:010d}-d{base:010d}.json")
+        if os.path.isdir(self.dirpath):
+            for name in os.listdir(self.dirpath):
+                m = _SNAP_RE.match(name)
+                if m and int(m.group(1)) == seq:
+                    return os.path.join(self.dirpath, name)
         return os.path.join(self.dirpath, f"snap-{seq:010d}.json")
 
-    def seqs(self) -> List[int]:
-        """Sequence numbers of the snapshots on disk, ascending."""
+    def entries(self) -> List[Tuple[int, Optional[int]]]:
+        """On-disk snapshots as ``(seq, base_or_None)``, seq-ascending."""
         if not os.path.isdir(self.dirpath):
             return []
-        out = []
+        out: List[Tuple[int, Optional[int]]] = []
         for name in os.listdir(self.dirpath):
             m = _SNAP_RE.match(name)
             if m:
-                out.append(int(m.group(1)))
+                out.append((int(m.group(1)),
+                            int(m.group(2)) if m.group(2) else None))
         return sorted(out)
 
-    def write(self, seq: int, payload: Dict[str, Any]) -> str:
-        """Durably write one snapshot; returns its path."""
+    def seqs(self) -> List[int]:
+        """Sequence numbers of the snapshots on disk, ascending."""
+        return [seq for seq, _base in self.entries()]
+
+    def write(self, seq: int, payload: Dict[str, Any],
+              base: Optional[int] = None) -> str:
+        """Durably write one snapshot; returns its path.
+
+        ``base`` marks the payload as a delta against the full snapshot
+        at that seq (encoded in the filename so pruning and resolution
+        never need to open the file).
+        """
         started = time.perf_counter()
         os.makedirs(self.dirpath, exist_ok=True)
-        path = self.path_for(seq)
+        path = self.path_for(seq, base)
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(wrap(payload, KIND_SNAPSHOT), fh)
@@ -101,23 +141,44 @@ class SnapshotStore:
     def latest(self) -> Optional[Tuple[int, Dict[str, Any]]]:
         """The newest *valid* snapshot as ``(seq, payload)``, or ``None``.
 
-        Corrupt or torn snapshots are skipped (newest first), so one bad
-        file silently costs extra replay work rather than the session.
+        Delta snapshots are resolved against their base before being
+        returned, so the payload is always in full form.  Corrupt or
+        torn snapshots — and deltas whose base fails to load — are
+        skipped (newest first), so one bad file silently costs extra
+        replay work rather than the session.
         """
-        for seq in reversed(self.seqs()):
+        for seq, base in reversed(self.entries()):
             try:
-                return seq, self.load(seq)
+                payload = self.load(seq)
+                if base is not None:
+                    payload = resolve_snapshot_delta(self.load(base), payload)
+                return seq, payload
             except SerdeError:
                 self.skipped_corrupt += 1
         return None
 
     def prune(self, keep: int = 2) -> int:
-        """Delete all but the ``keep`` newest snapshots; returns removed."""
-        seqs = self.seqs()
+        """Delete all but the ``keep`` newest snapshots; returns removed.
+
+        The full snapshot a retained delta resolves against is retained
+        too (bases are read off the filenames — no file is opened), so
+        :meth:`latest` never meets a dangling delta.
+        """
+        entries = self.entries()
+        kept = set()
+        if keep > 0:
+            base_of = dict(entries)
+            kept = {seq for seq, _base in entries[-keep:]}
+            for seq in list(kept):
+                base = base_of.get(seq)
+                if base is not None:
+                    kept.add(base)
         removed = 0
-        for seq in seqs[:-keep] if keep > 0 else seqs:
+        for seq, base in entries:
+            if seq in kept:
+                continue
             try:
-                os.remove(self.path_for(seq))
+                os.remove(self.path_for(seq, base))
                 removed += 1
             except OSError:
                 pass

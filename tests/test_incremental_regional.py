@@ -14,7 +14,7 @@ import pytest
 from repro.analysis.control_dep import build_control_dep_tree, tree_signature
 from repro.analysis.depend import analyze_dependences
 from repro.analysis.incremental import FULL, REGIONAL, AnalysisCache
-from repro.analysis.regional import DefUseIndex
+from repro.analysis.regional import DefUseIndex, bitset_to_sids
 from repro.analysis.summaries import build_summaries
 from repro.core.undo import UndoError, UndoStrategy
 from repro.workloads.generator import GeneratorConfig, generate_program
@@ -53,7 +53,7 @@ def index_signature(index):
                    [(n, w) for n, _r, w in f.refs])
              for sid, f in index.facts.items()}
     maps = tuple(
-        {name: sorted(s) for name, s in m.items() if s}
+        {name: bitset_to_sids(s) for name, s in m.items() if s}
         for m in (index.scalar_defs, index.scalar_uses, index.arrays))
     return facts, maps
 
