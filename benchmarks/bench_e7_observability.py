@@ -43,7 +43,7 @@ import time
 from repro.bench.reporting import BenchReport, banner, ms, quick
 from repro.core.engine import TransformationEngine
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import Tracer
+from repro.obs.trace import Tracer, request_context
 from repro.workloads.generator import GeneratorConfig, generate_program
 from repro.workloads.scenarios import apply_greedy
 
@@ -176,6 +176,112 @@ def test_e7_tracing_overhead():
     e2e_bound = 1.5 if quick() else 1.25
     assert median_ratio(times, "traced") < e2e_bound
     assert median_ratio(times, "sink") < e2e_bound
+
+
+def ctx_span_cost(tracer, reps=20000):
+    """Per-request cost of the fleet path: enter a request context, run
+    the engine's span sequence under it (which now also looks up and
+    stamps the ``request`` tag)."""
+    started = time.perf_counter()
+    for _ in range(reps):
+        with request_context():
+            with tracer.span("command", op="apply") as sp:
+                sp.tag(stamp=1, status="ok")
+    return (time.perf_counter() - started) / reps
+
+
+def test_e7_request_context_overhead():
+    """Trace-context propagation rides the existing 5% tracing budget.
+
+    The fleet join key costs three things per request: minting the id
+    (``os.urandom``), the thread-local enter/exit, and one dict lookup
+    plus one store per span.  Measured exactly like the base tracing
+    cost — per-operation microcost times operations per cycle over the
+    cycle's wall time — and asserted against the same budget, because
+    the edge enters a context around every request whether or not
+    anything downstream reads it.
+    """
+    banner(f"E7 — request-context propagation overhead (N={N})")
+    times = paired_times([("disabled", lambda: None)])
+    engine, _ = run_loop(None)
+    commands = int(engine.metrics.total("repro_commands_total"))
+    base_s = statistics.median(times["disabled"])
+
+    plain = span_cost(Tracer())
+    with_ctx = ctx_span_cost(Tracer())
+    added = max(0.0, with_ctx - plain)
+    derived = added * commands / base_s * 100.0
+
+    t = REPORT.table(["path", "per request", "derived overhead %"],
+                     "E7 — request-context propagation (lower is better)")
+    t.add("span only", f"{plain * 1e6:.2f}us", 0.0)
+    t.add("request_context + stamped span", f"{with_ctx * 1e6:.2f}us",
+          round(derived, 3))
+    t.show()
+
+    REPORT.value("request_ctx_us_per_request", round(with_ctx * 1e6, 3))
+    REPORT.value("request_ctx_overhead_pct", round(derived, 3))
+    assert derived < BUDGET_PCT, (
+        f"request-context propagation costs {derived:.2f}% "
+        f"(budget {BUDGET_PCT}%)")
+
+
+def test_e7_collector_merge_cost():
+    """Fleet trace collection stays linear and cheap per request.
+
+    The collector runs *offline* (an operator command, the CI smoke) so
+    it has no hot-path budget, but a regression to quadratic grouping
+    would make ``repro collect`` useless on a real root — pin an
+    order-of-magnitude bound per request instead.
+    """
+    import os
+    import tempfile
+
+    from repro.obs.collector import collect_requests
+
+    requests = 200 if quick() else 1000
+    root = tempfile.mkdtemp(prefix="bench_collect_")
+    os.makedirs(os.path.join(root, "shard-00", "sess"), exist_ok=True)
+    with open(os.path.join(root, "router-trace.jsonl"), "w") as router_fh, \
+            open(os.path.join(root, "shard-00", "sess", "trace.jsonl"),
+                 "w") as worker_fh:
+        for k in range(requests):
+            rid = f"r-{k:012x}"
+            router_fh.write(json.dumps(
+                {"name": "route", "id": k + 1, "parent": None,
+                 "start": float(k), "dur": 0.001, "status": "ok",
+                 "tags": {"request": rid, "kind": "session",
+                          "verb": "apply", "shard": 0}}) + "\n")
+            for j, (name, parent) in enumerate(
+                    [("command", None), ("journal.append", 1)]):
+                worker_fh.write(json.dumps(
+                    {"name": name, "id": 2 * k + j + 1,
+                     "parent": 2 * k + parent if parent else None,
+                     "start": float(k) + j * 0.1, "dur": 0.0005,
+                     "status": "ok",
+                     "tags": {"request": rid, "seq": k + 1}}) + "\n")
+
+    started = time.perf_counter()
+    traces = collect_requests(root)
+    elapsed = time.perf_counter() - started
+    per_request_us = elapsed / requests * 1e6
+
+    banner(f"E7 — collector merge: {requests} request(s), "
+           f"{3 * requests} span(s)")
+    t = REPORT.table(["requests", "spans", "total", "per request"],
+                     "E7 — fleet trace collection (offline path)")
+    t.add(requests, 3 * requests, ms(elapsed),
+          f"{per_request_us:.1f}us")
+    t.show()
+
+    REPORT.value("collector_requests", requests)
+    REPORT.value("collector_us_per_request", round(per_request_us, 3))
+    assert len(traces) == requests
+    assert all(len(tr.spans) == 3 for tr in traces.values())
+    # offline-tool bound: far above any observed cost, low enough to
+    # catch an accidental quadratic join
+    assert per_request_us < 1000, (
+        f"collector costs {per_request_us:.0f}us/request")
 
 
 def test_e7_disabled_tracer_produces_nothing():

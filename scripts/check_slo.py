@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""CI gate on the service's rolling-window SLO report.
+
+The service grades itself: the ``_ slo`` verb (and the ``/varz``
+endpoint's ``slo`` block) reports availability and tail latency over
+the rolling window against explicit objectives, with a verdict (``ok``
++ ``violations``) computed by :class:`repro.obs.slo.SloTracker`.  This
+script turns that verdict into an exit code, two ways:
+
+* default — spawn the real sharded TCP service, drive a known-good
+  workload through it, fetch ``_ slo``, and fail on any violation (the
+  CI mode: a latency regression that blows the p95 objective, or a
+  routing bug that errors requests, fails the build);
+* ``--varz URL`` — fetch a live service's ``/varz`` and gate on its
+  ``slo`` block (the ops mode, usable against any running fleet).
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/check_slo.py
+    PYTHONPATH=src python scripts/check_slo.py --varz http://127.0.0.1:9100/varz
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service.netserver import LineClient  # noqa: E402
+
+SRC = "c = 1\nx = c + 2\nwrite x\n"
+
+#: sessions driven through the workload (spread across both shards).
+WORKLOAD_SESSIONS = ("slo-a", "slo-b", "slo-c", "slo-d")
+#: apply/undo round trips per session.
+WORKLOAD_CYCLES = 5
+
+
+def gate(doc: dict, *, source: str) -> int:
+    """Print the verdict; exit status 0 only when the window is clean."""
+    print(f"slo window ({source}): {doc['requests']} request(s), "
+          f"availability {doc['availability']:.4f}, "
+          f"p95 {doc['p95_ms']:.1f}ms "
+          f"(objectives: {doc['objectives']['availability']:.2f} / "
+          f"{doc['objectives']['p95_ms']:.0f}ms)")
+    if doc.get("deadline_exceeded"):
+        print(f"  deadline_exceeded: {doc['deadline_exceeded']}")
+    if doc["ok"]:
+        print("ok: no SLO violations")
+        return 0
+    for violation in doc["violations"]:
+        print(f"VIOLATION: {violation}")
+    return 1
+
+
+def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--varz":
+        with urllib.request.urlopen(sys.argv[2], timeout=10) as resp:
+            doc = json.load(resp)
+        return gate(doc["slo"], source=sys.argv[2])
+    if len(sys.argv) != 1:
+        print(__doc__)
+        return 2
+
+    root = tempfile.mkdtemp(prefix="check_slo_")
+    prog = os.path.join(root, "prog.loop")
+    with open(prog, "w") as fh:
+        fh.write(SRC)
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", root,
+         "--port", "0", "--shards", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONPATH": "src"})
+    try:
+        banner = server.stdout.readline().strip()
+        m = re.match(r"listening on ([\d.]+):(\d+)$", banner)
+        if not m:
+            raise SystemExit(f"FAIL startup: unexpected banner {banner!r}")
+        host, port = m.group(1), int(m.group(2))
+
+        with LineClient(host, port) as client:
+            for name in WORKLOAD_SESSIONS:
+                out = client.request(f"{name} init {prog}")
+                assert out == f"created {name}", out
+                for _ in range(WORKLOAD_CYCLES):
+                    out = client.request(f"{name} apply ctp 0")
+                    assert out.startswith("applied"), out
+                    stamp = int(re.search(r"t(\d+)", out).group(1))
+                    out = client.request(f"{name} undo {stamp}")
+                    assert out.startswith("undone"), out
+            doc = json.loads(client.request("_ slo"))
+            out = client.request("_ shutdown")
+            assert out == "shutting down", out
+            client.close(quit=False)
+        server.wait(timeout=30)
+
+        expected = len(WORKLOAD_SESSIONS) * (1 + 2 * WORKLOAD_CYCLES)
+        if doc["requests"] < expected:
+            print(f"FAIL: slo window saw {doc['requests']} request(s), "
+                  f"workload sent {expected}")
+            return 1
+        return gate(doc, source="spawned workload")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,11 +2,18 @@
 """End-to-end smoke of the sharded TCP service — the CI shard job.
 
 Spawns the real thing (``python -m repro serve ROOT --port 0 --shards
-2`` as a subprocess), reads the bound port from its ``listening on``
-line, then drives a scripted conversation over a real socket: init,
-apply/undo, a batch, an audit round-trip check, the merged ``_``
-verbs, and finally a clean ``_ shutdown`` — asserting the server
-process exits 0.  Run from the repository root:
+2 --slow-ms 0 --metrics-port 0`` as a subprocess), reads the bound
+ports from its ``metrics on`` and ``listening on`` lines, then drives
+a scripted conversation over a real socket: init, apply/undo, a batch,
+an audit round-trip check, the merged ``_`` verbs, the forensics verbs
+(``_ slow``/``_ slo``), a scrape of the HTTP sidecar (``/healthz``,
+``/metrics``), and finally a clean ``_ shutdown`` — asserting the
+server process exits 0.  After shutdown it replays the fleet's trace
+files through :func:`repro.obs.collector.collect_requests` and
+:func:`repro.obs.check.fleet_roundtrip`, asserting that a TCP request
+produced a collector-merged trace joining the router's route span to
+the worker's engine span tree under one request id.  Run from the
+repository root:
 
     PYTHONPATH=src python scripts/shard_smoke.py
 """
@@ -19,6 +26,7 @@ import re
 import subprocess
 import sys
 import tempfile
+import urllib.request
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
@@ -39,6 +47,37 @@ PAR_SRC = ("doall i = 1, 4\n"
 STAMP_RE = re.compile(r"t(\d+)")
 
 
+def verify_traces(root: str) -> None:
+    """Replay the fleet's trace files through the collector.
+
+    This is the acceptance check for cross-shard tracing: a command
+    sent over TCP must come back as one causally-ordered trace — the
+    router's ``route`` span at depth 0 joined (by request id) to the
+    worker's ``command`` span tree — and the whole root must pass
+    ``fleet_roundtrip``.
+    """
+    from repro.obs.check import fleet_roundtrip
+    from repro.obs.collector import collect_requests
+
+    traces = collect_requests(root)
+    assert traces, f"no request traces collected under {root}"
+    joined = [tr for tr in traces.values()
+              if tr.edge is not None
+              and tr.edge["tags"].get("verb") == "apply"
+              and any(s["name"] == "command" and s["depth"] == 1
+                      for s in tr.spans)]
+    assert joined, "no apply request joined a router span to a worker tree"
+    sample = joined[0]
+    origins = sample.origins()
+    assert "router" in origins and len(origins) >= 2, origins
+    print(f"ok: collector: {len(traces)} request trace(s); "
+          f"{sample.request} joins {', '.join(sorted(origins))}")
+    report = fleet_roundtrip(root)
+    if not report.ok:
+        raise SystemExit(f"FAIL fleet_roundtrip: {report.describe()}")
+    print(f"ok: fleet_roundtrip: {report.describe().splitlines()[0]}")
+
+
 def expect(label: str, got: str, want_prefix: str) -> str:
     if not got.startswith(want_prefix):
         raise SystemExit(f"FAIL {label}: expected {want_prefix!r}..., "
@@ -55,10 +94,18 @@ def main() -> int:
 
     server = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", root,
-         "--port", "0", "--shards", "2"],
+         "--port", "0", "--shards", "2",
+         "--slow-ms", "0", "--metrics-port", "0"],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         env={**os.environ, "PYTHONPATH": "src"})
     try:
+        # the expo sidecar banner prints first, then the TCP one
+        banner = server.stdout.readline().strip()
+        m = re.match(r"metrics on ([\d.]+):(\d+)$", banner)
+        if not m:
+            raise SystemExit(f"FAIL startup: unexpected banner {banner!r}")
+        expo_url = f"http://{m.group(1)}:{m.group(2)}"
+        print(f"ok: expo startup: {banner}")
         banner = server.stdout.readline().strip()
         m = re.match(r"listening on ([\d.]+):(\d+)$", banner)
         if not m:
@@ -116,6 +163,37 @@ def main() -> int:
             print(f"ok: _ metrics: {merged['totals']['commands']} "
                   f"commands across 2 shards")
 
+            # forensics: --slow-ms 0 records every request, each entry
+            # carrying its request id and latency breakdown
+            slow = json.loads(client.request("_ slow"))
+            assert slow, "slow log empty despite --slow-ms 0"
+            assert all(e["request"].startswith("r-") for e in slow), slow
+            print(f"ok: _ slow: {len(slow)} entries with request ids")
+            # the scripted conversation includes one deliberate error
+            # (undo 999), so the tracker must count it — and flag the
+            # availability objective, proving the gate has teeth
+            slo = json.loads(client.request("_ slo"))
+            assert slo["requests"] > 0, slo
+            assert slo["errors"] == 1 and not slo["ok"], slo
+            assert any("availability" in v for v in slo["violations"]), slo
+            print(f"ok: _ slo: {slo['requests']} request(s), "
+                  f"availability {slo['availability']:.4f}, scripted "
+                  f"error flagged")
+
+            # the HTTP sidecar: liveness and Prometheus exposition
+            with urllib.request.urlopen(f"{expo_url}/healthz",
+                                        timeout=10) as resp:
+                health = json.load(resp)
+                assert resp.status == 200 and health["ok"], health
+            print(f"ok: /healthz: 200, {health['shards']} shard(s)")
+            with urllib.request.urlopen(f"{expo_url}/metrics",
+                                        timeout=10) as resp:
+                text = resp.read().decode("utf-8")
+                assert resp.status == 200, resp.status
+                assert "repro_fleet_commands" in text, text[:400]
+                assert "repro_fleet_command_seconds_bucket" in text
+            print("ok: /metrics: prometheus exposition with fleet totals")
+
             expect("shutdown", client.request("_ shutdown"),
                    "shutting down")
             client.close(quit=False)
@@ -124,6 +202,8 @@ def main() -> int:
         if code != 0:
             raise SystemExit(f"FAIL shutdown: server exited {code}")
         print("ok: clean exit 0")
+
+        verify_traces(root)
         return 0
     finally:
         if server.poll() is None:

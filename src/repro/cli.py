@@ -260,10 +260,22 @@ class CliSession:
 USAGE = """\
 usage: python -m repro <program file>            interactive session
        python -m repro serve <root> [--shards N] [--port P] [--host H]
+                                    [--metrics-port M] [--slow-ms S]
+                                    [--deadline-ms D]
            line-protocol server: on stdio by default, on TCP with
            --port (0 picks a free port, printed as 'listening on ...');
            --shards N routes sessions across N worker processes by
-           hashing the session name (see docs/SCALING.md)
+           hashing the session name (see docs/SCALING.md);
+           --metrics-port M serves /metrics /healthz /varz over HTTP
+           (0 picks a free port, printed as 'metrics on ...');
+           --slow-ms S sets the slow-request log threshold (0 records
+           every request); --deadline-ms D flags and counts requests
+           over their budget
+       python -m repro collect <root> [--request R] [--check] [--json]
+           merge the fleet's span streams (router-trace.jsonl + every
+           session trace.jsonl) into per-request end-to-end traces;
+           --check verifies the cross-shard round-trip (exit 1 on any
+           mismatch)
        python -m repro session <root> <name> <verb> [args...]
            verbs: init <file> | apply <name> [k] | undo <stamp>
                   undo-lifo <stamp> | edit-del <sid> | log | show
@@ -281,23 +293,32 @@ usage: python -m repro <program file>            interactive session
 
 
 def _main_serve(argv: List[str]) -> int:
-    """``repro serve <root> [--shards N] [--port P] [--host H]``.
+    """``repro serve <root> [--shards N] [--port P] [--host H] ...``.
 
     Stdio by default (the PR 2 behaviour, unchanged); ``--port`` starts
     the TCP front-end instead and prints ``listening on <host>:<port>``
     once it is accepting — with ``--port 0`` that line is how callers
     learn the bound port.  ``--shards N`` (either transport) routes
-    sessions across N worker processes by name hash.
+    sessions across N worker processes by name hash.  ``--metrics-port``
+    starts the HTTP exposition sidecar (``/metrics`` ``/healthz``
+    ``/varz``) next to either transport and prints ``metrics on
+    <host>:<port>`` the same way; ``--slow-ms`` / ``--deadline-ms``
+    tune the slow-request log threshold and the per-request deadline
+    budget (see docs/OBSERVABILITY.md).
     """
     from repro.service.server import SessionServer, serve_stream
     from repro.service.session import SessionManager
 
     host, port, shards = "127.0.0.1", None, 0
+    metrics_port: Optional[int] = None
+    slow_ms: Optional[float] = 250.0
+    deadline_ms: Optional[float] = None
     pos: List[str] = []
     i = 0
     while i < len(argv):
         arg = argv[i]
-        if arg in ("--port", "--host", "--shards"):
+        if arg in ("--port", "--host", "--shards", "--metrics-port",
+                   "--slow-ms", "--deadline-ms"):
             i += 1
             if i >= len(argv):
                 print(USAGE)
@@ -306,6 +327,12 @@ def _main_serve(argv: List[str]) -> int:
                 port = int(argv[i])
             elif arg == "--host":
                 host = argv[i]
+            elif arg == "--metrics-port":
+                metrics_port = int(argv[i])
+            elif arg == "--slow-ms":
+                slow_ms = float(argv[i])
+            elif arg == "--deadline-ms":
+                deadline_ms = float(argv[i])
             else:
                 shards = int(argv[i])
         else:
@@ -315,15 +342,24 @@ def _main_serve(argv: List[str]) -> int:
         print(USAGE)
         return 2
 
+    obs_kwargs = {"slow_ms": slow_ms, "deadline_ms": deadline_ms}
     if shards:
         from repro.service.shard import ShardRouter
-        front = ShardRouter(pos[0], shards)
+        front = ShardRouter(pos[0], shards, **obs_kwargs)
     else:
-        front = SessionServer(SessionManager(pos[0]))
+        front = SessionServer(SessionManager(pos[0]), **obs_kwargs)
+    expo = None
+    if metrics_port is not None:
+        from repro.obs.expo import ExpoServer
+        expo = ExpoServer(front, host=host, port=metrics_port).start()
+        expo_host, expo_port = expo.address
+        print(f"metrics on {expo_host}:{expo_port}", flush=True)
     if port is None:
         try:
             serve_stream(front, sys.stdin, sys.stdout)
         finally:
+            if expo is not None:
+                expo.close()
             front.close()
         return 0
     from repro.service.netserver import NetServer
@@ -335,7 +371,72 @@ def _main_serve(argv: List[str]) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if expo is not None:
+            expo.close()
         server.shutdown()
+    return 0
+
+
+def _main_collect(argv: List[str]) -> int:
+    """``repro collect <root> [--request R] [--check] [--json]``.
+
+    Reads every span stream under a service root (the router's
+    ``router-trace.jsonl`` plus each session's ``trace.jsonl``) and
+    prints the merged per-request traces — rendered trees by default,
+    JSON documents with ``--json``.  ``--request R`` narrows to one
+    request id; ``--check`` runs the cross-shard round-trip
+    (:func:`repro.obs.check.fleet_roundtrip`) and exits 1 on mismatch.
+    """
+    import json
+
+    from repro.obs.check import fleet_roundtrip
+    from repro.obs.collector import collect_requests
+
+    want: Optional[str] = None
+    check = as_json = False
+    pos: List[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--request":
+            i += 1
+            if i >= len(argv):
+                print(USAGE)
+                return 2
+            want = argv[i]
+        elif arg == "--check":
+            check = True
+        elif arg == "--json":
+            as_json = True
+        else:
+            pos.append(arg)
+        i += 1
+    if len(pos) != 1:
+        print(USAGE)
+        return 2
+    traces = collect_requests(pos[0])
+    if want is not None:
+        traces = {rid: t for rid, t in traces.items() if rid == want}
+        if not traces:
+            print(f"error: collect: no spans for request {want!r}")
+            return 1
+    try:
+        for trace in traces.values():
+            if as_json:
+                print(json.dumps(trace.to_doc(), sort_keys=True))
+            else:
+                print(trace.render())
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # downstream closed early (| head, a pager) — swallow the
+        # pipe error and suppress the interpreter's flush-at-exit one
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    if check:
+        report = fleet_roundtrip(pos[0])
+        print(report.describe())
+        return 0 if report.ok else 1
     return 0
 
 
@@ -510,6 +611,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if argv[0] == "serve":
         return _main_serve(argv[1:])
+    if argv[0] == "collect":
+        return _main_collect(argv[1:])
     if argv[0] == "session":
         return _main_session(argv[1:])
     if argv[0] == "trace":

@@ -108,6 +108,12 @@ class TransformationEngine:
         #: counter/histogram home; defaults to the process-wide registry.
         self.metrics = metrics if metrics is not None \
             else obs_metrics.REGISTRY
+        if self.tracer.enabled and self.tracer.recorder.drop_counter is None:
+            # ring wrap-around is otherwise silent; the counter is the
+            # only record of how many spans the flight recorder lost
+            self.tracer.recorder.drop_counter = self.metrics.counter(
+                "repro_trace_dropped_total",
+                "spans evicted off the flight-recorder ring")
         #: recent isolated observer failures, newest last — a raising
         #: ``command_observers`` callback is logged and recorded here,
         #: never allowed to corrupt the already-committed command.

@@ -113,6 +113,95 @@ def trace_roundtrip(dirpath: str) -> RoundtripReport:
     return report
 
 
+def fleet_roundtrip(root: str) -> RoundtripReport:
+    """Join the router's span stream against every worker's, per request.
+
+    The cross-shard analogue of :func:`trace_roundtrip`: where that
+    check joins one session's journal against its spans, this one joins
+    the *fleet's* span streams against each other on the request ids the
+    edge minted.  For every request id found anywhere under the service
+    root:
+
+    * **exactly one** router ``route`` span exists — zero means a worker
+      recorded spans for a request the router never routed (a context
+      leak), two means an id collision;
+    * every worker span's ``parent`` resolves among the same origin's
+      spans of the same request — no orphan fragments;
+    * a routed command verb (``apply``/``undo``/``undo-lifo``/
+      ``edit-del``/``batch``) has **exactly one** top-level ``command``
+      span across the workers, it lives in the shard the router chose,
+      and — when the route succeeded — it carries the ``seq``
+      annotation that joins it onward to the shard's journal.
+
+    ``checked`` counts request ids examined; ``command_spans`` counts
+    the top-level worker command spans that joined.
+    """
+    # lazy imports: collector pulls the service layer for path layout
+    from repro.obs.collector import ORIGIN_ROUTER, collect_requests
+    from repro.service.server import COMMAND_VERBS
+    from repro.service.shard import SHARD_DIR_FMT
+
+    command_verbs = set(COMMAND_VERBS) | {"batch"}
+    report = RoundtripReport()
+    for request, trace in collect_requests(root).items():
+        report.checked += 1
+        routes = [s for s in trace.spans
+                  if s["origin"] == ORIGIN_ROUTER and s["name"] == "route"]
+        if len(routes) != 1:
+            report.problems.append(
+                f"{request}: expected exactly one router route span, "
+                f"found {len(routes)}")
+            continue
+        route = routes[0]
+        worker_spans = [s for s in trace.spans
+                        if s["origin"] != ORIGIN_ROUTER]
+        for span in worker_spans:
+            parent = span.get("parent")
+            if parent is None:
+                continue
+            same_origin = {s["id"] for s in worker_spans
+                           if s["origin"] == span["origin"]}
+            if parent not in same_origin:
+                report.problems.append(
+                    f"{request}: span {span.get('id')} "
+                    f"({span['origin']}: {span['name']}) has unresolved "
+                    f"parent {parent}")
+        tags = route.get("tags", {})
+        if tags.get("kind") != "session" or \
+                tags.get("verb") not in command_verbs:
+            continue
+        commands = [s for s in worker_spans
+                    if s["name"] == "command" and s.get("parent") is None]
+        routed_ok = route.get("status") == "ok"
+        # a failed route may legitimately have zero command spans (the
+        # request died before reaching the engine — unknown session,
+        # dead worker); more than one is always wrong, and a successful
+        # route must have exactly one
+        if len(commands) > 1 or (routed_ok and len(commands) != 1):
+            report.problems.append(
+                f"{request}: routed {tags.get('verb')!r} has "
+                f"{len(commands)} top-level worker command span(s), "
+                f"expected exactly one")
+            continue
+        if not commands:
+            continue
+        report.command_spans += 1
+        command = commands[0]
+        shard = tags.get("shard")
+        if isinstance(shard, int) and not command["origin"].startswith(
+                SHARD_DIR_FMT.format(shard) + "/"):
+            report.problems.append(
+                f"{request}: command span recorded in "
+                f"{command['origin']!r}, but the router routed to shard "
+                f"{shard}")
+        if routed_ok and not isinstance(
+                command.get("tags", {}).get("seq"), int):
+            report.problems.append(
+                f"{request}: committed command span "
+                f"{command.get('id')} has no seq annotation")
+    return report
+
+
 def audit_roundtrip(dirpath: str) -> RoundtripReport:
     """Join a session's journal tail against its audit log.
 

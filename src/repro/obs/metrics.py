@@ -33,7 +33,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "MetricsError", "DEFAULT_BUCKETS", "REGISTRY",
-           "merge_histogram_docs", "merge_aggregate_metrics"]
+           "merge_histogram_docs", "merge_aggregate_metrics",
+           "aggregate_to_prometheus"]
 
 #: fixed latency buckets in seconds (upper bounds; +Inf is implicit).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -381,6 +382,55 @@ def merge_aggregate_metrics(
     if latencies:
         merged["latency"] = merge_histogram_docs(latencies)
     return merged
+
+
+def aggregate_to_prometheus(doc: Dict[str, Any]) -> str:
+    """Render an ``aggregate_metrics`` document as Prometheus text.
+
+    The ``/metrics`` endpoint serves fleet totals, and those exist only
+    as the JSON documents the shards shipped over the pipe (already
+    merged by :func:`merge_aggregate_metrics`) — there is no live
+    registry holding them.  So this builds one: a throwaway
+    :class:`MetricsRegistry` populated from the document, rendered by
+    the same :meth:`MetricsRegistry.render` the tests already pin down,
+    which keeps the two exposition formats from drifting apart.
+
+    Works on both shapes: a single manager's document (no ``shards``
+    key) and the cross-shard merge.
+    """
+    registry = MetricsRegistry()
+    for field, value in sorted(doc.get("totals", {}).items()):
+        counter = registry.counter(f"repro_fleet_{field}",
+                                   f"{field} summed across the fleet")
+        counter.value = float(value)
+    registry.gauge("repro_fleet_live_sessions",
+                   "sessions currently live in a manager").set(
+                       len(doc.get("live", [])))
+    registry.gauge("repro_fleet_sessions_on_disk",
+                   "sessions present on disk").set(
+                       len(doc.get("on_disk", [])))
+    registry.counter("repro_fleet_evictions_total",
+                     "LRU session evictions").value = \
+        float(doc.get("evictions", 0))
+    registry.counter("repro_fleet_reopens_total",
+                     "sessions reopened from disk").value = \
+        float(doc.get("reopens", 0))
+    if "shards" in doc:
+        registry.gauge("repro_fleet_shards",
+                       "shard documents merged into this exposition").set(
+                           doc["shards"])
+    latency = doc.get("latency")
+    if latency:
+        bounds = [pair[0] for pair in latency["buckets"]]
+        hist = registry.histogram(
+            "repro_fleet_command_seconds",
+            "end-to-end command latency, merged bucket-wise",
+            buckets=bounds)
+        hist.counts = [pair[1] for pair in latency["buckets"]] + \
+            [latency["overflow"]]
+        hist.sum = latency["sum"]
+        hist.count = latency["count"]
+    return registry.render()
 
 
 #: the process-wide default registry instrumented seams fall back to.

@@ -1,0 +1,118 @@
+"""Rolling-window SLO tracking over the request stream.
+
+Latency histograms and error counters accumulate since process start;
+an operator (and the CI gate) asks a different question: *over the last
+few minutes*, what fraction of requests succeeded, and where is the
+tail latency — against explicit objectives.  :class:`SloTracker`
+answers it with a bounded rolling window of per-request samples.
+
+The report is deliberately JSON-first (served verbatim by the ``_ slo``
+verb and the ``/varz`` endpoint) and carries its own verdict: ``ok``
+plus a ``violations`` list, so ``scripts/check_slo.py`` gates CI on the
+same document an operator reads.
+
+Objectives default to availability ≥ 99% and p95 ≤ 500 ms — adjust at
+construction; an empty window is vacuously healthy (no traffic is not
+an outage from the service's own point of view — liveness is
+``/healthz``'s job).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+__all__ = ["SloTracker"]
+
+
+class SloTracker:
+    """Availability and tail latency over a rolling time window.
+
+    Thread-safe: the TCP front-end records from many connection
+    threads.  The sample window is bounded both by time (``window_s``)
+    and count (``max_samples``) so a traffic burst cannot grow memory
+    without limit — when the count bound trims the window, the report
+    says so (``window_trimmed``).
+    """
+
+    def __init__(self, window_s: float = 300.0, *,
+                 availability: float = 0.99,
+                 p95_ms: float = 500.0,
+                 max_samples: int = 65536):
+        if window_s <= 0:
+            raise ValueError("window_s must be > 0")
+        self.window_s = window_s
+        self.objectives = {"availability": availability, "p95_ms": p95_ms}
+        #: (wall ts, duration seconds, ok, deadline_exceeded) samples.
+        self._samples: Deque[Tuple[float, float, bool, bool]] = \
+            deque(maxlen=max_samples)
+        self._lock = threading.Lock()
+        #: requests ever recorded (the window forgets, this does not).
+        self.recorded = 0
+
+    def record(self, duration_s: float, ok: bool, *,
+               deadline_exceeded: bool = False,
+               ts: Optional[float] = None) -> None:
+        """Add one served request to the window."""
+        with self._lock:
+            self._samples.append((ts if ts is not None else time.time(),
+                                  duration_s, ok, deadline_exceeded))
+            self.recorded += 1
+
+    def _prune_locked(self, now: float) -> None:
+        cutoff = now - self.window_s
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+    def report(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """The current window's SLO document, verdict included."""
+        now = now if now is not None else time.time()
+        with self._lock:
+            self._prune_locked(now)
+            samples = list(self._samples)
+            trimmed = (self._samples.maxlen is not None
+                       and len(self._samples) == self._samples.maxlen)
+        requests = len(samples)
+        errors = sum(1 for _ts, _d, ok, _de in samples if not ok)
+        exceeded = sum(1 for _ts, _d, _ok, de in samples if de)
+        durations = sorted(d for _ts, d, _ok, _de in samples)
+
+        def pct(q: float) -> float:
+            if not durations:
+                return 0.0
+            # nearest-rank on the retained samples — exact, not a
+            # bucket estimate: the window holds real durations
+            idx = min(len(durations) - 1, max(0, round(q * len(durations))
+                                              - 1))
+            return durations[idx]
+
+        availability = 1.0 if requests == 0 else \
+            (requests - errors) / requests
+        p95_ms = pct(0.95) * 1e3
+        violations = []
+        if requests:
+            if availability < self.objectives["availability"]:
+                violations.append(
+                    f"availability {availability:.4f} < objective "
+                    f"{self.objectives['availability']:.4f}")
+            if p95_ms > self.objectives["p95_ms"]:
+                violations.append(
+                    f"p95 {p95_ms:.1f}ms > objective "
+                    f"{self.objectives['p95_ms']:.1f}ms")
+        return {
+            "window_s": self.window_s,
+            "window_trimmed": trimmed,
+            "requests": requests,
+            "errors": errors,
+            "deadline_exceeded": exceeded,
+            "availability": round(availability, 6),
+            "p50_ms": round(pct(0.5) * 1e3, 3),
+            "p95_ms": round(p95_ms, 3),
+            "p99_ms": round(pct(0.99) * 1e3, 3),
+            "objectives": dict(self.objectives),
+            "violations": violations,
+            "ok": not violations,
+            "recorded_total": self.recorded,
+        }

@@ -30,6 +30,18 @@ Design points:
   default to it, so untraced sessions pay one attribute load and one
   ``if`` per command (measured <5% end-to-end in
   ``benchmarks/bench_e7_observability.py`` even with tracing ON).
+* **Request context** — a thread-local *fleet* identity for the request
+  currently being served.  The edge (the stdio loop, the TCP handler)
+  mints one request id per request line and enters
+  :func:`request_context`; every span any tracer on that thread
+  produces while the context is active is stamped with a ``request``
+  tag.  The sharded router forwards the context over the worker pipe,
+  so one TCP request leaves causally joinable spans in the router's
+  trace *and* in the worker's per-session ``trace.jsonl`` — the join
+  key :mod:`repro.obs.collector` merges fleet traces on.  The context
+  dict is also the per-request scratchpad for latency forensics:
+  :func:`annotate_request` accumulates breakdown fields (lock wait,
+  analysis timers, journal fsyncs) that the slow-request log captures.
 """
 
 from __future__ import annotations
@@ -40,9 +52,75 @@ import os
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Dict, IO, List, Optional
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, IO, Iterator, List, Optional
 
-__all__ = ["Span", "FlightRecorder", "Tracer", "read_trace"]
+__all__ = ["Span", "FlightRecorder", "Tracer", "read_trace",
+           "new_request_id", "current_request", "request_context",
+           "annotate_request"]
+
+
+# -- request context ----------------------------------------------------------
+#
+# One thread serves one request at a time (the stdio loop, a TCP
+# connection thread, a shard worker's pipe loop), so a thread-local is
+# the whole mechanism: no tracer plumbing, no per-span arguments.
+
+_REQUEST = threading.local()
+
+
+def new_request_id() -> str:
+    """A fresh fleet-unique request id (``r-`` + 12 hex chars).
+
+    Random rather than sequential: ids minted by different edge threads
+    and different front-end processes must never collide, because the
+    collector joins multi-process traces on them.
+    """
+    return "r-" + os.urandom(6).hex()
+
+
+def current_request() -> Optional[Dict[str, Any]]:
+    """The active request context of this thread, or ``None``."""
+    return getattr(_REQUEST, "ctx", None)
+
+
+@contextmanager
+def request_context(
+        ctx: Optional[Dict[str, Any]] = None) -> Iterator[Dict[str, Any]]:
+    """Enter a request context for the duration of the block.
+
+    ``ctx`` must carry at least ``{"request": <id>}``; ``None`` mints a
+    fresh id.  Contexts nest by *replacement* (the previous one is
+    restored on exit): a worker entering the context forwarded by the
+    router replaces any ambient one, so spans are always stamped with
+    the id the edge minted, exactly once.
+    """
+    if ctx is None:
+        ctx = {"request": new_request_id()}
+    prev = getattr(_REQUEST, "ctx", None)
+    _REQUEST.ctx = ctx
+    try:
+        yield ctx
+    finally:
+        _REQUEST.ctx = prev
+
+
+def annotate_request(**fields: Any) -> None:
+    """Accumulate breakdown fields onto the active request context.
+
+    Numeric fields add (a request may wait on several locks and fsync
+    more than once); everything else overwrites.  A no-op outside a
+    request context, so instrumented seams call it unconditionally.
+    """
+    ctx = current_request()
+    if ctx is None:
+        return
+    breakdown = ctx.setdefault("breakdown", {})
+    for key, value in fields.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            breakdown[key] = breakdown.get(key, 0) + value
+        else:
+            breakdown[key] = value
 
 
 class Span:
@@ -139,9 +217,18 @@ class FlightRecorder:
         #: completed spans ever seen (``completed - len(spans())`` were
         #: dropped off the old end of the ring).
         self.completed = 0
+        #: optional :class:`repro.obs.metrics.Counter` incremented once
+        #: per evicted span — under load the ring wraps *silently*
+        #: otherwise, and "how much trace did we lose" is exactly the
+        #: question asked after an incident.  Wired by the engine to
+        #: ``repro_trace_dropped_total``; any object with ``inc()`` works.
+        self.drop_counter: Optional[Any] = None
 
     def add(self, span: Span) -> None:
         """Record one completed span (oldest evicted when full)."""
+        if len(self._spans) == self.capacity and \
+                self.drop_counter is not None:
+            self.drop_counter.inc()
         self._spans.append(span)
         self.completed += 1
 
@@ -203,11 +290,19 @@ class Tracer:
     # -- producing spans -----------------------------------------------------
 
     def span(self, name: str, **tags: Any):
-        """A new span context (or the shared no-op when disabled)."""
+        """A new span context (or the shared no-op when disabled).
+
+        A span produced while a :func:`request_context` is active is
+        stamped with its ``request`` tag — the fleet-wide join key —
+        unless the call site already supplied one.
+        """
         if not self.enabled:
             return _NOOP_SPAN
         merged = dict(self.common)
         merged.update(tags)
+        ctx = current_request()
+        if ctx is not None and "request" not in merged:
+            merged["request"] = ctx["request"]
         return Span(self, name, next(self._ids), merged)
 
     def current(self) -> Optional[Span]:

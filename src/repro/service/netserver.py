@@ -19,6 +19,15 @@ close the connection; ``_ shutdown`` stops the whole server after
 acknowledging — the clean-shutdown path the operations runbook and the
 CI smoke script use.
 
+The handler is hardened against hostile or broken clients: a request
+line over :data:`MAX_LINE_BYTES` is answered with ``error:
+bad-request: ...`` (the oversized bytes are drained in fixed-size
+chunks, never buffered whole) and invalid UTF-8 gets the same
+normalized error instead of a mangled request — in both cases the
+connection stays up and the next request is served normally.  Rejected
+lines are counted per reason in ``repro_net_bad_lines_total`` and on
+:attr:`NetServer.bad_lines`.
+
 :class:`LineClient` is the matching client: blocking, one in-flight
 request, safe to use from one thread at a time — tests, benchmarks, and
 the smoke script drive real sockets with it.
@@ -31,10 +40,18 @@ import socketserver
 import threading
 from typing import Optional, Tuple
 
-from repro.service.server import serve_stream
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import request_context
+from repro.service.server import error_reply, write_reply
 
 #: responses are terminated by this line, mirroring the stdio server.
 TERMINATOR = "."
+
+#: hard cap on one request line (bytes, newline included).  The longest
+#: legitimate requests are batches, which top out orders of magnitude
+#: below this; anything bigger is a runaway or hostile client, and
+#: buffering it whole would let one connection exhaust the process.
+MAX_LINE_BYTES = 64 * 1024
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -46,8 +63,39 @@ class _Handler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:  # pragma: no cover - exercised over sockets
         net: "NetServer" = self.server.net  # type: ignore[attr-defined]
-        reader = (raw.decode("utf-8", "replace") for raw in self.rfile)
-        serve_stream(_ConnectionFront(net), reader, _TextOut(self.wfile))
+        front = _ConnectionFront(net)
+        out = _TextOut(self.wfile)
+        while True:
+            # bounded read: one byte past the cap distinguishes "fits
+            # exactly" from "truncated mid-line"
+            raw = self.rfile.readline(MAX_LINE_BYTES + 1)
+            if not raw:
+                break
+            if len(raw) > MAX_LINE_BYTES and not raw.endswith(b"\n"):
+                self._drain_line()
+                write_reply(out, net.reject_line(
+                    "oversized",
+                    f"request line exceeds {MAX_LINE_BYTES} bytes"))
+                continue
+            try:
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                write_reply(out, net.reject_line(
+                    "bad-utf8",
+                    f"invalid utf-8 at byte {exc.start}: {exc.reason}"))
+                continue
+            if line.strip() in ("quit", "exit"):
+                break
+            with request_context():
+                reply = front.handle_line(line)
+            write_reply(out, reply)
+
+    def _drain_line(self) -> None:  # pragma: no cover - socket path
+        """Discard the rest of an oversized line in bounded chunks."""
+        while True:
+            chunk = self.rfile.readline(MAX_LINE_BYTES)
+            if not chunk or chunk.endswith(b"\n"):
+                return
 
 
 class _ConnectionFront:
@@ -101,6 +149,19 @@ class NetServer:
         self._server.net = self  # type: ignore[attr-defined]
         self._shutdown_once = threading.Lock()
         self._down = False
+        #: request lines rejected before dispatch (oversized, bad UTF-8).
+        self.bad_lines = 0
+        self._bad_lock = threading.Lock()
+
+    def reject_line(self, reason: str, detail: str) -> str:
+        """Count one rejected request line; returns the error reply."""
+        with self._bad_lock:
+            self.bad_lines += 1
+        REGISTRY.counter(
+            "repro_net_bad_lines_total",
+            "request lines rejected before dispatch",
+            reason=reason).inc()
+        return error_reply("bad-request", detail)
 
     @property
     def address(self) -> Tuple[str, int]:

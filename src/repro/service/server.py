@@ -32,6 +32,8 @@ Verbs::
     _ sessions             list sessions (no target session)
     _ stats                manager stats
     _ metrics              aggregate persistence totals across sessions
+    _ slow [n]             newest [n] slow-request entries (JSON array)
+    _ slo                  rolling-window SLO report (JSON)
 
 Every failure reply is one line of the form ``error: <kind>: <detail>``
 (see :func:`error_reply`); ``<kind>`` comes from a fixed vocabulary so
@@ -43,12 +45,17 @@ same error format, adding the ``shard`` kind for routing failures.
 from __future__ import annotations
 
 import json
-from typing import IO, List
+import os
+import time
+from typing import Any, Dict, IO, List, Optional
 
 from repro.core.commands import CommandError, parse_batch, parse_verb
 from repro.core.undo import UndoError
 from repro.lang.parser import ParseError
 from repro.obs.check import audit_roundtrip
+from repro.obs.slo import SloTracker
+from repro.obs.slowlog import SlowLog
+from repro.obs.trace import current_request, request_context
 from repro.obs.provenance import (
     audit_path,
     explain_doc,
@@ -80,6 +87,24 @@ ERROR_KINDS = (
 )
 
 
+#: the reply line appended to a request that blew its deadline budget —
+#: clients that care dispatch on the prefix, like they do on ``error:``.
+DEADLINE_FLAG = "! deadline-exceeded:"
+
+
+def flag_deadline(out: str, dur_ms: float, budget_ms: float) -> str:
+    """Append the deadline-exceeded marker line to a reply.
+
+    The reply body is unchanged (the command *did* run — late is not
+    failed); the marker rides the multi-line framing the protocol
+    already has, so existing clients that ignore unknown lines keep
+    working and deadline-aware ones alert on the prefix.
+    """
+    marker = (f"{DEADLINE_FLAG} {dur_ms:.1f}ms > "
+              f"{budget_ms:.1f}ms budget")
+    return f"{out}\n{marker}" if out else marker
+
+
 def error_reply(kind: str, detail: str) -> str:
     """The one failure-reply format: ``error: <kind>: <detail>``.
 
@@ -93,6 +118,19 @@ def error_reply(kind: str, detail: str) -> str:
     return f"{ERROR_PREFIX} {kind}: {detail}"
 
 
+def write_reply(out_stream: IO[str], text: str) -> None:
+    """Frame one reply onto a text stream: its lines, then a lone ``.``.
+
+    The one framing implementation both transports share — the stdio
+    loop below and the TCP handler (:mod:`repro.service.netserver`)
+    write every reply through here, so a framing change cannot fork.
+    """
+    for chunk in text.splitlines() or [""]:
+        out_stream.write(chunk + "\n")
+    out_stream.write(".\n")
+    out_stream.flush()
+
+
 def serve_stream(front, in_stream: IO[str], out_stream: IO[str]) -> int:
     """Serve line requests from a stream until EOF or ``quit``.
 
@@ -100,6 +138,10 @@ def serve_stream(front, in_stream: IO[str], out_stream: IO[str]) -> int:
     :class:`SessionServer` or the sharded router — so the stdio loop and
     the TCP connection handler share one framing implementation: one
     request line in, the response's lines out, a lone ``.`` terminator.
+    This is the trace *edge*: every request line is served inside a
+    fresh :func:`repro.obs.trace.request_context`, so all spans the
+    request produces — in this process or in a shard worker the router
+    forwards it to — carry one fleet-unique request id.
     Returns the number of requests handled; closing ``front`` is the
     caller's job.
     """
@@ -107,26 +149,46 @@ def serve_stream(front, in_stream: IO[str], out_stream: IO[str]) -> int:
     for line in in_stream:
         if line.strip() in ("quit", "exit"):
             break
-        out = front.handle_line(line)
-        for chunk in out.splitlines() or [""]:
-            out_stream.write(chunk + "\n")
-        out_stream.write(".\n")
-        out_stream.flush()
+        with request_context():
+            out = front.handle_line(line)
+        write_reply(out_stream, out)
         handled += 1
     return handled
 
 
 class SessionServer:
-    """Parses request lines and dispatches them onto a manager."""
+    """Parses request lines and dispatches them onto a manager.
 
-    def __init__(self, manager: SessionManager):
+    Also the per-process observability vantage point: every request is
+    timed into a rolling-window :class:`~repro.obs.slo.SloTracker`
+    (the ``_ slo`` verb) and, past ``slow_ms``, recorded in a
+    :class:`~repro.obs.slowlog.SlowLog` entry (the ``_ slow`` verb)
+    carrying the latency breakdown the session layer accumulated onto
+    the request context — lock wait, analysis timers, journal fsyncs.
+    ``deadline_ms`` is the optional per-request budget: a reply that
+    took longer is flagged (:func:`flag_deadline`) and counted in
+    ``repro_deadline_exceeded_total``.
+    """
+
+    def __init__(self, manager: SessionManager, *,
+                 slow_ms: Optional[float] = 250.0,
+                 deadline_ms: Optional[float] = None,
+                 slo_window_s: float = 300.0,
+                 layer: str = "server"):
         self.manager = manager
         self.requests = 0
         self.errors = 0
+        self.layer = layer
+        self.deadline_ms = deadline_ms
+        self.deadline_exceeded = 0
+        self.slowlog = SlowLog(
+            threshold_s=None if slow_ms is None else slow_ms / 1e3)
+        self.slo = SloTracker(slo_window_s)
 
     def handle_line(self, line: str) -> str:
         """Serve one request; never raises for a malformed request."""
         self.requests += 1
+        started = time.perf_counter()
         try:
             out = self._dispatch(line.strip().split())
         except (SessionError, CommandError, UndoError, ParseError,
@@ -139,6 +201,27 @@ class SessionServer:
             out = error_reply("bad-request", str(exc) or repr(exc))
         if out.startswith(ERROR_PREFIX):
             self.errors += 1
+        return self._observe(line, out, time.perf_counter() - started)
+
+    def _observe(self, line: str, out: str, duration_s: float) -> str:
+        """Record one served request (SLO, slow log, deadline budget)."""
+        ok = not out.startswith(ERROR_PREFIX)
+        dur_ms = duration_s * 1e3
+        exceeded = self.deadline_ms is not None and dur_ms > self.deadline_ms
+        if exceeded:
+            self.deadline_exceeded += 1
+            self.manager.metrics_registry.counter(
+                "repro_deadline_exceeded_total",
+                "requests that blew their deadline budget").inc()
+        self.slo.record(duration_s, ok, deadline_exceeded=exceeded)
+        ctx = current_request()
+        self.slowlog.observe(
+            line, duration_s, ok=ok, layer=self.layer,
+            request=ctx.get("request") if ctx else None,
+            breakdown=ctx.get("breakdown") if ctx else None,
+            force=exceeded)
+        if exceeded:
+            out = flag_deadline(out, dur_ms, self.deadline_ms)
         return out
 
     def _dispatch(self, parts: List[str]) -> str:
@@ -157,6 +240,11 @@ class SessionServer:
             # per-session
             return json.dumps(self.manager.aggregate_metrics(),
                               sort_keys=True)
+        if verb == "slow" and name == "_":
+            tail = int(args[0]) if args else None
+            return json.dumps(self.slowlog.entries(tail), sort_keys=True)
+        if verb == "slo" and name == "_":
+            return json.dumps(self.slo.report(), sort_keys=True)
         if verb == "init":
             with open(args[0]) as fh:
                 source = fh.read()
@@ -225,6 +313,29 @@ class SessionServer:
                 path = session.snapshot()
                 return f"snapshot: {path}" if path else "(nothing new)"
         return error_reply("unknown-verb", repr(verb))
+
+    # -- exposition hooks ----------------------------------------------------
+    #
+    # the duck-typed surface repro.obs.expo.ExpoServer serves over HTTP;
+    # the sharded router implements the same three methods, so the
+    # sidecar works identically over either front.
+
+    def expo_metrics_doc(self) -> Dict[str, Any]:
+        """The merged metrics document behind ``/metrics``."""
+        return self.manager.aggregate_metrics()
+
+    def expo_health(self) -> Dict[str, Any]:
+        """The ``/healthz`` document (``ok`` decides the HTTP status)."""
+        return {"ok": True, "mode": "single-process", "pid": os.getpid(),
+                "requests": self.requests, "errors": self.errors,
+                "deadline_exceeded": self.deadline_exceeded}
+
+    def expo_varz(self) -> Dict[str, Any]:
+        """The ``/varz`` document: everything an operator drills into."""
+        return {"health": self.expo_health(),
+                "slo": self.slo.report(),
+                "slow": self.slowlog.entries(32),
+                "stats": self.manager.stats()}
 
     def close(self) -> None:
         """Shutdown hook: snapshot and close every live session."""

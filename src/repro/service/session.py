@@ -46,7 +46,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs.check import trace_path
 from repro.obs.metrics import Histogram
 from repro.obs.provenance import audit_entry, audit_path
-from repro.obs.trace import Span, Tracer
+from repro.obs.trace import Span, Tracer, annotate_request
 from repro.service.journal import Journal
 from repro.service.recovery import (
     JOURNAL_FILE,
@@ -265,8 +265,18 @@ class DurableSession:
             enc = command.encode()
             self.seq += 1
             self.tracer.annotate(seq=self.seq)
+            syncs_before = self.journal.syncs
+            append_started = time.perf_counter()
             with self.tracer.span("journal.append"):
                 self.journal.append(self.seq, enc)
+            # feed the slow-request forensics: where a slow command's
+            # time went (journal vs analysis) for the server's slow log
+            annotate_request(
+                journal_append_ms=(time.perf_counter() - append_started)
+                * 1e3,
+                journal_fsyncs=self.journal.syncs - syncs_before,
+                analysis_ms=sum(command.work.get("timers", {}).values())
+                * 1e3)
             self.commands.append(enc)
             # audit AFTER the journal append so an audit entry never
             # describes a command the journal lost; a failure here
@@ -558,7 +568,7 @@ class SessionManager:
     #: :meth:`aggregate_metrics` (live samples + retired totals).
     _AGG_FIELDS = ("commands", "journal_records_written",
                    "journal_bytes_written", "journal_syncs",
-                   "snapshots_written")
+                   "snapshots_written", "spans_recorded", "spans_dropped")
 
     def __init__(self, root: str, *, max_live: int = 8,
                  snapshot_every: int = 32, snapshot_full_every: int = 4,
@@ -681,6 +691,7 @@ class SessionManager:
         m.histogram("repro_session_lock_wait_seconds",
                     "time spent waiting to acquire a session lock").observe(
                         acquired - waited)
+        annotate_request(lock_wait_ms=(acquired - waited) * 1e3)
         try:
             if session._closed:
                 # evicted between lookup and acquire — take the fresh one

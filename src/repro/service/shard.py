@@ -42,16 +42,30 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import time
 import zlib
 from multiprocessing.connection import Connection, wait as _pipe_wait
 from threading import Lock
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.obs.metrics import merge_aggregate_metrics
-from repro.service.server import ERROR_PREFIX, error_reply
+from repro.obs.metrics import REGISTRY, merge_aggregate_metrics
+from repro.obs.slo import SloTracker
+from repro.obs.slowlog import SlowLog
+from repro.obs.trace import Tracer, current_request, request_context
+from repro.service.server import ERROR_PREFIX, error_reply, flag_deadline
 
 #: shard roots under the service root (two digits keeps ls sorted).
 SHARD_DIR_FMT = "shard-{:02d}"
+
+#: the router's span stream, next to the shard directories — the edge
+#: half of every fleet trace (:mod:`repro.obs.collector` joins it with
+#: the per-session ``trace.jsonl`` files inside the shards).
+ROUTER_TRACE_FILE = "router-trace.jsonl"
+
+
+def router_trace_path(root: str) -> str:
+    """The router's span-stream file under one service root."""
+    return os.path.join(root, ROUTER_TRACE_FILE)
 
 #: manager-level verbs the router fans out to every shard (plus its own
 #: ``shards`` verb, answered without a round trip).
@@ -80,22 +94,27 @@ def shard_root(root: str, index: int) -> str:
 
 
 def worker_main(conn: Connection, root: str,
-                manager_kwargs: Optional[Dict[str, Any]] = None) -> None:
+                manager_kwargs: Optional[Dict[str, Any]] = None,
+                server_kwargs: Optional[Dict[str, Any]] = None) -> None:
     """One shard worker: serve pipe requests until told to stop.
 
-    Runs in a child process.  Requests are ``("req", id, line)`` tuples
-    answered with ``(id, response)``; a ``("stop", id)`` message (or a
-    closed pipe) drains the manager and exits.  ``handle_line`` never
-    raises by contract, but a defect must kill neither the worker nor
-    the protocol framing, so the last-resort catch answers with an
-    ``internal`` error instead of dying with a request in flight.
+    Runs in a child process.  Requests are ``("req", id, line[, ctx])``
+    tuples answered with ``(id, response)``; a ``("stop", id)`` message
+    (or a closed pipe) drains the manager and exits.  ``ctx``, when
+    present, is the trace context the edge minted — the worker serves
+    the line inside it, so every span the command produces in this
+    process lands in the session's ``trace.jsonl`` stamped with the
+    originating request id.  ``handle_line`` never raises by contract,
+    but a defect must kill neither the worker nor the protocol framing,
+    so the last-resort catch answers with an ``internal`` error instead
+    of dying with a request in flight.
     """
     # imported here so a spawned worker pays its import cost itself
     from repro.service.server import SessionServer
     from repro.service.session import SessionManager
 
     manager = SessionManager(root, **(manager_kwargs or {}))
-    server = SessionServer(manager)
+    server = SessionServer(manager, **(server_kwargs or {}))
     try:
         while True:
             try:
@@ -106,9 +125,12 @@ def worker_main(conn: Connection, root: str,
                 if isinstance(msg, tuple):
                     conn.send((msg[1], "stopping"))
                 break
-            _kind, rid, line = msg
+            _kind, rid, line = msg[:3]
+            ctx = msg[3] if len(msg) > 3 and isinstance(msg[3], dict) \
+                else None
             try:
-                out = server.handle_line(line)
+                with request_context(dict(ctx) if ctx else None):
+                    out = server.handle_line(line)
             except BaseException as exc:  # noqa: BLE001 - framing guard
                 out = error_reply("internal", repr(exc))
             conn.send((rid, out))
@@ -125,10 +147,14 @@ class ShardWorker:
     """
 
     def __init__(self, index: int, root: str,
-                 manager_kwargs: Optional[Dict[str, Any]] = None):
+                 manager_kwargs: Optional[Dict[str, Any]] = None,
+                 server_kwargs: Optional[Dict[str, Any]] = None):
         self.index = index
         self.root = shard_root(root, index)
         self.manager_kwargs = dict(manager_kwargs or {})
+        self.server_kwargs = dict(server_kwargs or {})
+        # slow-log entries from this worker name their vantage point
+        self.server_kwargs.setdefault("layer", SHARD_DIR_FMT.format(index))
         self.lock = Lock()
         self.restarts = 0
         self.requests = 0
@@ -141,7 +167,8 @@ class ShardWorker:
         """Spawn (or re-spawn) the worker process for this shard."""
         parent, child = self._ctx.Pipe()
         self.process = self._ctx.Process(
-            target=worker_main, args=(child, self.root, self.manager_kwargs),
+            target=worker_main, args=(child, self.root, self.manager_kwargs,
+                                      self.server_kwargs),
             name=f"repro-shard-{self.index}", daemon=True)
         self.process.start()
         child.close()  # the worker holds its own copy
@@ -152,9 +179,12 @@ class ShardWorker:
         """Whether the worker process is currently running."""
         return self.process is not None and self.process.is_alive()
 
-    def request(self, line: str) -> str:
+    def request(self, line: str,
+                ctx: Optional[Dict[str, Any]] = None) -> str:
         """One request/response round trip (caller holds ``self.lock``).
 
+        ``ctx`` is the trace context forwarded to the worker (request id
+        only — the per-process breakdown scratchpad stays local).
         Raises :class:`ShardError` when the worker dies before
         answering — the wait watches the reply pipe *and* the process
         sentinel in one select, so a crashed worker surfaces as a
@@ -165,7 +195,7 @@ class ShardWorker:
         self._rid += 1
         self.requests += 1
         try:
-            self.conn.send(("req", self._rid, line))
+            self.conn.send(("req", self._rid, line, ctx))
             while self.conn not in _pipe_wait(
                     [self.conn, self.process.sentinel]):
                 # sentinel fired first: the worker exited.  The pipe may
@@ -224,7 +254,10 @@ class ShardRouter:
 
     def __init__(self, root: str, nshards: int, *,
                  manager_kwargs: Optional[Dict[str, Any]] = None,
-                 auto_restart: bool = True):
+                 auto_restart: bool = True,
+                 slow_ms: Optional[float] = 250.0,
+                 deadline_ms: Optional[float] = None,
+                 slo_window_s: float = 300.0):
         if nshards < 1:
             raise ValueError("nshards must be >= 1")
         self.root = root
@@ -232,8 +265,28 @@ class ShardRouter:
         self.auto_restart = auto_restart
         self.requests = 0
         self.errors = 0
+        self.deadline_ms = deadline_ms
+        self.deadline_exceeded = 0
+        #: router-vantage slow log and fleet SLO window (every TCP
+        #: request passes here, so this window IS the fleet view);
+        #: workers run their own slow logs at the same threshold and
+        #: the ``_ slow`` verb merges all of them.
+        self.slowlog = SlowLog(
+            threshold_s=None if slow_ms is None else slow_ms / 1e3)
+        self.slo = SloTracker(slo_window_s)
+        #: the router's own span stream — the edge half of every fleet
+        #: trace, joined with per-session worker traces by request id.
+        os.makedirs(root, exist_ok=True)
+        self.tracer = Tracer(service="router")
+        self._trace_fh = open(router_trace_path(root), "a",
+                              encoding="utf-8", buffering=1)
+        self.tracer.sinks.append(
+            lambda span: self._trace_fh.write(
+                json.dumps(span.to_doc(), sort_keys=True) + "\n"))
+        server_kwargs = {"slow_ms": slow_ms}
         self.workers: List[ShardWorker] = [
-            ShardWorker(k, root, manager_kwargs) for k in range(nshards)]
+            ShardWorker(k, root, manager_kwargs, server_kwargs)
+            for k in range(nshards)]
         for worker in self.workers:
             worker.start()
         self._closed = False
@@ -241,24 +294,89 @@ class ShardRouter:
     # -- request path --------------------------------------------------------
 
     def handle_line(self, line: str) -> str:
-        """Serve one request; never raises for a malformed request."""
+        """Serve one request; never raises for a malformed request.
+
+        Every request runs inside a request context (entering a fresh
+        one when the edge has not already) under a ``route`` span in
+        the router's trace — the record the collector joins with the
+        worker's span tree to reconstruct the whole request.
+        """
+        ctx = current_request()
+        if ctx is None:
+            with request_context() as fresh:
+                return self._serve(line, fresh)
+        return self._serve(line, ctx)
+
+    def _serve(self, line: str, ctx: Dict[str, Any]) -> str:
         self.requests += 1
         parts = line.strip().split()
         if not parts:
             return ""
-        if len(parts) < 2:
-            out = error_reply("bad-request",
-                              "expected '<session> <verb> [args...]'")
-        elif parts[0] == "_" and parts[1] == "shards":
-            out = json.dumps(self.shard_status(), sort_keys=True)
-        elif parts[0] == "_" and parts[1] in AGGREGATE_VERBS:
-            out = self._aggregate(parts[1])
-        else:
-            worker = self.workers[shard_index(parts[0], self.nshards)]
-            out = self._request(worker, line)
-        if out.startswith(ERROR_PREFIX):
-            self.errors += 1
+        started = time.perf_counter()
+        target, verb = parts[0], parts[1] if len(parts) > 1 else ""
+        with self.tracer.span("route", target=target, verb=verb) as span:
+            if len(parts) < 2:
+                out = error_reply("bad-request",
+                                  "expected '<session> <verb> [args...]'")
+                span.tag(kind="bad-request")
+            elif target == "_" and verb == "shards":
+                out = json.dumps(self.shard_status(), sort_keys=True)
+                span.tag(kind="local")
+            elif target == "_" and verb == "slo":
+                out = json.dumps(self.slo.report(), sort_keys=True)
+                span.tag(kind="local")
+            elif target == "_" and verb == "slow":
+                out = self._merged_slow(
+                    int(parts[2]) if len(parts) > 2 else None)
+                span.tag(kind="fanout")
+            elif target == "_" and verb in AGGREGATE_VERBS:
+                out = self._aggregate(verb)
+                span.tag(kind="fanout")
+            else:
+                shard = shard_index(target, self.nshards)
+                span.tag(kind="session", shard=shard)
+                out = self._request(self.workers[shard], line)
+            ok = not out.startswith(ERROR_PREFIX)
+            if not ok:
+                self.errors += 1
+                span.tag(status="failed")
+        duration = time.perf_counter() - started
+        return self._observe(line, out, duration, ok, ctx)
+
+    def _observe(self, line: str, out: str, duration_s: float, ok: bool,
+                 ctx: Dict[str, Any]) -> str:
+        """Record one routed request (SLO window, slow log, deadline)."""
+        dur_ms = duration_s * 1e3
+        exceeded = self.deadline_ms is not None and dur_ms > self.deadline_ms
+        if exceeded:
+            self.deadline_exceeded += 1
+            REGISTRY.counter(
+                "repro_deadline_exceeded_total",
+                "requests that blew their deadline budget").inc()
+        self.slo.record(duration_s, ok, deadline_exceeded=exceeded)
+        self.slowlog.observe(line, duration_s, ok=ok, layer="router",
+                             request=ctx.get("request"),
+                             breakdown=ctx.get("breakdown"),
+                             force=exceeded)
+        if exceeded:
+            out = flag_deadline(out, dur_ms, self.deadline_ms)
         return out
+
+    def _merged_slow(self, tail: Optional[int]) -> str:
+        """The fleet slow-request listing: every shard's log + the
+        router's own, merged by wall clock (the ``_ slow [n]`` verb).
+
+        Worker entries carry the in-process latency breakdown (lock
+        wait, analysis timers, journal fsyncs); the router entries for
+        the same request ids carry the end-to-end time including the
+        pipe round trip — both sides of a slow request's story.
+        """
+        answers, failures = self._fanout("_ slow")
+        if failures:
+            return failures[0]
+        groups = [json.loads(out) for out in answers]
+        groups.append(self.slowlog.entries())
+        return json.dumps(SlowLog.merge(groups, tail), sort_keys=True)
 
     def _request(self, worker: ShardWorker, line: str) -> str:
         """Forward one line to one shard, repairing a dead worker.
@@ -268,9 +386,11 @@ class ShardRouter:
         says exactly that.  The restarted worker recovers the shard's
         sessions lazily through the ordinary replay path on next touch.
         """
+        ctx = current_request()
+        wire_ctx = {"request": ctx["request"]} if ctx else None
         with worker.lock:
             try:
-                return worker.request(line)
+                return worker.request(line, wire_ctx)
             except ShardError as exc:
                 restarted = ""
                 if self.auto_restart and not self._closed:
@@ -341,6 +461,57 @@ class ShardRouter:
                              "requests": w.requests}
                             for w in self.workers]}
 
+    # -- exposition hooks ----------------------------------------------------
+    #
+    # the duck-typed surface repro.obs.expo.ExpoServer serves over HTTP
+    # (same three methods as SessionServer, so the sidecar is
+    # front-agnostic).
+
+    def expo_metrics_doc(self) -> Dict[str, Any]:
+        """The fleet-merged metrics document behind ``/metrics``."""
+        return merge_aggregate_metrics(self.shard_metrics())
+
+    def expo_health(self) -> Dict[str, Any]:
+        """The ``/healthz`` document: worker liveness plus journal lag.
+
+        ``ok`` (every worker alive) decides the HTTP status.  The
+        journal block compares fleet-wide committed commands against
+        journal records actually written — a growing lag means workers
+        are acknowledging commands their journals have not recorded,
+        which the poisoning protocol should make impossible; surfacing
+        the number is how an operator verifies that it is.
+        """
+        status = self.shard_status()
+        doc: Dict[str, Any] = {
+            "ok": all(w["alive"] for w in status["workers"]),
+            "mode": "sharded",
+            "requests": self.requests,
+            "errors": self.errors,
+            "deadline_exceeded": self.deadline_exceeded,
+            **status,
+        }
+        try:
+            totals = self.expo_metrics_doc()["totals"]
+            commands = totals.get("commands", 0)
+            records = totals.get("journal_records_written", 0)
+            doc["journal"] = {"commands": commands, "records": records,
+                              "lag": commands - records}
+        except (ShardError, KeyError, ValueError) as exc:
+            doc["ok"] = False
+            doc["journal"] = {"error": str(exc)}
+        return doc
+
+    def expo_varz(self) -> Dict[str, Any]:
+        """The ``/varz`` document: everything an operator drills into."""
+        doc: Dict[str, Any] = {"health": self.expo_health(),
+                               "slo": self.slo.report(),
+                               "slow": self.slowlog.entries(32)}
+        try:
+            doc["metrics"] = self.expo_metrics_doc()
+        except ShardError as exc:
+            doc["metrics"] = {"error": str(exc)}
+        return doc
+
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
@@ -349,6 +520,10 @@ class ShardRouter:
         for worker in self.workers:
             with worker.lock:
                 worker.stop()
+        try:
+            self._trace_fh.close()
+        except OSError:
+            pass
 
     def __enter__(self) -> "ShardRouter":
         return self
