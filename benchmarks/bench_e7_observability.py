@@ -284,6 +284,129 @@ def test_e7_collector_merge_cost():
         f"collector costs {per_request_us:.0f}us/request")
 
 
+def test_e7_profiler_overhead():
+    """100 hz sampling rides the same 5% observability budget.
+
+    A sampling profiler's cost model is not per-operation but per-tick:
+    the sampler thread steals the GIL once per period to walk every
+    live thread's stack.  The derived overhead is therefore the
+    measured cost of one full sampling tick times the tick rate — the
+    fraction of every wall-clock second spent sampling — asserted
+    against the tracing budget.  The paired end-to-end ratio is
+    reported for honesty, with the same caveat as tracing: machine
+    noise at the ±5% level.
+    """
+    from repro.obs.profiler import Profiler
+
+    banner(f"E7 — sampling-profiler overhead at 100 hz (N={N})")
+    hz = 100.0
+    prof = Profiler(hz=hz)
+    reps = 500 if quick() else 2000
+    started = time.perf_counter()
+    for _ in range(reps):
+        # own=0 matches no real thread id, so the tick walks every
+        # live thread including this one — the full per-tick cost
+        prof._sample_once(0)
+    per_tick = (time.perf_counter() - started) / reps
+    derived = per_tick * hz * 100.0  # fraction of each second, as %
+
+    times = {"off": [], "on": []}
+    run_loop(None)  # warmup
+    for _ in range(ROUNDS):
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            run_loop(None)
+            times["off"].append(time.perf_counter() - t0)
+        finally:
+            gc.enable()
+        live = Profiler(hz=hz)
+        live.start()
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            run_loop(None)
+            times["on"].append(time.perf_counter() - t0)
+        finally:
+            gc.enable()
+            live.stop()
+    ratio = statistics.median(
+        t / b for t, b in zip(times["on"], times["off"]))
+
+    t = REPORT.table(["path", "per tick", "derived overhead %",
+                      "end-to-end ratio"],
+                     "E7 — sampling profiler at 100 hz (lower is better)")
+    t.add("sampler off", "-", 0.0, "1.000x")
+    t.add("sampler on", f"{per_tick * 1e6:.2f}us", round(derived, 3),
+          f"{ratio:.3f}x")
+    t.show()
+
+    REPORT.value("profiler_us_per_tick", round(per_tick * 1e6, 3))
+    REPORT.value("profiler_overhead_pct", round(derived, 3))
+    REPORT.value("profiler_end_to_end_ratio", round(ratio, 3))
+    assert prof.samples > 0  # the measured ticks really sampled stacks
+    assert derived < BUDGET_PCT, (
+        f"100 hz sampling costs {derived:.2f}% (budget {BUDGET_PCT}%)")
+
+
+def test_e7_analytics_cost():
+    """Decision analytics stays a sub-budget per-command observer.
+
+    ``DecisionAnalytics.observe`` walks each command's provenance doc
+    and bumps counters — work proportional to the cascade, not the
+    program — so its derived overhead (measured microcost per observed
+    command times commands per cycle over the cycle's wall time) must
+    ride the same budget as tracing: it runs on every command of every
+    engine a SessionManager serves.
+    """
+    from repro.obs.analytics import DecisionAnalytics
+
+    banner(f"E7 — decision-analytics observer cost (N={N})")
+    blocks = max(2, (N + 1) // 2)
+    program = generate_program(SEED, GeneratorConfig(blocks=blocks, trip=8))
+    engine = TransformationEngine(program, metrics=MetricsRegistry())
+    captured = []
+    engine.command_observers.append(captured.append)
+    applied = apply_greedy(engine, N, seed=SEED + 1)
+    for stamp in reversed(applied):
+        if engine.history.by_stamp(stamp).active:
+            engine.undo(stamp)
+    commands = int(engine.metrics.total("repro_commands_total"))
+    assert captured, "the loop must observe at least one command"
+
+    loop_times = []
+    run_loop(None)  # warmup
+    for _ in range(3):
+        t0 = time.perf_counter()
+        run_loop(None)
+        loop_times.append(time.perf_counter() - t0)
+    base_s = statistics.median(loop_times)
+
+    analytics = DecisionAnalytics(registry=MetricsRegistry())
+    reps = 20 if quick() else 50
+    started = time.perf_counter()
+    for _ in range(reps):
+        for cmd in captured:
+            analytics.observe(cmd)
+    per_cmd = (time.perf_counter() - started) / (reps * len(captured))
+    derived = per_cmd * commands / base_s * 100.0
+
+    t = REPORT.table(["observer", "per command", "derived overhead %"],
+                     "E7 — decision analytics (lower is better)")
+    t.add("DecisionAnalytics.observe", f"{per_cmd * 1e6:.2f}us",
+          round(derived, 3))
+    t.show()
+
+    REPORT.value("analytics_us_per_command", round(per_cmd * 1e6, 3))
+    REPORT.value("analytics_overhead_pct", round(derived, 3))
+    # the observer really folded decisions into instruments
+    assert analytics.commands == reps * len(captured)
+    assert derived < BUDGET_PCT, (
+        f"decision analytics costs {derived:.2f}% (budget {BUDGET_PCT}%)")
+
+
 def test_e7_disabled_tracer_produces_nothing():
     engine, applied = run_loop(tracer=None)
     assert applied > 0

@@ -3,11 +3,17 @@
 
 Drives a :class:`~repro.service.session.DurableSession` in a temporary
 directory through a deterministic mix of applies, undos, edits, and
-periodic snapshots under cProfile, then prints the top 20 functions by
-cumulative time.  This is the workload the compact core (content-hashed
-fingerprints, bitset dataflow, indexed dependence queries, delta
-snapshots) optimizes — when a linear scan sneaks back onto the command
-path, it surfaces here first.
+periodic snapshots under the built-in sampling profiler
+(:class:`repro.obs.profiler.Profiler` — the same engine behind the
+server's ``_ prof`` verbs and ``/pprof``), then prints the hottest
+frames by self samples.  This is the workload the compact core
+(content-hashed fingerprints, bitset dataflow, indexed dependence
+queries, delta snapshots) optimizes — when a linear scan sneaks back
+onto the command path, it surfaces here first.
+
+The collapsed-stack profile (``flamegraph.pl`` input) is written to
+``benchmarks/output/profile_hotpath.folded`` so ``regen_tables.sh``
+captures a flamegraph-ready artifact next to the benchmark tables.
 
 Run from the repository root:
 
@@ -16,19 +22,24 @@ Run from the repository root:
 
 from __future__ import annotations
 
-import cProfile
-import pstats
+import os
 import sys
 import tempfile
 
 from repro.lang.ast_nodes import Assign, Const
 from repro.lang.printer import format_program
+from repro.obs.profiler import Profiler
 from repro.service.session import DurableSession
 from repro.workloads.generator import GeneratorConfig, generate_program
 from repro.workloads.scenarios import apply_greedy
 
 SEED = 23
 TOP = 20
+HZ = 500.0
+
+#: where the collapsed-stack dump lands (flamegraph.pl input).
+FOLDED_OUT = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "benchmarks", "output", "profile_hotpath.folded")
 
 
 def drive(session: DurableSession, n_commands: int) -> int:
@@ -60,18 +71,33 @@ def drive(session: DurableSession, n_commands: int) -> int:
 def main() -> int:
     n_commands = int(sys.argv[1]) if len(sys.argv) > 1 else 200
     src = format_program(generate_program(SEED, GeneratorConfig(blocks=24)))
+    profiler = Profiler(hz=HZ)
     with tempfile.TemporaryDirectory() as tmp:
         session = DurableSession.create(
             tmp + "/prof", src, snapshot_every=16, snapshot_full_every=4)
-        profiler = cProfile.Profile()
-        profiler.enable()
+        profiler.start()
         done = drive(session, n_commands)
-        profiler.disable()
+        profiler.stop()
         session.close()
+    snap = profiler.snapshot()
     print(f"profiled {done} commands "
-          f"(applies/undos/edits + periodic delta snapshots)\n")
-    stats = pstats.Stats(profiler)
-    stats.strip_dirs().sort_stats("cumulative").print_stats(TOP)
+          f"(applies/undos/edits + periodic delta snapshots): "
+          f"{snap['samples']} sample(s) at {HZ:g} hz, "
+          f"{snap['dropped']} dropped, {snap['wall_s']:.2f}s wall\n")
+    rows = profiler.table()[:TOP]
+    if rows:
+        width = max(len(r["frame"]) for r in rows)
+        print(f"{'frame':<{width}}  {'self':>6} {'cum':>6} "
+              f"{'self_s':>8} {'cum_s':>8}")
+        for r in rows:
+            print(f"{r['frame']:<{width}}  {r['self']:>6} {r['cum']:>6} "
+                  f"{r['self_s']:>8.3f} {r['cum_s']:>8.3f}")
+    folded = profiler.folded()
+    out_path = os.path.normpath(FOLDED_OUT)
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write(folded + ("\n" if folded else ""))
+    print(f"\ncollapsed stacks written to {out_path}")
     return 0
 
 

@@ -7,8 +7,11 @@ ports from its ``metrics on`` and ``listening on`` lines, then drives
 a scripted conversation over a real socket: init, apply/undo, a batch,
 an audit round-trip check, the merged ``_`` verbs, the forensics verbs
 (``_ slow``/``_ slo``), a scrape of the HTTP sidecar (``/healthz``,
-``/metrics``), and finally a clean ``_ shutdown`` — asserting the
-server process exits 0.  After shutdown it replays the fleet's trace
+``/metrics``), a fleet profiling window (``_ prof start|dump|stop``
+and ``/pprof?seconds=1`` under live apply/undo traffic, asserting
+attributed ``engine.execute`` stacks merged across shards), and
+finally a clean ``_ shutdown`` — asserting the server process exits
+0.  After shutdown it replays the fleet's trace
 files through :func:`repro.obs.collector.collect_requests` and
 :func:`repro.obs.check.fleet_roundtrip`, asserting that a TCP request
 produced a collector-merged trace joining the router's route span to
@@ -26,6 +29,8 @@ import re
 import subprocess
 import sys
 import tempfile
+import threading
+import time
 import urllib.request
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
@@ -47,20 +52,26 @@ PAR_SRC = ("doall i = 1, 4\n"
 STAMP_RE = re.compile(r"t(\d+)")
 
 
-def verify_traces(root: str) -> None:
+def verify_traces(root: str, exemplars: list) -> None:
     """Replay the fleet's trace files through the collector.
 
     This is the acceptance check for cross-shard tracing: a command
     sent over TCP must come back as one causally-ordered trace — the
     router's ``route`` span at depth 0 joined (by request id) to the
     worker's ``command`` span tree — and the whole root must pass
-    ``fleet_roundtrip``.
+    ``fleet_roundtrip``.  The request ids scraped off ``/metrics``
+    exemplars must resolve here too: an exemplar is only useful if
+    ``repro collect --request <id>`` can explain it.
     """
     from repro.obs.check import fleet_roundtrip
     from repro.obs.collector import collect_requests
 
     traces = collect_requests(root)
     assert traces, f"no request traces collected under {root}"
+    resolved = [rid for rid in exemplars if rid in traces]
+    assert resolved, f"no /metrics exemplar resolves: {exemplars}"
+    print(f"ok: exemplars: {len(resolved)}/{len(exemplars)} /metrics "
+          f"exemplar request id(s) resolve to collected traces")
     joined = [tr for tr in traces.values()
               if tr.edge is not None
               and tr.edge["tags"].get("verb") == "apply"
@@ -192,7 +203,62 @@ def main() -> int:
                 assert resp.status == 200, resp.status
                 assert "repro_fleet_commands" in text, text[:400]
                 assert "repro_fleet_command_seconds_bucket" in text
-            print("ok: /metrics: prometheus exposition with fleet totals")
+            exemplars = re.findall(r'# \{request="(r-[0-9a-f]{12})"\}', text)
+            assert exemplars, "no request exemplars on /metrics"
+            assert "repro_decision_commands_total" in text, \
+                "decision analytics missing from /metrics"
+            print(f"ok: /metrics: prometheus exposition with fleet "
+                  f"totals, analytics, {len(exemplars)} exemplar(s)")
+
+            # fleet profiling: a background driver keeps the workers
+            # executing commands while two CPU windows are taken — an
+            # operator window over the wire (`_ prof`) and an on-demand
+            # scrape (`/pprof`) — both must come back with attributed,
+            # shard-merged engine stacks
+            stop = threading.Event()
+
+            def churn() -> None:
+                with LineClient(host, port) as worker:
+                    while not stop.is_set():
+                        out = worker.request("alpha apply ctp 0")
+                        if out.startswith("applied"):
+                            stamp = int(STAMP_RE.search(out).group(1))
+                            worker.request(f"alpha undo {stamp}")
+
+            driver = threading.Thread(target=churn, daemon=True)
+            driver.start()
+            try:
+                expect("_ prof start",
+                       client.request("_ prof start 500"),
+                       "profiling 2 shard(s)")
+                time.sleep(1.0)
+                dump = client.request("_ prof dump")
+                assert dump and dump != "(no samples)", "empty profile"
+                assert not dump.startswith("error:"), dump
+                assert "engine.execute" in dump, dump[:400]
+                for ln in dump.splitlines():
+                    stack, _, count = ln.rpartition(" ")
+                    assert stack and int(count) >= 1, ln
+                print(f"ok: _ prof dump: {len(dump.splitlines())} merged "
+                      f"stack(s) with engine.execute frames")
+                stopped = json.loads(client.request("_ prof stop"))
+                assert stopped["shards"] == 2, stopped
+                assert stopped["samples"] > 0, stopped
+                print(f"ok: _ prof stop: {stopped['samples']} sample(s) "
+                      f"across {stopped['shards']} shards, "
+                      f"{stopped['dropped']} dropped")
+
+                with urllib.request.urlopen(f"{expo_url}/pprof?seconds=1",
+                                            timeout=30) as resp:
+                    body = resp.read().decode("utf-8")
+                    assert resp.status == 200, resp.status
+                assert body.strip(), "empty /pprof body"
+                assert "engine.execute" in body, body[:400]
+                print(f"ok: /pprof: {len(body.strip().splitlines())} "
+                      f"collapsed stack(s) from a 1s on-demand window")
+            finally:
+                stop.set()
+                driver.join(timeout=15)
 
             expect("shutdown", client.request("_ shutdown"),
                    "shutting down")
@@ -203,7 +269,7 @@ def main() -> int:
             raise SystemExit(f"FAIL shutdown: server exited {code}")
         print("ok: clean exit 0")
 
-        verify_traces(root)
+        verify_traces(root, exemplars)
         return 0
     finally:
         if server.poll() is None:

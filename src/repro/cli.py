@@ -289,7 +289,15 @@ usage: python -m repro <program file>            interactive session
            against the journal (exit 1 on any mismatch)
        python -m repro explain <root> <name> <stamp> [--json | --dot]
            why <stamp> is (un)safe / (ir)reversible now, plus its audit
-           trail; --dot exports the provenance trees that mention it"""
+           trail; --dot exports the provenance trees that mention it
+       python -m repro prof <root> [--hz N] [--seconds S] [--out FILE]
+           sample the engine hot path with the built-in sampling
+           profiler: drives a scratch session under <root> through the
+           apply/undo workload for S seconds (default 2) at N hz
+           (default 100), prints the hottest frames, and with --out
+           writes the collapsed-stack profile (flamegraph.pl input);
+           profile a live server with '_ prof start|stop|dump' or
+           'GET /pprof' instead"""
 
 
 def _main_serve(argv: List[str]) -> int:
@@ -603,6 +611,103 @@ def _main_explain(argv: List[str]) -> int:
     return 1 if out.startswith("error:") else 0
 
 
+def _main_prof(argv: List[str]) -> int:
+    """``repro prof <root> [--hz N] [--seconds S] [--out FILE]``.
+
+    The offline profiling entry point: creates a *scratch* durable
+    session in a temporary directory under ``<root>`` (removed
+    afterwards — never touches existing sessions), drives the
+    deterministic apply/undo hot-path workload for ``--seconds`` of
+    wall clock under the sampling profiler
+    (:class:`repro.obs.profiler.Profiler`), and prints the hottest
+    frames by self samples.  ``--out`` additionally writes the
+    collapsed-stack profile — feed it straight to ``flamegraph.pl``.
+    Live servers are profiled in place instead: ``_ prof
+    start|stop|dump`` over the line protocol, or ``GET
+    /pprof?seconds=N`` on the metrics sidecar.
+    """
+    import os
+    import shutil
+    import tempfile
+    import time
+
+    from repro.lang.printer import format_program
+    from repro.obs.profiler import Profiler
+    from repro.service.session import DurableSession
+    from repro.workloads.generator import GeneratorConfig, generate_program
+    from repro.workloads.scenarios import apply_greedy
+
+    hz, seconds = 100.0, 2.0
+    out_path: Optional[str] = None
+    pos: List[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg in ("--hz", "--seconds", "--out"):
+            i += 1
+            if i >= len(argv):
+                print(USAGE)
+                return 2
+            if arg == "--hz":
+                hz = float(argv[i])
+            elif arg == "--seconds":
+                seconds = float(argv[i])
+            else:
+                out_path = argv[i]
+        else:
+            pos.append(arg)
+        i += 1
+    if len(pos) != 1 or hz <= 0 or seconds <= 0:
+        print(USAGE)
+        return 2
+    os.makedirs(pos[0], exist_ok=True)
+    scratch = tempfile.mkdtemp(prefix="prof-", dir=pos[0])
+    profiler = Profiler(hz=hz)
+    source = format_program(generate_program(23, GeneratorConfig(blocks=24)))
+    commands = 0
+    try:
+        session = DurableSession.create(
+            os.path.join(scratch, "session"), source,
+            snapshot_every=16, snapshot_full_every=4)
+        profiler.start()
+        deadline = time.perf_counter() + seconds
+        while time.perf_counter() < deadline:
+            # apply a couple, then undo them — undo restores the
+            # opportunities, so the mix sustains for the whole window
+            # and exercises every phase: parse (once), analyze, check,
+            # mutate, journal append, fsync, periodic delta snapshots
+            stamps = apply_greedy(session.engine, 2, seed=23 + commands)
+            commands += len(stamps)
+            for stamp in reversed(stamps):
+                if session.engine.history.by_stamp(stamp).active:
+                    session.undo(stamp)
+                    commands += 1
+            if not stamps:
+                break
+        profiler.stop()
+        session.close()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    snap = profiler.snapshot()
+    print(f"profiled {commands} command(s) at {profiler.hz:g} hz: "
+          f"{snap['samples']} sample(s), {snap['dropped']} dropped, "
+          f"{snap['wall_s']:.2f}s wall")
+    rows = profiler.table()[:20]
+    if rows:
+        width = max(len(r["frame"]) for r in rows)
+        print(f"{'frame':<{width}}  {'self':>6} {'cum':>6} "
+              f"{'self_s':>8} {'cum_s':>8}")
+        for r in rows:
+            print(f"{r['frame']:<{width}}  {r['self']:>6} {r['cum']:>6} "
+                  f"{r['self_s']:>8.3f} {r['cum_s']:>8.3f}")
+    if out_path is not None:
+        folded = profiler.folded()
+        with open(out_path, "w", encoding="utf-8") as fh:
+            fh.write(folded + ("\n" if folded else ""))
+        print(f"collapsed stacks written to {out_path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro``."""
     argv = argv if argv is not None else sys.argv[1:]
@@ -621,6 +726,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _main_audit(argv[1:])
     if argv[0] == "explain":
         return _main_explain(argv[1:])
+    if argv[0] == "prof":
+        return _main_prof(argv[1:])
     with open(argv[0]) as fh:
         source = fh.read()
     session = CliSession(source)

@@ -51,7 +51,8 @@ from repro.core.undo import UndoEngine, UndoReport, UndoStrategy
 from repro.lang.ast_nodes import Program
 from repro.lang.printer import format_program
 from repro.obs import metrics as obs_metrics
-from repro.obs.trace import Tracer
+from repro.obs.profiler import Profiler
+from repro.obs.trace import Tracer, current_request
 from repro.transforms.base import (
     CheckContext,
     Opportunity,
@@ -74,7 +75,8 @@ class TransformationEngine:
                  store: Optional[AnnotationStore] = None,
                  events: Optional[EventLog] = None,
                  tracer: Optional[Tracer] = None,
-                 metrics: Optional[obs_metrics.MetricsRegistry] = None):
+                 metrics: Optional[obs_metrics.MetricsRegistry] = None,
+                 profiler: Optional[Profiler] = None):
         from repro.transforms.registry import REGISTRY
 
         from repro.core.locations import make_sibling_orderer
@@ -114,6 +116,17 @@ class TransformationEngine:
             self.tracer.recorder.drop_counter = self.metrics.counter(
                 "repro_trace_dropped_total",
                 "spans evicted off the flight-recorder ring")
+        #: CPU sampler; defaults to the shared zero-cost disabled
+        #: profiler (``Profiler.disabled``), mirroring the tracer.  An
+        #: enabled profiler's sample drops are counted the same way the
+        #: flight recorder's span drops are.
+        self.profiler = profiler if profiler is not None \
+            else Profiler.disabled
+        if self.profiler.enabled and self.profiler.drop_counter is None:
+            self.profiler.drop_counter = self.metrics.counter(
+                "repro_prof_dropped_total",
+                "profiler samples lost to overrun ticks or "
+                "stack-table overflow")
         #: recent isolated observer failures, newest last — a raising
         #: ``command_observers`` callback is logged and recorded here,
         #: never allowed to corrupt the already-committed command.
@@ -293,9 +306,12 @@ class TransformationEngine:
         m.counter("repro_commands_total",
                   "commands executed through TransformationEngine.execute",
                   op=command.op, status=status).inc()
+        ctx = current_request()
         m.histogram("repro_command_seconds",
                     "end-to-end latency of one executed command",
-                    op=command.op).observe(seconds)
+                    op=command.op).observe(
+                        seconds,
+                        exemplar=ctx["request"] if ctx else None)
         if command.op != "batch":
             for key, secs in (command.work.get("timers") or {}).items():
                 m.histogram("repro_analysis_seconds",

@@ -22,11 +22,25 @@ Layered so the rest of the system never pays for what it does not use:
   forensics ring and the rolling-window SLO tracker behind the
   ``_ slow`` / ``_ slo`` verbs and ``scripts/check_slo.py``.
 * :mod:`repro.obs.expo` — the stdlib HTTP sidecar serving
-  ``/metrics``, ``/healthz``, and ``/varz``.
+  ``/metrics``, ``/healthz``, ``/varz``, and ``/pprof``.
+* :mod:`repro.obs.profiler` — the stdlib sampling profiler: a daemon
+  thread walking ``sys._current_frames()`` into span/request-attributed
+  collapsed stacks (``flamegraph.pl`` input), behind ``_ prof``,
+  ``/pprof``, and ``python -m repro prof``.
+* :mod:`repro.obs.analytics` — decision analytics: a
+  ``command_observers`` callback folding every command's provenance
+  into per-transform counters and histograms (verdicts, cascade depth,
+  collateral fan-out, Table 4 skips, regional-vs-full analysis work).
 
 See docs/OBSERVABILITY.md for the span model and the metric catalog.
 """
 
+from repro.obs.analytics import (
+    DecisionAnalytics,
+    analytics_doc,
+    analytics_to_registry,
+    merge_analytics_docs,
+)
 from repro.obs.check import (
     RoundtripReport,
     audit_roundtrip,
@@ -48,6 +62,12 @@ from repro.obs.metrics import (
     merge_aggregate_metrics,
     merge_histogram_docs,
 )
+from repro.obs.profiler import (
+    Profiler,
+    merge_folded,
+    parse_folded,
+    render_folded,
+)
 from repro.obs.slo import SloTracker
 from repro.obs.slowlog import SlowLog
 from repro.obs.trace import (
@@ -59,17 +79,20 @@ from repro.obs.trace import (
     new_request_id,
     read_trace,
     request_context,
+    thread_activity,
 )
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DecisionAnalytics",
     "ExpoServer",
     "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsError",
     "MetricsRegistry",
+    "Profiler",
     "REGISTRY",
     "RequestTrace",
     "RoundtripReport",
@@ -78,16 +101,23 @@ __all__ = [
     "Span",
     "Tracer",
     "aggregate_to_prometheus",
+    "analytics_doc",
+    "analytics_to_registry",
     "annotate_request",
     "audit_roundtrip",
     "collect_requests",
     "current_request",
     "fleet_roundtrip",
     "merge_aggregate_metrics",
+    "merge_analytics_docs",
+    "merge_folded",
     "merge_histogram_docs",
     "new_request_id",
+    "parse_folded",
     "read_trace",
+    "render_folded",
     "request_context",
+    "thread_activity",
     "trace_path",
     "trace_roundtrip",
 ]

@@ -23,6 +23,13 @@ Endpoint contracts:
   ``503`` otherwise, so probes need only look at the status code.
 * ``GET /varz`` — the full drill-down JSON (health + SLO window + slow
   requests + metrics), always ``200`` when assemblable.
+* ``GET /pprof?seconds=N&hz=H`` — collapsed-stack profile text
+  (``flamegraph.pl`` input) from the front's sampling profiler
+  (:mod:`repro.obs.profiler`): an on-demand ``seconds``-long window
+  (default 1, capped at 60) sampled at ``hz``, or the accumulated
+  profile when an operator already opened a ``_ prof start`` window.
+  Served only when the front implements ``expo_pprof`` (both fronts
+  do).
 
 Anything else is ``404``.  Exposition must never take the service
 down: every handler catches broad and answers ``500`` instead of
@@ -33,6 +40,7 @@ from __future__ import annotations
 
 import json
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Tuple
 
@@ -60,7 +68,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(payload)
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
+        params = urllib.parse.parse_qs(query)
         try:
             if path == "/metrics":
                 from repro.obs.metrics import aggregate_to_prometheus
@@ -75,11 +84,18 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, JSON_CONTENT_TYPE,
                             json.dumps(self.front.expo_varz(),
                                        sort_keys=True) + "\n")
+            elif path == "/pprof" and hasattr(self.front, "expo_pprof"):
+                seconds = min(60.0, float(
+                    params.get("seconds", ["1"])[0]))
+                hz = float(params["hz"][0]) if "hz" in params else None
+                body = self.front.expo_pprof(seconds=seconds, hz=hz)
+                self._reply(200, "text/plain; charset=utf-8",
+                            body + ("\n" if body else ""))
             else:
                 self._reply(404, JSON_CONTENT_TYPE,
                             json.dumps({"error": "not found",
                                         "paths": ["/metrics", "/healthz",
-                                                  "/varz"]}) + "\n")
+                                                  "/varz", "/pprof"]}) + "\n")
         except Exception as exc:  # noqa: BLE001 - exposition never kills
             try:
                 self._reply(500, JSON_CONTENT_TYPE,

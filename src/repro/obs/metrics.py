@@ -104,11 +104,19 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket distribution with O(#buckets) percentile estimates."""
+    """Fixed-bucket distribution with O(#buckets) percentile estimates.
+
+    Each bucket (including +Inf overflow) can carry one OpenMetrics-
+    style *exemplar*: the request id and value of the slowest
+    observation that landed in it (see :meth:`observe`).  Exemplars are
+    the join from a histogram back to a concrete trace — the ``# {...}``
+    suffix in :meth:`MetricsRegistry.render` names a request id that
+    ``repro collect`` resolves to a full request tree.
+    """
 
     kind = "histogram"
     __slots__ = ("name", "labels", "buckets", "counts", "sum", "count",
-                 "_lock")
+                 "exemplars", "_lock")
 
     def __init__(self, name: str, labels: LabelItems = (),
                  buckets: Sequence[float] = DEFAULT_BUCKETS):
@@ -119,17 +127,34 @@ class Histogram:
             raise MetricsError(f"histogram {name} needs at least one bucket")
         # one count per finite bucket plus the +Inf overflow bucket
         self.counts = [0] * (len(self.buckets) + 1)
+        #: per-bucket exemplar: None, or {"request": id, "value": obs} of
+        #: the largest observation seen in that bucket so far.
+        self.exemplars: List[Optional[Dict[str, Any]]] = \
+            [None] * (len(self.buckets) + 1)
         self.sum = 0.0
         self.count = 0
         self._lock = threading.Lock()
 
-    def observe(self, value: Union[int, float]) -> None:
-        """Record one observation (seconds, bytes, whatever the name says)."""
+    def observe(self, value: Union[int, float],
+                exemplar: Optional[str] = None) -> None:
+        """Record one observation (seconds, bytes, whatever the name says).
+
+        ``exemplar`` (a request id, typically from
+        :func:`repro.obs.trace.current_request`) attaches the sample to
+        its bucket when it is the slowest seen there — so every bucket
+        remembers the worst request it ever absorbed, at O(1) cost and
+        no sample retention.
+        """
         idx = bisect_left(self.buckets, value)
         with self._lock:
             self.counts[idx] += 1
             self.sum += value
             self.count += 1
+            if exemplar is not None:
+                prior = self.exemplars[idx]
+                if prior is None or value >= prior["value"]:
+                    self.exemplars[idx] = {"request": str(exemplar),
+                                           "value": float(value)}
 
     def quantile(self, q: float) -> float:
         """Estimated ``q``-quantile (0..1), interpolated inside the bucket.
@@ -161,15 +186,25 @@ class Histogram:
         return self.buckets[-1]
 
     def sample(self) -> Dict[str, Any]:
-        """JSON-safe snapshot: per-bucket counts, sum/count, p50/p95."""
+        """JSON-safe snapshot: per-bucket counts, sum/count, p50/p95.
+
+        When any bucket carries an exemplar, the snapshot includes an
+        ``exemplars`` list aligned with ``buckets`` plus the overflow
+        slot (entries ``None`` or ``{"request", "value"}``) — the wire
+        form the cross-shard merge keeps the slowest of.
+        """
         with self._lock:
             counts = list(self.counts)
+            exemplars = [dict(e) if e else None for e in self.exemplars]
             total, acc = self.count, self.sum
-        return {"labels": dict(self.labels),
-                "buckets": [list(pair) for pair in
-                            zip(self.buckets, counts[:-1])],
-                "overflow": counts[-1], "sum": acc, "count": total,
-                "p50": self.quantile(0.5), "p95": self.quantile(0.95)}
+        doc = {"labels": dict(self.labels),
+               "buckets": [list(pair) for pair in
+                           zip(self.buckets, counts[:-1])],
+               "overflow": counts[-1], "sum": acc, "count": total,
+               "p50": self.quantile(0.5), "p95": self.quantile(0.95)}
+        if any(e is not None for e in exemplars):
+            doc["exemplars"] = exemplars
+        return doc
 
 
 Instrument = Union[Counter, Gauge, Histogram]
@@ -256,6 +291,16 @@ class MetricsRegistry:
             parts.append(extra)
         return "{" + ",".join(parts) + "}" if parts else ""
 
+    @classmethod
+    def _exemplar_str(cls, exemplar: Optional[Dict[str, Any]]) -> str:
+        """The OpenMetrics exemplar suffix for one ``_bucket`` sample:
+        `` # {request="r-..."} <value>`` (empty when the bucket has
+        none).  The request id is label-escaped like any label value."""
+        if not exemplar:
+            return ""
+        rid = cls._escape_label(str(exemplar.get("request", "")))
+        return f' # {{request="{rid}"}} {exemplar.get("value", 0.0)}'
+
     def render(self) -> str:
         """Prometheus-style text exposition of every instrument."""
         lines: List[str] = []
@@ -268,18 +313,21 @@ class MetricsRegistry:
             for inst in instruments:
                 if isinstance(inst, Histogram):
                     cumulative = 0
-                    for bound, count in zip(inst.buckets, inst.counts):
+                    for i, (bound, count) in enumerate(
+                            zip(inst.buckets, inst.counts)):
                         cumulative += count
                         le = 'le="' + str(bound) + '"'
                         lines.append(
                             f"{name}_bucket"
                             f"{self._label_str(inst.labels, le)}"
-                            f" {cumulative}")
+                            f" {cumulative}"
+                            f"{self._exemplar_str(inst.exemplars[i])}")
                     inf = 'le="+Inf"'
                     lines.append(
                         f"{name}_bucket"
                         f"{self._label_str(inst.labels, inf)}"
-                        f" {inst.count}")
+                        f" {inst.count}"
+                        f"{self._exemplar_str(inst.exemplars[-1])}")
                     lines.append(f"{name}_sum"
                                  f"{self._label_str(inst.labels)} {inst.sum}")
                     lines.append(f"{name}_count"
@@ -337,7 +385,10 @@ def merge_histogram_docs(docs: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     the same instrument definition on each shard); counts, overflow,
     sum, and count add bucket-wise, and p50/p95 are re-estimated from
     the merged counts — quantiles of shards cannot be averaged, but
-    their bucket counts can be summed exactly.
+    their bucket counts can be summed exactly.  Exemplars survive the
+    merge: each bucket keeps the slowest exemplar any shard recorded
+    for it, which preserves the invariant the exemplar states ("the
+    worst request this bucket absorbed") across the fleet.
     """
     if not docs:
         raise MetricsError("cannot merge zero histogram documents")
@@ -352,6 +403,12 @@ def merge_histogram_docs(docs: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
         merged.counts[-1] += doc["overflow"]
         merged.sum += doc["sum"]
         merged.count += doc["count"]
+        for i, exemplar in enumerate(doc.get("exemplars") or []):
+            if exemplar is None:
+                continue
+            prior = merged.exemplars[i]
+            if prior is None or exemplar["value"] >= prior["value"]:
+                merged.exemplars[i] = dict(exemplar)
     return merged.sample()
 
 
@@ -381,6 +438,10 @@ def merge_aggregate_metrics(
     latencies = [d["latency"] for d in docs if d.get("latency")]
     if latencies:
         merged["latency"] = merge_histogram_docs(latencies)
+    analytics = [d["analytics"] for d in docs if d.get("analytics")]
+    if analytics:
+        from repro.obs.analytics import merge_analytics_docs
+        merged["analytics"] = merge_analytics_docs(analytics)
     return merged
 
 
@@ -430,6 +491,16 @@ def aggregate_to_prometheus(doc: Dict[str, Any]) -> str:
             [latency["overflow"]]
         hist.sum = latency["sum"]
         hist.count = latency["count"]
+        exemplars = latency.get("exemplars")
+        if exemplars:
+            hist.exemplars = [dict(e) if e else None for e in exemplars]
+    analytics = doc.get("analytics")
+    if analytics:
+        # fleet-merged decision analytics render with their own names
+        # (they are already repro_*-namespaced, and this registry holds
+        # nothing else) through the same pinned render path
+        from repro.obs.analytics import analytics_to_registry
+        analytics_to_registry(analytics, registry)
     return registry.render()
 
 

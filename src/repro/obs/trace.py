@@ -53,11 +53,11 @@ import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, IO, Iterator, List, Optional
+from typing import Any, Callable, Dict, IO, Iterator, List, Optional, Tuple
 
 __all__ = ["Span", "FlightRecorder", "Tracer", "read_trace",
            "new_request_id", "current_request", "request_context",
-           "annotate_request"]
+           "annotate_request", "thread_activity"]
 
 
 # -- request context ----------------------------------------------------------
@@ -67,6 +67,38 @@ __all__ = ["Span", "FlightRecorder", "Tracer", "read_trace",
 # the whole mechanism: no tracer plumbing, no per-span arguments.
 
 _REQUEST = threading.local()
+
+# -- thread activity ----------------------------------------------------------
+#
+# The sampling profiler (:mod:`repro.obs.profiler`) reads *other*
+# threads' frames through ``sys._current_frames()``, where thread-locals
+# are invisible — so span enter/exit and :func:`request_context` also
+# maintain this process-wide table: thread ident -> open span names /
+# active request id.  Plain dict and list mutations, atomic under the
+# GIL, so the hot path takes no lock; the profiler snapshots via
+# ``list()`` copies and tolerates the races that remain (a sample
+# attributed to the span that just closed is off by one tick at most).
+
+_SPAN_ACTIVITY: Dict[int, List[str]] = {}
+_REQUEST_ACTIVITY: Dict[int, str] = {}
+
+
+def thread_activity() -> Dict[int, Tuple[Optional[str], Optional[str]]]:
+    """Snapshot of ``thread ident -> (innermost span name, request id)``.
+
+    The profiler's attribution source: called once per sampling tick,
+    from the sampler thread, to tag each thread's captured stack with
+    the span (= engine phase) and fleet request it was serving.  Threads
+    with neither an open span nor a request context are absent.
+    """
+    out: Dict[int, Tuple[Optional[str], Optional[str]]] = {}
+    for ident, names in list(_SPAN_ACTIVITY.items()):
+        if names:
+            out[ident] = (names[-1], None)
+    for ident, request in list(_REQUEST_ACTIVITY.items()):
+        span = out.get(ident, (None, None))[0]
+        out[ident] = (span, request)
+    return out
 
 
 def new_request_id() -> str:
@@ -99,10 +131,19 @@ def request_context(
         ctx = {"request": new_request_id()}
     prev = getattr(_REQUEST, "ctx", None)
     _REQUEST.ctx = ctx
+    ident = threading.get_ident()
+    rid = ctx.get("request")
+    if rid is not None:
+        _REQUEST_ACTIVITY[ident] = rid
     try:
         yield ctx
     finally:
         _REQUEST.ctx = prev
+        prev_rid = prev.get("request") if prev else None
+        if prev_rid is not None:
+            _REQUEST_ACTIVITY[ident] = prev_rid
+        else:
+            _REQUEST_ACTIVITY.pop(ident, None)
 
 
 def annotate_request(**fields: Any) -> None:
@@ -160,16 +201,33 @@ class Span:
         if stack:
             self.parent_id = stack[-1].span_id
         stack.append(self)
+        _SPAN_ACTIVITY.setdefault(threading.get_ident(), []).append(
+            self.name)
         self.start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.duration = time.perf_counter() - self.start
         stack = self.tracer._open_stack()
+        dropped = [self]
         if stack and stack[-1] is self:
             stack.pop()
         elif self in stack:  # unbalanced exit: drop through to this span
-            del stack[stack.index(self):]
+            idx = stack.index(self)
+            dropped = stack[idx:]
+            del stack[idx:]
+        ident = threading.get_ident()
+        names = _SPAN_ACTIVITY.get(ident)
+        if names:
+            # an unbalanced exit drops every span above this one too —
+            # their activity entries must not outlive them
+            for span in dropped:
+                for i in range(len(names) - 1, -1, -1):
+                    if names[i] == span.name:
+                        del names[i]
+                        break
+            if not names:
+                _SPAN_ACTIVITY.pop(ident, None)
         if exc_type is not None and self.status == "ok":
             self.status = "error"
         self.tracer._complete(self)

@@ -34,6 +34,9 @@ Verbs::
     _ metrics              aggregate persistence totals across sessions
     _ slow [n]             newest [n] slow-request entries (JSON array)
     _ slo                  rolling-window SLO report (JSON)
+    _ prof start [hz]      begin sampling-profiler collection
+    _ prof stop            stop sampling (profile is kept)
+    _ prof dump            collapsed-stack profile (flamegraph.pl input)
 
 Every failure reply is one line of the form ``error: <kind>: <detail>``
 (see :func:`error_reply`); ``<kind>`` comes from a fixed vocabulary so
@@ -53,6 +56,7 @@ from repro.core.commands import CommandError, parse_batch, parse_verb
 from repro.core.undo import UndoError
 from repro.lang.parser import ParseError
 from repro.obs.check import audit_roundtrip
+from repro.obs.profiler import Profiler
 from repro.obs.slo import SloTracker
 from repro.obs.slowlog import SlowLog
 from repro.obs.trace import current_request, request_context
@@ -184,6 +188,13 @@ class SessionServer:
         self.slowlog = SlowLog(
             threshold_s=None if slow_ms is None else slow_ms / 1e3)
         self.slo = SloTracker(slo_window_s)
+        #: the process sampling profiler behind ``_ prof`` / ``/pprof``;
+        #: idle until started, so attaching it is free.
+        self.profiler = Profiler(hz=100.0)
+        self.profiler.drop_counter = manager.metrics_registry.counter(
+            "repro_prof_dropped_total",
+            "profiler samples lost to overrun ticks or stack-table "
+            "overflow")
 
     def handle_line(self, line: str) -> str:
         """Serve one request; never raises for a malformed request."""
@@ -238,13 +249,14 @@ class SessionServer:
         if verb == "metrics" and name == "_":
             # manager-level aggregate; "<s> metrics" below stays
             # per-session
-            return json.dumps(self.manager.aggregate_metrics(),
-                              sort_keys=True)
+            return json.dumps(self._metrics_doc(), sort_keys=True)
         if verb == "slow" and name == "_":
             tail = int(args[0]) if args else None
             return json.dumps(self.slowlog.entries(tail), sort_keys=True)
         if verb == "slo" and name == "_":
             return json.dumps(self.slo.report(), sort_keys=True)
+        if verb == "prof" and name == "_":
+            return self._prof(args)
         if verb == "init":
             with open(args[0]) as fh:
                 source = fh.read()
@@ -314,6 +326,45 @@ class SessionServer:
                 return f"snapshot: {path}" if path else "(nothing new)"
         return error_reply("unknown-verb", repr(verb))
 
+    def _prof(self, args: List[str]) -> str:
+        """The ``_ prof start|stop|dump`` verb family.
+
+        ``start`` returns immediately — the sampler is a daemon thread,
+        so the server keeps serving (and being sampled) while profiling
+        runs; ``stop`` keeps the accumulated profile for a later
+        ``dump``.  The sharded router fans these out per worker and
+        merges the dumps (:func:`repro.obs.profiler.merge_folded`).
+        """
+        action = args[0] if args else "dump"
+        if action == "start":
+            hz = float(args[1]) if len(args) > 1 else None
+            if self.profiler.start(hz):
+                return f"profiling at {self.profiler.hz:g} hz"
+            return f"already profiling at {self.profiler.hz:g} hz"
+        if action == "stop":
+            self.profiler.stop()
+            return json.dumps({"samples": self.profiler.samples,
+                               "dropped": self.profiler.dropped},
+                              sort_keys=True)
+        if action == "dump":
+            return self.profiler.folded() or "(no samples)"
+        return error_reply("bad-request",
+                           f"prof expects start|stop|dump, got {action!r}")
+
+    def _metrics_doc(self) -> Dict[str, Any]:
+        """The ``_ metrics`` document: manager totals + profiler drops.
+
+        Adds ``prof_samples`` / ``prof_dropped`` next to the span-drop
+        totals so every observability loss channel (flight-recorder
+        rings, profiler ticks) is countable from one document — the
+        fields sum generically across shards in
+        :func:`repro.obs.metrics.merge_aggregate_metrics`.
+        """
+        doc = self.manager.aggregate_metrics()
+        doc["totals"]["prof_samples"] = self.profiler.samples
+        doc["totals"]["prof_dropped"] = self.profiler.dropped
+        return doc
+
     # -- exposition hooks ----------------------------------------------------
     #
     # the duck-typed surface repro.obs.expo.ExpoServer serves over HTTP;
@@ -322,7 +373,27 @@ class SessionServer:
 
     def expo_metrics_doc(self) -> Dict[str, Any]:
         """The merged metrics document behind ``/metrics``."""
-        return self.manager.aggregate_metrics()
+        return self._metrics_doc()
+
+    def expo_pprof(self, seconds: float = 1.0,
+                   hz: Optional[float] = None) -> str:
+        """The ``/pprof`` document: collapsed stacks, sampled on demand.
+
+        When the profiler is already running (an operator started a
+        window via ``_ prof start``) this dumps the accumulated profile
+        without disturbing the window; otherwise it runs a fresh
+        ``seconds``-long collection — the handler thread sleeps, the
+        sampler and the worker threads keep going.
+        """
+        if self.profiler.running:
+            return self.profiler.folded()
+        self.profiler.reset()
+        self.profiler.start(hz)
+        try:
+            time.sleep(max(0.0, seconds))
+        finally:
+            self.profiler.stop()
+        return self.profiler.folded()
 
     def expo_health(self) -> Dict[str, Any]:
         """The ``/healthz`` document (``ok`` decides the HTTP status)."""
@@ -335,10 +406,15 @@ class SessionServer:
         return {"health": self.expo_health(),
                 "slo": self.slo.report(),
                 "slow": self.slowlog.entries(32),
-                "stats": self.manager.stats()}
+                "stats": self.manager.stats(),
+                "profiler": {"running": self.profiler.running,
+                             "hz": self.profiler.hz,
+                             "samples": self.profiler.samples,
+                             "dropped": self.profiler.dropped}}
 
     def close(self) -> None:
-        """Shutdown hook: snapshot and close every live session."""
+        """Shutdown hook: stop sampling, snapshot and close sessions."""
+        self.profiler.stop()
         self.manager.close_all()
 
     def serve(self, in_stream: IO[str], out_stream: IO[str]) -> int:

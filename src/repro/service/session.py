@@ -43,6 +43,7 @@ from repro.lang.ast_nodes import ROOT_SID, Expr, ExprPath, Stmt
 from repro.lang.parser import parse_program
 from repro.core.locations import Location
 from repro.obs import metrics as obs_metrics
+from repro.obs.analytics import DecisionAnalytics, analytics_doc
 from repro.obs.check import trace_path
 from repro.obs.metrics import Histogram
 from repro.obs.provenance import audit_entry, audit_path
@@ -237,7 +238,12 @@ class DurableSession:
         """
         self._trace_fh.write(json.dumps(span.to_doc(), sort_keys=True) + "\n")
         if span.parent_id is None and span.name == "command":
-            self._latency.observe(span.duration)
+            # the request tag (when the command ran under a request
+            # context) rides along as the bucket's exemplar, so a slow
+            # fleet-latency bucket names a request `repro collect` can
+            # explain
+            self._latency.observe(span.duration,
+                                  exemplar=span.tags.get("request"))
 
     def _on_command(self, command: Command) -> None:
         """Journal one executed command (the engine-observer hook).
@@ -585,6 +591,10 @@ class SessionManager:
         self.strategy = strategy
         self.metrics_registry = metrics if metrics is not None \
             else obs_metrics.REGISTRY
+        #: decision analytics shared by every engine this manager opens;
+        #: counters land in ``metrics_registry`` and ship cross-shard
+        #: inside the ``_ metrics`` document (``analytics`` key).
+        self.analytics = DecisionAnalytics(registry=self.metrics_registry)
         self._lock = threading.Lock()
         #: name -> (session, per-session lock); LRU order, oldest first.
         self._live: "OrderedDict[str, Tuple[DurableSession, threading.RLock]]" \
@@ -617,6 +627,7 @@ class SessionManager:
                 snapshot_every=self.snapshot_every,
                 snapshot_full_every=self.snapshot_full_every,
                 fsync_every=self.fsync_every)
+            self.analytics.attach(session.engine)
             self._live[name] = (session, threading.RLock())
             self._evict_idle_locked(keep=name)
 
@@ -630,6 +641,7 @@ class SessionManager:
             if not os.path.exists(meta_path(dirpath)):
                 raise SessionError(f"no session named {name!r}")
             session = DurableSession.open(dirpath, strategy=self.strategy)
+            self.analytics.attach(session.engine)
             self.reopens += 1
             self._live[name] = (session, threading.RLock())
             self._evict_idle_locked(keep=name)
@@ -780,6 +792,9 @@ class SessionManager:
                                    "reopens": self.reopens}
             if latencies:
                 out["latency"] = obs_metrics.merge_histogram_docs(latencies)
+            analytics = analytics_doc(self.metrics_registry)
+            if analytics:
+                out["analytics"] = analytics
             return out
 
     def close_all(self) -> None:

@@ -21,9 +21,11 @@ programs discipline, mapped onto processes).  The design:
 * **A router in the front-end process.**  :class:`ShardRouter` speaks
   the same line protocol as ``SessionServer``: it forwards each request
   to its shard and streams the response back, fanning ``_ sessions`` /
-  ``_ stats`` / ``_ metrics`` out to every shard and merging the
-  answers (scalar totals summed, latency histograms merged bucket-wise
-  by :func:`repro.obs.metrics.merge_aggregate_metrics`).
+  ``_ stats`` / ``_ metrics`` / ``_ prof`` out to every shard and
+  merging the answers (scalar totals summed, latency histograms merged
+  bucket-wise by :func:`repro.obs.metrics.merge_aggregate_metrics`,
+  collapsed profiler stacks summed line-wise by
+  :func:`repro.obs.profiler.merge_folded`).
 * **Worker death is detected, reported, and repaired.**  A request to a
   dead worker gets a clear ``error: shard: ...`` reply (never a hang);
   the router restarts the worker, and the shard's sessions recover on
@@ -49,6 +51,7 @@ from threading import Lock
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import REGISTRY, merge_aggregate_metrics
+from repro.obs.profiler import Profiler, merge_folded
 from repro.obs.slo import SloTracker
 from repro.obs.slowlog import SlowLog
 from repro.obs.trace import Tracer, current_request, request_context
@@ -274,6 +277,14 @@ class ShardRouter:
         self.slowlog = SlowLog(
             threshold_s=None if slow_ms is None else slow_ms / 1e3)
         self.slo = SloTracker(slo_window_s)
+        #: the router process's own sampling profiler — ``_ prof`` and
+        #: ``/pprof`` drive it alongside every worker's, so routing and
+        #: merge overhead shows up in fleet profiles too.
+        self.profiler = Profiler(hz=100.0)
+        self.profiler.drop_counter = REGISTRY.counter(
+            "repro_prof_dropped_total",
+            "profiler samples lost to overrun ticks or stack-table "
+            "overflow")
         #: the router's own span stream — the edge half of every fleet
         #: trace, joined with per-session worker traces by request id.
         os.makedirs(root, exist_ok=True)
@@ -328,6 +339,9 @@ class ShardRouter:
             elif target == "_" and verb == "slow":
                 out = self._merged_slow(
                     int(parts[2]) if len(parts) > 2 else None)
+                span.tag(kind="fanout")
+            elif target == "_" and verb == "prof":
+                out = self._prof(parts[2:])
                 span.tag(kind="fanout")
             elif target == "_" and verb in AGGREGATE_VERBS:
                 out = self._aggregate(verb)
@@ -444,6 +458,44 @@ class ShardRouter:
         }
         return json.dumps(merged, sort_keys=True)
 
+    def _prof(self, args: List[str]) -> str:
+        """The fleet ``_ prof`` verbs: every worker plus the router.
+
+        ``start``/``stop`` fan out to every shard and drive the router
+        process's profiler alongside; ``stop`` sums the per-process
+        sample/drop counts; ``dump`` merges per-process collapsed
+        stacks by summing identical lines
+        (:func:`repro.obs.profiler.merge_folded`) — the profile
+        equivalent of the bucket-wise histogram merge.
+        """
+        action = args[0] if args else "dump"
+        if action not in ("start", "stop", "dump"):
+            return error_reply(
+                "bad-request",
+                f"prof expects start|stop|dump, got {action!r}")
+        answers, failures = self._fanout(
+            " ".join(["_", "prof", action, *args[1:]]))
+        if failures:
+            return failures[0]
+        if action == "start":
+            hz = float(args[1]) if len(args) > 1 else None
+            self.profiler.start(hz)
+            return (f"profiling {self.nshards} shard(s) at "
+                    f"{self.profiler.hz:g} hz")
+        if action == "stop":
+            self.profiler.stop()
+            totals = {"samples": self.profiler.samples,
+                      "dropped": self.profiler.dropped,
+                      "shards": self.nshards}
+            for out in answers:
+                doc = json.loads(out)
+                totals["samples"] += doc.get("samples", 0)
+                totals["dropped"] += doc.get("dropped", 0)
+            return json.dumps(totals, sort_keys=True)
+        dumps = [out for out in answers if out != "(no samples)"]
+        dumps.append(self.profiler.folded())
+        return merge_folded(dumps) or "(no samples)"
+
     def shard_metrics(self) -> List[Dict[str, Any]]:
         """Per-shard ``aggregate_metrics`` documents (test/ops surface)."""
         answers, failures = self._fanout("_ metrics")
@@ -501,11 +553,40 @@ class ShardRouter:
             doc["journal"] = {"error": str(exc)}
         return doc
 
+    def expo_pprof(self, seconds: float = 1.0,
+                   hz: Optional[float] = None) -> str:
+        """The ``/pprof`` document: fleet collapsed stacks on demand.
+
+        When a profiling window is already open (``_ prof start``) this
+        dumps the accumulated fleet profile without disturbing the
+        window; otherwise every worker and the router sample for
+        ``seconds`` — the HTTP handler thread sleeps while the workers
+        keep serving — and the per-process dumps merge line-wise.
+        """
+        if self.profiler.running:
+            return self._prof(["dump"])
+        out = self._prof(["start"] if hz is None else ["start", str(hz)])
+        if out.startswith(ERROR_PREFIX):
+            raise ShardError(out)
+        try:
+            time.sleep(max(0.0, seconds))
+            dump = self._prof(["dump"])
+        finally:
+            self._prof(["stop"])
+        if dump.startswith(ERROR_PREFIX):
+            raise ShardError(dump)
+        return dump
+
     def expo_varz(self) -> Dict[str, Any]:
         """The ``/varz`` document: everything an operator drills into."""
         doc: Dict[str, Any] = {"health": self.expo_health(),
                                "slo": self.slo.report(),
-                               "slow": self.slowlog.entries(32)}
+                               "slow": self.slowlog.entries(32),
+                               "profiler": {
+                                   "running": self.profiler.running,
+                                   "hz": self.profiler.hz,
+                                   "samples": self.profiler.samples,
+                                   "dropped": self.profiler.dropped}}
         try:
             doc["metrics"] = self.expo_metrics_doc()
         except ShardError as exc:
@@ -517,6 +598,7 @@ class ShardRouter:
     def close(self) -> None:
         """Stop every worker (each drains its manager before exiting)."""
         self._closed = True
+        self.profiler.stop()
         for worker in self.workers:
             with worker.lock:
                 worker.stop()

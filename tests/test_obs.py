@@ -12,6 +12,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsError,
     MetricsRegistry,
+    merge_histogram_docs,
 )
 from repro.obs.trace import FlightRecorder, Tracer, _NOOP_SPAN, read_trace
 
@@ -357,3 +358,66 @@ class TestExpositionEdgeCases:
         ops = [s["labels"]["op"]
                for s in reg.to_doc()["repro_m_total"]["samples"]]
         assert ops == ["apply", "undo"]
+
+
+class TestExemplars:
+    """OpenMetrics-style exemplars: the slowest request id per bucket."""
+
+    def test_slowest_observation_wins_its_bucket(self):
+        h = Histogram("h", buckets=(0.1, 1.0))
+        h.observe(0.02, exemplar="r-aaa")
+        h.observe(0.07, exemplar="r-bbb")   # slower, same bucket: wins
+        h.observe(0.04, exemplar="r-ccc")   # faster: ignored
+        h.observe(0.5)                      # no exemplar: bucket stays bare
+        assert h.exemplars[0] == {"request": "r-bbb", "value": 0.07}
+        assert h.exemplars[1] is None
+        # overflow lands on the +Inf slot
+        h.observe(9.0, exemplar="r-inf")
+        assert h.exemplars[-1] == {"request": "r-inf", "value": 9.0}
+
+    def test_render_appends_the_exemplar_suffix(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_x_seconds", "help", buckets=(0.1, 1.0))
+        h.observe(0.05, exemplar="r-deadbeef")
+        text = reg.render()
+        line = next(ln for ln in text.splitlines()
+                    if 'le="0.1"' in ln)
+        assert line.endswith('# {request="r-deadbeef"} 0.05')
+        # buckets without an exemplar render exactly as before
+        bare = next(ln for ln in text.splitlines() if 'le="1.0"' in ln)
+        assert "#" not in bare.split("le=")[1]
+
+    def test_exemplar_label_values_are_escaped(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(0.5, exemplar='we"ird\\id\n')
+        suffix = MetricsRegistry._exemplar_str(h.exemplars[0])
+        assert '\\"' in suffix and "\\\\" in suffix and "\\n" in suffix
+
+    def test_sample_round_trips_and_stays_backcompat(self):
+        h = Histogram("h", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        doc = h.sample()
+        assert "exemplars" not in doc  # no exemplars -> legacy shape
+        h.observe(0.5, exemplar="r-123")
+        doc = h.sample()
+        assert doc["exemplars"][1] == {"request": "r-123", "value": 0.5}
+        assert json.loads(json.dumps(doc)) == doc  # JSON-safe
+
+    def test_merge_keeps_the_slowest_exemplar_per_bucket(self):
+        a = Histogram("h", buckets=(0.1, 1.0))
+        b = Histogram("h", buckets=(0.1, 1.0))
+        a.observe(0.03, exemplar="r-a")
+        b.observe(0.06, exemplar="r-b")
+        merged = merge_histogram_docs([a.sample(), b.sample()])
+        assert merged["exemplars"][0] == {"request": "r-b", "value": 0.06}
+        assert merged["count"] == 2
+
+    def test_merge_tolerates_docs_without_exemplars(self):
+        a = Histogram("h", buckets=(0.1, 1.0))
+        b = Histogram("h", buckets=(0.1, 1.0))
+        a.observe(0.03, exemplar="r-a")
+        b.observe(0.06)  # plain doc, no exemplars key
+        merged = merge_histogram_docs([a.sample(), b.sample()])
+        assert merged["exemplars"][0] == {"request": "r-a", "value": 0.03}
+        legacy = merge_histogram_docs([b.sample(), b.sample()])
+        assert "exemplars" not in legacy

@@ -25,6 +25,7 @@ import json
 import os
 import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -601,6 +602,78 @@ class TestFleetCollection:
             varz = router.expo_varz()
             assert varz["health"]["ok"]
             assert varz["metrics"]["totals"]["commands"] >= 1
+
+
+# -- fleet profiling -----------------------------------------------------------
+
+class TestFleetProfiling:
+    def _churn(self, router, prog, seconds):
+        """Init two sessions and drive apply/undo traffic for a window."""
+        for name in ("alpha", "beta"):
+            assert router.handle_line(f"{name} init {prog}") == \
+                f"created {name}"
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline:
+            for name in ("alpha", "beta"):
+                router.handle_line(f"{name} apply ctp 0")
+                router.handle_line(f"{name} undo 1")
+
+    def test_prof_fans_out_and_merges_across_shards(self, tmp_path):
+        prog = tmp_path / "prog.loop"
+        prog.write_text(SRC)
+        with ShardRouter(str(tmp_path), 2, slow_ms=None) as router:
+            out = router.handle_line("_ prof start 500")
+            assert out == "profiling 2 shard(s) at 500 hz"
+            self._churn(router, prog, 0.4)
+            dump = router.handle_line("_ prof dump")
+            assert dump and dump != "(no samples)"
+            assert not dump.startswith("error:")
+            for line in dump.splitlines():
+                stack, _, count = line.rpartition(" ")
+                assert stack and int(count) >= 1
+            stopped = json.loads(router.handle_line("_ prof stop"))
+            assert stopped["shards"] == 2
+            # router + worker samplers together saw the window
+            assert stopped["samples"] > 0
+            # varz mirrors the router-side profiler state
+            assert router.expo_varz()["profiler"]["running"] is False
+
+    def test_prof_errors_propagate(self, tmp_path):
+        with ShardRouter(str(tmp_path), 2) as router:
+            out = router.handle_line("_ prof frobnicate")
+            assert out.startswith("error:") and "bad-request" in out
+
+    def test_pprof_over_http_samples_the_fleet(self, tmp_path):
+        prog = tmp_path / "prog.loop"
+        prog.write_text(SRC)
+        with ShardRouter(str(tmp_path), 2, slow_ms=None) as router:
+            stop = threading.Event()
+
+            def churn():
+                for name in ("alpha", "beta"):
+                    router.handle_line(f"{name} init {prog}")
+                while not stop.is_set():
+                    for name in ("alpha", "beta"):
+                        router.handle_line(f"{name} apply ctp 0")
+                        router.handle_line(f"{name} undo 1")
+
+            worker = threading.Thread(target=churn, daemon=True)
+            worker.start()
+            try:
+                with ExpoServer(router) as expo:
+                    host, port = expo.address
+                    status, body = _get(
+                        f"http://{host}:{port}/pprof?seconds=0.4&hz=500")
+                    assert status == 200
+                    assert body.strip()
+                    for line in body.strip().splitlines():
+                        stack, _, count = line.rpartition(" ")
+                        assert stack and int(count) >= 1
+            finally:
+                stop.set()
+                worker.join(timeout=10)
+            # the on-demand window was closed after the scrape
+            assert router.profiler.running is False
 
 
 # -- tcp hardening ------------------------------------------------------------

@@ -15,6 +15,8 @@ Pins three contracts the observability PR introduced:
 
 import json
 import os
+import threading
+import time
 
 import pytest
 
@@ -299,6 +301,115 @@ class TestServerVerbs:
         per = json.loads(server.handle_line("s1 metrics"))
         assert per["seq"] == 1
         server.manager.close_all()
+
+
+class TestProfVerbs:
+    def _server(self, tmp_path):
+        prog = tmp_path / "p.loop"
+        prog.write_text(SRC)
+        server = SessionServer(SessionManager(str(tmp_path / "root")))
+        server.handle_line(f"s init {prog}")
+        return server
+
+    def test_prof_start_work_stop_dump(self, tmp_path):
+        server = self._server(tmp_path)
+        try:
+            assert server.handle_line("_ prof start 500") == \
+                "profiling at 500 hz"
+            assert server.handle_line("_ prof start").startswith(
+                "already profiling at 500 hz")
+            deadline = time.monotonic() + 0.3
+            while time.monotonic() < deadline:
+                server.handle_line("s apply cse")
+                server.handle_line("s undo 0")
+            stopped = json.loads(server.handle_line("_ prof stop"))
+            assert stopped["samples"] > 0
+            assert stopped["dropped"] >= 0
+            # the profile survives stop so the window can be dumped late
+            dump = server.handle_line("_ prof dump")
+            assert dump and not dump.startswith("error:")
+            assert any("server.handle_line" in ln
+                       for ln in dump.splitlines())
+        finally:
+            server.close()
+
+    def test_prof_rejects_unknown_action(self, tmp_path):
+        server = self._server(tmp_path)
+        try:
+            out = server.handle_line("_ prof frobnicate")
+            assert out.startswith("error:") and "bad-request" in out
+        finally:
+            server.close()
+
+    def test_metrics_totals_carry_profiler_counts(self, tmp_path):
+        server = self._server(tmp_path)
+        try:
+            doc = json.loads(server.handle_line("_ metrics"))
+            assert doc["totals"]["prof_samples"] == 0
+            assert doc["totals"]["prof_dropped"] == 0
+            server.handle_line("_ prof start 500")
+            deadline = time.monotonic() + 0.2
+            while time.monotonic() < deadline:
+                server.handle_line("s apply ctp")
+            server.handle_line("_ prof stop")
+            doc = json.loads(server.handle_line("_ metrics"))
+            assert doc["totals"]["prof_samples"] > 0
+        finally:
+            server.close()
+
+    def test_varz_reports_profiler_state(self, tmp_path):
+        server = self._server(tmp_path)
+        try:
+            varz = server.expo_varz()
+            assert varz["profiler"] == {"running": False, "hz": 100.0,
+                                        "samples": 0, "dropped": 0}
+            server.handle_line("_ prof start 250")
+            varz = server.expo_varz()
+            assert varz["profiler"]["running"] is True
+            assert varz["profiler"]["hz"] == 250.0
+        finally:
+            server.close()
+
+    def test_expo_pprof_samples_on_demand(self, tmp_path):
+        server = self._server(tmp_path)
+        stop = threading.Event()
+
+        def churn():
+            k = 0
+            while not stop.is_set():
+                server.handle_line("s apply cse")
+                server.handle_line("s undo 0")
+                k += 1
+
+        worker = threading.Thread(target=churn, daemon=True)
+        worker.start()
+        try:
+            folded = server.expo_pprof(seconds=0.3, hz=500)
+            assert folded
+            assert any("server.handle_line" in ln
+                       for ln in folded.splitlines())
+            # profiler was started for the window and stopped after it
+            assert server.profiler.running is False
+        finally:
+            stop.set()
+            worker.join(timeout=5)
+            server.close()
+
+    def test_expo_pprof_dumps_open_operator_window(self, tmp_path):
+        # when `_ prof start` opened a window, /pprof must not disturb
+        # it — it reports the accumulated profile and keeps sampling
+        server = self._server(tmp_path)
+        try:
+            server.handle_line("_ prof start 500")
+            deadline = time.monotonic() + 0.2
+            while time.monotonic() < deadline:
+                server.handle_line("s apply ctp")
+            before = server.profiler.samples
+            assert server.expo_pprof(seconds=0.0) != ""
+            assert server.profiler.running is True
+            assert server.profiler.samples >= before
+        finally:
+            server.close()
 
 
 class TestTraceCli:
